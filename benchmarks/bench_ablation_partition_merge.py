@@ -1,0 +1,68 @@
+"""Ablation — on-line partition merge (paper §4's "system-transaction merge
+steps", implemented as an optional extension).
+
+With a deliberately tiny partition buffer, MV-PBT accumulates many
+partitions under YCSB-A.  The merge policy bounds the partition count
+(trading extra sequential write volume — compaction-style — for fewer
+partitions to probe).  This bench quantifies that trade-off.
+"""
+
+import dataclasses
+
+from repro.bench.reporting import print_table
+from repro.config import EngineConfig
+from repro.kv import make_kv_store
+from repro.workloads.ycsb import WORKLOAD_A, YCSBRunner
+
+from common import run_simulation
+
+RECORDS = 8_000
+OPERATIONS = 16_000
+
+CONFIG = EngineConfig(buffer_pool_pages=64,
+                      partition_buffer_bytes=24 * 8192)
+
+
+def run_variant(max_partitions):
+    store = make_kv_store("mvpbt", CONFIG, max_partitions=max_partitions)
+    config = dataclasses.replace(WORKLOAD_A, record_count=RECORDS,
+                                 operation_count=OPERATIONS, value_bytes=400)
+    runner = YCSBRunner(store, config, "A")
+    runner.load()
+    result = runner.run()
+    return {
+        "throughput": result.throughput,
+        "partitions": store.tree.partition_count,
+        "merges": store.tree.stats.merges,
+        "bytes_written": store.env.device.stats.bytes_written,
+    }
+
+
+def test_ablation_partition_merge(benchmark):
+    def run():
+        unmerged = run_variant(None)
+        merged = run_variant(6)
+        print_table("Ablation: partition merge policy under YCSB-A",
+                    ["policy", "ops/sim-s", "partitions", "merges",
+                     "MiB written"],
+                    [["no merging", round(unmerged["throughput"]),
+                      unmerged["partitions"], 0,
+                      round(unmerged["bytes_written"] / 2 ** 20, 1)],
+                     ["max 6 partitions", round(merged["throughput"]),
+                      merged["partitions"], merged["merges"],
+                      round(merged["bytes_written"] / 2 ** 20, 1)]])
+        return {
+            "unmerged_tput": unmerged["throughput"],
+            "merged_tput": merged["throughput"],
+            "unmerged_partitions": unmerged["partitions"],
+            "merged_partitions": merged["partitions"],
+            "merged_bytes": merged["bytes_written"],
+            "unmerged_bytes": unmerged["bytes_written"],
+        }
+
+    result = run_simulation(benchmark, run)
+    # merging bounds the partition count ...
+    assert result["merged_partitions"] <= 7
+    assert result["merged_partitions"] < result["unmerged_partitions"]
+    # ... at the cost of rewrite traffic (the LSM trade-off, now opt-in)
+    assert result["merged_bytes"] > result["unmerged_bytes"]

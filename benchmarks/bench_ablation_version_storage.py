@@ -1,0 +1,89 @@
+"""Ablation — physically materialised vs. delta-record version storage
+(paper §3.1 / Figure 4, argued in §3.6).
+
+The paper chooses physically materialised versions because delta records
+"require additional processing and all predecessors or successors for tuple
+reconstruction".  This bench measures both sides of that trade-off:
+
+* write path: delta storage writes only changed columns (less volume, but
+  in-place main-row writes), SIAS appends whole versions;
+* read path under HTAP: an old snapshot reading hot tuples pays per-delta
+  reconstruction on delta storage, while materialised storage reads the
+  version directly.
+"""
+
+import random
+
+from repro.bench.reporting import print_table
+from repro.engine import Database
+
+from common import run_simulation, small_engine
+
+ROWS = 2000
+UPDATES = 4000
+OLD_SNAPSHOT_READS = 400
+
+
+def run_variant(storage: str) -> dict:
+    db = Database(small_engine(buffer_pool_pages=64,
+                               partition_buffer_pages=16))
+    db.create_table("r", [("a", "int"), ("b", "str"), ("c", "float")],
+                    storage=storage)
+    db.create_index("ix", "r", ["a"], kind="mvpbt")
+    rng = random.Random(5)
+    txn = db.begin()
+    for i in range(ROWS):
+        db.insert(txn, "r", (i, "x" * 100, 0.0))
+    txn.commit()
+    db.flush_all()
+
+    reader = db.begin()          # the long-running analytical snapshot
+    write_start = db.clock.now
+    snap = db.device.stats.snapshot()
+    hot = [rng.randrange(ROWS) for _ in range(UPDATES)]
+    for key in hot:
+        t = db.begin()
+        db.update_by_key(t, "ix", (key,), {"b": "y" * 100})
+        t.commit()
+    write_elapsed = db.clock.now - write_start
+    write_delta = db.device.stats.delta(snap)
+
+    read_start = db.clock.now
+    for key in hot[:OLD_SNAPSHOT_READS]:
+        rows = db.select(reader, "ix", (key,))
+        assert rows and rows[0][1] == "x" * 100   # the pre-update image
+    read_elapsed = db.clock.now - read_start
+    reader.commit()
+    return {
+        "write_ops_s": UPDATES / write_elapsed,
+        "old_read_us": read_elapsed * 1e6 / OLD_SNAPSHOT_READS,
+        "bytes_written": write_delta.bytes_written,
+        "rand_writes": write_delta.rand_writes,
+    }
+
+
+def test_ablation_version_storage(benchmark):
+    def run():
+        sias = run_variant("sias")
+        delta = run_variant("delta")
+        print_table(
+            "Ablation: materialised (SIAS) vs delta-record version storage",
+            ["storage", "updates/sim-s", "old-snapshot read (sim-µs)",
+             "KiB written", "rand writes"],
+            [["SIAS (materialised)", round(sias["write_ops_s"]),
+              round(sias["old_read_us"], 1),
+              sias["bytes_written"] // 1024, sias["rand_writes"]],
+             ["delta records", round(delta["write_ops_s"]),
+              round(delta["old_read_us"], 1),
+              delta["bytes_written"] // 1024, delta["rand_writes"]]])
+        return {
+            "sias_read_us": sias["old_read_us"],
+            "delta_read_us": delta["old_read_us"],
+            "sias_bytes": sias["bytes_written"],
+            "delta_bytes": delta["bytes_written"],
+        }
+
+    result = run_simulation(benchmark, run)
+    # §3.6's argument: reconstruction makes old-version reads dearer on
+    # delta storage than on materialised storage
+    assert result["delta_read_us"] > result["sias_read_us"]

@@ -1,0 +1,62 @@
+"""Figure 8 — I/O characteristics of the (simulated) Intel DC P3600 SSD.
+
+Regenerates the paper's device table by issuing raw requests against the
+simulated device and measuring IOPS and MB/s in simulated time.  This checks
+the substitution's base layer: the measured numbers must match the profile's
+transcription of the paper's table.
+"""
+
+from repro.bench.reporting import print_table
+from repro.sim.clock import SimClock
+from repro.sim.device import SimulatedDevice
+from repro.sim.profiles import INTEL_DC_P3600
+
+from common import run_simulation
+
+N_OPS = 2000
+
+
+def _measure(block: int, *, write: bool, sequential: bool) -> tuple[float, float]:
+    clock = SimClock()
+    device = SimulatedDevice(INTEL_DC_P3600, clock)
+    region = device.allocate(N_OPS * block * 2)
+    start = clock.now
+    for i in range(N_OPS):
+        if sequential:
+            offset = region + i * block
+        else:
+            # stride far enough that no request continues the stream
+            offset = region + ((i * 7919) % (2 * N_OPS)) * block
+        if write:
+            device.write(offset, block)
+        else:
+            device.read(offset, block)
+    elapsed = clock.now - start
+    iops = N_OPS / elapsed
+    mbps = iops * block / 1e6
+    return iops, mbps
+
+
+def test_fig08_device_iops(benchmark):
+    def run():
+        rows = []
+        metrics = {}
+        for pattern, sequential in (("sequential", True), ("random", False)):
+            for direction, write in (("read", False), ("write", True)):
+                for block in (8 * 1024, 64 * 1024):
+                    iops, mbps = _measure(block, write=write,
+                                          sequential=sequential)
+                    rows.append([pattern, direction, block // 1024,
+                                 round(iops), round(mbps, 1)])
+                    metrics[f"{pattern}_{direction}_{block // 1024}k_iops"] = (
+                        round(iops))
+        print_table("Figure 8: I/O characteristics (simulated P3600)",
+                    ["pattern", "op", "block KiB", "IOPS", "MB/s"], rows)
+        return metrics
+
+    result = run_simulation(benchmark, run)
+    # shape check against the paper's table
+    assert result["sequential_read_8k_iops"] > 100_000
+    assert result["random_write_8k_iops"] < 10_000
+    assert (result["sequential_read_8k_iops"]
+            > 10 * result["sequential_write_8k_iops"])

@@ -1,0 +1,66 @@
+"""Figure 12b — standard vs. index-only visibility check for growing
+version-chain lengths.
+
+The paper pauses an analytical query (pg_sleep 30/60/90/120 s) while the
+CH-benchmark's OLTP side churns, then measures the query's scan time:
+
+* PBT + base-table visibility check degrades by an order of magnitude as
+  transient chains grow;
+* MV-PBT's index-only check without GC grows proportionally to the chain
+  length (every successor record is processed);
+* MV-PBT with GC stays almost constant.
+"""
+
+from repro.bench.reporting import print_series
+from repro.engine import Database
+from repro.workloads.chbench import CHBenchmark
+
+from common import run_simulation, small_engine, tpcc_scale
+
+PAUSES = [1, 2, 3, 4]        # "sleep" slices (paper: 30/60/90/120 s)
+OLTP_PER_SLICE = 60
+
+VARIANTS = [
+    ("PBT (base-table VC)", "pbt", {}),
+    ("MV-PBT w/o GC", "mvpbt", {"enable_gc": False}),
+    ("MV-PBT w/ GC", "mvpbt", {}),
+]
+
+
+def scan_time(kind: str, options: dict, pause_slices: int) -> float:
+    db = Database(small_engine(buffer_pool_pages=96,
+                               partition_buffer_pages=48))
+    ch = CHBenchmark(db, tpcc_scale(warehouses=1), index_kind=kind,
+                     index_options=options)
+    ch.load()
+    # low_stock scans the stock table — the hottest update target of the
+    # paused OLTP mix, so its transient chains grow with the pause length
+    elapsed, _rows = ch.run_paused_query(pause_slices=pause_slices,
+                                         oltp_per_slice=OLTP_PER_SLICE,
+                                         query="low_stock")
+    return elapsed * 1000.0   # ms of simulated time
+
+
+def test_fig12b_visibility_check(benchmark):
+    def run():
+        series = {}
+        for label, kind, options in VARIANTS:
+            series[label] = [scan_time(kind, options, p) for p in PAUSES]
+        print_series("Figure 12b: query scan time (sim-ms) vs pause length",
+                     "pause", PAUSES, series)
+        pbt = series["PBT (base-table VC)"]
+        no_gc = series["MV-PBT w/o GC"]
+        with_gc = series["MV-PBT w/ GC"]
+        return {
+            "pbt_short": pbt[0], "pbt_long": pbt[-1],
+            "mvpbt_nogc_short": no_gc[0], "mvpbt_nogc_long": no_gc[-1],
+            "mvpbt_gc_short": with_gc[0], "mvpbt_gc_long": with_gc[-1],
+        }
+
+    result = run_simulation(benchmark, run)
+    # PBT's scan time grows with the pause; MV-PBT w/ GC grows far less
+    assert result["pbt_long"] > 1.5 * result["pbt_short"]
+    assert result["pbt_long"] > 2 * result["mvpbt_gc_long"]
+    gc_growth = result["mvpbt_gc_long"] / max(result["mvpbt_gc_short"], 1e-9)
+    pbt_growth = result["pbt_long"] / max(result["pbt_short"], 1e-9)
+    assert gc_growth < pbt_growth

@@ -1,0 +1,66 @@
+"""Figure 14a — B-Tree alternatives under TPC-C vs. dataset size.
+
+The paper compares standard PostgreSQL B-Trees over HOT heap storage
+("PG/HOT") against B⁺-Trees over append-only SIAS storage with physical
+references (PR) and with an indirection layer (LR), for growing warehouse
+counts at a fixed buffer size:
+
+* PG/HOT wins while the buffer holds the working set, then falls rapidly;
+* SIAS-based B-Trees are robust; the indirection layer adds up to ~30%
+  over physical references (less index maintenance).
+"""
+
+from repro.bench.reporting import print_series
+from repro.engine import Database
+from repro.workloads.tpcc import TPCCRunner
+
+from common import run_simulation, small_engine, tpcc_scale
+
+WAREHOUSES = [1, 2, 4]
+TRANSACTIONS = 400
+
+VARIANTS = [
+    ("B-Tree (PG/HOT)", "btree", "physical", "heap"),
+    ("B-Tree PR (SIAS)", "btree", "physical", "sias"),
+    ("B-Tree LR (SIAS)", "btree", "logical", "sias"),
+]
+
+
+def run_variant(kind, reference, storage, warehouses) -> float:
+    db = Database(small_engine(buffer_pool_pages=96,
+                               partition_buffer_pages=16))
+    runner = TPCCRunner(db, tpcc_scale(warehouses=warehouses),
+                        index_kind=kind, reference=reference, storage=storage)
+    runner.load()
+    db.flush_all()
+    result = runner.run(TRANSACTIONS)
+    return result.tpm
+
+
+def test_fig14a_btree_alternatives(benchmark):
+    def run():
+        series = {label: [] for label, *_ in VARIANTS}
+        for w in WAREHOUSES:
+            for label, kind, reference, storage in VARIANTS:
+                series[label].append(run_variant(kind, reference, storage, w))
+        print_series("Figure 14a: TPC-C throughput (tx/sim-min) vs warehouses",
+                     "warehouses", WAREHOUSES, series)
+        hot = series["B-Tree (PG/HOT)"]
+        pr = series["B-Tree PR (SIAS)"]
+        lr = series["B-Tree LR (SIAS)"]
+        return {
+            "hot_small": hot[0], "hot_large": hot[-1],
+            "pr_small": pr[0], "pr_large": pr[-1],
+            "lr_small": lr[0], "lr_large": lr[-1],
+        }
+
+    result = run_simulation(benchmark, run)
+    # the paper's claims our model reproduces (EXPERIMENTS.md discusses the
+    # not-reproduced small-scale PG/HOT advantage):
+    # (1) "with larger datasets B-Trees with indirection outperform
+    #     standard PostgreSQL PG/HOT"
+    assert result["lr_large"] > result["hot_large"]
+    # (2) the indirection layer beats physical references (less maintenance,
+    #     paper: up to 30% better)
+    assert result["lr_large"] > 1.15 * result["pr_large"]
+    assert result["lr_small"] > 1.15 * result["pr_small"]

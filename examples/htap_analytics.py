@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""HTAP scenario: long-running analytics under transactional churn.
+
+Loads a CH-benchmark database (TPC-C schema + analytical queries) three
+times — with B⁺-Tree, PBT and MV-PBT indexes — and runs the same mixed
+workload on each: every round opens an analytical snapshot, lets the OLTP
+mix churn (creating transient versions the snapshot pins), then runs the
+analytics under the stale snapshot.
+
+This is the experiment behind the paper's headline claim: MV-PBT doubles
+analytical throughput while also improving transactional throughput.
+
+Run:  python examples/htap_analytics.py
+"""
+
+from repro.bench.reporting import print_table
+from repro.config import EngineConfig
+from repro.engine import Database
+from repro.workloads.chbench import CHBenchmark
+from repro.workloads.tpcc import TPCCConfig
+
+
+def run_engine(index_kind: str, index_options: dict | None = None):
+    db = Database(EngineConfig(buffer_pool_pages=160,
+                               partition_buffer_bytes=48 * 8192))
+    ch = CHBenchmark(db,
+                     TPCCConfig(warehouses=2, districts_per_warehouse=4,
+                                customers_per_district=20, items=50,
+                                initial_orders_per_district=15),
+                     index_kind=index_kind,
+                     index_options=index_options or {})
+    ch.load()
+    result = ch.run_mixed(rounds=4, oltp_slice=80)
+    return result
+
+
+def main() -> None:
+    rows = []
+    for label, kind, options in [
+            ("B+-Tree", "btree", None),
+            ("PBT", "pbt", None),
+            ("MV-PBT", "mvpbt", None),
+            ("MV-PBT (ablated)", "mvpbt",
+             {"enable_gc": False, "index_only_visibility": False})]:
+        result = run_engine(kind, options)
+        rows.append([label,
+                     round(result.oltp_tpm),
+                     round(result.olap_qpm, 1),
+                     round(result.olap_scan_seconds * 1000, 1)])
+        print(f"  {label}: done")
+
+    print_table("CH-benchmark under HTAP (higher is better)",
+                ["index", "OLTP tx/sim-min", "OLAP queries/sim-min",
+                 "total query time (sim-ms)"], rows)
+    print("The ablated MV-PBT (no GC, no index-only visibility check) "
+          "collapses to PBT levels,\nisolating where the win comes from.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Quickstart: a multi-version database with an MV-PBT index.
+
+Walks through the paper's running example (Figure 2 / Figure 10): a table
+with an indexed attribute, a long-running analytical transaction, and a
+burst of short updating transactions — then shows how the MV-PBT answers
+the analytical query *index-only*, without touching the base table.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.config import EngineConfig
+from repro.engine import Database
+
+
+def main() -> None:
+    # one simulated DBMS: clock + flash device + buffers + MVCC
+    db = Database(EngineConfig(buffer_pool_pages=256))
+
+    # CREATE TABLE r (a int, z str) with append-only (SIAS) storage,
+    # CREATE INDEX idx_a ON r(a) as a Multi-Version Partitioned B-Tree
+    db.create_table("r", [("a", "int"), ("z", "str")], storage="sias")
+    db.create_index("idx_a", "r", ["a"], kind="mvpbt")
+
+    # TX_U0 inserts tuple t in its initial version t.v0
+    tx = db.begin()
+    db.insert(tx, "r", (7, "V0"))
+    tx.commit()
+
+    # TX_R starts a long-running analytical query: its snapshot is fixed now
+    tx_r = db.begin()
+
+    # meanwhile, short transactions update tuple t three times
+    tx1 = db.begin()
+    db.update_by_key(tx1, "idx_a", (7,), {"z": "V1"})   # non-key update
+    tx1.commit()
+    tx2 = db.begin()
+    db.update_by_key(tx2, "idx_a", (7,), {"a": 1})      # index-key update!
+    tx2.commit()
+    tx3 = db.begin()
+    db.delete_by_key(tx3, "idx_a", (1,))                # delete
+    tx3.commit()
+
+    # the paper's query: SELECT COUNT(*) FROM r WHERE a <= 10
+    # For TX_R the answer is 1 (it sees only t.v0 with a = 7) — and with
+    # MV-PBT the count is evaluated entirely inside the index.
+    table_file = db.catalog.table("r").file
+    reads_before = table_file.physical_reads
+    count = db.count_range(tx_r, "idx_a", None, (10,))
+    reads_after = table_file.physical_reads
+
+    print(f"TX_R's COUNT(*) WHERE a <= 10          = {count}   (expected 1)")
+    print(f"base-table pages read for the count    = "
+          f"{reads_after - reads_before}   (index-only visibility check)")
+    print(f"TX_R SELECT * WHERE a = 7              = "
+          f"{db.select(tx_r, 'idx_a', (7,))}")
+    tx_r.commit()
+
+    # a fresh snapshot sees the tuple deleted
+    fresh = db.begin()
+    print(f"fresh snapshot COUNT(*) WHERE a <= 10  = "
+          f"{db.count_range(fresh, 'idx_a', None, (10,))}   (expected 0)")
+    fresh.commit()
+
+    ix = db.catalog.index("idx_a").mvpbt
+    print(f"\nMV-PBT state: {ix.stats.inserts} regular, "
+          f"{ix.stats.replacements} replacement, "
+          f"{ix.stats.anti_records} anti, "
+          f"{ix.stats.tombstones} tombstone records "
+          f"in {ix.partition_count} partition(s)")
+    print(f"simulated time elapsed: {db.clock.now * 1000:.3f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""repro — reproduction of "MV-PBT: Multi-Version Indexing for Large Datasets
+and HTAP Workloads" (Riegger et al., EDBT 2020).
+
+The package provides:
+
+* :mod:`repro.core` — the Multi-Version Partitioned B-Tree (the paper's
+  contribution): version-aware index records, index-only visibility check,
+  buffered partitions with append-based eviction and partition GC;
+* the substrates the paper evaluates on: a simulated flash device with the
+  paper's measured cost table (:mod:`repro.sim`), MVCC transaction management
+  (:mod:`repro.txn`), heap/HOT and SIAS base tables (:mod:`repro.table`),
+  B⁺-Tree / PBT / LSM competitor indexes (:mod:`repro.index`);
+* an engine facade (:mod:`repro.engine`), a KV-store layer (:mod:`repro.kv`),
+  and the evaluation workloads YCSB / TPC-C / CH-benchmark
+  (:mod:`repro.workloads`).
+
+Typical entry points::
+
+    from repro.engine import Database          # SQL-ish engine facade
+    from repro.kv import make_kv_store         # KV engines (btree/lsm/mvpbt)
+    from repro.core import MVPBT               # the index itself
+"""
+
+from .config import CostModel, EngineConfig
+
+__version__ = "1.0.0"
+
+__all__ = ["EngineConfig", "CostModel", "__version__"]

@@ -1,0 +1,55 @@
+"""Shared experiment plumbing for the per-figure benchmarks."""
+
+from __future__ import annotations
+
+from ..buffer.pool import FileBufferStats
+from ..config import EngineConfig
+from ..engine.database import Database
+from ..sim.device import DeviceStats
+from ..sim.profiles import INTEL_DC_P3600, DeviceProfile
+
+
+def engine_config(*, buffer_pool_pages: int = 256,
+                  partition_buffer_pages: int = 64,
+                  **overrides: object) -> EngineConfig:
+    """An :class:`EngineConfig` with benchmark-friendly defaults.
+
+    The buffer pool is deliberately small relative to the generated datasets
+    so the buffer:data ratio matches the paper's setup (2 GB RAM against
+    tens-of-GB datasets) — see DESIGN.md §3.
+    """
+    return EngineConfig(
+        buffer_pool_pages=buffer_pool_pages,
+        partition_buffer_bytes=partition_buffer_pages * 8192,
+        **overrides)  # type: ignore[arg-type]
+
+
+def fresh_database(config: EngineConfig | None = None,
+                   profile: DeviceProfile = INTEL_DC_P3600) -> Database:
+    return Database(config if config is not None else engine_config(),
+                    profile=profile)
+
+
+def device_delta(db: Database, earlier: DeviceStats) -> DeviceStats:
+    return db.device.stats.delta(earlier)
+
+
+def buffer_stats_by_group(db: Database) -> dict[str, FileBufferStats]:
+    """Aggregate buffer statistics into 'table' vs 'index' file groups
+    (the observable of Figure 12d)."""
+    groups: dict[str, FileBufferStats] = {
+        "table": FileBufferStats(), "index": FileBufferStats()}
+    names: dict[int, str] = {}
+    for info in db.catalog.tables:
+        names[info.file.file_id] = "table"
+    for ix in db.catalog.indexes:
+        file = getattr(ix.index, "file", None)
+        if file is not None:
+            names[file.file_id] = "index"
+    for file_id, stats in db.pool.stats_by_file.items():
+        group = names.get(file_id)
+        if group is None:
+            continue
+        groups[group].requests += stats.requests
+        groups[group].hits += stats.hits
+    return groups

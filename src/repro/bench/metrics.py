@@ -1,0 +1,36 @@
+"""Metric capture over a window of simulated execution."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..engine.database import Database
+from ..sim.device import DeviceStats
+
+
+@dataclass
+class MetricWindow:
+    """Captures device / clock / buffer deltas between start() and stop()."""
+
+    db: Database
+    _start_time: float = 0.0
+    _start_stats: DeviceStats | None = None
+    elapsed: float = 0.0
+    delta: DeviceStats | None = None
+
+    def start(self) -> "MetricWindow":
+        self._start_time = self.db.clock.now
+        self._start_stats = self.db.device.stats.snapshot()
+        return self
+
+    def stop(self) -> "MetricWindow":
+        self.elapsed = self.db.clock.now - self._start_time
+        assert self._start_stats is not None, "start() was not called"
+        self.delta = self.db.device.stats.delta(self._start_stats)
+        return self
+
+    def throughput(self, work_items: int, per: float = 1.0) -> float:
+        """work items per ``per`` simulated seconds (per=60 → per minute)."""
+        if self.elapsed <= 0:
+            return 0.0
+        return work_items * per / self.elapsed

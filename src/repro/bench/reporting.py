@@ -1,0 +1,57 @@
+"""ASCII reporting in the shape of the paper's tables and figures.
+
+Benchmarks print one table (or series) per paper figure so the output can be
+compared against the published plot directly; EXPERIMENTS.md records the
+paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(title: str, headers: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> str:
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [f"== {title} ==",
+             " | ".join(h.ljust(w) for h, w in zip(headers, widths)),
+             sep]
+    for row in cells:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(title: str, headers: Sequence[str],
+                rows: Sequence[Sequence[object]]) -> None:
+    print("\n" + format_table(title, headers, rows) + "\n")
+
+
+def format_series(title: str, x_label: str, xs: Sequence[object],
+                  series: dict[str, Sequence[float]]) -> str:
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([x] + [values[i] for values in series.values()])
+    return format_table(title, headers, rows)
+
+
+def print_series(title: str, x_label: str, xs: Sequence[object],
+                 series: dict[str, Sequence[float]]) -> None:
+    print("\n" + format_series(title, x_label, xs, series) + "\n")

@@ -1,0 +1,97 @@
+"""Replacement policies for the shared buffer pool.
+
+The pool delegates victim selection to a policy object keyed by frame id
+(an opaque hashable).  LRU is the default; Clock (second chance) is provided
+as a cheaper approximation and for ablation experiments.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+from typing import Hashable
+
+from ..errors import BufferError_
+
+FrameKey = Hashable
+
+
+class ReplacementPolicy(ABC):
+    """Tracks frame residency and picks eviction victims."""
+
+    @abstractmethod
+    def admit(self, key: FrameKey) -> None:
+        """A new frame entered the pool."""
+
+    @abstractmethod
+    def touch(self, key: FrameKey) -> None:
+        """A resident frame was referenced."""
+
+    @abstractmethod
+    def evict(self) -> FrameKey:
+        """Choose and remove a victim frame; raises if empty."""
+
+    @abstractmethod
+    def remove(self, key: FrameKey) -> None:
+        """Drop a frame without choosing it as a victim (explicit discard)."""
+
+    @abstractmethod
+    def __len__(self) -> int: ...
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Least-recently-used via an ordered dict."""
+
+    def __init__(self) -> None:
+        self._order: OrderedDict[FrameKey, None] = OrderedDict()
+
+    def admit(self, key: FrameKey) -> None:
+        self._order[key] = None
+
+    def touch(self, key: FrameKey) -> None:
+        self._order.move_to_end(key)
+
+    def evict(self) -> FrameKey:
+        if not self._order:
+            raise BufferError_("LRU policy: nothing to evict")
+        key, _ = self._order.popitem(last=False)
+        return key
+
+    def remove(self, key: FrameKey) -> None:
+        self._order.pop(key, None)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+
+class ClockPolicy(ReplacementPolicy):
+    """Second-chance (clock) replacement."""
+
+    def __init__(self) -> None:
+        self._frames: OrderedDict[FrameKey, bool] = OrderedDict()
+
+    def admit(self, key: FrameKey) -> None:
+        self._frames[key] = True
+
+    def touch(self, key: FrameKey) -> None:
+        if key in self._frames:
+            self._frames[key] = True
+
+    def evict(self) -> FrameKey:
+        if not self._frames:
+            raise BufferError_("clock policy: nothing to evict")
+        while True:
+            key, referenced = next(iter(self._frames.items()))
+            if referenced:
+                # give a second chance: clear bit and rotate to the back
+                self._frames[key] = False
+                self._frames.move_to_end(key)
+            else:
+                del self._frames[key]
+                return key
+
+    def remove(self, key: FrameKey) -> None:
+        self._frames.pop(key, None)
+
+    def __len__(self) -> int:
+        return len(self._frames)

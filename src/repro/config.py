@@ -1,0 +1,76 @@
+"""Central configuration for the simulated DBMS.
+
+Everything that the paper's experiments vary (buffer sizes, page size,
+partition-buffer thresholds, CPU cost constants) lives here so benchmarks can
+construct reproducible engine instances from a single object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .errors import ConfigError
+
+#: Default page size in bytes (PostgreSQL-style 8 KiB pages).
+PAGE_SIZE = 8192
+
+#: Pages per extent; eviction and appends write whole extents (64 KiB).
+EXTENT_PAGES = 8
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """CPU cost constants, in seconds, charged to the simulated clock.
+
+    The absolute values are small relative to device latencies; they exist so
+    that in-memory work (record comparisons, visibility-check steps, hashing)
+    is not free, which matters for CPU-bound cases such as long in-memory
+    partition scans.
+    """
+
+    compare: float = 50e-9          #: one key comparison
+    visibility_step: float = 80e-9  #: one visibility-check evaluation
+    hash_op: float = 120e-9         #: one bloom-filter hash probe
+    record_copy: float = 60e-9      #: materialising one record into a result
+    page_cpu: float = 2e-6          #: fixed CPU overhead per page (de)serialisation
+    txn_overhead: float = 5e-6      #: begin/commit bookkeeping per transaction
+    indirection_lookup: float = 150e-9  #: one VID -> recordID resolution
+
+
+@dataclass
+class EngineConfig:
+    """Tunables for one :class:`repro.engine.Database` instance."""
+
+    page_size: int = PAGE_SIZE
+    extent_pages: int = EXTENT_PAGES
+    #: shared DB buffer capacity, in pages (paper: 600 MB for ~dozens of GB).
+    buffer_pool_pages: int = 2048
+    #: MV-PBT / PBT partition-buffer capacity, in bytes, shared by all indices.
+    partition_buffer_bytes: int = 64 * PAGE_SIZE
+    #: target fill factor of in-memory partition leaves (paper: 67%).
+    leaf_fill_factor: float = 0.67
+    #: bloom-filter target false-positive rate for persisted partitions.
+    bloom_fpr: float = 0.02
+    #: prefix bloom-filter target false-positive rate.
+    prefix_bloom_fpr: float = 0.10
+    cost: CostModel = field(default_factory=CostModel)
+    #: random seed used by any engine-internal randomised decision.
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.page_size < 512:
+            raise ConfigError(f"page_size too small: {self.page_size}")
+        if self.extent_pages < 1:
+            raise ConfigError(f"extent_pages must be >= 1: {self.extent_pages}")
+        if self.buffer_pool_pages < 8:
+            raise ConfigError(
+                f"buffer_pool_pages must be >= 8: {self.buffer_pool_pages}")
+        if not 0.0 < self.leaf_fill_factor <= 1.0:
+            raise ConfigError(
+                f"leaf_fill_factor must be in (0, 1]: {self.leaf_fill_factor}")
+        if not 0.0 < self.bloom_fpr < 1.0:
+            raise ConfigError(f"bloom_fpr must be in (0, 1): {self.bloom_fpr}")
+
+    @property
+    def extent_bytes(self) -> int:
+        return self.page_size * self.extent_pages

@@ -1,0 +1,148 @@
+"""MV-PBT partition eviction (paper §4.5, Algorithm 4).
+
+Evicting the in-memory partition ``P_N``:
+
+1. freeze ``P_N`` and scan it (version chains are implicit in the record
+   order + VIDs);
+2. run the final (phase-3) garbage collection over the scan;
+3. reconcile same-key regular records into set records (§4.7, non-unique
+   indices);
+4. build the partition bloom filter and prefix bloom filter from the
+   surviving records (the paper's ``worker2``);
+5. dense-pack the records into leaf pages at 100% fill and append them to
+   the index file with sequential extent-sized writes (``worker1``);
+6. publish the new :class:`~repro.core.partition.PersistedPartition` in the
+   partition metadata and start a fresh ``P_N``.
+
+Partition numbering note (deviation from the paper, DESIGN.md §6): the paper
+renumbers the evicted partition from ``N`` to ``N-1`` inside the shared tree
+encoding; we keep numbers stable — an evicted partition retains its number
+and the new ``P_N`` gets the next one.  The orderings are isomorphic.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..index.filters import BloomFilter, PrefixBloomFilter
+from ..index.runs import PersistedRun
+from ..storage.keycodec import encode_key
+from .gc import collect_for_eviction
+from .partition import MemoryPartition, PersistedPartition
+from .records import MVPBTRecord, RecordType, record_size
+
+if TYPE_CHECKING:
+    from .tree import MVPBT
+
+
+def evict_partition(tree: "MVPBT") -> PersistedPartition | None:
+    """Evict ``tree``'s current ``P_N``; returns the persisted partition
+    (or None when GC leaves nothing to persist)."""
+    mem = tree._mem
+    if mem.record_count == 0:
+        return None
+
+    records = list(mem.iter_records())
+    clock = tree.manager.clock
+    cost = tree.manager.cost
+    if clock is not None:
+        # the cooperative eviction scan over all leaves
+        clock.advance(cost.page_cpu * mem.leaf_count
+                      + cost.compare * len(records))
+
+    if tree.enable_gc:
+        records = collect_for_eviction(
+            records, tree.manager.active_snapshots(),
+            tree.manager.commit_log, tree.mode, tree.gc_stats)
+
+    if tree.reconcile:
+        records = reconcile_records(records)
+
+    # start the successor partition before publishing (concurrent reads in a
+    # real system keep using the frozen P_N; single-threaded here)
+    tree._mem = MemoryPartition(mem.number + 1, tree.mode, tree.file.page_size)
+    tree.stats.evictions += 1
+
+    if not records:
+        return None
+
+    bloom, prefix_bloom = build_filters(tree, records)
+    if clock is not None:
+        clock.advance(cost.hash_op * len(records))
+
+    run = PersistedRun(
+        tree.file, tree.pool, records,
+        key_of=lambda r: r.key,
+        size_of=lambda r: record_size(r, tree.mode),
+        fill_factor=1.0)
+
+    min_ts, max_ts = _timestamp_range(records)
+    partition = PersistedPartition(
+        number=mem.number, run=run, bloom=bloom,
+        prefix_bloom=prefix_bloom, min_ts=min_ts, max_ts=max_ts)
+    tree._persisted.append(partition)
+    return partition
+
+
+def reconcile_records(records: list[MVPBTRecord]) -> list[MVPBTRecord]:
+    """§4.7 reconciliation: merge runs of same-key REGULAR records.
+
+    Only key groups consisting *entirely* of regular records are merged (a
+    group containing replacement/anti/tombstone records keeps its per-record
+    timestamp ordering, which the visibility check relies on).  Entries keep
+    the group's newest-first order.
+    """
+    out: list[MVPBTRecord] = []
+    idx = 0
+    n = len(records)
+    while idx < n:
+        start = idx
+        key = records[idx].key
+        all_regular = True
+        while idx < n and records[idx].key == key:
+            if records[idx].rtype is not RecordType.REGULAR:
+                all_regular = False
+            idx += 1
+        group = records[start:idx]
+        if all_regular and len(group) > 1:
+            entries = [(r.vid, r.rid_new, r.ts, r.seq) for r in group]
+            merged = MVPBTRecord(
+                key=key, ts=group[0].ts, seq=group[0].seq,
+                rtype=RecordType.REGULAR_SET, vid=-1,
+                set_entries=entries)
+            out.append(merged)
+        else:
+            out.extend(group)
+    return out
+
+
+def build_filters(tree: "MVPBT", records: list[MVPBTRecord]
+                  ) -> tuple[BloomFilter | None, PrefixBloomFilter | None]:
+    """Build the per-partition bloom / prefix-bloom filters (``worker2``)."""
+    bloom: BloomFilter | None = None
+    prefix_bloom: PrefixBloomFilter | None = None
+    if tree.use_bloom:
+        bloom = BloomFilter(len(records), tree.bloom_fpr)
+        for record in records:
+            bloom.add(encode_key(record.key))
+    if tree.use_prefix_bloom:
+        prefix_bloom = PrefixBloomFilter(
+            len(records), tree.prefix_bloom_fpr, tree.prefix_columns)
+        for record in records:
+            prefix_bloom.add_key(record.key)
+    return bloom, prefix_bloom
+
+
+def _timestamp_range(records: list[MVPBTRecord]) -> tuple[int, int]:
+    min_ts: int | None = None
+    max_ts: int | None = None
+    for record in records:
+        if record.rtype is RecordType.REGULAR_SET:
+            for _vid, _rid, ts, _seq in record.set_entries:
+                min_ts = ts if min_ts is None else min(min_ts, ts)
+                max_ts = ts if max_ts is None else max(max_ts, ts)
+        else:
+            min_ts = record.ts if min_ts is None else min(min_ts, record.ts)
+            max_ts = record.ts if max_ts is None else max(max_ts, record.ts)
+    return (min_ts if min_ts is not None else 0,
+            max_ts if max_ts is not None else 0)

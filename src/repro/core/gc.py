@@ -1,0 +1,171 @@
+"""MV-PBT partition garbage collection (paper §4.6).
+
+Three cooperative phases:
+
+* **Phase 1** piggybacks on regular index scans: the
+  :class:`~repro.core.visibility.VisibilityChecker`, given the active
+  snapshots, classifies records no snapshot (active or future) can ever see
+  as GARBAGE; the tree flags them (``FLAG_GC``) and sets the
+  ``has_garbage`` bit in the leaf's page header.  The classification is
+  interval-based, so *transient* versions — created and superseded entirely
+  during a long-running analytical query — are collected while the query is
+  still active, the paper's headline HTAP case.
+* **Phase 2** runs when an update/insert lands on a leaf with
+  ``has_garbage``: the flagged chains are reduced to their keep set and the
+  victims' space is reclaimed immediately.  (The paper performs this at
+  page granularity for latching reasons; the simulation is single-threaded,
+  so it reduces whole in-memory chains — same records collected, simpler
+  invariants.  Documented in DESIGN.md §6.)
+* **Phase 3** runs during partition eviction: every chain is reduced once
+  more with the whole partition in hand, then the survivors are dense-packed.
+
+Chain reduction: per VID, keep the newest committed record (what future
+snapshots see) plus, per active snapshot, the record its visibility window
+lands on; re-link the kept records so every dropped record's invalidation
+reach is preserved; chains terminated by a tombstone whose origin lies in
+this partition vanish entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..txn.snapshot import Snapshot
+from ..txn.status import CommitLog
+from .partition import MemLeaf, MemoryPartition
+from .records import MVPBTRecord, RecordType, ReferenceMode, record_size
+
+
+@dataclass
+class GCStats:
+    """Counters of the partition GC."""
+
+    flagged: int = 0            #: phase-1 flaggings
+    purged_page_level: int = 0  #: phase-2 removals
+    purged_eviction: int = 0    #: phase-3 removals
+    chains_dropped: int = 0     #: whole chains removed
+    bytes_reclaimed: int = 0
+
+
+def reduce_chain(chain: list[MVPBTRecord],
+                 active_snapshots: list[Snapshot],
+                 commit_log: CommitLog,
+                 mode: ReferenceMode) -> list[MVPBTRecord]:
+    """Compute the victims of one chain (records of one VID, any order).
+
+    Returns the records that no active or future snapshot needs.  Kept
+    records are re-linked in place (physical mode) so invalidation still
+    reaches both dropped records' predecessors in older partitions and
+    other kept records.
+    """
+    chain = sorted(chain, key=lambda r: (-r.ts, -r.seq))  # newest first
+    victims: list[MVPBTRecord] = []
+    committed: list[MVPBTRecord] = []
+    antis: list[MVPBTRecord] = []
+    for record in chain:
+        if commit_log.is_aborted(record.ts):
+            victims.append(record)
+        elif record.rtype is RecordType.ANTI:
+            antis.append(record)
+        elif commit_log.is_committed(record.ts):
+            committed.append(record)
+        # in-progress records are always kept
+    if not committed:
+        return victims
+
+    # keep set: future snapshots see committed[0]; each active snapshot
+    # keeps the record its visibility window lands on
+    keep_idx: set[int] = {0}
+    for snap in active_snapshots:
+        for idx, record in enumerate(committed):
+            if snap.sees_ts(record.ts, commit_log):
+                keep_idx.add(idx)
+                break
+
+    kept = [committed[i] for i in sorted(keep_idx)]
+    chain_victims = [committed[i] for i in range(len(committed))
+                     if i not in keep_idx]
+    chain_rooted_here = any(r.rtype is RecordType.REGULAR for r in committed)
+
+    # whole-chain drop: only a tombstone left and the chain originates here
+    if (len(kept) == 1 and kept[0].rtype is RecordType.TOMBSTONE
+            and chain_rooted_here):
+        victims.extend(kept)
+        victims.extend(chain_victims)
+        victims.extend(antis)
+        return victims
+
+    if not chain_victims:
+        return victims
+
+    # re-link kept records so invalidation reach is preserved
+    if mode is ReferenceMode.PHYSICAL:
+        for pos, record in enumerate(kept):
+            if not record.has_antimatter:
+                continue
+            if pos + 1 < len(kept):
+                record.rid_old = kept[pos + 1].rid_new
+            else:
+                below = [v for v in chain_victims
+                         if (v.ts, v.seq) < (record.ts, record.seq)]
+                if below:
+                    oldest = min(below, key=lambda r: (r.ts, r.seq))
+                    if oldest.rtype is not RecordType.REGULAR:
+                        record.rid_old = oldest.rid_old
+
+    victims.extend(chain_victims)
+    return victims
+
+
+def purge_leaf(partition: MemoryPartition, leaf: MemLeaf,
+               mode: ReferenceMode, stats: GCStats,
+               active_snapshots: list[Snapshot],
+               commit_log: CommitLog) -> int:
+    """Phase 2: reduce the chains flagged on this leaf; reclaim their space.
+
+    Returns the number of records removed.
+    """
+    if not leaf.has_garbage:
+        return 0
+    flagged_vids = {record.vid for record in leaf.records if record.is_gc}
+    removed = 0
+    for vid in flagged_vids:
+        chain = partition.chain(vid)
+        victims = reduce_chain(chain, active_snapshots, commit_log, mode)
+        dropped_all = victims and len(victims) == len(chain)
+        for victim in victims:
+            freed = partition.remove_record(victim)
+            if freed:
+                removed += 1
+                stats.purged_page_level += 1
+                stats.bytes_reclaimed += freed
+        if dropped_all:
+            stats.chains_dropped += 1
+    leaf.has_garbage = any(r.is_gc for r in leaf.records)
+    return removed
+
+
+def collect_for_eviction(records: list[MVPBTRecord],
+                         active_snapshots: list[Snapshot],
+                         commit_log: CommitLog, mode: ReferenceMode,
+                         stats: GCStats) -> list[MVPBTRecord]:
+    """Phase 3: final GC over a whole partition about to be evicted.
+
+    ``records`` arrive in partition order; the returned (possibly re-linked)
+    survivors preserve that order.
+    """
+    by_vid: dict[int, list[MVPBTRecord]] = {}
+    for record in records:
+        by_vid.setdefault(record.vid, []).append(record)
+
+    drop: set[int] = set()
+    for vid, chain in by_vid.items():
+        victims = reduce_chain(chain, active_snapshots, commit_log, mode)
+        if victims and len(victims) == len(chain):
+            stats.chains_dropped += 1
+        for victim in victims:
+            drop.add(victim.seq)
+            stats.purged_eviction += 1
+            stats.bytes_reclaimed += record_size(victim, mode)
+
+    return [r for r in records if r.seq not in drop]

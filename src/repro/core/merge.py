@@ -1,0 +1,140 @@
+"""On-line partition reorganisation (paper §4: "partitions ... can be
+reorganized and optimized on-line in system-transaction merge steps") and
+bulk loads ("partitions can support additional functionalities, like bulk
+loads").
+
+**Merge** combines several persisted partitions into one: records are
+merge-sorted (sequential reads), run through the phase-3 garbage collection
+(dead versions across the merged partitions finally disappear), optionally
+reconciled, re-packed densely, given fresh filters and appended with
+sequential writes; the input partitions' pages are freed.  This is the
+LSM-compaction analogue — but *optional* and workload-driven rather than
+structural, which is the paper's point about lower write amplification.
+
+**Bulk load** builds a persisted partition directly from a sorted entry
+stream, bypassing ``P_N`` entirely — one sequential write pass, no
+partition-buffer pressure.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from ..errors import IndexError_
+from ..index.runs import PersistedRun
+from ..storage.recordid import RecordID
+from ..txn.transaction import Transaction
+from .eviction import build_filters, reconcile_records, _timestamp_range
+from .gc import collect_for_eviction
+from .partition import PersistedPartition
+from .records import MVPBTRecord, RecordType, record_size
+
+if TYPE_CHECKING:
+    from .tree import MVPBT
+
+
+def merge_partitions(tree: "MVPBT", count: int | None = None
+                     ) -> PersistedPartition | None:
+    """Merge the ``count`` oldest persisted partitions (default: all).
+
+    Returns the merged partition, or None when fewer than two partitions
+    exist or GC leaves nothing to persist.
+    """
+    persisted = tree._persisted
+    if count is None:
+        count = len(persisted)
+    if count < 2 or len(persisted) < 2:
+        return None
+    count = min(count, len(persisted))
+    inputs = persisted[:count]
+
+    records: list[MVPBTRecord] = []
+    for partition in inputs:
+        records.extend(partition.run.iter_all_sequential())
+    # global §4.3 order: within a key and chain, timestamp order equals
+    # partition order, so one sort restores the processing order
+    records.sort(key=lambda r: r.sort_key())
+
+    clock = tree.manager.clock
+    if clock is not None:
+        clock.advance(tree.manager.cost.compare * len(records))
+
+    if tree.enable_gc:
+        records = collect_for_eviction(
+            records, tree.manager.active_snapshots(),
+            tree.manager.commit_log, tree.mode, tree.gc_stats)
+    if tree.reconcile:
+        records = reconcile_records(records)
+
+    merged_number = inputs[-1].number  # the newest merged partition's slot
+    for partition in inputs:
+        partition.run.free()
+    del tree._persisted[:count]
+    tree.stats.merges += 1
+
+    if not records:
+        return None
+
+    bloom, prefix_bloom = build_filters(tree, records)
+    run = PersistedRun(
+        tree.file, tree.pool, records,
+        key_of=lambda r: r.key,
+        size_of=lambda r: record_size(r, tree.mode),
+        fill_factor=1.0)
+    min_ts, max_ts = _timestamp_range(records)
+    merged = PersistedPartition(
+        number=merged_number, run=run, bloom=bloom,
+        prefix_bloom=prefix_bloom, min_ts=min_ts, max_ts=max_ts)
+    tree._persisted.insert(0, merged)
+    return merged
+
+
+def bulk_load(tree: "MVPBT", txn: Transaction,
+              entries: Sequence[tuple[tuple, RecordID, int]],
+              payloads: Sequence[object] | None = None
+              ) -> PersistedPartition | None:
+    """Build one persisted partition directly from ``(key, rid, vid)``
+    entries — the initial-load fast path.
+
+    Entries need not be pre-sorted.  The loaded partition takes the current
+    ``P_N``'s number (``P_N`` moves up by one), so it is *older* than every
+    record subsequently written — matching a load that logically precedes
+    the ongoing workload.
+    """
+    txn.require_active()
+    if tree._mem.record_count > 0:
+        raise IndexError_(
+            f"{tree.name}: bulk load requires an empty memory partition "
+            f"({tree._mem.record_count} records present)")
+    if not entries:
+        return None
+
+    records = []
+    for idx, (key, rid, vid) in enumerate(entries):
+        payload = payloads[idx] if payloads is not None else None
+        records.append(MVPBTRecord(tuple(key), txn.id, tree._seq(),
+                                   RecordType.REGULAR, vid, rid_new=rid,
+                                   payload=payload))
+    records.sort(key=lambda r: r.sort_key())
+    if tree.reconcile:
+        records = reconcile_records(records)
+
+    clock = tree.manager.clock
+    if clock is not None:
+        clock.advance(tree.manager.cost.compare * len(records))
+
+    bloom, prefix_bloom = build_filters(tree, records)
+    run = PersistedRun(
+        tree.file, tree.pool, records,
+        key_of=lambda r: r.key,
+        size_of=lambda r: record_size(r, tree.mode),
+        fill_factor=1.0)
+    min_ts, max_ts = _timestamp_range(records)
+    partition = PersistedPartition(
+        number=tree._mem.number, run=run, bloom=bloom,
+        prefix_bloom=prefix_bloom, min_ts=min_ts, max_ts=max_ts)
+    tree._persisted.append(partition)
+    tree._mem.number += 1
+    tree.stats.inserts += len(entries)
+    tree.stats.bulk_loads += 1
+    return partition

@@ -1,0 +1,240 @@
+"""MV-PBT partitions.
+
+* :class:`MemoryPartition` — the mutable ``P_N`` held in the partition
+  buffer: leaf-node organised (page-sized leaves that split when full, giving
+  the paper's ~67% average in-memory fill), ordered by the §4.3 composite
+  sort key (search key ascending, then timestamp/sequence *descending* so
+  newer records precede older ones within a key).
+* :class:`PersistedPartition` — an immutable, dense-packed partition on
+  storage: a :class:`~repro.index.runs.PersistedRun` plus partition metadata
+  (range keys, minimum transaction timestamp, bloom / prefix-bloom filters)
+  used to skip partitions during search and scan (§4.2, §4.7).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..index.filters import BloomFilter, PrefixBloomFilter
+from ..index.runs import PersistedRun
+from ..storage.page import PAGE_HEADER_BYTES
+from ..txn.snapshot import Snapshot
+from .records import MVPBTRecord, ReferenceMode, record_size
+
+
+class MemLeaf:
+    """One in-memory leaf node of ``P_N``.
+
+    Carries the page-header ``has_garbage`` flag of the cooperative GC
+    (§4.6): scans set it when they flag records, updates purge before they
+    insert.
+    """
+
+    __slots__ = ("sort_keys", "records", "bytes_used", "has_garbage")
+
+    def __init__(self) -> None:
+        self.sort_keys: list[tuple] = []
+        self.records: list[MVPBTRecord] = []
+        self.bytes_used = 0
+        self.has_garbage = False
+
+    def insert(self, record: MVPBTRecord, nbytes: int) -> None:
+        skey = record.sort_key()
+        idx = bisect_left(self.sort_keys, skey)
+        self.sort_keys.insert(idx, skey)
+        self.records.insert(idx, record)
+        self.bytes_used += nbytes
+
+    def remove_at(self, idx: int, nbytes: int) -> None:
+        del self.sort_keys[idx]
+        del self.records[idx]
+        self.bytes_used -= nbytes
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class MemoryPartition:
+    """The mutable partition ``P_N`` of one MV-PBT."""
+
+    def __init__(self, number: int, mode: ReferenceMode,
+                 page_size: int) -> None:
+        self.number = number
+        self.mode = mode
+        self.leaf_capacity = page_size - PAGE_HEADER_BYTES
+        self._leaves: list[MemLeaf] = [MemLeaf()]
+        self._fences: list[tuple] = []  # first sort_key of leaves[1:]
+        #: per-chain registry (vid -> records) used by partition GC
+        self._by_vid: dict[int, list[MVPBTRecord]] = {}
+        self.bytes_used = 0
+        self.record_count = 0
+
+    # -------------------------------------------------------------- mutation
+
+    def insert(self, record: MVPBTRecord) -> MemLeaf:
+        """Insert in §4.3 order; returns the leaf that received the record."""
+        nbytes = record_size(record, self.mode)
+        idx = bisect_right(self._fences, record.sort_key())
+        leaf = self._leaves[idx]
+        leaf.insert(record, nbytes)
+        self._by_vid.setdefault(record.vid, []).append(record)
+        self.bytes_used += nbytes
+        self.record_count += 1
+        if leaf.bytes_used > self.leaf_capacity and len(leaf) > 1:
+            self._split(idx)
+        return leaf
+
+    def chain(self, vid: int) -> list[MVPBTRecord]:
+        """All records of one chain currently in this partition."""
+        return list(self._by_vid.get(vid, ()))
+
+    def remove_record(self, record: MVPBTRecord) -> int:
+        """Remove one record (GC); returns the bytes reclaimed."""
+        skey = record.sort_key()
+        leaf_idx = min(bisect_right(self._fences, skey),
+                       len(self._leaves) - 1)
+        # the record sits in this leaf or (fence == skey edge) the one before
+        for idx in (leaf_idx, leaf_idx - 1):
+            if idx < 0:
+                continue
+            leaf = self._leaves[idx]
+            pos = bisect_left(leaf.sort_keys, skey)
+            while pos < len(leaf.records) and leaf.sort_keys[pos] == skey:
+                if leaf.records[pos] is record:
+                    nbytes = record_size(record, self.mode)
+                    leaf.remove_at(pos, nbytes)
+                    self.bytes_used -= nbytes
+                    self.record_count -= 1
+                    group = self._by_vid.get(record.vid)
+                    if group is not None:
+                        group.remove(record)
+                        if not group:
+                            del self._by_vid[record.vid]
+                    return nbytes
+                pos += 1
+        return 0
+
+    def _split(self, leaf_idx: int) -> None:
+        leaf = self._leaves[leaf_idx]
+        mid = len(leaf.records) // 2
+        right = MemLeaf()
+        right.sort_keys = leaf.sort_keys[mid:]
+        right.records = leaf.records[mid:]
+        moved = sum(record_size(r, self.mode) for r in right.records)
+        right.bytes_used = moved
+        right.has_garbage = leaf.has_garbage
+        del leaf.sort_keys[mid:]
+        del leaf.records[mid:]
+        leaf.bytes_used -= moved
+        self._leaves.insert(leaf_idx + 1, right)
+        self._fences.insert(leaf_idx, right.sort_keys[0])
+
+    def note_removed(self, nbytes: int, count: int = 1) -> None:
+        """GC purged records from a leaf; fix the partition accounting."""
+        self.bytes_used -= nbytes
+        self.record_count -= count
+
+    # ----------------------------------------------------------------- reads
+
+    def search(self, key: tuple) -> Iterator[tuple[MemLeaf, MVPBTRecord]]:
+        """Records whose key equals ``key``, newest first (§4.3 ordering)."""
+        probe = (key,)
+        start = max(0, bisect_right(self._fences, probe) - 1)
+        for leaf_idx in range(start, len(self._leaves)):
+            leaf = self._leaves[leaf_idx]
+            lo = bisect_left(leaf.sort_keys, probe)
+            if lo == len(leaf.sort_keys):
+                continue
+            emitted = False
+            for idx in range(lo, len(leaf.records)):
+                record = leaf.records[idx]
+                if record.key != key:
+                    return
+                emitted = True
+                yield leaf, record
+            if not emitted:
+                return
+
+    def scan(self, lo: tuple | None, hi: tuple | None, *,
+             lo_incl: bool = True,
+             hi_incl: bool = True) -> Iterator[tuple[MemLeaf, MVPBTRecord]]:
+        """Records with keys in range, in partition order."""
+        if lo is not None:
+            start = max(0, bisect_right(self._fences, (lo,)) - 1)
+        else:
+            start = 0
+        for leaf_idx in range(start, len(self._leaves)):
+            leaf = self._leaves[leaf_idx]
+            for record in list(leaf.records):
+                key = record.key
+                if lo is not None and (key < lo or (not lo_incl and key == lo)):
+                    continue
+                if hi is not None and (key > hi or (not hi_incl and key == hi)):
+                    return
+                yield leaf, record
+
+    def iter_records(self) -> Iterator[MVPBTRecord]:
+        for leaf in self._leaves:
+            yield from leaf.records
+
+    @property
+    def leaves(self) -> list[MemLeaf]:
+        return self._leaves
+
+    @property
+    def leaf_count(self) -> int:
+        return len(self._leaves)
+
+    def __len__(self) -> int:
+        return self.record_count
+
+    def __repr__(self) -> str:
+        return (f"MemoryPartition(P{self.number}, records={self.record_count}, "
+                f"bytes={self.bytes_used}, leaves={self.leaf_count})")
+
+
+@dataclass
+class PersistedPartition:
+    """One immutable on-storage partition with its metadata."""
+
+    number: int
+    run: PersistedRun
+    bloom: BloomFilter | None
+    prefix_bloom: PrefixBloomFilter | None
+    min_ts: int
+    max_ts: int
+
+    @property
+    def record_count(self) -> int:
+        return self.run.record_count
+
+    @property
+    def size_bytes(self) -> int:
+        return self.run.size_bytes
+
+    def possibly_visible_to(self, snapshot: Snapshot) -> bool:
+        """Minimum-transaction-timestamp filter (§4.2): a partition whose
+        oldest record is newer than the snapshot horizon holds nothing the
+        snapshot can see *or that can invalidate something it sees* — unless
+        the caller's own (always-visible) records may be inside."""
+        if self.min_ts < snapshot.xmax:
+            return True
+        return self.min_ts <= snapshot.owner <= self.max_ts
+
+    def overlaps(self, lo: tuple | None, hi: tuple | None) -> bool:
+        """Partition range-key filter."""
+        return self.run.overlaps(lo, hi)
+
+    def search(self, key: tuple) -> Iterator[MVPBTRecord]:
+        yield from self.run.search(key)
+
+    def scan(self, lo: tuple | None, hi: tuple | None, *,
+             lo_incl: bool = True,
+             hi_incl: bool = True) -> Iterator[MVPBTRecord]:
+        yield from self.run.scan(lo, hi, lo_incl=lo_incl, hi_incl=hi_incl)
+
+    def __repr__(self) -> str:
+        return (f"PersistedPartition(P{self.number}, "
+                f"records={self.record_count}, bytes={self.size_bytes})")

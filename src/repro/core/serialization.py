@@ -1,0 +1,168 @@
+"""On-disk serialisation of MV-PBT records and partition leaf pages.
+
+The simulation keeps page payloads as Python objects and *accounts* their
+byte sizes through :func:`repro.core.records.record_size`; this module
+provides the actual wire format those sizes approximate, so the on-disk
+layout is specified, testable, and available to tooling (e.g. dumping a
+partition image).
+
+Record wire format (little-endian)::
+
+    u8   record type          (RecordType)
+    u8   flags
+    u16  partition number
+    u48  transaction timestamp
+    u48  sequence number
+    u48  vid
+    u8   presence bits: 1 = rid_new, 2 = rid_old, 4 = payload, 8 = set
+    [6B rid_new] [6B rid_old]
+    [u32 payload length + UTF-8 payload]
+    [u16 set count + count * (u48 vid, 6B rid, u48 ts, u48 seq)]
+    u16  key length + encoded key (order-preserving codec)
+
+Keys use :mod:`repro.storage.keycodec`; recordIDs pack as u32 page + u16
+slot.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..errors import StorageError
+from ..storage.keycodec import decode_key, encode_key
+from ..storage.recordid import RecordID
+from .records import MVPBTRecord, RecordType
+
+_HEADER = struct.Struct("<BBH")
+_U48 = struct.Struct("<IH")   # low 32 + high 16
+_RID = struct.Struct("<IH")
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+
+HAS_RID_NEW = 0x01
+HAS_RID_OLD = 0x02
+HAS_PAYLOAD = 0x04
+HAS_SET = 0x08
+
+
+def _pack_u48(value: int) -> bytes:
+    if not 0 <= value < (1 << 48):
+        raise StorageError(f"value out of u48 range: {value}")
+    return _U48.pack(value & 0xFFFFFFFF, value >> 32)
+
+
+def _unpack_u48(data: bytes, pos: int) -> tuple[int, int]:
+    low, high = _U48.unpack_from(data, pos)
+    return low | (high << 32), pos + 6
+
+
+def _pack_rid(rid: RecordID) -> bytes:
+    return _RID.pack(rid.page, rid.slot)
+
+
+def _unpack_rid(data: bytes, pos: int) -> tuple[RecordID, int]:
+    page, slot = _RID.unpack_from(data, pos)
+    return RecordID(page, slot), pos + 6
+
+
+def encode_record(record: MVPBTRecord, partition_no: int = 0) -> bytes:
+    """Serialise one MV-PBT record to its on-disk representation."""
+    out = bytearray()
+    out += _HEADER.pack(int(record.rtype), record.flags & 0xFF,
+                        partition_no & 0xFFFF)
+    out += _pack_u48(record.ts)
+    out += _pack_u48(record.seq)
+    out += _pack_u48(record.vid if record.vid >= 0 else 0)
+    presence = 0
+    if record.rid_new is not None:
+        presence |= HAS_RID_NEW
+    if record.rid_old is not None:
+        presence |= HAS_RID_OLD
+    if record.payload is not None:
+        presence |= HAS_PAYLOAD
+    if record.set_entries:
+        presence |= HAS_SET
+    out.append(presence)
+    if record.rid_new is not None:
+        out += _pack_rid(record.rid_new)
+    if record.rid_old is not None:
+        out += _pack_rid(record.rid_old)
+    if record.payload is not None:
+        payload = str(record.payload).encode("utf-8")
+        out += _U32.pack(len(payload))
+        out += payload
+    if record.set_entries:
+        out += _U16.pack(len(record.set_entries))
+        for vid, rid, ts, seq in record.set_entries:
+            out += _pack_u48(vid)
+            out += _pack_rid(rid)
+            out += _pack_u48(ts)
+            out += _pack_u48(seq)
+    key = encode_key(record.key)
+    out += _U16.pack(len(key))
+    out += key
+    return bytes(out)
+
+
+def decode_record(data: bytes, offset: int = 0) -> tuple[MVPBTRecord, int]:
+    """Deserialise one record; returns (record, next offset)."""
+    try:
+        rtype_raw, flags, _pno = _HEADER.unpack_from(data, offset)
+        pos = offset + _HEADER.size
+        ts, pos = _unpack_u48(data, pos)
+        seq, pos = _unpack_u48(data, pos)
+        vid, pos = _unpack_u48(data, pos)
+        presence = data[pos]
+        pos += 1
+        rid_new = rid_old = None
+        payload = None
+        set_entries: list = []
+        if presence & HAS_RID_NEW:
+            rid_new, pos = _unpack_rid(data, pos)
+        if presence & HAS_RID_OLD:
+            rid_old, pos = _unpack_rid(data, pos)
+        if presence & HAS_PAYLOAD:
+            (length,) = _U32.unpack_from(data, pos)
+            pos += 4
+            payload = data[pos:pos + length].decode("utf-8")
+            pos += length
+        if presence & HAS_SET:
+            (count,) = _U16.unpack_from(data, pos)
+            pos += 2
+            for _ in range(count):
+                entry_vid, pos = _unpack_u48(data, pos)
+                entry_rid, pos = _unpack_rid(data, pos)
+                entry_ts, pos = _unpack_u48(data, pos)
+                entry_seq, pos = _unpack_u48(data, pos)
+                set_entries.append((entry_vid, entry_rid, entry_ts,
+                                    entry_seq))
+        (key_len,) = _U16.unpack_from(data, pos)
+        pos += 2
+        key = decode_key(data[pos:pos + key_len])
+        pos += key_len
+        rtype = RecordType(rtype_raw)
+    except (struct.error, ValueError, IndexError) as exc:
+        raise StorageError(f"corrupt MV-PBT record at {offset}") from exc
+    record = MVPBTRecord(key=key, ts=ts, seq=seq, rtype=rtype,
+                         vid=(-1 if rtype is RecordType.REGULAR_SET else vid),
+                         rid_new=rid_new, rid_old=rid_old, payload=payload,
+                         flags=flags, set_entries=set_entries)
+    return record, pos
+
+
+def encode_leaf(records: list[MVPBTRecord], partition_no: int = 0) -> bytes:
+    """Serialise a leaf page image: u16 record count + records."""
+    out = bytearray(_U16.pack(len(records)))
+    for record in records:
+        out += encode_record(record, partition_no)
+    return bytes(out)
+
+
+def decode_leaf(data: bytes) -> list[MVPBTRecord]:
+    (count,) = _U16.unpack_from(data, 0)
+    pos = 2
+    records = []
+    for _ in range(count):
+        record, pos = decode_record(data, pos)
+        records.append(record)
+    return records

@@ -1,0 +1,538 @@
+"""The Multi-Version Partitioned B-Tree (paper §4).
+
+An MV-PBT keeps one mutable in-memory partition ``P_N`` (in the shared
+partition buffer) plus a list of immutable persisted partitions.  All
+modifications become *records* in ``P_N`` (§4.1/§4.2):
+
+=====================  =====================================================
+operation              record(s) inserted into ``P_N``
+=====================  =====================================================
+INSERT                 regular record (new version's rid + timestamp)
+non-key UPDATE         replacement record (new rid/timestamp + old rid)
+index-key UPDATE       anti record at the old key + replacement at the new
+DELETE                 tombstone record (old rid + deleting timestamp)
+=====================  =====================================================
+
+Searches and scans process partitions newest-to-oldest, gated by partition
+filters (range keys, minimum timestamp, bloom / prefix-bloom), and feed the
+records to the index-only visibility check — returning exactly the entries
+visible to the calling transaction, without touching the base table.
+
+Setting ``index_only_visibility=False`` (together with ``enable_gc=False``)
+reproduces the paper's ablation (Figure 12a, lower bars): the structure then
+behaves like a version-oblivious PBT, returning raw candidates that the
+executor must resolve against the base table.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from ..buffer.partition_buffer import PartitionBuffer
+from ..buffer.pool import BufferPool
+from ..errors import UniqueViolationError
+from ..storage.keycodec import encode_key
+from ..storage.pagefile import PageFile
+from ..storage.recordid import RecordID
+from ..txn.manager import TransactionManager
+from ..txn.transaction import Transaction
+from .gc import GCStats, purge_leaf
+from .partition import MemoryPartition, PersistedPartition
+from .records import MVPBTRecord, RecordType, ReferenceMode
+from .visibility import Visibility, VisibilityChecker
+
+
+class SearchHit(NamedTuple):
+    """One visible index entry returned by an index-only search/scan.
+
+    The partition number and timestamp columns are internal (the paper's
+    ``set_return_format`` hides them); they are exposed here read-only for
+    diagnostics and tests.
+    """
+
+    key: tuple
+    rid: RecordID
+    vid: int
+    ts: int
+    payload: object
+
+
+class MVPBTStats:
+    """Operation counters of one MV-PBT."""
+
+    __slots__ = ("inserts", "replacements", "anti_records", "tombstones",
+                 "searches", "scans", "hits_returned", "records_checked",
+                 "partitions_skipped_bloom", "partitions_skipped_mints",
+                 "partitions_skipped_range", "evictions", "unique_checks",
+                 "merges", "bulk_loads")
+
+    def __init__(self) -> None:
+        self.inserts = 0
+        self.replacements = 0
+        self.anti_records = 0
+        self.tombstones = 0
+        self.searches = 0
+        self.scans = 0
+        self.hits_returned = 0
+        self.records_checked = 0
+        self.partitions_skipped_bloom = 0
+        self.partitions_skipped_mints = 0
+        self.partitions_skipped_range = 0
+        self.evictions = 0
+        self.unique_checks = 0
+        self.merges = 0
+        self.bulk_loads = 0
+
+
+class MVPBT:
+    """Version-aware partitioned B-tree index."""
+
+    def __init__(self, name: str, file: PageFile, pool: BufferPool,
+                 partition_buffer: PartitionBuffer,
+                 manager: TransactionManager, *,
+                 unique: bool = False,
+                 mode: ReferenceMode = ReferenceMode.PHYSICAL,
+                 use_bloom: bool = True,
+                 bloom_fpr: float = 0.02,
+                 use_prefix_bloom: bool = False,
+                 prefix_columns: int = 1,
+                 prefix_bloom_fpr: float = 0.10,
+                 enable_gc: bool = True,
+                 index_only_visibility: bool = True,
+                 reconcile: bool | None = None,
+                 first_hit_only: bool = False,
+                 max_partitions: int | None = None) -> None:
+        self.name = name
+        self.file = file
+        self.pool = pool
+        self.partition_buffer = partition_buffer
+        self.manager = manager
+        self.unique = unique
+        self.mode = mode
+        self.use_bloom = use_bloom
+        self.bloom_fpr = bloom_fpr
+        self.use_prefix_bloom = use_prefix_bloom
+        self.prefix_columns = prefix_columns
+        self.prefix_bloom_fpr = prefix_bloom_fpr
+        self.enable_gc = enable_gc
+        self.index_only_visibility = index_only_visibility
+        #: merge all persisted partitions when their count exceeds this
+        #: (the paper's on-line "system-transaction merge steps"); None = off
+        self.max_partitions = max_partitions
+        #: stop point lookups at the first visible hit even when not unique
+        #: (KV semantics: one live version per key; paper's point-lookup
+        #: early termination, §5 "Partition Filters")
+        self.first_hit_only = first_hit_only
+        #: reconcile same-key regular records at eviction (§4.7);
+        #: defaults to on for non-unique indices
+        self.reconcile = (not unique) if reconcile is None else reconcile
+
+        self.stats = MVPBTStats()
+        self.gc_stats = GCStats()
+        self._next_seq = 0
+        self._mem = MemoryPartition(0, mode, file.page_size)
+        self._persisted: list[PersistedPartition] = []
+        partition_buffer.register(self)
+
+    # ------------------------------------------------------------ operations
+
+    def insert(self, txn: Transaction, key: tuple, rid_new: RecordID,
+               vid: int, payload: object = None) -> None:
+        """INSERT: regular record for the tuple's initial version."""
+        txn.require_active()
+        key = tuple(key)
+        if self.unique:
+            self.stats.unique_checks += 1
+            if self.search(txn, key):
+                raise UniqueViolationError(
+                    f"{self.name}: duplicate key {key}")
+        self._add(MVPBTRecord(key, txn.id, self._seq(), RecordType.REGULAR,
+                              vid, rid_new=rid_new, payload=payload))
+        self.stats.inserts += 1
+
+    def update_nonkey(self, txn: Transaction, key: tuple, rid_new: RecordID,
+                      rid_old: RecordID, vid: int,
+                      payload: object = None) -> None:
+        """Non-key UPDATE: replacement record (new matter + anti-matter)."""
+        txn.require_active()
+        self._add(MVPBTRecord(tuple(key), txn.id, self._seq(),
+                              RecordType.REPLACEMENT, vid,
+                              rid_new=rid_new, rid_old=rid_old,
+                              payload=payload))
+        self.stats.replacements += 1
+
+    def update_key(self, txn: Transaction, old_key: tuple, new_key: tuple,
+                   rid_new: RecordID, rid_old: RecordID, vid: int,
+                   payload: object = None) -> None:
+        """Index-key UPDATE: anti record at the old key plus a replacement
+        record at the new key (§4.1 "Anti-Records")."""
+        txn.require_active()
+        new_key = tuple(new_key)
+        if self.unique:
+            self.stats.unique_checks += 1
+            if self.search(txn, new_key):
+                raise UniqueViolationError(
+                    f"{self.name}: duplicate key {new_key}")
+        self._add(MVPBTRecord(tuple(old_key), txn.id, self._seq(),
+                              RecordType.ANTI, vid, rid_old=rid_old))
+        self.stats.anti_records += 1
+        self._add(MVPBTRecord(new_key, txn.id, self._seq(),
+                              RecordType.REPLACEMENT, vid,
+                              rid_new=rid_new, rid_old=rid_old,
+                              payload=payload))
+        self.stats.replacements += 1
+
+    def delete(self, txn: Transaction, key: tuple, rid_old: RecordID,
+               vid: int) -> None:
+        """DELETE: tombstone record terminating the whole version chain."""
+        txn.require_active()
+        self._add(MVPBTRecord(tuple(key), txn.id, self._seq(),
+                              RecordType.TOMBSTONE, vid, rid_old=rid_old))
+        self.stats.tombstones += 1
+
+    def _add_build_record(self, key: tuple, ts: int, kind: str, vid: int,
+                          rid_new: RecordID | None = None,
+                          rid_old: RecordID | None = None) -> None:
+        """Index-build path: insert a record with a historical timestamp
+        (used by ``CREATE INDEX`` on a table that already has versions)."""
+        rtypes = {"regular": RecordType.REGULAR,
+                  "replacement": RecordType.REPLACEMENT,
+                  "anti": RecordType.ANTI,
+                  "tombstone": RecordType.TOMBSTONE}
+        self._add(MVPBTRecord(tuple(key), ts, self._seq(), rtypes[kind],
+                              vid, rid_new=rid_new, rid_old=rid_old))
+
+    # ---------------------------------------------------------------- search
+
+    def search(self, txn: Transaction, key: tuple) -> list[SearchHit]:
+        """Index-only point lookup (Algorithm 1): visible entries for ``key``.
+
+        With ``index_only_visibility=False`` every matter record's reference
+        is returned as an unchecked candidate instead (version-oblivious
+        behaviour; the executor must resolve against the base table).
+        """
+        key = tuple(key)
+        self.stats.searches += 1
+        if not self.index_only_visibility:
+            return self._candidates_point(key)
+
+        checker = self._checker(txn)
+        hits: list[SearchHit] = []
+        stop_early = self.unique or self.first_hit_only
+
+        for leaf, record in self._mem.search(key):
+            self._classify(checker, record, hits, leaf)
+            if stop_early and hits:
+                break
+
+        if not (stop_early and hits):
+            encoded = encode_key(key) if self.use_bloom else b""
+            for part in reversed(self._persisted):
+                if not part.possibly_visible_to(txn.snapshot):
+                    self.stats.partitions_skipped_mints += 1
+                    continue
+                if not part.overlaps(key, key):
+                    self.stats.partitions_skipped_range += 1
+                    continue
+                if self.use_bloom and part.bloom is not None:
+                    if not part.bloom.query(encoded):
+                        self.stats.partitions_skipped_bloom += 1
+                        continue
+                    matched = False
+                    for record in part.search(key):
+                        matched = True
+                        self._classify(checker, record, hits, None)
+                        if stop_early and hits:
+                            break
+                    part.bloom.report_pass_outcome(matched)
+                else:
+                    for record in part.search(key):
+                        self._classify(checker, record, hits, None)
+                        if stop_early and hits:
+                            break
+                if stop_early and hits:
+                    break
+
+        self.stats.records_checked += checker.records_processed
+        self.stats.hits_returned += len(hits)
+        return hits
+
+    def range_scan(self, txn: Transaction, lo: tuple | None,
+                   hi: tuple | None, *, lo_incl: bool = True,
+                   hi_incl: bool = True) -> list[SearchHit]:
+        """Index-only range scan (Algorithm 2): visible entries, key order."""
+        self.stats.scans += 1
+        if not self.index_only_visibility:
+            return self._candidates_range(lo, hi, lo_incl, hi_incl)
+
+        checker = self._checker(txn)
+        hits: list[SearchHit] = []
+
+        for leaf, record in self._mem.scan(lo, hi, lo_incl=lo_incl,
+                                           hi_incl=hi_incl):
+            self._classify(checker, record, hits, leaf)
+
+        prefix = None
+        for part in reversed(self._persisted):
+            if not part.possibly_visible_to(txn.snapshot):
+                self.stats.partitions_skipped_mints += 1
+                continue
+            if not part.overlaps(lo, hi):
+                self.stats.partitions_skipped_range += 1
+                continue
+            gated = False
+            if self.use_prefix_bloom and part.prefix_bloom is not None:
+                prefix = part.prefix_bloom.applicable(lo, hi)
+                if prefix is not None:
+                    gated = True
+                    if not part.prefix_bloom.query_prefix(prefix):
+                        self.stats.partitions_skipped_bloom += 1
+                        continue
+            matched = False
+            for record in part.scan(lo, hi, lo_incl=lo_incl, hi_incl=hi_incl):
+                matched = True
+                self._classify(checker, record, hits, None)
+            if gated and part.prefix_bloom is not None:
+                part.prefix_bloom.report_pass_outcome(matched)
+
+        hits.sort(key=lambda h: h.key)
+        self.stats.records_checked += checker.records_processed
+        self.stats.hits_returned += len(hits)
+        return hits
+
+    def scan_limit(self, txn: Transaction, lo: tuple | None, limit: int,
+                   hi: tuple | None = None, *,
+                   lo_incl: bool = True) -> list[SearchHit]:
+        """Index-only scan returning at most ``limit`` visible entries.
+
+        Lazily k-way-merges all partitions on the composite order
+        (key asc, partition desc, timestamp desc) — which is exactly the
+        §4.3/§4.4 processing order per key — so the scan stops pulling
+        records as soon as ``limit`` keys' groups are complete, instead of
+        materialising the whole range (YCSB workload E, LIMIT queries).
+        """
+        import heapq
+
+        self.stats.scans += 1
+        checker = self._checker(txn)
+        sources = []
+        mem_pno = self._mem.number
+
+        def mem_source():
+            for leaf, record in self._mem.scan(lo, hi, lo_incl=lo_incl):
+                yield (record.key, -mem_pno, -record.ts, -record.seq,
+                       record, leaf)
+
+        sources.append(mem_source())
+        for part in self._persisted:
+            if not part.possibly_visible_to(txn.snapshot):
+                self.stats.partitions_skipped_mints += 1
+                continue
+            if not part.overlaps(lo, hi):
+                self.stats.partitions_skipped_range += 1
+                continue
+            pno = part.number
+
+            def part_source(p=part, pno=pno):
+                for record in p.scan(lo, hi, lo_incl=lo_incl):
+                    yield (record.key, -pno, -record.ts, -record.seq,
+                           record, None)
+
+            sources.append(part_source())
+
+        hits: list[SearchHit] = []
+        group: list[SearchHit] = []
+        group_key: tuple | None = None
+        for key, _npno, _nts, _nseq, record, leaf in heapq.merge(
+                *sources, key=lambda item: item[:4]):
+            if key != group_key:
+                hits.extend(group)
+                group = []
+                group_key = key
+                if len(hits) >= limit:
+                    break
+            self._classify(checker, record, group, leaf)
+        if len(hits) < limit:
+            hits.extend(group)
+        self.stats.records_checked += checker.records_processed
+        self.stats.hits_returned += len(hits[:limit])
+        return hits[:limit]
+
+    # ----------------------------------------------------- partition buffer
+
+    def memory_partition_bytes(self) -> int:
+        return self._mem.bytes_used
+
+    def evict_partition(self) -> PersistedPartition | None:
+        from .eviction import evict_partition
+        partition = evict_partition(self)
+        if (self.max_partitions is not None
+                and len(self._persisted) > self.max_partitions):
+            self.merge_partitions()
+        return partition
+
+    def merge_partitions(self, count: int | None = None
+                         ) -> PersistedPartition | None:
+        """Merge the ``count`` oldest persisted partitions (default: all)
+        in an on-line system-transaction merge step (§4, §4.7)."""
+        from .merge import merge_partitions
+        return merge_partitions(self, count)
+
+    def bulk_load(self, txn: Transaction, entries, payloads=None
+                  ) -> PersistedPartition | None:
+        """Build a persisted partition directly from (key, rid, vid)
+        entries, bypassing ``P_N`` (the paper's bulk-load use case)."""
+        from .merge import bulk_load
+        return bulk_load(self, txn, entries, payloads)
+
+    # ------------------------------------------------------------ inspection
+
+    @property
+    def partition_count(self) -> int:
+        """Persisted partitions plus the in-memory ``P_N``."""
+        return len(self._persisted) + 1
+
+    @property
+    def persisted_partitions(self) -> list[PersistedPartition]:
+        return list(self._persisted)
+
+    @property
+    def memory_partition(self) -> MemoryPartition:
+        return self._mem
+
+    def record_count(self) -> int:
+        return (self._mem.record_count
+                + sum(p.record_count for p in self._persisted))
+
+    def describe(self) -> dict:
+        """Structural snapshot for diagnostics and experiment reporting."""
+        partitions = [{
+            "number": p.number,
+            "records": p.record_count,
+            "bytes": p.size_bytes,
+            "pages": p.run.page_count,
+            "min_ts": p.min_ts,
+            "max_ts": p.max_ts,
+            "bloom_bytes": p.bloom.size_bytes if p.bloom else 0,
+            "prefix_bloom_bytes": (p.prefix_bloom.size_bytes
+                                   if p.prefix_bloom else 0),
+        } for p in self._persisted]
+        return {
+            "name": self.name,
+            "mode": self.mode.value,
+            "unique": self.unique,
+            "memory_partition": {
+                "number": self._mem.number,
+                "records": self._mem.record_count,
+                "bytes": self._mem.bytes_used,
+                "leaves": self._mem.leaf_count,
+            },
+            "persisted_partitions": partitions,
+            "evictions": self.stats.evictions,
+            "merges": self.stats.merges,
+            "gc": {
+                "flagged": self.gc_stats.flagged,
+                "purged_page_level": self.gc_stats.purged_page_level,
+                "purged_eviction": self.gc_stats.purged_eviction,
+                "chains_dropped": self.gc_stats.chains_dropped,
+                "bytes_reclaimed": self.gc_stats.bytes_reclaimed,
+            },
+        }
+
+    # -------------------------------------------------------------- internal
+
+    def _seq(self) -> int:
+        seq = self._next_seq
+        self._next_seq += 1
+        return seq
+
+    def _add(self, record: MVPBTRecord) -> None:
+        if self.manager.clock is not None:
+            self.manager.clock.advance(20 * self.manager.cost.compare)
+        leaf = self._mem.insert(record)
+        if self.enable_gc and leaf.has_garbage:
+            purge_leaf(self._mem, leaf, self.mode, self.gc_stats,
+                       self.manager.active_snapshots(),
+                       self.manager.commit_log)
+        self.partition_buffer.maybe_evict()
+
+    def _checker(self, txn: Transaction) -> VisibilityChecker:
+        actives = self.manager.active_snapshots() if self.enable_gc else None
+        return VisibilityChecker(txn.snapshot, self.manager.commit_log,
+                                 self.mode,
+                                 active_snapshots=actives,
+                                 clock=self.manager.clock,
+                                 cost=self.manager.cost)
+
+    def _classify(self, checker: VisibilityChecker, record: MVPBTRecord,
+                  hits: list[SearchHit], leaf) -> None:
+        """Run one record through the visibility check; collect hits and do
+        phase-1 GC flagging for in-memory leaves."""
+        if record.rtype is RecordType.REGULAR_SET:
+            for vid, rid, ts, _seq in checker.visible_set_entries(record):
+                hits.append(SearchHit(record.key, rid, vid, ts,
+                                      record.payload))
+            return
+        vis = checker.check(record)
+        if vis is Visibility.VISIBLE:
+            hits.append(SearchHit(record.key, record.rid_new, record.vid,
+                                  record.ts, record.payload))
+        elif vis is Visibility.GARBAGE and leaf is not None:
+            if not record.is_gc:
+                record.mark_gc()
+                self.gc_stats.flagged += 1
+            leaf.has_garbage = True
+
+    # --------------------------------------- version-oblivious (ablation)
+
+    def _candidates_point(self, key: tuple) -> list[SearchHit]:
+        hits: list[SearchHit] = []
+        for _leaf, record in self._mem.search(key):
+            self._raw_hits(record, hits)
+        encoded = encode_key(key) if self.use_bloom else b""
+        for part in reversed(self._persisted):
+            if not part.overlaps(key, key):
+                continue
+            if self.use_bloom and part.bloom is not None:
+                if not part.bloom.query(encoded):
+                    self.stats.partitions_skipped_bloom += 1
+                    continue
+                matched = False
+                for record in part.search(key):
+                    matched = True
+                    self._raw_hits(record, hits)
+                part.bloom.report_pass_outcome(matched)
+            else:
+                for record in part.search(key):
+                    self._raw_hits(record, hits)
+        self.stats.hits_returned += len(hits)
+        return hits
+
+    def _candidates_range(self, lo: tuple | None, hi: tuple | None,
+                          lo_incl: bool, hi_incl: bool) -> list[SearchHit]:
+        hits: list[SearchHit] = []
+        for _leaf, record in self._mem.scan(lo, hi, lo_incl=lo_incl,
+                                            hi_incl=hi_incl):
+            self._raw_hits(record, hits)
+        for part in reversed(self._persisted):
+            if not part.overlaps(lo, hi):
+                continue
+            for record in part.scan(lo, hi, lo_incl=lo_incl, hi_incl=hi_incl):
+                self._raw_hits(record, hits)
+        hits.sort(key=lambda h: h.key)
+        self.stats.hits_returned += len(hits)
+        return hits
+
+    @staticmethod
+    def _raw_hits(record: MVPBTRecord, hits: list[SearchHit]) -> None:
+        if record.rtype is RecordType.REGULAR_SET:
+            for vid, rid, ts, _seq in record.set_entries:
+                hits.append(SearchHit(record.key, rid, vid, ts,
+                                      record.payload))
+        elif record.has_matter:
+            hits.append(SearchHit(record.key, record.rid_new, record.vid,
+                                  record.ts, record.payload))
+
+    def __repr__(self) -> str:
+        return (f"MVPBT({self.name!r}, partitions={self.partition_count}, "
+                f"records={self.record_count()})")

@@ -1,0 +1,173 @@
+"""Index-only visibility check (paper §4.4, Algorithm 3).
+
+A :class:`VisibilityChecker` lives for the duration of one search/scan
+operation and is fed records in MV-PBT processing order — partitions newest
+to oldest, and within a partition newest-first per key (§4.3).  Because of
+that ordering, any record invalidating a tuple-version is guaranteed to be
+seen *before* the record validating it, so one forward pass with an
+"anti-matter map" decides visibility without touching the base table.
+
+A record is **invisible** when (Alg. 3):
+
+(a) it is flagged for garbage collection;
+(b) its timestamp is not committed-visible to the calling snapshot (newer,
+    concurrent, uncommitted, or aborted);
+(c) visible anti-matter for its matter identity was already encountered
+    (it has been replaced / its key changed / its tuple was deleted); or
+(d) it is pure anti-matter itself (anti- or tombstone record).
+
+Deviation from the paper's pseudocode (documented in DESIGN.md §6): a
+committed-visible record registers its anti-matter *even when its own matter
+is superseded* — the cascade keeps whole-chain invalidation (e.g. through a
+tombstone) correct across records in older partitions.
+
+When GC information is supplied, the checker additionally classifies records
+that *no* active or future snapshot can see as :data:`Visibility.GARBAGE`
+(§4.6 phase 1 piggybacks exactly this pass).  With ``active_snapshots`` the
+classification is interval-based (HANA-style): a superseded record is dead
+when no active snapshot's visibility window lands on it — which collects the
+*transient* versions created and superseded entirely during a long-running
+query, the paper's headline HTAP GC case.  With only a ``cutoff`` the
+classification falls back to the conservative below-oldest-horizon rule.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from ..config import CostModel
+from ..sim.clock import SimClock
+from ..txn.snapshot import Snapshot
+from ..txn.status import CommitLog
+from .records import MVPBTRecord, RecordType, ReferenceMode
+
+
+class Visibility(Enum):
+    VISIBLE = "visible"
+    INVISIBLE = "invisible"
+    #: invisible *and* provably dead below the GC cutoff (phase-1 candidate)
+    GARBAGE = "garbage"
+
+
+class VisibilityChecker:
+    """Stateful per-operation visibility check."""
+
+    __slots__ = ("snapshot", "commit_log", "mode", "cutoff",
+                 "active_snapshots", "_anti", "_clock", "_cost",
+                 "records_processed")
+
+    def __init__(self, snapshot: Snapshot, commit_log: CommitLog,
+                 mode: ReferenceMode, *, cutoff: int | None = None,
+                 active_snapshots: list[Snapshot] | None = None,
+                 clock: SimClock | None = None,
+                 cost: CostModel | None = None) -> None:
+        self.snapshot = snapshot
+        self.commit_log = commit_log
+        self.mode = mode
+        self.cutoff = cutoff
+        self.active_snapshots = active_snapshots
+        #: anti-matter map: identity -> (ts, seq) of the newest invalidation
+        self._anti: dict[object, tuple[int, int]] = {}
+        self._clock = clock
+        self._cost = cost if cost is not None else CostModel()
+        self.records_processed = 0
+
+    # -------------------------------------------------------------- checking
+
+    def check(self, record: MVPBTRecord) -> Visibility:
+        """Classify one record (records must arrive in processing order)."""
+        self._charge()
+        self.records_processed += 1
+
+        # (b) timestamp not committed-visible to the snapshot
+        if not self.snapshot.sees_ts(record.ts, self.commit_log):
+            return Visibility.INVISIBLE
+
+        # (c) matter already superseded by visible anti-matter?
+        superseded_by: tuple[int, int] | None = None
+        if record.has_matter:
+            anti_ts = self._anti.get(record.matter_id(self.mode))
+            if anti_ts is not None and (record.ts, record.seq) < anti_ts:
+                superseded_by = anti_ts
+
+        # cascade: committed-visible anti-matter always registers — even on
+        # GC-flagged records: the flag declares the *matter* dead, but the
+        # record's invalidation reach is only transferred at physical purge
+        # time (phase 2/3 patching), so until then it must keep killing
+        if record.has_antimatter:
+            self._register_anti(record)
+
+        # (a) flagged garbage is never returned
+        if record.is_gc:
+            return Visibility.INVISIBLE
+
+        # (d) pure anti-matter is never returned
+        if record.rtype in (RecordType.ANTI, RecordType.TOMBSTONE):
+            return Visibility.INVISIBLE
+
+        if superseded_by is not None:
+            if self._dead_below_cutoff(record.ts, superseded_by[0]):
+                return Visibility.GARBAGE
+            return Visibility.INVISIBLE
+        return Visibility.VISIBLE
+
+    def visible_set_entries(
+            self, record: MVPBTRecord) -> list[tuple[int, object, int, int]]:
+        """Visible (vid, rid, ts, seq) entries of a REGULAR_SET record.
+
+        Set entries are pure matter (reconciled REGULAR records); each entry
+        is checked individually against the snapshot and the anti-matter map.
+        """
+        if record.is_gc:
+            return []
+        visible: list[tuple[int, object, int, int]] = []
+        for vid, rid, ts, seq in record.set_entries:
+            self._charge()
+            self.records_processed += 1
+            if not self.snapshot.sees_ts(ts, self.commit_log):
+                continue
+            identity = vid if self.mode is ReferenceMode.LOGICAL else rid
+            anti_ts = self._anti.get(identity)
+            if anti_ts is not None and (ts, seq) < anti_ts:
+                continue
+            visible.append((vid, rid, ts, seq))
+        return visible
+
+    # -------------------------------------------------------------- internal
+
+    def _register_anti(self, record: MVPBTRecord) -> None:
+        identity = record.anti_id(self.mode)
+        if identity is None:
+            return
+        stamp = (record.ts, record.seq)
+        existing = self._anti.get(identity)
+        if existing is None or stamp > existing:
+            self._anti[identity] = stamp
+
+    def _dead_below_cutoff(self, record_ts: int, anti_ts: int) -> bool:
+        """Is a superseded record invisible to every active/future snapshot?
+
+        Interval rule (preferred): the superseding change is committed, so
+        every *future* snapshot sees the record as superseded; the record is
+        garbage unless some *active* snapshot sees the record but not its
+        superseder.  Cutoff rule (fallback): both timestamps lie below the
+        oldest active horizon.
+        """
+        log = self.commit_log
+        if self.active_snapshots is not None:
+            if not log.is_committed(anti_ts) or not log.is_committed(record_ts):
+                return False
+            for snap in self.active_snapshots:
+                if (snap.sees_ts(record_ts, log)
+                        and not snap.sees_ts(anti_ts, log)):
+                    return False
+            return True
+        if self.cutoff is None:
+            return False
+        return (anti_ts < self.cutoff
+                and record_ts < self.cutoff
+                and log.is_committed(anti_ts))
+
+    def _charge(self) -> None:
+        if self._clock is not None:
+            self._clock.advance(self._cost.visibility_step)

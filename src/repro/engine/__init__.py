@@ -1,0 +1,7 @@
+"""Database engine facade: catalog, schema, DML and query execution."""
+
+from .catalog import Catalog, IndexInfo, TableInfo
+from .database import Database
+from .schema import Column, Schema
+
+__all__ = ["Database", "Schema", "Column", "Catalog", "TableInfo", "IndexInfo"]

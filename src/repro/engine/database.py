@@ -1,0 +1,464 @@
+"""The engine facade.
+
+A :class:`Database` owns the whole simulated stack — clock, device, buffer
+pool, partition buffer, transaction manager, catalog — and exposes DDL, DML
+and query entry points.  Index/storage design axes (heap-HOT vs. SIAS,
+B⁺-Tree vs. PBT vs. MV-PBT, physical vs. logical references, filters, GC)
+are selected per table/index, exactly the configurations the paper compares.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..buffer.partition_buffer import PartitionBuffer
+from ..buffer.pool import BufferPool
+from ..config import EngineConfig
+from ..core.records import ReferenceMode
+from ..core.tree import MVPBT
+from ..errors import CatalogError
+from ..index.btree.tree import BPlusTree
+from ..index.pbt import PartitionedBTree
+from ..sim.clock import SimClock
+from ..sim.device import SimulatedDevice
+from ..sim.profiles import INTEL_DC_P3600, DeviceProfile
+from ..sim.trace import IOTrace
+from ..storage.pagefile import PageFile
+from ..storage.recordid import RecordID
+from ..table.base import TupleVersion
+from ..table.delta import DeltaTable
+from ..table.heap import HeapTable
+from ..table.indirection import IndirectionLayer
+from ..table.sias import SIASTable
+from ..table.vacuum import (VacuumResult, vacuum_delta, vacuum_heap,
+                            vacuum_sias)
+from ..txn.manager import TransactionManager
+from ..txn.transaction import Transaction
+from .catalog import Catalog, IndexInfo, TableInfo
+from .executor import Executor, RowHit
+from .schema import Schema
+
+
+class Database:
+    """One simulated DBMS instance."""
+
+    def __init__(self, config: EngineConfig | None = None,
+                 profile: DeviceProfile = INTEL_DC_P3600) -> None:
+        self.config = config if config is not None else EngineConfig()
+        self.clock = SimClock()
+        self.trace = IOTrace()
+        self.device = SimulatedDevice(profile, self.clock, self.trace)
+        self.pool = BufferPool(self.config.buffer_pool_pages,
+                               clock=self.clock, cost=self.config.cost)
+        self.partition_buffer = PartitionBuffer(
+            self.config.partition_buffer_bytes)
+        self.txn = TransactionManager(self.clock, self.config.cost)
+        self.catalog = Catalog()
+        self.executor = Executor(self)
+
+    # -------------------------------------------------------------------- DDL
+
+    def create_table(self, name: str,
+                     columns: Sequence[tuple[str, str]],
+                     storage: str = "sias") -> TableInfo:
+        """Create a base table with 'heap' (PG/HOT) or 'sias' storage."""
+        schema = Schema(columns)
+        file = PageFile(f"table:{name}", self.device,
+                        self.config.page_size, self.config.extent_pages)
+        if storage == "heap":
+            store: HeapTable | SIASTable | DeltaTable = HeapTable(
+                name, file, self.pool)
+        elif storage == "sias":
+            store = SIASTable(name, file, self.pool)
+        elif storage == "delta":
+            pool_file = PageFile(f"pool:{name}", self.device,
+                                 self.config.page_size,
+                                 self.config.extent_pages)
+            store = DeltaTable(name, file, pool_file, self.pool)
+        else:
+            raise CatalogError(f"unknown storage kind {storage!r}")
+        info = TableInfo(name=name, schema=schema, store=store, file=file,
+                         storage_kind=storage)
+        self.catalog.add_table(info)
+        return info
+
+    def create_index(self, name: str, table: str,
+                     columns: Sequence[str], *,
+                     kind: str = "mvpbt",
+                     unique: bool = False,
+                     reference: str = "physical",
+                     **options: object) -> IndexInfo:
+        """Create an index.
+
+        ``kind``: 'mvpbt' (the contribution), 'btree' or 'pbt'.
+        ``reference``: 'physical' recordIDs or 'logical' VIDs through the
+        table's indirection layer.
+        ``options`` are forwarded to the index constructor (e.g. for MV-PBT:
+        ``use_bloom``, ``use_prefix_bloom``, ``prefix_columns``,
+        ``enable_gc``, ``index_only_visibility``, ``reconcile``).
+        """
+        table_info = self.catalog.table(table)
+        positions = table_info.schema.positions(columns)
+        mode = ReferenceMode(reference)
+        if mode is ReferenceMode.LOGICAL and table_info.indirection is None:
+            table_info.indirection = IndirectionLayer(self.clock,
+                                                      self.config.cost)
+            self._backfill_indirection(table_info)
+        file = PageFile(f"index:{name}", self.device,
+                        self.config.page_size, self.config.extent_pages)
+        if kind == "mvpbt":
+            index: object = MVPBT(
+                name, file, self.pool, self.partition_buffer, self.txn,
+                unique=unique, mode=mode,
+                bloom_fpr=self.config.bloom_fpr,
+                prefix_bloom_fpr=self.config.prefix_bloom_fpr,
+                **options)  # type: ignore[arg-type]
+        elif kind == "btree":
+            index = BPlusTree(name, file, self.pool, **options)  # type: ignore[arg-type]
+        elif kind == "pbt":
+            index = PartitionedBTree(
+                name, file, self.pool, self.partition_buffer,
+                bloom_fpr=self.config.bloom_fpr,
+                clock=self.clock, cost=self.config.cost,
+                **options)  # type: ignore[arg-type]
+        else:
+            raise CatalogError(f"unknown index kind {kind!r}")
+        info = IndexInfo(name=name, table=table, columns=list(columns),
+                         positions=positions, kind=kind, unique=unique,
+                         reference=mode, index=index)
+        self.catalog.add_index(info)
+        self._build_index(table_info, info)
+        return info
+
+    def _build_index(self, table_info: TableInfo, info: IndexInfo) -> None:
+        """Populate a new index from existing table contents.
+
+        Chains are walked oldest-to-newest so MV-PBT gets a regular record
+        for the initial version and replacement records for successors —
+        reconstructing the anti-matter exactly as live maintenance would.
+        """
+        chains = self._existing_chains(table_info)
+        for chain in chains:
+            prev_rid: RecordID | None = None
+            prev_key: tuple | None = None
+            for rid, version in chain:
+                if version.is_tombstone:
+                    if info.is_mvpbt and prev_rid is not None:
+                        info.mvpbt._add_build_record(
+                            prev_key, version.ts_create, "tombstone",
+                            version.vid, rid_old=prev_rid)
+                    continue
+                key = table_info.schema.extract(version.data, info.positions)
+                if info.is_mvpbt:
+                    if prev_rid is None:
+                        info.mvpbt._add_build_record(
+                            key, version.ts_create, "regular", version.vid,
+                            rid_new=rid)
+                    elif key == prev_key:
+                        info.mvpbt._add_build_record(
+                            key, version.ts_create, "replacement",
+                            version.vid, rid_new=rid, rid_old=prev_rid)
+                    else:
+                        info.mvpbt._add_build_record(
+                            prev_key, version.ts_create, "anti", version.vid,
+                            rid_old=prev_rid)
+                        info.mvpbt._add_build_record(
+                            key, version.ts_create, "replacement",
+                            version.vid, rid_new=rid, rid_old=prev_rid)
+                elif info.reference is ReferenceMode.PHYSICAL:
+                    info.oblivious.insert_entry(key, rid)
+                else:
+                    if prev_key is None or key != prev_key:
+                        info.oblivious.insert_entry(key, version.vid)
+                prev_rid, prev_key = rid, key
+
+    def _existing_chains(self, table_info: TableInfo) -> list[list]:
+        """Version chains of a table, each ordered oldest-to-newest."""
+        store = table_info.store
+        chains: list[list] = []
+        if isinstance(store, SIASTable):
+            for _vid, entry in list(store.chain_entries()):
+                chain = []
+                rid: RecordID | None = entry
+                while rid is not None:
+                    version = store.fetch(rid)
+                    chain.append((rid, version))
+                    rid = version.prev_rid
+                chain.reverse()
+                chains.append(chain)
+        else:
+            versions = dict(store.scan_versions())
+            successors = {v.next_rid for v in versions.values()
+                          if v.next_rid is not None}
+            for rid, version in versions.items():
+                if rid in successors:
+                    continue  # not a chain root
+                chain = []
+                cur: RecordID | None = rid
+                while cur is not None:
+                    v = versions[cur]
+                    chain.append((cur, v))
+                    cur = v.next_rid
+                chains.append(chain)
+        return chains
+
+    def _backfill_indirection(self, table_info: TableInfo) -> None:
+        """Populate a freshly created indirection layer from existing chains."""
+        store = table_info.store
+        if isinstance(store, SIASTable):
+            for vid, rid in store.chain_entries():
+                table_info.indirection.set(vid, rid)
+
+    # ----------------------------------------------------------- transactions
+
+    def begin(self) -> Transaction:
+        return self.txn.begin()
+
+    def run_transaction(self, fn, retries: int = 3):
+        """Run ``fn(txn)`` with commit-on-success and first-updater-wins
+        retry: a :class:`~repro.errors.WriteConflictError` aborts and retries
+        with a fresh snapshot, up to ``retries`` times."""
+        from ..errors import WriteConflictError
+        attempt = 0
+        while True:
+            txn = self.begin()
+            try:
+                result = fn(txn)
+            except WriteConflictError:
+                if txn.is_active:
+                    txn.abort()
+                attempt += 1
+                if attempt > retries:
+                    raise
+                continue
+            except BaseException:
+                if txn.is_active:
+                    txn.abort()
+                raise
+            if txn.is_active:
+                txn.commit()
+            return result
+
+    # -------------------------------------------------------------------- DML
+
+    def insert(self, txn: Transaction, table: str,
+               row: Sequence[object]) -> tuple[int, RecordID]:
+        """INSERT one row; maintains all indexes.  Returns (vid, rid)."""
+        info = self.catalog.table(table)
+        row = info.schema.validate_row(row)
+        vid, rid = info.store.insert(txn, row)
+        if info.indirection is not None:
+            info.indirection.set(vid, rid)
+        for ix in self.catalog.indexes_of(table):
+            key = info.schema.extract(row, ix.positions)
+            if ix.is_mvpbt:
+                ix.mvpbt.insert(txn, key, rid, vid)
+            elif ix.reference is ReferenceMode.PHYSICAL:
+                ix.oblivious.insert_entry(key, rid)
+            else:
+                ix.oblivious.insert_entry(key, vid)
+        return vid, rid
+
+    def update_row(self, txn: Transaction, table: str, rid: RecordID,
+                   version: TupleVersion,
+                   updates: dict[str, object]) -> RecordID:
+        """UPDATE the tuple whose visible version is (rid, version)."""
+        info = self.catalog.table(table)
+        new_row = info.schema.apply_updates(version.data, updates)
+        info.schema.validate_row(new_row)
+        indexes = self.catalog.indexes_of(table)
+        key_pairs = []
+        any_key_changed = False
+        for ix in indexes:
+            old_key = info.schema.extract(version.data, ix.positions)
+            new_key = info.schema.extract(new_row, ix.positions)
+            key_pairs.append((ix, old_key, new_key))
+            if old_key != new_key:
+                any_key_changed = True
+
+        vid = version.vid
+        if isinstance(info.store, HeapTable):
+            new_rid = info.store.update(txn, rid, new_row,
+                                        allow_hot=not any_key_changed)
+            hot = info.store.is_hot(rid, new_rid) and not any_key_changed
+        elif isinstance(info.store, DeltaTable):
+            new_rid = info.store.update(txn, rid, new_row)
+            # main rows never move: version-oblivious indexes stay valid
+            # unless a key changed (the delta design's maintenance saving)
+            hot = not any_key_changed
+        else:
+            new_rid = info.store.update(txn, rid, new_row)
+            hot = False
+            if info.indirection is not None:
+                info.indirection.set(vid, new_rid)
+
+        for ix, old_key, new_key in key_pairs:
+            if ix.is_mvpbt:
+                if old_key == new_key:
+                    ix.mvpbt.update_nonkey(txn, new_key, new_rid, rid, vid)
+                else:
+                    ix.mvpbt.update_key(txn, old_key, new_key,
+                                        new_rid, rid, vid)
+            elif ix.reference is ReferenceMode.PHYSICAL:
+                if not hot:
+                    ix.oblivious.insert_entry(new_key, new_rid)
+            else:
+                if old_key != new_key:
+                    ix.oblivious.insert_entry(new_key, vid)
+        return new_rid
+
+    def delete_row(self, txn: Transaction, table: str, rid: RecordID,
+                   version: TupleVersion) -> RecordID:
+        """DELETE the tuple whose visible version is (rid, version)."""
+        info = self.catalog.table(table)
+        del_rid = info.store.delete(txn, rid)
+        if (info.indirection is not None
+                and isinstance(info.store, SIASTable)):
+            info.indirection.set(version.vid, del_rid)
+        for ix in self.catalog.indexes_of(table):
+            if ix.is_mvpbt:
+                key = info.schema.extract(version.data, ix.positions)
+                ix.mvpbt.delete(txn, key, rid, version.vid)
+        return del_rid
+
+    # ----------------------------------------------------------- by-key DML
+
+    def update_by_key(self, txn: Transaction, index_name: str, key: tuple,
+                      updates: dict[str, object]) -> int:
+        """UPDATE all visible rows matching ``key`` on the named index."""
+        ix = self.catalog.index(index_name)
+        hits = self.executor.lookup(txn, ix, key)
+        for hit in hits:
+            self.update_row(txn, ix.table, hit.rid, hit.version, updates)
+        return len(hits)
+
+    def delete_by_key(self, txn: Transaction, index_name: str,
+                      key: tuple) -> int:
+        ix = self.catalog.index(index_name)
+        hits = self.executor.lookup(txn, ix, key)
+        for hit in hits:
+            self.delete_row(txn, ix.table, hit.rid, hit.version)
+        return len(hits)
+
+    # ----------------------------------------------------------------- reads
+
+    def select(self, txn: Transaction, index_name: str,
+               key: tuple) -> list[tuple]:
+        """Visible rows whose index key equals ``key``."""
+        ix = self.catalog.index(index_name)
+        return [hit.row for hit in self.executor.lookup(txn, ix, key)]
+
+    def select_hits(self, txn: Transaction, index_name: str,
+                    key: tuple) -> list[RowHit]:
+        ix = self.catalog.index(index_name)
+        return self.executor.lookup(txn, ix, key)
+
+    def range_select(self, txn: Transaction, index_name: str,
+                     lo: tuple | None, hi: tuple | None, *,
+                     lo_incl: bool = True,
+                     hi_incl: bool = True) -> list[tuple]:
+        ix = self.catalog.index(index_name)
+        return [hit.row for hit in self.executor.scan(
+            txn, ix, lo, hi, lo_incl=lo_incl, hi_incl=hi_incl)]
+
+    def range_hits(self, txn: Transaction, index_name: str,
+                   lo: tuple | None, hi: tuple | None, *,
+                   lo_incl: bool = True, hi_incl: bool = True) -> list[RowHit]:
+        ix = self.catalog.index(index_name)
+        return self.executor.scan(txn, ix, lo, hi,
+                                  lo_incl=lo_incl, hi_incl=hi_incl)
+
+    def count_range(self, txn: Transaction, index_name: str,
+                    lo: tuple | None, hi: tuple | None, *,
+                    lo_incl: bool = True, hi_incl: bool = True) -> int:
+        """COUNT(*) over an index-key range (index-only on MV-PBT)."""
+        ix = self.catalog.index(index_name)
+        return self.executor.count(txn, ix, lo, hi,
+                                   lo_incl=lo_incl, hi_incl=hi_incl)
+
+    def seq_scan(self, txn: Transaction, table: str) -> list[tuple]:
+        """Full-table scan of visible rows."""
+        info = self.catalog.table(table)
+        return [row for _rid, row in info.store.scan_visible(txn)]
+
+    # ----------------------------------------------------------- maintenance
+
+    def vacuum(self, table: str) -> VacuumResult:
+        """Tuple-level GC; also purges removable version-oblivious entries.
+
+        Physical-reference indexes are cleaned by a bulk pass over their
+        entries (PostgreSQL's ``ambulkdelete``); logical-reference indexes
+        drop the entries of whole dropped chains the same way.  MV-PBT
+        indexes clean themselves via partition GC and need no help here.
+        """
+        info = self.catalog.table(table)
+        if isinstance(info.store, HeapTable):
+            result = vacuum_heap(info.store, self.txn)
+        elif isinstance(info.store, DeltaTable):
+            result = vacuum_delta(info.store, self.txn)
+        else:
+            result = vacuum_sias(info.store, self.txn)
+        for vid in result.dropped_vids:
+            if info.indirection is not None:
+                info.indirection.remove(vid)
+
+        if result.removed_rids or result.dropped_vids:
+            removed = set(result.removed_rids)
+            dropped_vids = set(result.dropped_vids)
+            for ix in self.catalog.indexes_of(table):
+                if ix.is_mvpbt:
+                    continue
+                dead_refs = removed if (
+                    ix.reference is ReferenceMode.PHYSICAL) else dropped_vids
+                if not dead_refs:
+                    continue
+                entries = list(ix.oblivious.range_scan(None, None))
+                for key, ref in entries:
+                    if ref in dead_refs:
+                        ix.oblivious.remove_entry(key, ref)
+        return result
+
+    def flush_all(self) -> None:
+        """Write back dirty pages and unflushed table tails."""
+        for info in self.catalog.tables:
+            if isinstance(info.store, SIASTable):
+                info.store.flush_tail()
+        self.pool.flush()
+
+    def stats(self) -> dict:
+        """One experiment-reporting snapshot of the whole instance."""
+        device = self.device.stats
+        pool_total = self.pool.total_stats()
+        return {
+            "sim_time_seconds": self.clock.now,
+            "device": {
+                "seq_reads": device.seq_reads,
+                "rand_reads": device.rand_reads,
+                "seq_writes": device.seq_writes,
+                "rand_writes": device.rand_writes,
+                "bytes_read": device.bytes_read,
+                "bytes_written": device.bytes_written,
+            },
+            "buffer_pool": {
+                "requests": pool_total.requests,
+                "hit_rate": pool_total.hit_rate,
+                "evictions": self.pool.evictions,
+                "dirty_writebacks": self.pool.dirty_writebacks,
+            },
+            "transactions": {
+                "committed": self.txn.committed_count,
+                "aborted": self.txn.aborted_count,
+                "active": len(self.txn.active_transactions),
+            },
+            "indexes": {
+                ix.name: (ix.mvpbt.describe() if ix.is_mvpbt
+                          else {"name": ix.name, "kind": ix.kind,
+                                "entries": ix.oblivious.entry_count()})
+                for ix in self.catalog.indexes
+            },
+        }
+
+    def __repr__(self) -> str:
+        return (f"Database(tables={len(self.catalog.tables)}, "
+                f"indexes={len(self.catalog.indexes)}, "
+                f"t={self.clock.now:.3f}s)")

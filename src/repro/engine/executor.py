@@ -1,0 +1,182 @@
+"""Query execution: index scans with the two visibility paths.
+
+The executor is where the paper's cost asymmetry lives:
+
+* **MV-PBT** (index-only visibility): the index returns exactly the visible
+  entries; base-table pages are touched only when the query needs non-index
+  attributes — one buffered read per *result*, never per candidate.
+* **Version-oblivious indexes** (B⁺-Tree, PBT, or MV-PBT with the ablation
+  flag off): the index returns candidates — one per matching tuple-version —
+  and every candidate must be resolved against the base table (random I/O),
+  then rechecked against the predicate.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, NamedTuple
+
+from ..core.records import ReferenceMode
+from ..errors import CatalogError
+from ..index.base import key_in_range
+from ..storage.recordid import RecordID
+from ..table.base import TupleVersion
+from ..table.delta import DeltaTable
+from ..table.heap import HeapTable
+from ..table.sias import SIASTable
+from ..table.visibility import (resolve_candidates_heap,
+                                resolve_candidates_sias)
+from ..txn.transaction import Transaction
+from .catalog import IndexInfo, TableInfo
+
+if TYPE_CHECKING:
+    from .database import Database
+
+
+class RowHit(NamedTuple):
+    """One visible row: the version's recordID and the version record."""
+
+    rid: RecordID
+    version: TupleVersion
+
+    @property
+    def row(self) -> tuple:
+        return self.version.data
+
+
+class Executor:
+    """Executes index lookups, range scans and index-only aggregates."""
+
+    def __init__(self, db: "Database") -> None:
+        self.db = db
+
+    # ------------------------------------------------------------- lookups
+
+    def lookup(self, txn: Transaction, index_info: IndexInfo,
+               key: tuple) -> list[RowHit]:
+        """Visible rows whose index key equals ``key``."""
+        key = tuple(key)
+        table = self.db.catalog.table(index_info.table)
+        if index_info.is_mvpbt and index_info.mvpbt.index_only_visibility:
+            hits = index_info.mvpbt.search(txn, key)
+            return self._fetch_hits(txn, table, hits)
+        candidates = self._candidates_point(txn, index_info, key)
+        resolved = self._resolve(txn, table, index_info, candidates)
+        positions = index_info.positions
+        return [hit for hit in resolved
+                if tuple(hit.row[p] for p in positions) == key]
+
+    def scan(self, txn: Transaction, index_info: IndexInfo,
+             lo: tuple | None, hi: tuple | None, *,
+             lo_incl: bool = True, hi_incl: bool = True) -> list[RowHit]:
+        """Visible rows with index keys in the range, fetched from the table."""
+        table = self.db.catalog.table(index_info.table)
+        if index_info.is_mvpbt and index_info.mvpbt.index_only_visibility:
+            hits = index_info.mvpbt.range_scan(txn, lo, hi,
+                                               lo_incl=lo_incl,
+                                               hi_incl=hi_incl)
+            return self._fetch_hits(txn, table, hits)
+        candidates = self._candidates_range(txn, index_info, lo, hi,
+                                            lo_incl, hi_incl)
+        resolved = self._resolve(txn, table, index_info, candidates)
+        positions = index_info.positions
+        return [hit for hit in resolved
+                if key_in_range(tuple(hit.row[p] for p in positions),
+                                lo, hi, lo_incl, hi_incl)]
+
+    def count(self, txn: Transaction, index_info: IndexInfo,
+              lo: tuple | None, hi: tuple | None, *,
+              lo_incl: bool = True, hi_incl: bool = True) -> int:
+        """COUNT(*) over an index-key range.
+
+        For a version-aware MV-PBT this is **index-only**: no base-table
+        page is read (the paper's Figure 2 query).  Every other path must
+        resolve candidates against the base table first.
+        """
+        if index_info.is_mvpbt and index_info.mvpbt.index_only_visibility:
+            return len(index_info.mvpbt.range_scan(
+                txn, lo, hi, lo_incl=lo_incl, hi_incl=hi_incl))
+        return len(self.scan(txn, index_info, lo, hi,
+                             lo_incl=lo_incl, hi_incl=hi_incl))
+
+    # ------------------------------------------------------------- internal
+
+    def _fetch_hits(self, txn: Transaction, table: TableInfo,
+                    hits) -> list[RowHit]:
+        """Materialise rows for index-only hits.
+
+        On materialised stores (heap/SIAS) the hit's recordID *is* the
+        version — one buffered fetch.  On delta storage a recordID only
+        names the in-place main row, so old snapshots must reconstruct from
+        the delta chain (the §3.6 "tuple reconstruction cost" — the reason
+        the paper pairs MV-PBT with physically materialised versions).
+        """
+        store = table.store
+        if isinstance(store, DeltaTable):
+            out: list[RowHit] = []
+            for h in hits:
+                resolved = store.visible_version(txn, h.rid)
+                if resolved is not None:
+                    out.append(RowHit(*resolved))
+            return out
+        return [RowHit(h.rid, store.fetch(h.rid)) for h in hits]
+
+    def _candidates_point(self, txn: Transaction, index_info: IndexInfo,
+                          key: tuple) -> list[object]:
+        if index_info.is_mvpbt:
+            return [h.rid for h in index_info.mvpbt.search(txn, key)]
+        return index_info.oblivious.search(key)
+
+    def _candidates_range(self, txn: Transaction, index_info: IndexInfo,
+                          lo: tuple | None, hi: tuple | None,
+                          lo_incl: bool, hi_incl: bool) -> list[object]:
+        if index_info.is_mvpbt:
+            return [h.rid for h in index_info.mvpbt.range_scan(
+                txn, lo, hi, lo_incl=lo_incl, hi_incl=hi_incl)]
+        return [ref for _key, ref in index_info.oblivious.range_scan(
+            lo, hi, lo_incl=lo_incl, hi_incl=hi_incl)]
+
+    def _resolve(self, txn: Transaction, table: TableInfo,
+                 index_info: IndexInfo,
+                 candidates: list[object]) -> list[RowHit]:
+        """Base-table visibility check over candidate references."""
+        if index_info.reference is ReferenceMode.LOGICAL:
+            return self._resolve_logical(txn, table, candidates)
+        store = table.store
+        if isinstance(store, HeapTable):
+            resolved = resolve_candidates_heap(txn, store, candidates)
+        elif isinstance(store, SIASTable):
+            resolved = resolve_candidates_sias(txn, store, candidates)
+        elif isinstance(store, DeltaTable):
+            resolved = []
+            seen: set = set()
+            for rid in candidates:
+                if rid in seen:
+                    continue
+                seen.add(rid)
+                hit = store.visible_version(txn, rid)
+                if hit is not None:
+                    resolved.append(hit)
+        else:
+            raise CatalogError(
+                f"table {table.name!r}: unsupported store for resolution")
+        return [RowHit(rid, version) for rid, version in resolved]
+
+    def _resolve_logical(self, txn: Transaction, table: TableInfo,
+                         vids: list[object]) -> list[RowHit]:
+        indirection = table.indirection
+        if indirection is None:
+            raise CatalogError(
+                f"table {table.name!r} has no indirection layer")
+        hits: list[RowHit] = []
+        seen: set[object] = set()
+        for vid in vids:
+            if vid in seen:
+                continue
+            seen.add(vid)
+            entry = indirection.try_resolve(vid)  # type: ignore[arg-type]
+            if entry is None:
+                continue
+            resolved = table.store.visible_version(txn, entry)
+            if resolved is not None:
+                hits.append(RowHit(*resolved))
+        return hits

@@ -1,0 +1,86 @@
+"""Table schemas."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import CatalogError
+
+_TYPES = {"int": int, "float": float, "str": str}
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column: a name and a type tag ('int', 'float' or 'str')."""
+
+    name: str
+    ctype: str
+
+    def __post_init__(self) -> None:
+        if self.ctype not in _TYPES:
+            raise CatalogError(
+                f"column {self.name!r}: unknown type {self.ctype!r} "
+                f"(expected one of {sorted(_TYPES)})")
+
+    @property
+    def python_type(self) -> type:
+        return _TYPES[self.ctype]
+
+
+class Schema:
+    """Ordered column list with row validation and key extraction."""
+
+    def __init__(self, columns: Sequence[Column | tuple[str, str]]) -> None:
+        self.columns: list[Column] = [
+            c if isinstance(c, Column) else Column(*c) for c in columns]
+        if not self.columns:
+            raise CatalogError("schema needs at least one column")
+        self._index: dict[str, int] = {}
+        for pos, column in enumerate(self.columns):
+            if column.name in self._index:
+                raise CatalogError(f"duplicate column name {column.name!r}")
+            self._index[column.name] = pos
+
+    @property
+    def names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def position(self, name: str) -> int:
+        pos = self._index.get(name)
+        if pos is None:
+            raise CatalogError(f"unknown column {name!r}")
+        return pos
+
+    def positions(self, names: Sequence[str]) -> list[int]:
+        return [self.position(n) for n in names]
+
+    def validate_row(self, row: Sequence[object]) -> tuple:
+        if len(row) != len(self.columns):
+            raise CatalogError(
+                f"row has {len(row)} values, schema has {len(self.columns)}")
+        for value, column in zip(row, self.columns):
+            if value is None:
+                continue
+            if not isinstance(value, column.python_type):
+                # ints are acceptable where floats are expected
+                if column.ctype == "float" and isinstance(value, int):
+                    continue
+                raise CatalogError(
+                    f"column {column.name!r}: {value!r} is not {column.ctype}")
+        return tuple(row)
+
+    def extract(self, row: Sequence[object],
+                positions: Sequence[int]) -> tuple:
+        return tuple(row[p] for p in positions)
+
+    def apply_updates(self, row: Sequence[object],
+                      updates: dict[str, object]) -> tuple:
+        """A new row with the named columns replaced."""
+        out = list(row)
+        for name, value in updates.items():
+            out[self.position(name)] = value
+        return tuple(out)

@@ -1,0 +1,20 @@
+"""Index structures evaluated against MV-PBT: B⁺-Tree, PBT, LSM-Tree."""
+
+from .base import Index, IndexStats
+from .btree.tree import BPlusTree
+from .filters import BloomFilter, FilterStats, PrefixBloomFilter
+from .lsm.tree import LSMTree
+from .pbt import PartitionedBTree
+from .runs import PersistedRun
+
+__all__ = [
+    "Index",
+    "IndexStats",
+    "BPlusTree",
+    "PartitionedBTree",
+    "LSMTree",
+    "BloomFilter",
+    "PrefixBloomFilter",
+    "FilterStats",
+    "PersistedRun",
+]

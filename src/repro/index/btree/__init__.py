@@ -1,0 +1,6 @@
+"""Paged B⁺-Tree with in-place updates (the PostgreSQL-nbtree baseline)."""
+
+from .node import InnerNode, LeafNode
+from .tree import BPlusTree
+
+__all__ = ["BPlusTree", "LeafNode", "InnerNode"]

@@ -1,0 +1,43 @@
+"""B⁺-Tree node page payloads."""
+
+from __future__ import annotations
+
+from ...storage.keycodec import encoded_size
+from ..base import ENTRY_OVERHEAD_BYTES, REF_BYTES
+
+
+def leaf_entry_bytes(key: tuple) -> int:
+    return encoded_size(key) + REF_BYTES + ENTRY_OVERHEAD_BYTES
+
+
+def inner_entry_bytes(key: tuple) -> int:
+    return encoded_size(key) + 4 + ENTRY_OVERHEAD_BYTES  # child page no
+
+
+class LeafNode:
+    """Sorted (key, payload) pairs plus the right-sibling link."""
+
+    __slots__ = ("keys", "payloads", "next_page", "bytes_used")
+
+    def __init__(self) -> None:
+        self.keys: list[tuple] = []
+        self.payloads: list[object] = []
+        self.next_page: int | None = None
+        self.bytes_used = 0
+
+    def __repr__(self) -> str:
+        return f"LeafNode(n={len(self.keys)}, bytes={self.bytes_used})"
+
+
+class InnerNode:
+    """Separator keys and child page numbers (len(children) == len(keys)+1)."""
+
+    __slots__ = ("keys", "children", "bytes_used")
+
+    def __init__(self) -> None:
+        self.keys: list[tuple] = []
+        self.children: list[int] = []
+        self.bytes_used = 0
+
+    def __repr__(self) -> str:
+        return f"InnerNode(n={len(self.keys)}, bytes={self.bytes_used})"

@@ -1,0 +1,162 @@
+"""Bloom filters and prefix bloom filters for immutable partitions (§4.7).
+
+Each persisted MV-PBT / PBT partition and each LSM SSTable carries a bloom
+filter over its (encoded) search keys so point lookups can skip partitions,
+and optionally a *prefix* bloom filter over the first ``prefix_columns`` key
+columns so range scans with a fixed leading prefix can skip too.
+
+Hashing uses double hashing over two independent CRC-based digests — stable
+across processes (unlike Python's ``hash``), cheap, and adequate for the
+filter sizes involved.  Effectiveness counters back the paper's Figure 13.
+"""
+
+from __future__ import annotations
+
+import math
+import zlib
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..storage.keycodec import encode_key
+
+
+@dataclass
+class FilterStats:
+    """Outcome counters of one filter (paper Figure 13's categories)."""
+
+    queries: int = 0
+    negatives: int = 0          #: filter said "absent" (partition skipped)
+    positives: int = 0          #: filter said "present" and the key was there
+    false_positives: int = 0    #: filter said "present" but the scan found nothing
+
+    def record_pass(self, found: bool) -> None:
+        if found:
+            self.positives += 1
+        else:
+            self.false_positives += 1
+
+    @property
+    def negative_rate(self) -> float:
+        return self.negatives / self.queries if self.queries else 0.0
+
+    @property
+    def false_positive_rate(self) -> float:
+        return self.false_positives / self.queries if self.queries else 0.0
+
+    @property
+    def positive_rate(self) -> float:
+        return self.positives / self.queries if self.queries else 0.0
+
+
+class BloomFilter:
+    """Classic bloom filter over byte strings."""
+
+    def __init__(self, expected_items: int, fpr: float) -> None:
+        if expected_items < 1:
+            expected_items = 1
+        if not 0.0 < fpr < 1.0:
+            raise ConfigError(f"fpr must be in (0, 1): {fpr}")
+        ln2 = math.log(2.0)
+        self.nbits = max(8, int(math.ceil(
+            -expected_items * math.log(fpr) / (ln2 * ln2))))
+        self.nhashes = max(1, int(round((self.nbits / expected_items) * ln2)))
+        self._bits = bytearray((self.nbits + 7) // 8)
+        self.items_added = 0
+        self.stats = FilterStats()
+
+    # ------------------------------------------------------------------ core
+
+    def add(self, data: bytes) -> None:
+        for pos in self._positions(data):
+            self._bits[pos >> 3] |= 1 << (pos & 7)
+        self.items_added += 1
+
+    def may_contain(self, data: bytes) -> bool:
+        """Probe without touching effectiveness counters."""
+        for pos in self._positions(data):
+            if not self._bits[pos >> 3] & (1 << (pos & 7)):
+                return False
+        return True
+
+    def query(self, data: bytes) -> bool:
+        """Probe and count; call :meth:`report_pass_outcome` after the scan."""
+        self.stats.queries += 1
+        if self.may_contain(data):
+            return True
+        self.stats.negatives += 1
+        return False
+
+    def report_pass_outcome(self, found: bool) -> None:
+        """Report whether a passed probe's partition scan actually matched."""
+        self.stats.record_pass(found)
+
+    # ------------------------------------------------------------ inspection
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self._bits)
+
+    def _positions(self, data: bytes):
+        h1 = zlib.crc32(data) & 0xFFFFFFFF
+        h2 = (zlib.adler32(data) & 0xFFFFFFFF) | 1  # odd, never zero
+        nbits = self.nbits
+        for i in range(self.nhashes):
+            yield (h1 + i * h2) % nbits
+
+    def __repr__(self) -> str:
+        return (f"BloomFilter(bits={self.nbits}, k={self.nhashes}, "
+                f"items={self.items_added})")
+
+
+class PrefixBloomFilter:
+    """Bloom filter over the encoded leading ``prefix_columns`` of each key.
+
+    Gates range scans of the form "leading columns fixed, trailing columns
+    ranged" (the common TPC-C scan shape, e.g. order lines of one order).
+    """
+
+    def __init__(self, expected_items: int, fpr: float,
+                 prefix_columns: int) -> None:
+        if prefix_columns < 1:
+            raise ConfigError(
+                f"prefix_columns must be >= 1: {prefix_columns}")
+        self.prefix_columns = prefix_columns
+        self._bloom = BloomFilter(expected_items, fpr)
+
+    def add_key(self, key: tuple) -> None:
+        self._bloom.add(encode_key(key[:self.prefix_columns]))
+
+    def query_prefix(self, prefix: tuple) -> bool:
+        """Counted probe for a full prefix (exactly ``prefix_columns`` values)."""
+        return self._bloom.query(encode_key(prefix[:self.prefix_columns]))
+
+    def applicable(self, lo: tuple | None, hi: tuple | None) -> tuple | None:
+        """The shared fixed prefix of a range predicate, if the filter applies.
+
+        Returns the prefix values when ``lo`` and ``hi`` agree on the first
+        ``prefix_columns`` columns (both present and equal), else ``None``.
+        """
+        if lo is None or hi is None:
+            return None
+        if len(lo) < self.prefix_columns or len(hi) < self.prefix_columns:
+            return None
+        lo_prefix = tuple(lo[:self.prefix_columns])
+        hi_prefix = tuple(hi[:self.prefix_columns])
+        if lo_prefix != hi_prefix:
+            return None
+        return lo_prefix
+
+    def report_pass_outcome(self, found: bool) -> None:
+        self._bloom.report_pass_outcome(found)
+
+    @property
+    def stats(self) -> FilterStats:
+        return self._bloom.stats
+
+    @property
+    def size_bytes(self) -> int:
+        return self._bloom.size_bytes
+
+    @property
+    def items_added(self) -> int:
+        return self._bloom.items_added

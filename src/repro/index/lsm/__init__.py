@@ -1,0 +1,7 @@
+"""Leveled LSM-Tree (the WiredTiger comparison baseline of paper §5)."""
+
+from .memtable import TOMBSTONE, MemTable
+from .sstable import SSTable
+from .tree import LSMTree
+
+__all__ = ["LSMTree", "MemTable", "SSTable", "TOMBSTONE"]

@@ -1,0 +1,86 @@
+"""LSM memtable: the mutable in-memory component (the LSM's ``L0`` buffer).
+
+Kept key-sorted so scans are cheap; a put of an existing key replaces the
+entry in place (newer sequence shadows older), as real memtables do.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Iterator
+
+from ...storage.keycodec import encoded_size
+
+
+class _Tombstone:
+    """Sentinel marking a deleted key."""
+
+    _instance: "_Tombstone | None" = None
+
+    def __new__(cls) -> "_Tombstone":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "<TOMBSTONE>"
+
+
+TOMBSTONE = _Tombstone()
+
+
+def value_bytes(value: object) -> int:
+    """Accounted size of a KV value."""
+    if value is TOMBSTONE or value is None:
+        return 1
+    if isinstance(value, (bytes, bytearray)):
+        return len(value) + 4
+    if isinstance(value, str):
+        return len(value.encode("utf-8")) + 4
+    if isinstance(value, (int, float)):
+        return 8
+    return 16
+
+
+def entry_bytes(key: tuple, value: object) -> int:
+    return encoded_size(key) + value_bytes(value) + 12  # seq + overhead
+
+
+class MemTable:
+    """Sorted in-memory component."""
+
+    def __init__(self) -> None:
+        self._keys: list[tuple] = []
+        self._entries: list[tuple[int, object]] = []  # (seq, value)
+        self.bytes_used = 0
+
+    def put(self, key: tuple, seq: int, value: object) -> None:
+        idx = bisect_left(self._keys, key)
+        if idx < len(self._keys) and self._keys[idx] == key:
+            old_seq, old_value = self._entries[idx]
+            self.bytes_used += (entry_bytes(key, value)
+                                - entry_bytes(key, old_value))
+            self._entries[idx] = (seq, value)
+        else:
+            self._keys.insert(idx, key)
+            self._entries.insert(idx, (seq, value))
+            self.bytes_used += entry_bytes(key, value)
+
+    def get(self, key: tuple) -> tuple[int, object] | None:
+        idx = bisect_left(self._keys, key)
+        if idx < len(self._keys) and self._keys[idx] == key:
+            return self._entries[idx]
+        return None
+
+    def scan_from(self, key: tuple | None) -> Iterator[tuple[tuple, int, object]]:
+        """(key, seq, value) in key order starting at ``key`` (or the start)."""
+        idx = bisect_left(self._keys, key) if key is not None else 0
+        for pos in range(idx, len(self._keys)):
+            seq, value = self._entries[pos]
+            yield self._keys[pos], seq, value
+
+    def items(self) -> Iterator[tuple[tuple, int, object]]:
+        yield from self.scan_from(None)
+
+    def __len__(self) -> int:
+        return len(self._keys)

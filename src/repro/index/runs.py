@@ -1,0 +1,190 @@
+"""Immutable persisted runs.
+
+A :class:`PersistedRun` is the shared building block of every append-written
+sorted structure in this library: PBT partitions, MV-PBT partitions and LSM
+SSTables.  It packs an already-sorted record list into leaf pages, appends
+them to a page file with sequential extent-sized writes, and serves point and
+range accesses through the shared buffer pool.
+
+Fence keys (the first key of each leaf) are kept in memory, modelling the
+paper's observation that the higher levels of the tree structure are
+"commonly buffered" (§4.2); only leaf accesses are charged I/O.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Callable, Iterator, Sequence, TypeVar
+
+from ..buffer.pool import BufferPool
+from ..errors import StorageError
+from ..storage.page import PAGE_HEADER_BYTES
+from ..storage.pagefile import PageFile
+
+R = TypeVar("R")
+
+
+class RunPage:
+    """Leaf page of a persisted run: a dense, immutable record array.
+
+    Keys are materialised alongside the records so point probes can binary
+    search without re-deriving keys on every access.
+    """
+
+    __slots__ = ("keys", "records")
+
+    def __init__(self, keys: list, records: list) -> None:
+        self.keys = keys
+        self.records = records
+
+
+class PersistedRun:
+    """Immutable sorted run of records packed into leaf pages."""
+
+    def __init__(self, file: PageFile, pool: BufferPool,
+                 records: Sequence[R], *,
+                 key_of: Callable[[R], tuple],
+                 size_of: Callable[[R], int],
+                 fill_factor: float = 1.0) -> None:
+        if not 0.0 < fill_factor <= 1.0:
+            raise StorageError(f"bad fill factor: {fill_factor}")
+        self.file = file
+        self.pool = pool
+        self.record_count = len(records)
+        self.size_bytes = 0
+        self.min_key: tuple | None = None
+        self.max_key: tuple | None = None
+        self._fences: list[tuple] = []
+        self.page_nos: list[int] = []
+
+        if not records:
+            return
+        self.min_key = key_of(records[0])
+        self.max_key = key_of(records[-1])
+
+        capacity = int((file.page_size - PAGE_HEADER_BYTES) * fill_factor)
+        pages: list[RunPage] = []
+        cur_keys: list[tuple] = []
+        cur_records: list[R] = []
+        used = 0
+        for record in records:
+            nbytes = size_of(record)
+            if cur_records and used + nbytes > capacity:
+                pages.append(RunPage(cur_keys, cur_records))
+                self._fences.append(cur_keys[0])
+                cur_keys, cur_records, used = [], [], 0
+            cur_keys.append(key_of(record))
+            cur_records.append(record)
+            used += nbytes
+            self.size_bytes += nbytes
+        if cur_records:
+            pages.append(RunPage(cur_keys, cur_records))
+            self._fences.append(cur_keys[0])
+
+        self.page_nos = file.append_extents(pages)
+
+    # ---------------------------------------------------------------- access
+
+    @property
+    def page_count(self) -> int:
+        return len(self.page_nos)
+
+    def overlaps(self, lo: tuple | None, hi: tuple | None) -> bool:
+        """May any record key fall within [lo, hi]? (partition range keys)"""
+        if self.min_key is None or self.max_key is None:
+            return False
+        if lo is not None and self.max_key < lo:
+            return False
+        if hi is not None and self.min_key > hi:
+            return False
+        return True
+
+    def search(self, key: tuple) -> Iterator[R]:
+        """All records whose key equals ``key``, in run order."""
+        if self.min_key is None or key < self.min_key or key > self.max_key:
+            return
+        # bisect_left: with duplicate keys, several consecutive fences can
+        # equal the probe and the matching group starts at the page before
+        # the first of them
+        start = max(0, bisect_left(self._fences, key) - 1)
+        for page_idx in range(start, len(self.page_nos)):
+            if self._fences[page_idx] > key:
+                break
+            page = self._load(page_idx)
+            lo = bisect_left(page.keys, key)
+            if lo == len(page.keys):
+                continue  # all keys below probe; duplicates may continue
+            if page.keys[lo] != key:
+                break     # keys jumped past the probe: no more matches
+            hi = bisect_right(page.keys, key)
+            yield from page.records[lo:hi]
+            if hi < len(page.keys):
+                break     # matches ended within this page
+
+    def scan(self, lo: tuple | None, hi: tuple | None, *,
+             lo_incl: bool = True, hi_incl: bool = True) -> Iterator[R]:
+        """Records with keys in the range, in run order."""
+        if self.min_key is None:
+            return
+        if lo is not None:
+            start = max(0, bisect_right(self._fences, lo) - 1)
+        else:
+            start = 0
+        for page_idx in range(start, len(self.page_nos)):
+            page = self._load(page_idx)
+            if lo is not None:
+                pos = (bisect_left(page.keys, lo) if lo_incl
+                       else bisect_right(page.keys, lo))
+            else:
+                pos = 0
+            for key, record in zip(page.keys[pos:], page.records[pos:]):
+                if hi is not None and (key > hi or (not hi_incl and key == hi)):
+                    return
+                yield record
+            lo = None  # subsequent pages start from their beginning
+
+    def iter_all(self) -> Iterator[R]:
+        """Every record, through the buffer pool (run order)."""
+        for page_idx in range(len(self.page_nos)):
+            yield from self._load(page_idx).records
+
+    def iter_all_sequential(self) -> Iterator[R]:
+        """Every record via sequential device reads (compaction path).
+
+        Bypasses the buffer pool: compactions stream whole runs with large
+        sequential reads and should neither pollute the pool nor be billed
+        random-read prices.
+        """
+        for idx in range(0, len(self.page_nos), self.file.extent_pages):
+            chunk = self.page_nos[idx:idx + self.file.extent_pages]
+            self.file.device.read(self._addr(chunk[0]),
+                                  len(chunk) * self.file.page_size)
+            self.file.physical_reads += 1
+            for page_no in chunk:
+                page = self.file.peek(page_no)
+                yield from page.records  # type: ignore[union-attr]
+
+    def free(self) -> None:
+        """Release all pages of the run (after compaction/merge)."""
+        for page_no in self.page_nos:
+            self.pool.discard(self.file, page_no)
+            self.file.free_page(page_no)
+        self.page_nos = []
+        self._fences = []
+
+    # -------------------------------------------------------------- internal
+
+    def _load(self, page_idx: int) -> RunPage:
+        page = self.pool.get(self.file, self.page_nos[page_idx])
+        if not isinstance(page, RunPage):
+            raise StorageError(
+                f"{self.file.name}: page {self.page_nos[page_idx]} "
+                f"is not a run page")
+        return page
+
+    def _addr(self, page_no: int) -> int:
+        return self.file._addresses[page_no]
+
+    def __repr__(self) -> str:
+        return (f"PersistedRun(records={self.record_count}, "
+                f"pages={self.page_count}, bytes={self.size_bytes})")

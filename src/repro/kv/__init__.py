@@ -1,0 +1,17 @@
+"""Key-value store layer (the WiredTiger-style engines of paper §5, YCSB).
+
+Three engines with identical semantics over the simulated device:
+
+* :class:`BTreeKV` — in-place-updated B⁺-Tree (WiredTiger's default btree);
+* :class:`LSMKV` — leveled LSM-Tree (WiredTiger's LSM);
+* :class:`MVPBTKV` — MV-PBT storing values inline in index records, blind
+  updates via replacement records (the paper's WiredTiger integration).
+"""
+
+from .btree_kv import BTreeKV
+from .lsm_kv import LSMKV
+from .mvpbt_kv import MVPBTKV
+from .store import KVStats, KVStore, make_kv_store
+
+__all__ = ["KVStore", "KVStats", "BTreeKV", "LSMKV", "MVPBTKV",
+           "make_kv_store"]

@@ -1,0 +1,47 @@
+"""B⁺-Tree KV engine (WiredTiger's default storage structure)."""
+
+from __future__ import annotations
+
+from itertools import islice
+
+from ..index.btree.tree import BPlusTree
+from ..storage.pagefile import PageFile
+from .store import KVEnvironment, KVStats, KVStore
+
+
+class BTreeKV(KVStore):
+    """Values live in the leaves; updates happen in place (random writes)."""
+
+    def __init__(self, env: KVEnvironment, *, value_bytes: int = 100) -> None:
+        self.name = "btree"
+        self.env = env
+        self.stats = KVStats()
+        file = PageFile("kv:btree", env.device, env.config.page_size,
+                        env.config.extent_pages)
+        self._tree = BPlusTree("kv:btree", file, env.pool,
+                               value_bytes=value_bytes)
+
+    def put(self, key: str, value: str) -> None:
+        replaced = self._tree.upsert((key,), value)
+        if replaced:
+            self.stats.updates += 1
+        else:
+            self.stats.inserts += 1
+
+    def get(self, key: str) -> str | None:
+        self.stats.reads += 1
+        value = self._tree.get((key,))
+        return value  # type: ignore[return-value]
+
+    def delete(self, key: str) -> None:
+        self.stats.deletes += 1
+        value = self._tree.get((key,))
+        if value is not None:
+            self._tree.remove_entry((key,), value)  # type: ignore[arg-type]
+
+    def scan(self, start_key: str, count: int) -> list[tuple[str, str]]:
+        self.stats.scans += 1
+        out = []
+        for k, v in islice(self._tree.range_scan((start_key,), None), count):
+            out.append((k[0], v))  # type: ignore[index]
+        return out

@@ -1,0 +1,22 @@
+"""Simulated hardware: clock, flash storage device, I/O trace.
+
+This package is the substitution for the paper's physical testbed (Intel DC
+P3600 SSD).  Every page access in the engine is charged against the device's
+measured cost table (paper Figure 8) on a shared simulated clock, so
+throughput results are reported in *simulated time*.
+"""
+
+from .clock import SimClock
+from .device import DeviceStats, SimulatedDevice
+from .profiles import INTEL_DC_P3600, DeviceProfile
+from .trace import IOTrace, TraceEntry
+
+__all__ = [
+    "SimClock",
+    "SimulatedDevice",
+    "DeviceStats",
+    "DeviceProfile",
+    "INTEL_DC_P3600",
+    "IOTrace",
+    "TraceEntry",
+]

@@ -1,0 +1,42 @@
+"""Simulated clock.
+
+The whole engine shares one :class:`SimClock`.  Device latencies and CPU cost
+constants advance it; benchmark throughput is ``work / clock.now``.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+
+
+class SimClock:
+    """A monotonically advancing simulated clock, in seconds."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ConfigError(f"clock cannot start at negative time: {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Advance the clock by ``seconds`` and return the new time.
+
+        Negative advances are rejected: simulated time never runs backwards.
+        """
+        if seconds < 0:
+            raise ConfigError(f"cannot advance clock by {seconds}s")
+        self._now += seconds
+        return self._now
+
+    def elapsed_since(self, t0: float) -> float:
+        """Simulated seconds elapsed since an earlier reading ``t0``."""
+        return self._now - t0
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now:.6f}s)"

@@ -1,0 +1,16 @@
+"""Storage primitives: record IDs, key codec, slotted pages, page files."""
+
+from .keycodec import decode_key, encode_key, encoded_size
+from .page import SlottedPage
+from .pagefile import PageFile
+from .recordid import NULL_RID, RecordID
+
+__all__ = [
+    "RecordID",
+    "NULL_RID",
+    "encode_key",
+    "decode_key",
+    "encoded_size",
+    "SlottedPage",
+    "PageFile",
+]

@@ -1,0 +1,45 @@
+"""Record identifiers.
+
+A :class:`RecordID` names one physical tuple-version: (page number, slot)
+inside one table's page file — the paper's ``recordID``.  It is the unit of
+"matter"/"anti-matter" in MV-PBT records and of physical references in
+version chains.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import NamedTuple
+
+_RID_STRUCT = struct.Struct(">IH")  # page:uint32, slot:uint16
+
+#: Serialized size of a RecordID in bytes.
+RID_BYTES = _RID_STRUCT.size
+
+
+class RecordID(NamedTuple):
+    """Physical address of a tuple-version: (page number, slot)."""
+
+    page: int
+    slot: int
+
+    def pack(self) -> bytes:
+        return _RID_STRUCT.pack(self.page, self.slot)
+
+    @classmethod
+    def unpack(cls, data: bytes, offset: int = 0) -> "RecordID":
+        page, slot = _RID_STRUCT.unpack_from(data, offset)
+        return cls(page, slot)
+
+    @property
+    def is_null(self) -> bool:
+        return self == NULL_RID
+
+    def __repr__(self) -> str:
+        if self.is_null:
+            return "RID(null)"
+        return f"RID({self.page},{self.slot})"
+
+
+#: Sentinel "no record" value (page and slot are all-ones).
+NULL_RID = RecordID(0xFFFFFFFF, 0xFFFF)

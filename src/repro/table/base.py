@@ -1,0 +1,94 @@
+"""Common tuple-version model and the version-store interface."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from ..storage.recordid import RecordID
+from ..txn.transaction import Transaction
+
+#: Accounted per-version header bytes (PostgreSQL's HeapTupleHeader is 23).
+VERSION_HEADER_BYTES = 24
+
+
+def row_size(data: Sequence[object]) -> int:
+    """Accounted byte size of a row's values."""
+    size = 0
+    for value in data:
+        if value is None:
+            size += 1
+        elif isinstance(value, (bool, int, float)):
+            size += 8
+        elif isinstance(value, str):
+            size += len(value.encode("utf-8")) + 4
+        elif isinstance(value, (bytes, bytearray)):
+            size += len(value) + 4
+        else:
+            size += 16  # opaque objects get a flat estimate
+    return size
+
+
+@dataclass(slots=True)
+class TupleVersion:
+    """One physically materialised tuple-version record (paper Figure 2.A).
+
+    ``ts_invalidate`` is used only by two-point-invalidation stores (heap);
+    SIAS versions leave it ``None`` and rely on successor existence
+    (one-point invalidation).  Chain links are direction-specific:
+    ``next_rid`` (old-to-new, heap) or ``prev_rid`` (new-to-old, SIAS).
+    """
+
+    vid: int
+    data: tuple
+    ts_create: int
+    ts_invalidate: int | None = None
+    prev_rid: RecordID | None = None
+    next_rid: RecordID | None = None
+    is_tombstone: bool = False
+
+    def accounted_size(self) -> int:
+        return VERSION_HEADER_BYTES + row_size(self.data)
+
+
+class VersionStore(ABC):
+    """Interface of a base table storing tuple-versions."""
+
+    @abstractmethod
+    def insert(self, txn: Transaction, data: tuple) -> tuple[int, RecordID]:
+        """Insert a new logical tuple; returns (vid, rid of initial version)."""
+
+    @abstractmethod
+    def update(self, txn: Transaction, rid: RecordID,
+               data: tuple) -> RecordID:
+        """Create a successor version of the version at ``rid``."""
+
+    @abstractmethod
+    def delete(self, txn: Transaction, rid: RecordID) -> RecordID:
+        """Logically delete the tuple whose current version is at ``rid``.
+
+        Returns the rid of the tombstone version (SIAS) or of the invalidated
+        version itself (heap, which has no physical tombstone record).
+        """
+
+    @abstractmethod
+    def fetch(self, rid: RecordID) -> TupleVersion:
+        """Fetch one version record (charges buffered page I/O)."""
+
+    @abstractmethod
+    def visible_version(self, txn: Transaction,
+                        rid: RecordID) -> tuple[RecordID, TupleVersion] | None:
+        """Resolve the version of ``rid``'s chain visible to ``txn``.
+
+        This is the *base-table visibility check* the paper's motivation
+        section prices at one random I/O per fetched version.
+        """
+
+    @abstractmethod
+    def scan_versions(self) -> Iterator[tuple[RecordID, TupleVersion]]:
+        """All stored versions (sequential scan, charges page I/O)."""
+
+    def scan_visible(self, txn: Transaction) -> Iterator[tuple[RecordID, tuple]]:
+        """Visible rows for ``txn`` via full scan (analytic table scans)."""
+        raise NotImplementedError

@@ -1,0 +1,230 @@
+"""SIAS: Snapshot Isolation Append Storage (paper §3, [9,11]).
+
+Design decisions modelled:
+
+* **append-only** base table — versions are written exactly once; filled tail
+  pages are flushed to storage with sequential extent-sized writes;
+* **new-to-old** ordering — every version links to its *predecessor*; the
+  chain entry point is the newest version;
+* **one-point invalidation** — no invalidation timestamp is ever written; a
+  version is invalidated implicitly by the existence of a successor;
+* deletion appends a **tombstone** version terminating the chain.
+
+The table maintains the chain entry points (vid → newest rid) as in-memory
+bookkeeping (the SIAS-chains papers keep equivalent per-tuple entry points);
+index structures may reference versions physically (one entry per version) or
+logically through :class:`~repro.table.indirection.IndirectionLayer`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..buffer.pool import BufferPool
+from ..errors import TupleNotFoundError, WriteConflictError
+from ..storage.page import SlottedPage
+from ..storage.pagefile import PageFile
+from ..storage.recordid import RecordID
+from ..txn.transaction import Transaction
+from .base import TupleVersion, VersionStore
+
+
+class SIASTable(VersionStore):
+    """Append-only version store with new-to-old chains."""
+
+    def __init__(self, name: str, file: PageFile, pool: BufferPool,
+                 flush_extent_pages: int | None = None) -> None:
+        self.name = name
+        self.file = file
+        self.pool = pool
+        self.flush_extent_pages = (flush_extent_pages
+                                   if flush_extent_pages is not None
+                                   else file.extent_pages)
+        self._next_vid = 1
+        #: unflushed tail pages: page_no -> SlottedPage (outside the pool)
+        self._tail: dict[int, SlottedPage] = {}
+        self._tail_order: list[int] = []
+        self._current: SlottedPage | None = None
+        #: chain entry points: vid -> rid of the newest version
+        self._entry: dict[int, RecordID] = {}
+        self.inserts = 0
+        self.updates = 0
+        self.deletes = 0
+        self.tail_flushes = 0
+
+    # ------------------------------------------------------------------- DML
+
+    def insert(self, txn: Transaction, data: tuple) -> tuple[int, RecordID]:
+        txn.require_active()
+        vid = self._next_vid
+        self._next_vid += 1
+        version = TupleVersion(vid=vid, data=tuple(data), ts_create=txn.id)
+        rid = self._append(version)
+        self._entry[vid] = rid
+        self.inserts += 1
+        txn.writes += 1
+        return vid, rid
+
+    def update(self, txn: Transaction, rid: RecordID, data: tuple) -> RecordID:
+        txn.require_active()
+        old = self.fetch(rid)
+        self._check_updatable(txn, old, rid)
+        successor = TupleVersion(vid=old.vid, data=tuple(data),
+                                 ts_create=txn.id, prev_rid=rid)
+        new_rid = self._append(successor)
+        self._entry[old.vid] = new_rid
+        self.updates += 1
+        txn.writes += 1
+        return new_rid
+
+    def delete(self, txn: Transaction, rid: RecordID) -> RecordID:
+        txn.require_active()
+        old = self.fetch(rid)
+        self._check_updatable(txn, old, rid)
+        tombstone = TupleVersion(vid=old.vid, data=(), ts_create=txn.id,
+                                 prev_rid=rid, is_tombstone=True)
+        new_rid = self._append(tombstone)
+        self._entry[old.vid] = new_rid
+        self.deletes += 1
+        txn.writes += 1
+        return new_rid
+
+    # ----------------------------------------------------------------- reads
+
+    def fetch(self, rid: RecordID) -> TupleVersion:
+        tail_page = self._tail.get(rid.page)
+        if tail_page is not None:
+            return self._read_version(tail_page, rid)
+        page = self.pool.get(self.file, rid.page)
+        return self._read_version(page, rid)  # type: ignore[arg-type]
+
+    def entry_point(self, vid: int) -> RecordID:
+        """Newest-version rid of a live chain (internal bookkeeping)."""
+        rid = self._entry.get(vid)
+        if rid is None:
+            raise TupleNotFoundError(f"{self.name}: no chain for vid {vid}")
+        return rid
+
+    def has_chain(self, vid: int) -> bool:
+        return vid in self._entry
+
+    def chain_entries(self) -> Iterator[tuple[int, RecordID]]:
+        yield from self._entry.items()
+
+    def visible_version(self, txn: Transaction,
+                        rid: RecordID) -> tuple[RecordID, TupleVersion] | None:
+        """Walk new-to-old from ``rid`` to the first version ``txn`` sees.
+
+        Under one-point invalidation the first creation-visible version on
+        the way down *is* the visible one (anything newer was invisible);
+        a visible tombstone means the tuple is deleted for this snapshot.
+        """
+        commit_log = txn._manager.commit_log
+        current: RecordID | None = rid
+        while current is not None:
+            try:
+                version = self.fetch(current)
+            except TupleNotFoundError:
+                return None
+            if txn.snapshot.sees_ts(version.ts_create, commit_log):
+                if version.is_tombstone:
+                    return None
+                return current, version
+            current = version.prev_rid
+        return None
+
+    def scan_versions(self) -> Iterator[tuple[RecordID, TupleVersion]]:
+        for page_no in range(self.file.max_page_no):
+            page = self._tail.get(page_no)
+            if page is None:
+                if not self.file.has_contents(page_no) and not (
+                        self.pool.contains(self.file, page_no)):
+                    continue
+                page = self.pool.get(self.file, page_no)  # type: ignore[assignment]
+            for slot, payload in page.items():
+                yield RecordID(page_no, slot), payload  # type: ignore[misc]
+
+    def scan_visible(self, txn: Transaction) -> Iterator[tuple[RecordID, tuple]]:
+        for vid, entry_rid in list(self._entry.items()):
+            resolved = self.visible_version(txn, entry_rid)
+            if resolved is not None:
+                rid, version = resolved
+                yield rid, version.data
+
+    # --------------------------------------------------------------- helpers
+
+    def flush_tail(self) -> int:
+        """Force unflushed tail pages to storage; returns pages flushed."""
+        flushed = self._flush_pages(self._tail_order)
+        return flushed
+
+    def drop_chain(self, vid: int) -> None:
+        """Vacuum removed the whole chain (tombstone below cutoff)."""
+        self._entry.pop(vid, None)
+
+    def _check_updatable(self, txn: Transaction, version: TupleVersion,
+                         rid: RecordID) -> None:
+        if version.is_tombstone:
+            raise TupleNotFoundError("cannot update a tombstone")
+        current_entry = self._entry.get(version.vid)
+        if current_entry is None or current_entry != rid:
+            # someone already appended a successor (first-updater-wins),
+            # unless that successor's creator aborted and we re-point.
+            successor_ok = False
+            if current_entry is not None:
+                successor = self.fetch(current_entry)
+                commit_log = txn._manager.commit_log
+                if commit_log.is_aborted(successor.ts_create):
+                    self._entry[version.vid] = rid
+                    successor_ok = True
+            if not successor_ok:
+                raise WriteConflictError(
+                    f"tuple vid={version.vid}: {rid} is not the chain entry "
+                    f"point (entry is {current_entry})")
+
+    def _append(self, version: TupleVersion) -> RecordID:
+        size = version.accounted_size()
+        page = self._current
+        if page is None or not page.fits(size):
+            page = self._new_tail_page()
+        slot = page.insert(version, size)
+        return RecordID(page.page_no, slot)
+
+    def _new_tail_page(self) -> SlottedPage:
+        if len(self._tail_order) >= self.flush_extent_pages:
+            self._flush_pages(self._tail_order)
+        page_no = self.file.allocate_page()
+        page = SlottedPage(page_no, self.file.page_size)
+        self._tail[page_no] = page
+        self._tail_order.append(page_no)
+        self._current = page
+        return page
+
+    def _flush_pages(self, page_nos: list[int]) -> int:
+        if not page_nos:
+            return 0
+        items = [(no, self._tail[no]) for no in list(page_nos)]
+        self.file.flush_pages_sequential(items)
+        for no, page in items:
+            page.dirty = False
+            self._tail.pop(no, None)
+            # keep recently written versions warm in the shared buffer
+            self.pool.put(self.file, no, page, dirty=False)
+        self._tail_order = [n for n in self._tail_order if n in self._tail]
+        if self._current is not None and self._current.page_no not in self._tail:
+            self._current = None
+        self.tail_flushes += 1
+        return len(items)
+
+    def _read_version(self, page: SlottedPage, rid: RecordID) -> TupleVersion:
+        try:
+            payload = page.read(rid.slot)
+        except Exception as exc:  # SlotNotFound -> uniform not-found error
+            raise TupleNotFoundError(f"{self.name}: bad rid {rid}") from exc
+        if not isinstance(payload, TupleVersion):
+            raise TupleNotFoundError(f"{self.name}: {rid} is not a version")
+        return payload
+
+    def __repr__(self) -> str:
+        return (f"SIASTable({self.name!r}, inserts={self.inserts}, "
+                f"updates={self.updates}, deletes={self.deletes})")

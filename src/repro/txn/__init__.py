@@ -1,0 +1,15 @@
+"""MVCC transaction management: snapshot isolation, commit status, snapshots."""
+
+from .manager import TransactionManager
+from .snapshot import Snapshot
+from .status import CommitLog, TxnStatus
+from .transaction import Transaction, TxnState
+
+__all__ = [
+    "TransactionManager",
+    "Transaction",
+    "TxnState",
+    "Snapshot",
+    "CommitLog",
+    "TxnStatus",
+]

@@ -1,0 +1,113 @@
+"""Transaction manager: begin / commit / abort, cutoff tracking.
+
+Implements snapshot isolation.  The *cutoff* transaction id (paper §4.6 —
+"lowest active transaction timestamp") drives garbage collection: any version
+superseded before the cutoff is invisible to every active and future
+transaction and may be purged.
+"""
+
+from __future__ import annotations
+
+from ..config import CostModel
+from ..errors import TransactionStateError
+from ..sim.clock import SimClock
+from .snapshot import Snapshot
+from .status import CommitLog, TxnStatus
+from .transaction import Transaction, TxnState
+
+
+class TransactionManager:
+    """Hands out monotonically increasing transaction ids and snapshots."""
+
+    def __init__(self, clock: SimClock | None = None,
+                 cost: CostModel | None = None) -> None:
+        self.clock = clock
+        self.cost = cost if cost is not None else CostModel()
+        self.commit_log = CommitLog()
+        self._next_txid = 1
+        self._active: dict[int, Transaction] = {}
+        self.committed_count = 0
+        self.aborted_count = 0
+
+    # ------------------------------------------------------------- lifecycle
+
+    def begin(self) -> Transaction:
+        txid = self._next_txid
+        self._next_txid += 1
+        active_ids = frozenset(self._active)
+        xmin = min(active_ids) if active_ids else txid
+        snapshot = Snapshot(owner=txid, xmax=txid, active=active_ids, xmin=xmin)
+        self.commit_log.register(txid)
+        txn = Transaction(txid, snapshot, self)
+        self._active[txid] = txn
+        self._charge_overhead()
+        return txn
+
+    def commit(self, txn: Transaction) -> None:
+        self._finish(txn, TxnState.COMMITTED)
+        self.commit_log.set_committed(txn.id)
+        self.committed_count += 1
+
+    def abort(self, txn: Transaction) -> None:
+        self._finish(txn, TxnState.ABORTED)
+        self.commit_log.set_aborted(txn.id)
+        self.aborted_count += 1
+
+    def _finish(self, txn: Transaction, state: TxnState) -> None:
+        if txn.state is not TxnState.ACTIVE:
+            raise TransactionStateError(
+                f"transaction {txn.id} already {txn.state.value}")
+        txn.state = state
+        del self._active[txn.id]
+        self._charge_overhead()
+
+    # ------------------------------------------------------------ inspection
+
+    @property
+    def next_txid(self) -> int:
+        return self._next_txid
+
+    @property
+    def active_transactions(self) -> list[Transaction]:
+        return list(self._active.values())
+
+    def cutoff_txid(self) -> int:
+        """Oldest snapshot horizon any active transaction can see below.
+
+        Versions superseded by a change with timestamp < cutoff are invisible
+        to all current and future snapshots and can be garbage collected.
+        With no active transactions the cutoff is the next transaction id.
+        """
+        if not self._active:
+            return self._next_txid
+        return min(txn.snapshot.xmin for txn in self._active.values())
+
+    def active_snapshots(self) -> list:
+        """Snapshots of all currently active transactions (interval GC)."""
+        return [txn.snapshot for txn in self._active.values()]
+
+    def status_of(self, txid: int) -> TxnStatus:
+        return self.commit_log.status(txid)
+
+    # --------------------------------------------------------------- helpers
+
+    def run(self, fn) -> object:
+        """Run ``fn(txn)`` in a transaction; commit on success, abort on error."""
+        txn = self.begin()
+        try:
+            result = fn(txn)
+        except BaseException:
+            if txn.is_active:
+                self.abort(txn)
+            raise
+        if txn.is_active:
+            self.commit(txn)
+        return result
+
+    def _charge_overhead(self) -> None:
+        if self.clock is not None:
+            self.clock.advance(self.cost.txn_overhead)
+
+    def __repr__(self) -> str:
+        return (f"TransactionManager(next={self._next_txid}, "
+                f"active={len(self._active)})")

@@ -1,0 +1,48 @@
+"""Transaction commit status (the pg_xact / CLOG equivalent).
+
+Version records and MV-PBT index records carry the *transaction id* of their
+creator as logical timestamp.  Whether such a timestamp denotes a committed
+change is resolved against the :class:`CommitLog`.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class TxnStatus(Enum):
+    IN_PROGRESS = "in_progress"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class CommitLog:
+    """Status by transaction id.
+
+    Unknown ids are reported as IN_PROGRESS, which is safe: visibility treats
+    them as invisible.
+    """
+
+    def __init__(self) -> None:
+        self._status: dict[int, TxnStatus] = {}
+
+    def register(self, txid: int) -> None:
+        self._status[txid] = TxnStatus.IN_PROGRESS
+
+    def set_committed(self, txid: int) -> None:
+        self._status[txid] = TxnStatus.COMMITTED
+
+    def set_aborted(self, txid: int) -> None:
+        self._status[txid] = TxnStatus.ABORTED
+
+    def status(self, txid: int) -> TxnStatus:
+        return self._status.get(txid, TxnStatus.IN_PROGRESS)
+
+    def is_committed(self, txid: int) -> bool:
+        return self._status.get(txid) is TxnStatus.COMMITTED
+
+    def is_aborted(self, txid: int) -> bool:
+        return self._status.get(txid) is TxnStatus.ABORTED
+
+    def __len__(self) -> int:
+        return len(self._status)

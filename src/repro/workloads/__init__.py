@@ -1,0 +1,30 @@
+"""Evaluation workloads: YCSB, TPC-C (DBT-2 style) and the CH-benchmark."""
+
+from .chbench import CHBenchmark, CHResult
+from .distributions import (LatestDistribution, ScrambledZipfian,
+                            UniformDistribution, ZipfianDistribution)
+from .tpcc import TPCCConfig, TPCCResult, TPCCRunner
+from .ycsb import (WORKLOAD_A, WORKLOAD_B, WORKLOAD_C, WORKLOAD_D,
+                   WORKLOAD_E, WORKLOAD_F, YCSBConfig, YCSBResult,
+                   YCSBRunner)
+
+__all__ = [
+    "UniformDistribution",
+    "ZipfianDistribution",
+    "ScrambledZipfian",
+    "LatestDistribution",
+    "YCSBConfig",
+    "YCSBResult",
+    "YCSBRunner",
+    "WORKLOAD_A",
+    "WORKLOAD_B",
+    "WORKLOAD_C",
+    "WORKLOAD_D",
+    "WORKLOAD_E",
+    "WORKLOAD_F",
+    "TPCCConfig",
+    "TPCCResult",
+    "TPCCRunner",
+    "CHBenchmark",
+    "CHResult",
+]

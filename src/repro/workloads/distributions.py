@@ -1,0 +1,141 @@
+"""Key distributions used by YCSB [Cooper et al., SoCC'10].
+
+Implements the standard YCSB generators: uniform, zipfian (the Gray et al.
+incremental algorithm, so the item count can grow), scrambled zipfian and
+"latest" (zipfian over recency).
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+
+from ..errors import WorkloadError
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+
+def fnv1a_64(value: int) -> int:
+    """FNV-1a hash of an integer (YCSB's key scrambler)."""
+    h = _FNV_OFFSET
+    for _ in range(8):
+        byte = value & 0xFF
+        h = ((h ^ byte) * _FNV_PRIME) & 0xFFFFFFFFFFFFFFFF
+        value >>= 8
+    return h
+
+
+class KeyDistribution(ABC):
+    """Generates item indices in ``[0, item_count)``."""
+
+    @abstractmethod
+    def next_index(self) -> int: ...
+
+    def grow(self, new_count: int) -> None:
+        """Inform the distribution that items were appended."""
+
+
+class UniformDistribution(KeyDistribution):
+    def __init__(self, item_count: int, rng: random.Random) -> None:
+        if item_count < 1:
+            raise WorkloadError("item_count must be >= 1")
+        self.item_count = item_count
+        self._rng = rng
+
+    def next_index(self) -> int:
+        return self._rng.randrange(self.item_count)
+
+    def grow(self, new_count: int) -> None:
+        self.item_count = max(self.item_count, new_count)
+
+
+class ZipfianDistribution(KeyDistribution):
+    """Zipfian with constant ``theta`` (YCSB default 0.99).
+
+    Uses the Gray et al. "Quickly generating billion-record synthetic
+    databases" algorithm; ``zetan`` is recomputed incrementally when the item
+    space grows (workload D-style inserts).
+    """
+
+    def __init__(self, item_count: int, rng: random.Random,
+                 theta: float = 0.99) -> None:
+        if item_count < 1:
+            raise WorkloadError("item_count must be >= 1")
+        self._rng = rng
+        self.theta = theta
+        self.item_count = item_count
+        self._zeta2 = self._zeta_static(2, theta)
+        self._alpha = 1.0 / (1.0 - theta)
+        self._zetan = self._zeta_static(item_count, theta)
+        self._eta = self._compute_eta()
+
+    @staticmethod
+    def _zeta_static(n: int, theta: float) -> float:
+        return sum(1.0 / (i ** theta) for i in range(1, n + 1))
+
+    def _compute_eta(self) -> float:
+        return ((1.0 - (2.0 / self.item_count) ** (1.0 - self.theta))
+                / (1.0 - self._zeta2 / self._zetan))
+
+    def grow(self, new_count: int) -> None:
+        if new_count <= self.item_count:
+            return
+        for i in range(self.item_count + 1, new_count + 1):
+            self._zetan += 1.0 / (i ** self.theta)
+        self.item_count = new_count
+        self._eta = self._compute_eta()
+
+    def next_index(self) -> int:
+        u = self._rng.random()
+        uz = u * self._zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5 ** self.theta:
+            return 1
+        return int(self.item_count
+                   * (self._eta * u - self._eta + 1.0) ** self._alpha)
+
+
+class ScrambledZipfian(KeyDistribution):
+    """Zipfian popularity spread over the key space by hashing."""
+
+    def __init__(self, item_count: int, rng: random.Random,
+                 theta: float = 0.99) -> None:
+        self.item_count = item_count
+        self._zipf = ZipfianDistribution(item_count, rng, theta)
+
+    def next_index(self) -> int:
+        return fnv1a_64(self._zipf.next_index()) % self.item_count
+
+    def grow(self, new_count: int) -> None:
+        self.item_count = max(self.item_count, new_count)
+        self._zipf.grow(new_count)
+
+
+class LatestDistribution(KeyDistribution):
+    """Skewed towards the most recently inserted items (workload D)."""
+
+    def __init__(self, item_count: int, rng: random.Random,
+                 theta: float = 0.99) -> None:
+        self.item_count = item_count
+        self._zipf = ZipfianDistribution(item_count, rng, theta)
+
+    def next_index(self) -> int:
+        offset = self._zipf.next_index()
+        return max(0, self.item_count - 1 - offset)
+
+    def grow(self, new_count: int) -> None:
+        self.item_count = max(self.item_count, new_count)
+        self._zipf.grow(new_count)
+
+
+def make_distribution(kind: str, item_count: int,
+                      rng: random.Random) -> KeyDistribution:
+    if kind == "uniform":
+        return UniformDistribution(item_count, rng)
+    if kind == "zipfian":
+        return ScrambledZipfian(item_count, rng)
+    if kind == "latest":
+        return LatestDistribution(item_count, rng)
+    raise WorkloadError(f"unknown distribution {kind!r}")

@@ -1,0 +1,418 @@
+"""TPC-C-like OLTP benchmark (DBT-2 style; paper §5, Figure 14).
+
+The full nine-table TPC-C schema and all five transaction profiles
+(NewOrder 45% / Payment 43% / OrderStatus 4% / Delivery 4% / StockLevel 4%)
+run against :class:`repro.engine.Database`, with the index kind / reference
+mode under test applied to every index.
+
+Scale is configurable: defaults shrink customers-per-district and the item
+catalogue so the workload fits a CPython simulation, while the buffer pool
+used by the benchmarks is shrunk proportionally so the buffer:data ratio of
+the paper's setup (2 GB RAM vs. tens of GB) is preserved.
+Throughput is committed transactions per simulated minute.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..engine.database import Database
+from ..errors import ReproError, WorkloadError
+from ..index.base import TOP
+
+LAST_NAMES = ["BAR", "OUGHT", "ABLE", "PRI", "PRES",
+              "ESE", "ANTI", "CALLY", "ATION", "EING"]
+
+
+def customer_last_name(num: int) -> str:
+    """TPC-C last-name generator (three syllables from the digit table)."""
+    return (LAST_NAMES[(num // 100) % 10] + LAST_NAMES[(num // 10) % 10]
+            + LAST_NAMES[num % 10])
+
+
+@dataclass(frozen=True)
+class TPCCConfig:
+    """Scale and mix parameters."""
+
+    warehouses: int = 2
+    districts_per_warehouse: int = 10
+    customers_per_district: int = 30      #: TPC-C: 3000 (scaled down)
+    items: int = 100                      #: TPC-C: 100000 (scaled down)
+    initial_orders_per_district: int = 30
+    #: transaction mix (must sum to 1)
+    new_order_weight: float = 0.45
+    payment_weight: float = 0.43
+    order_status_weight: float = 0.04
+    delivery_weight: float = 0.04
+    stock_level_weight: float = 0.04
+    seed: int = 7
+    #: run db.vacuum on all tables every N committed transactions
+    #: (PostgreSQL's autovacuum / opportunistic HOT pruning); 0 disables
+    vacuum_every: int = 0
+    #: fixed per-transaction engine overhead (logging, CC, planning) charged
+    #: to the simulated clock — the paper notes index operations "only have
+    #: a fair share of the whole database operations" under TPC-C
+    overhead_per_txn: float = 0.0
+
+    def __post_init__(self) -> None:
+        total = (self.new_order_weight + self.payment_weight
+                 + self.order_status_weight + self.delivery_weight
+                 + self.stock_level_weight)
+        if abs(total - 1.0) > 1e-9:
+            raise WorkloadError(f"mix weights sum to {total}")
+
+
+@dataclass
+class TPCCResult:
+    """Outcome of one run."""
+
+    committed: int = 0
+    aborted: int = 0
+    elapsed_sim_seconds: float = 0.0
+    by_type: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def tpm(self) -> float:
+        """Committed transactions per simulated minute."""
+        if self.elapsed_sim_seconds <= 0:
+            return 0.0
+        return self.committed * 60.0 / self.elapsed_sim_seconds
+
+    @property
+    def tpmC(self) -> float:
+        """NewOrder transactions per simulated minute (the TPC-C metric)."""
+        if self.elapsed_sim_seconds <= 0:
+            return 0.0
+        return self.by_type.get("new_order", 0) * 60.0 / self.elapsed_sim_seconds
+
+
+class TPCCRunner:
+    """Loads the schema and executes the transaction mix."""
+
+    def __init__(self, db: Database, config: TPCCConfig | None = None, *,
+                 index_kind: str = "mvpbt",
+                 reference: str = "physical",
+                 storage: str = "sias",
+                 index_options: dict | None = None) -> None:
+        self.db = db
+        self.config = config if config is not None else TPCCConfig()
+        self.index_kind = index_kind
+        self.reference = reference
+        self.storage = storage
+        self.index_options = dict(index_options or {})
+        self._rng = random.Random(self.config.seed)
+        self._next_o_id: dict[tuple[int, int], int] = {}
+        self._loaded = False
+
+    # ---------------------------------------------------------------- schema
+
+    def create_schema(self) -> None:
+        db, st = self.db, self.storage
+        db.create_table("warehouse", [("w_id", "int"), ("w_name", "str"),
+                                      ("w_ytd", "float")], storage=st)
+        db.create_table("district", [
+            ("d_w_id", "int"), ("d_id", "int"), ("d_name", "str"),
+            ("d_ytd", "float"), ("d_next_o_id", "int")], storage=st)
+        db.create_table("customer", [
+            ("c_w_id", "int"), ("c_d_id", "int"), ("c_id", "int"),
+            ("c_last", "str"), ("c_first", "str"), ("c_balance", "float"),
+            ("c_ytd_payment", "float"), ("c_payment_cnt", "int"),
+            ("c_delivery_cnt", "int"), ("c_data", "str")], storage=st)
+        db.create_table("item", [("i_id", "int"), ("i_name", "str"),
+                                 ("i_price", "float")], storage=st)
+        db.create_table("stock", [
+            ("s_w_id", "int"), ("s_i_id", "int"), ("s_quantity", "int"),
+            ("s_ytd", "float"), ("s_order_cnt", "int"),
+            ("s_remote_cnt", "int")], storage=st)
+        db.create_table("orders", [
+            ("o_w_id", "int"), ("o_d_id", "int"), ("o_id", "int"),
+            ("o_c_id", "int"), ("o_carrier_id", "int"),
+            ("o_ol_cnt", "int"), ("o_entry_d", "float")], storage=st)
+        db.create_table("new_order", [
+            ("no_w_id", "int"), ("no_d_id", "int"), ("no_o_id", "int")],
+            storage=st)
+        db.create_table("order_line", [
+            ("ol_w_id", "int"), ("ol_d_id", "int"), ("ol_o_id", "int"),
+            ("ol_number", "int"), ("ol_i_id", "int"),
+            ("ol_supply_w_id", "int"), ("ol_quantity", "int"),
+            ("ol_amount", "float"), ("ol_delivery_d", "float")], storage=st)
+        db.create_table("history", [
+            ("h_c_w_id", "int"), ("h_c_d_id", "int"), ("h_c_id", "int"),
+            ("h_amount", "float"), ("h_date", "float")], storage=st)
+
+        self._index("idx_warehouse", "warehouse", ["w_id"])
+        self._index("idx_district", "district", ["d_w_id", "d_id"])
+        self._index("idx_customer", "customer", ["c_w_id", "c_d_id", "c_id"])
+        self._index("idx_customer_last", "customer",
+                    ["c_w_id", "c_d_id", "c_last"])
+        self._index("idx_item", "item", ["i_id"])
+        self._index("idx_stock", "stock", ["s_w_id", "s_i_id"])
+        self._index("idx_orders", "orders", ["o_w_id", "o_d_id", "o_id"])
+        self._index("idx_orders_cust", "orders",
+                    ["o_w_id", "o_d_id", "o_c_id", "o_id"])
+        self._index("idx_new_order", "new_order",
+                    ["no_w_id", "no_d_id", "no_o_id"])
+        self._index("idx_order_line", "order_line",
+                    ["ol_w_id", "ol_d_id", "ol_o_id", "ol_number"])
+
+    def _index(self, name: str, table: str, columns: list[str]) -> None:
+        self.db.create_index(name, table, columns, kind=self.index_kind,
+                             reference=self.reference, **self.index_options)
+
+    # ------------------------------------------------------------------ load
+
+    def load(self) -> None:
+        self.create_schema()
+        cfg = self.config
+        rng = self._rng
+        txn = self.db.begin()
+        budget = 0
+        for i in range(1, cfg.items + 1):
+            self.db.insert(txn, "item",
+                           (i, f"item-{i}", round(rng.uniform(1, 100), 2)))
+        for w in range(1, cfg.warehouses + 1):
+            self.db.insert(txn, "warehouse", (w, f"wh-{w}", 300000.0))
+            for i in range(1, cfg.items + 1):
+                self.db.insert(txn, "stock",
+                               (w, i, rng.randint(10, 100), 0.0, 0, 0))
+            for d in range(1, cfg.districts_per_warehouse + 1):
+                next_o = cfg.initial_orders_per_district + 1
+                self.db.insert(txn, "district",
+                               (w, d, f"d-{w}-{d}", 30000.0, next_o))
+                self._next_o_id[(w, d)] = next_o
+                for c in range(1, cfg.customers_per_district + 1):
+                    last = customer_last_name(
+                        c - 1 if c <= 100 else rng.randint(0, 99))
+                    self.db.insert(txn, "customer",
+                                   (w, d, c, last, f"first-{c}", -10.0,
+                                    10.0, 1, 0, "data"))
+                for o in range(1, cfg.initial_orders_per_district + 1):
+                    c = rng.randint(1, cfg.customers_per_district)
+                    ol_cnt = rng.randint(5, 15)
+                    carrier = rng.randint(1, 10) if o < next_o - 10 else 0
+                    self.db.insert(txn, "orders",
+                                   (w, d, o, c, carrier, ol_cnt, 0.0))
+                    if carrier == 0:
+                        self.db.insert(txn, "new_order", (w, d, o))
+                    for n in range(1, ol_cnt + 1):
+                        self.db.insert(txn, "order_line",
+                                       (w, d, o, n, rng.randint(1, cfg.items),
+                                        w, 5, round(rng.uniform(1, 100), 2),
+                                        0.0 if carrier == 0 else 1.0))
+                # commit in chunks so the load is not one mega-transaction
+                budget += 1
+                if budget % 4 == 0:
+                    txn.commit()
+                    txn = self.db.begin()
+        txn.commit()
+        self.db.flush_all()
+        self._loaded = True
+
+    # ------------------------------------------------------------------- run
+
+    def run(self, transactions: int) -> TPCCResult:
+        if not self._loaded:
+            raise WorkloadError("call load() before run()")
+        rng = self._rng
+        cfg = self.config
+        result = TPCCResult(by_type={})
+        start = self.db.clock.now
+        cuts = self._mix_thresholds()
+        for _ in range(transactions):
+            roll = rng.random()
+            if roll < cuts[0]:
+                kind, fn = "new_order", self._tx_new_order
+            elif roll < cuts[1]:
+                kind, fn = "payment", self._tx_payment
+            elif roll < cuts[2]:
+                kind, fn = "order_status", self._tx_order_status
+            elif roll < cuts[3]:
+                kind, fn = "delivery", self._tx_delivery
+            else:
+                kind, fn = "stock_level", self._tx_stock_level
+            txn = self.db.begin()
+            if cfg.overhead_per_txn:
+                self.db.clock.advance(cfg.overhead_per_txn)
+            try:
+                fn(txn)
+            except ReproError:
+                if txn.is_active:
+                    txn.abort()
+                result.aborted += 1
+                continue
+            if txn.is_active:
+                txn.commit()
+                result.committed += 1
+                result.by_type[kind] = result.by_type.get(kind, 0) + 1
+                if (cfg.vacuum_every
+                        and result.committed % cfg.vacuum_every == 0):
+                    for table in ("stock", "district", "customer",
+                                  "warehouse", "orders", "order_line",
+                                  "new_order"):
+                        self.db.vacuum(table)
+            else:
+                result.aborted += 1
+        result.elapsed_sim_seconds = self.db.clock.now - start
+        return result
+
+    def _mix_thresholds(self) -> tuple[float, float, float, float]:
+        c = self.config
+        a = c.new_order_weight
+        b = a + c.payment_weight
+        d = b + c.order_status_weight
+        e = d + c.delivery_weight
+        return (a, b, d, e)
+
+    # ---------------------------------------------------------- transactions
+
+    def _pick_wd(self) -> tuple[int, int]:
+        cfg = self.config
+        return (self._rng.randint(1, cfg.warehouses),
+                self._rng.randint(1, cfg.districts_per_warehouse))
+
+    def _pick_customer_key(self, txn, w: int, d: int) -> int:
+        """60% by last name (secondary index), 40% by id (TPC-C rule)."""
+        cfg, rng = self.config, self._rng
+        if rng.random() < 0.6:
+            num = rng.randint(0, min(cfg.customers_per_district, 100) - 1)
+            last = customer_last_name(num)
+            rows = self.db.select(txn, "idx_customer_last", (w, d, last))
+            if rows:
+                rows.sort(key=lambda r: r[4])  # order by c_first
+                return rows[len(rows) // 2][2]
+        return rng.randint(1, cfg.customers_per_district)
+
+    def _tx_new_order(self, txn) -> None:
+        cfg, rng, db = self.config, self._rng, self.db
+        w, d = self._pick_wd()
+        c = rng.randint(1, cfg.customers_per_district)
+        rollback = rng.random() < 0.01  # 1% intentional rollbacks
+
+        district = db.select_hits(txn, "idx_district", (w, d))
+        if not district:
+            raise WorkloadError(f"missing district {(w, d)}")
+        hit = district[0]
+        o_id = hit.row[4]
+        db.update_row(txn, "district", hit.rid, hit.version,
+                      {"d_next_o_id": o_id + 1})
+        self._next_o_id[(w, d)] = o_id + 1
+
+        ol_cnt = rng.randint(5, 15)
+        db.insert(txn, "orders", (w, d, o_id, c, 0, ol_cnt, db.clock.now))
+        db.insert(txn, "new_order", (w, d, o_id))
+        for number in range(1, ol_cnt + 1):
+            i_id = rng.randint(1, cfg.items)
+            # 1% of order lines come from a remote warehouse
+            supply_w = w
+            if cfg.warehouses > 1 and rng.random() < 0.01:
+                supply_w = rng.choice(
+                    [x for x in range(1, cfg.warehouses + 1) if x != w])
+            item = db.select(txn, "idx_item", (i_id,))
+            if not item:
+                raise WorkloadError(f"missing item {i_id}")
+            price = item[0][2]
+            stock_hits = db.select_hits(txn, "idx_stock", (supply_w, i_id))
+            if not stock_hits:
+                raise WorkloadError(f"missing stock {(supply_w, i_id)}")
+            s = stock_hits[0]
+            quantity = rng.randint(1, 10)
+            s_quantity = s.row[2]
+            new_q = (s_quantity - quantity if s_quantity - quantity >= 10
+                     else s_quantity - quantity + 91)
+            db.update_row(txn, "stock", s.rid, s.version, {
+                "s_quantity": new_q,
+                "s_ytd": s.row[3] + quantity,
+                "s_order_cnt": s.row[4] + 1,
+                "s_remote_cnt": s.row[5] + (1 if supply_w != w else 0)})
+            db.insert(txn, "order_line",
+                      (w, d, o_id, number, i_id, supply_w, quantity,
+                       round(quantity * price, 2), 0.0))
+        if rollback:
+            txn.abort()
+
+    def _tx_payment(self, txn) -> None:
+        rng, db = self._rng, self.db
+        w, d = self._pick_wd()
+        amount = round(rng.uniform(1.0, 5000.0), 2)
+
+        wh = db.select_hits(txn, "idx_warehouse", (w,))
+        db.update_row(txn, "warehouse", wh[0].rid, wh[0].version,
+                      {"w_ytd": wh[0].row[2] + amount})
+        dist = db.select_hits(txn, "idx_district", (w, d))
+        db.update_row(txn, "district", dist[0].rid, dist[0].version,
+                      {"d_ytd": dist[0].row[3] + amount})
+        c = self._pick_customer_key(txn, w, d)
+        cust = db.select_hits(txn, "idx_customer", (w, d, c))
+        if not cust:
+            raise WorkloadError(f"missing customer {(w, d, c)}")
+        hit = cust[0]
+        db.update_row(txn, "customer", hit.rid, hit.version, {
+            "c_balance": hit.row[5] - amount,
+            "c_ytd_payment": hit.row[6] + amount,
+            "c_payment_cnt": hit.row[7] + 1})
+        db.insert(txn, "history", (w, d, c, amount, db.clock.now))
+
+    def _tx_order_status(self, txn) -> None:
+        db = self.db
+        w, d = self._pick_wd()
+        c = self._pick_customer_key(txn, w, d)
+        db.select(txn, "idx_customer", (w, d, c))
+        # latest order of the customer
+        orders = db.range_select(txn, "idx_orders_cust",
+                                 (w, d, c), (w, d, c, TOP))
+        if not orders:
+            return
+        latest = max(orders, key=lambda r: r[2])
+        o_id = latest[2]
+        db.range_select(txn, "idx_order_line", (w, d, o_id),
+                        (w, d, o_id, TOP))
+
+    def _tx_delivery(self, txn) -> None:
+        cfg, db = self.config, self.db
+        w = self._rng.randint(1, cfg.warehouses)
+        carrier = self._rng.randint(1, 10)
+        for d in range(1, cfg.districts_per_warehouse + 1):
+            pending = db.range_hits(txn, "idx_new_order", (w, d),
+                                    (w, d, TOP))
+            if not pending:
+                continue
+            oldest = min(pending, key=lambda h: h.row[2])
+            o_id = oldest.row[2]
+            db.delete_row(txn, "new_order", oldest.rid, oldest.version)
+            orders = db.select_hits(txn, "idx_orders", (w, d, o_id))
+            total = 0.0
+            if orders:
+                db.update_row(txn, "orders", orders[0].rid,
+                              orders[0].version, {"o_carrier_id": carrier})
+                c = orders[0].row[3]
+            else:
+                continue
+            lines = db.range_hits(txn, "idx_order_line", (w, d, o_id),
+                                  (w, d, o_id, TOP))
+            now = db.clock.now
+            for line in lines:
+                total += line.row[7]
+                db.update_row(txn, "order_line", line.rid, line.version,
+                              {"ol_delivery_d": now + 1.0})
+            cust = db.select_hits(txn, "idx_customer", (w, d, c))
+            if cust:
+                db.update_row(txn, "customer", cust[0].rid, cust[0].version, {
+                    "c_balance": cust[0].row[5] + total,
+                    "c_delivery_cnt": cust[0].row[8] + 1})
+
+    def _tx_stock_level(self, txn) -> None:
+        cfg, db = self.config, self.db
+        w, d = self._pick_wd()
+        threshold = self._rng.randint(10, 20)
+        next_o = self._next_o_id.get((w, d),
+                                     cfg.initial_orders_per_district + 1)
+        lo_o = max(1, next_o - 20)
+        lines = db.range_select(txn, "idx_order_line", (w, d, lo_o),
+                                (w, d, next_o, TOP))
+        item_ids = {row[4] for row in lines}
+        low = 0
+        for i_id in item_ids:
+            stock = db.select(txn, "idx_stock", (w, i_id))
+            if stock and stock[0][2] < threshold:
+                low += 1

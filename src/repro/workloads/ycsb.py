@@ -1,0 +1,210 @@
+"""YCSB driver over the KV-store engines (paper §5, Figure 15).
+
+Workload presets match the paper's instrumentation:
+
+* **A** — 50% read / 50% update, zipfian;
+* **B** — 95% read / 5% update, zipfian;
+* **C** — 100% read, zipfian;
+* **D** — 95% read / 5% insert, latest;
+* **E** — 95% scan / 5% insert, zipfian, scan length uniform in [1, 100];
+* **F** — 50% read / 50% read-modify-write, zipfian.
+
+The paper instruments A, B, D and E; C and F complete the standard suite.
+
+Throughput is reported in operations per *simulated* second (the substitution
+documented in DESIGN.md §3).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+
+from ..errors import WorkloadError
+from ..kv.store import KVStore
+from .distributions import KeyDistribution, make_distribution
+
+KEY_FORMAT = "user{:010d}"
+
+
+@dataclass(frozen=True)
+class YCSBConfig:
+    """One YCSB workload configuration."""
+
+    record_count: int = 10_000
+    operation_count: int = 20_000
+    read_proportion: float = 0.5
+    update_proportion: float = 0.5
+    insert_proportion: float = 0.0
+    scan_proportion: float = 0.0
+    rmw_proportion: float = 0.0
+    distribution: str = "zipfian"
+    max_scan_length: int = 100
+    value_bytes: int = 100
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        total = (self.read_proportion + self.update_proportion
+                 + self.insert_proportion + self.scan_proportion
+                 + self.rmw_proportion)
+        if abs(total - 1.0) > 1e-9:
+            raise WorkloadError(f"proportions sum to {total}, expected 1.0")
+
+    def scaled(self, *, record_count: int | None = None,
+               operation_count: int | None = None,
+               seed: int | None = None) -> "YCSBConfig":
+        """A copy with a different scale (benchmark parameterisation)."""
+        kwargs = {}
+        if record_count is not None:
+            kwargs["record_count"] = record_count
+        if operation_count is not None:
+            kwargs["operation_count"] = operation_count
+        if seed is not None:
+            kwargs["seed"] = seed
+        return replace(self, **kwargs)
+
+
+WORKLOAD_A = YCSBConfig(read_proportion=0.5, update_proportion=0.5,
+                        distribution="zipfian")
+WORKLOAD_B = YCSBConfig(read_proportion=0.95, update_proportion=0.05,
+                        distribution="zipfian")
+WORKLOAD_C = YCSBConfig(read_proportion=1.0, update_proportion=0.0,
+                        distribution="zipfian")
+WORKLOAD_D = YCSBConfig(read_proportion=0.95, update_proportion=0.0,
+                        insert_proportion=0.05, distribution="latest")
+WORKLOAD_E = YCSBConfig(read_proportion=0.0, update_proportion=0.0,
+                        insert_proportion=0.05, scan_proportion=0.95,
+                        distribution="zipfian")
+WORKLOAD_F = YCSBConfig(read_proportion=0.5, update_proportion=0.0,
+                        rmw_proportion=0.5, distribution="zipfian")
+
+WORKLOADS = {"A": WORKLOAD_A, "B": WORKLOAD_B, "C": WORKLOAD_C,
+             "D": WORKLOAD_D, "E": WORKLOAD_E, "F": WORKLOAD_F}
+
+
+@dataclass
+class YCSBResult:
+    """Outcome of one YCSB run."""
+
+    workload: str
+    engine: str
+    operations: int
+    elapsed_sim_seconds: float
+    counts: dict[str, int] = field(default_factory=dict)
+    not_found: int = 0
+
+    @property
+    def throughput(self) -> float:
+        """Operations per simulated second."""
+        if self.elapsed_sim_seconds <= 0:
+            return 0.0
+        return self.operations / self.elapsed_sim_seconds
+
+
+class YCSBRunner:
+    """Loads and drives one KV engine with one workload."""
+
+    def __init__(self, store: KVStore, config: YCSBConfig,
+                 workload_name: str = "custom") -> None:
+        self.store = store
+        self.config = config
+        self.workload_name = workload_name
+        self._rng = random.Random(config.seed)
+        self._value_rng = random.Random(config.seed + 1)
+        self._inserted = 0
+        self._dist: KeyDistribution | None = None
+
+    # ------------------------------------------------------------------ load
+
+    def load(self) -> None:
+        """Insert the initial dataset (sequentially keyed, like YCSB load)."""
+        for idx in range(self.config.record_count):
+            self.store.put(self._key(idx), self._value())
+        self._inserted = self.config.record_count
+        self._dist = make_distribution(self.config.distribution,
+                                       self._inserted, self._rng)
+
+    # ------------------------------------------------------------------- run
+
+    def run(self, operation_count: int | None = None) -> YCSBResult:
+        if self._dist is None:
+            raise WorkloadError("call load() before run()")
+        ops = (operation_count if operation_count is not None
+               else self.config.operation_count)
+        clock = self.store.env.clock
+        start = clock.now
+        counts = {"read": 0, "update": 0, "insert": 0, "scan": 0, "rmw": 0}
+        not_found = 0
+
+        thresholds = self._thresholds()
+        for _ in range(ops):
+            roll = self._rng.random()
+            if roll < thresholds[0]:
+                key = self._key(self._dist.next_index())
+                if self.store.get(key) is None:
+                    not_found += 1
+                counts["read"] += 1
+            elif roll < thresholds[1]:
+                key = self._key(self._dist.next_index())
+                self.store.put(key, self._value())
+                counts["update"] += 1
+            elif roll < thresholds[2]:
+                self.store.put(self._key(self._inserted), self._value())
+                self._inserted += 1
+                self._dist.grow(self._inserted)
+                counts["insert"] += 1
+            elif roll < thresholds[3]:
+                key = self._key(self._dist.next_index())
+                length = self._rng.randint(1, self.config.max_scan_length)
+                self.store.scan(key, length)
+                counts["scan"] += 1
+            else:
+                # read-modify-write: read the record, write it back modified
+                key = self._key(self._dist.next_index())
+                value = self.store.get(key)
+                if value is None:
+                    not_found += 1
+                self.store.put(key, self._value())
+                counts["rmw"] += 1
+
+        return YCSBResult(
+            workload=self.workload_name,
+            engine=self.store.name,
+            operations=ops,
+            elapsed_sim_seconds=clock.now - start,
+            counts=counts,
+            not_found=not_found)
+
+    # -------------------------------------------------------------- internal
+
+    def _thresholds(self) -> tuple[float, float, float, float]:
+        c = self.config
+        read_end = c.read_proportion
+        update_end = read_end + c.update_proportion
+        insert_end = update_end + c.insert_proportion
+        scan_end = insert_end + c.scan_proportion
+        return (read_end, update_end, insert_end, scan_end)
+
+    @staticmethod
+    def _key(index: int) -> str:
+        return KEY_FORMAT.format(index)
+
+    def _value(self) -> str:
+        n = self.config.value_bytes
+        return "".join(chr(self._value_rng.randint(97, 122))
+                       for _ in range(min(n, 16))).ljust(n, "x")
+
+
+def run_workload(store: KVStore, name: str, *,
+                 record_count: int | None = None,
+                 operation_count: int | None = None,
+                 seed: int | None = None) -> YCSBResult:
+    """Convenience: load + run a named preset on a store."""
+    if name not in WORKLOADS:
+        raise WorkloadError(f"unknown YCSB workload {name!r}")
+    config = WORKLOADS[name].scaled(record_count=record_count,
+                                    operation_count=operation_count,
+                                    seed=seed)
+    runner = YCSBRunner(store, config, workload_name=name)
+    runner.load()
+    return runner.run()

@@ -1,0 +1,53 @@
+"""Shared fixtures: a small simulated engine substrate per test."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.buffer.pool import BufferPool
+from repro.config import EngineConfig
+from repro.sim.clock import SimClock
+from repro.sim.device import SimulatedDevice
+from repro.sim.profiles import INTEL_DC_P3600, UNIT_TEST_PROFILE
+from repro.storage.pagefile import PageFile
+from repro.txn.manager import TransactionManager
+
+
+@pytest.fixture
+def clock() -> SimClock:
+    return SimClock()
+
+
+@pytest.fixture
+def device(clock: SimClock) -> SimulatedDevice:
+    return SimulatedDevice(UNIT_TEST_PROFILE, clock)
+
+
+@pytest.fixture
+def p3600(clock: SimClock) -> SimulatedDevice:
+    return SimulatedDevice(INTEL_DC_P3600, clock)
+
+
+@pytest.fixture
+def config() -> EngineConfig:
+    return EngineConfig()
+
+
+@pytest.fixture
+def pool() -> BufferPool:
+    return BufferPool(capacity_pages=128)
+
+
+@pytest.fixture
+def small_pool() -> BufferPool:
+    return BufferPool(capacity_pages=8)
+
+
+@pytest.fixture
+def pagefile(device: SimulatedDevice, config: EngineConfig) -> PageFile:
+    return PageFile("test_file", device, config.page_size, config.extent_pages)
+
+
+@pytest.fixture
+def manager(clock: SimClock) -> TransactionManager:
+    return TransactionManager(clock)

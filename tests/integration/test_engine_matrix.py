@@ -1,0 +1,84 @@
+"""Integration: the paper's Figure 2/10 scenario on every engine combination.
+
+Every storage kind x index kind x reference mode must produce identical
+query answers; only the costs differ.
+"""
+
+import pytest
+
+from repro.config import EngineConfig
+from repro.engine import Database
+
+COMBINATIONS = [
+    (storage, kind, ref)
+    for storage in ("heap", "sias")
+    for kind in ("btree", "pbt", "mvpbt")
+    for ref in ("physical", "logical")
+]
+
+
+@pytest.mark.parametrize("storage,kind,ref", COMBINATIONS)
+class TestFigure10Matrix:
+    def _db(self, storage, kind, ref):
+        db = Database(EngineConfig(buffer_pool_pages=128))
+        db.create_table("r", [("a", "int"), ("z", "str")], storage=storage)
+        db.create_index("idx_a", "r", ["a"], kind=kind, reference=ref)
+        return db
+
+    def test_paper_lifecycle(self, storage, kind, ref):
+        db = self._db(storage, kind, ref)
+        tx0 = db.begin()
+        db.insert(tx0, "r", (7, "V0"))
+        tx0.commit()
+        txr = db.begin()                        # long-running query TXR
+
+        tx1 = db.begin()
+        assert db.update_by_key(tx1, "idx_a", (7,), {"z": "V1"}) == 1
+        tx1.commit()
+        tx2 = db.begin()
+        assert db.update_by_key(tx2, "idx_a", (7,), {"a": 1}) == 1
+        tx2.commit()
+        tx3 = db.begin()
+        assert db.delete_by_key(tx3, "idx_a", (1,)) == 1
+        tx3.commit()
+
+        # the paper's COUNT(*) WHERE a <= 10 for TXR returns exactly 1
+        assert db.count_range(txr, "idx_a", None, (10,)) == 1
+        assert db.select(txr, "idx_a", (7,)) == [(7, "V0")]
+        assert db.select(txr, "idx_a", (1,)) == []
+        txr.commit()
+
+        fresh = db.begin()
+        assert db.count_range(fresh, "idx_a", None, (10,)) == 0
+        fresh.commit()
+
+    def test_bulk_consistency_with_oracle(self, storage, kind, ref):
+        db = self._db(storage, kind, ref)
+        import random
+        rng = random.Random(17)
+        oracle: dict[int, str] = {}
+        next_tag = 0
+        for _ in range(300):
+            op = rng.random()
+            key = rng.randrange(40)
+            t = db.begin()
+            if op < 0.5:
+                tag = f"t{next_tag}"
+                next_tag += 1
+                if key in oracle:
+                    db.update_by_key(t, "idx_a", (key,), {"z": tag})
+                else:
+                    db.insert(t, "r", (key, tag))
+                oracle[key] = tag
+            elif op < 0.7 and key in oracle:
+                db.delete_by_key(t, "idx_a", (key,))
+                del oracle[key]
+            else:
+                rows = db.select(t, "idx_a", (key,))
+                expected = ([(key, oracle[key])] if key in oracle else [])
+                assert rows == expected, (storage, kind, ref, key)
+            t.commit()
+        reader = db.begin()
+        all_rows = sorted(db.range_select(reader, "idx_a", None, None))
+        assert all_rows == sorted((k, v) for k, v in oracle.items())
+        reader.commit()

@@ -1,0 +1,136 @@
+"""Integration: failure injection and recovery-adjacent invariants.
+
+The engine has no crash recovery (the paper's contribution is an index, not
+a WAL), but it must fail *cleanly*: aborted transactions leave no trace,
+resource exhaustion raises typed errors without corrupting state, and
+mid-transaction errors roll back atomically at the snapshot level.
+"""
+
+import pytest
+
+from repro.config import EngineConfig
+from repro.engine import Database
+from repro.errors import (DeviceError, ReproError, UniqueViolationError,
+                          WriteConflictError)
+from repro.sim.clock import SimClock
+from repro.sim.device import SimulatedDevice
+from repro.sim.profiles import DeviceProfile, OpCost
+
+
+def make_db(**cfg):
+    defaults = dict(buffer_pool_pages=64, partition_buffer_bytes=16 * 8192)
+    defaults.update(cfg)
+    db = Database(EngineConfig(**defaults))
+    db.create_table("r", [("a", "int"), ("b", "str")], storage="sias")
+    db.create_index("ix", "r", ["a"], kind="mvpbt")
+    return db
+
+
+class TestAbortAtomicity:
+    def test_multi_statement_abort_leaves_no_trace(self):
+        db = make_db()
+        t = db.begin()
+        db.insert(t, "r", (1, "keep"))
+        t.commit()
+        t2 = db.begin()
+        db.insert(t2, "r", (2, "gone"))
+        db.update_by_key(t2, "ix", (1,), {"b": "also-gone"})
+        db.insert(t2, "r", (3, "gone-too"))
+        t2.abort()
+        r = db.begin()
+        assert db.range_select(r, "ix", None, None) == [(1, "keep")]
+
+    def test_abort_after_delete_restores_visibility(self):
+        db = make_db()
+        t = db.begin()
+        db.insert(t, "r", (1, "keep"))
+        t.commit()
+        t2 = db.begin()
+        db.delete_by_key(t2, "ix", (1,))
+        t2.abort()
+        r = db.begin()
+        assert db.select(r, "ix", (1,)) == [(1, "keep")]
+        # the tuple is still updatable after the aborted delete
+        t3 = db.begin()
+        assert db.update_by_key(t3, "ix", (1,), {"b": "updated"}) == 1
+        t3.commit()
+
+    def test_unique_violation_mid_txn_can_roll_back(self):
+        db = Database(EngineConfig(buffer_pool_pages=64))
+        db.create_table("u", [("a", "int")], storage="sias")
+        db.create_index("ux", "u", ["a"], kind="mvpbt", unique=True)
+        t = db.begin()
+        db.insert(t, "u", (1,))
+        t.commit()
+        t2 = db.begin()
+        db.insert(t2, "u", (2,))
+        with pytest.raises(UniqueViolationError):
+            db.insert(t2, "u", (1,))
+        t2.abort()
+        r = db.begin()
+        assert db.range_select(r, "ux", None, None) == [(1,)]
+
+    def test_conflict_retry_pattern(self):
+        db = make_db()
+        t = db.begin()
+        db.insert(t, "r", (1, "v0"))
+        t.commit()
+        t1 = db.begin()
+        t2 = db.begin()
+        db.update_by_key(t1, "ix", (1,), {"b": "first"})
+        with pytest.raises(WriteConflictError):
+            db.update_by_key(t2, "ix", (1,), {"b": "second"})
+        t2.abort()
+        t1.commit()
+        # the standard retry succeeds
+        t3 = db.begin()
+        assert db.update_by_key(t3, "ix", (1,), {"b": "second"}) == 1
+        t3.commit()
+        r = db.begin()
+        assert db.select(r, "ix", (1,)) == [(1, "second")]
+
+
+class TestResourceExhaustion:
+    def test_device_full_raises_typed_error(self):
+        tiny = DeviceProfile(
+            name="tiny", capacity_bytes=24 * 8192,
+            seq_read=OpCost(1e6, 1e6), rand_read=OpCost(1e6, 1e6),
+            seq_write=OpCost(1e6, 1e6), rand_write=OpCost(1e6, 1e6))
+        db = Database(EngineConfig(buffer_pool_pages=64), profile=tiny)
+        db.create_table("r", [("a", "int"), ("b", "str")], storage="sias")
+        with pytest.raises(DeviceError):
+            t = db.begin()
+            for i in range(100_000):
+                db.insert(t, "r", (i, "x" * 500))
+
+    def test_errors_share_base_class(self):
+        for exc in (DeviceError, UniqueViolationError, WriteConflictError):
+            assert issubclass(exc, ReproError)
+
+
+class TestEvictionDuringActivity:
+    def test_eviction_mid_transaction_preserves_own_writes(self):
+        db = make_db(partition_buffer_bytes=2 * 8192)
+        t = db.begin()
+        for i in range(800):
+            db.insert(t, "r", (i, "v"))
+        # own uncommitted writes survived evictions of P_N
+        assert db.select(t, "ix", (5,)) == [(5, "v")]
+        assert db.count_range(t, "ix", (0,), (799,)) == 800
+        t.commit()
+        ix = db.catalog.index("ix").mvpbt
+        assert ix.stats.evictions >= 1
+
+    def test_uncommitted_records_survive_eviction_gc(self):
+        """Phase-3 GC at eviction must keep in-progress records."""
+        db = make_db(partition_buffer_bytes=2 * 8192)
+        loader = db.begin()
+        db.insert(loader, "r", (1, "uncommitted"))
+        # force evictions with another transaction's volume
+        filler = db.begin()
+        for i in range(1000):
+            db.insert(filler, "r", (1000 + i, "fill"))
+        filler.commit()
+        loader.commit()
+        r = db.begin()
+        assert db.select(r, "ix", (1,)) == [(1, "uncommitted")]

@@ -1,0 +1,99 @@
+"""Integration: workload drivers leave the database consistent."""
+
+import pytest
+
+from repro.config import EngineConfig
+from repro.engine import Database
+from repro.index.base import TOP
+from repro.kv import make_kv_store
+from repro.workloads.chbench import CHBenchmark
+from repro.workloads.tpcc import TPCCConfig, TPCCRunner
+from repro.workloads.ycsb import run_workload
+
+
+def tpcc_config():
+    return TPCCConfig(warehouses=1, districts_per_warehouse=2,
+                      customers_per_district=12, items=25,
+                      initial_orders_per_district=8, seed=5)
+
+
+class TestTPCCInvariants:
+    @pytest.fixture(scope="class", params=["btree", "pbt", "mvpbt"])
+    def ran(self, request):
+        db = Database(EngineConfig(buffer_pool_pages=256))
+        runner = TPCCRunner(db, tpcc_config(), index_kind=request.param)
+        runner.load()
+        result = runner.run(250)
+        return db, runner, result
+
+    def test_most_transactions_commit(self, ran):
+        _db, _runner, result = ran
+        assert result.committed > 200
+
+    def test_district_counter_matches_orders(self, ran):
+        """Every committed NewOrder leaves exactly one order row keyed by
+        the district's pre-increment counter."""
+        db, runner, _result = ran
+        t = db.begin()
+        for d_row in db.seq_scan(t, "district"):
+            w, d, next_o = d_row[0], d_row[1], d_row[4]
+            orders = db.range_select(t, "idx_orders", (w, d), (w, d, TOP))
+            ids = sorted(o[2] for o in orders)
+            assert ids == list(range(1, next_o)), (w, d)
+        t.commit()
+
+    def test_order_lines_match_ol_cnt(self, ran):
+        db, _runner, _result = ran
+        t = db.begin()
+        for order in db.seq_scan(t, "orders"):
+            w, d, o_id, _c, _carrier, ol_cnt = order[:6]
+            lines = db.range_select(t, "idx_order_line", (w, d, o_id),
+                                    (w, d, o_id, TOP))
+            assert len(lines) == ol_cnt, (w, d, o_id)
+        t.commit()
+
+    def test_new_order_rows_reference_undelivered_orders(self, ran):
+        db, _runner, _result = ran
+        t = db.begin()
+        for no in db.seq_scan(t, "new_order"):
+            order = db.select(t, "idx_orders", (no[0], no[1], no[2]))
+            assert order and order[0][4] == 0   # carrier not assigned yet
+        t.commit()
+
+    def test_secondary_index_agrees_with_primary(self, ran):
+        db, _runner, _result = ran
+        t = db.begin()
+        by_last = db.range_select(t, "idx_customer_last", None, None)
+        by_id = db.range_select(t, "idx_customer", None, None)
+        assert sorted(by_last) == sorted(by_id)
+        t.commit()
+
+
+class TestCHConsistency:
+    def test_analytics_do_not_disturb_oltp_state(self):
+        db = Database(EngineConfig(buffer_pool_pages=256))
+        ch = CHBenchmark(db, tpcc_config(), index_kind="mvpbt")
+        ch.load()
+        result = ch.run_mixed(rounds=2, oltp_slice=40)
+        assert result.oltp_committed > 0
+        # post-run invariant: order lines per order still match
+        t = db.begin()
+        for order in db.seq_scan(t, "orders")[:30]:
+            w, d, o_id, _c, _carrier, ol_cnt = order[:6]
+            lines = db.range_select(t, "idx_order_line", (w, d, o_id),
+                                    (w, d, o_id, TOP))
+            assert len(lines) == ol_cnt
+        t.commit()
+
+
+class TestYCSBAcrossEngines:
+    def test_final_state_agrees(self):
+        """Same seed, same workload -> all engines end with the same data."""
+        finals = {}
+        for kind in ("btree", "lsm", "mvpbt"):
+            store = make_kv_store(kind, EngineConfig(
+                buffer_pool_pages=64, partition_buffer_bytes=16 * 8192))
+            run_workload(store, "A", record_count=300, operation_count=600,
+                         seed=3)
+            finals[kind] = store.scan("user", 400)
+        assert finals["btree"] == finals["lsm"] == finals["mvpbt"]

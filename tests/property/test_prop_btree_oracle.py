@@ -1,0 +1,69 @@
+"""Property test: B⁺-Tree agrees with a sorted-multimap oracle."""
+
+from collections import defaultdict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.buffer.pool import BufferPool
+from repro.index.btree.tree import BPlusTree
+from repro.sim.clock import SimClock
+from repro.sim.device import SimulatedDevice
+from repro.sim.profiles import UNIT_TEST_PROFILE
+from repro.storage.pagefile import PageFile
+from repro.storage.recordid import RecordID
+
+op = st.one_of(
+    st.tuples(st.just("insert"), st.integers(0, 60), st.integers(0, 500)),
+    st.tuples(st.just("remove"), st.integers(0, 60), st.integers(0, 500)),
+    st.tuples(st.just("search"), st.integers(0, 60), st.just(0)),
+    st.tuples(st.just("scan"), st.integers(0, 60), st.integers(0, 60)),
+)
+
+
+def fresh_tree():
+    clock = SimClock()
+    device = SimulatedDevice(UNIT_TEST_PROFILE, clock)
+    return BPlusTree("p", PageFile("p", device, 1024, 8), BufferPool(512))
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(op, max_size=300))
+def test_btree_matches_oracle(ops):
+    tree = fresh_tree()   # tiny pages force deep trees and many splits
+    oracle: dict[int, list[RecordID]] = defaultdict(list)
+    for kind, k, extra in ops:
+        if kind == "insert":
+            rid = RecordID(0, extra)
+            tree.insert_entry((k,), rid)
+            oracle[k].append(rid)
+        elif kind == "remove":
+            rid = RecordID(0, extra)
+            expected = rid in oracle[k]
+            assert tree.remove_entry((k,), rid) == expected
+            if expected:
+                oracle[k].remove(rid)
+        elif kind == "search":
+            assert sorted(tree.search((k,))) == sorted(oracle[k])
+        else:
+            lo, hi = min(k, extra), max(k, extra)
+            got = list(tree.range_scan((lo,), (hi,)))
+            expected_n = sum(len(v) for key, v in oracle.items()
+                             if lo <= key <= hi)
+            assert len(got) == expected_n
+            assert [g[0] for g in got] == sorted(g[0] for g in got)
+    assert tree.entry_count() == sum(len(v) for v in oracle.values())
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 40), st.text(max_size=8)),
+                max_size=200))
+def test_upsert_matches_dict(pairs):
+    tree = fresh_tree()
+    oracle: dict[int, str] = {}
+    for k, v in pairs:
+        tree.upsert((k,), v)
+        oracle[k] = v
+    for k, v in oracle.items():
+        assert tree.get((k,)) == v
+    assert tree.entry_count() == len(oracle)

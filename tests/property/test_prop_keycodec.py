@@ -1,0 +1,71 @@
+"""Property tests: the key codec is a total order embedding."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.keycodec import decode_key, encode_key, encoded_size
+
+# one key element: homogeneous-comparable groups
+ints = st.integers(min_value=-(2 ** 63), max_value=2 ** 63 - 1)
+floats = st.floats(allow_nan=False, allow_infinity=True, width=64)
+texts = st.text(max_size=20)
+blobs = st.binary(max_size=20)
+
+
+def keys_of(element):
+    return st.lists(element, min_size=0, max_size=4).map(tuple)
+
+
+@given(keys_of(ints))
+def test_int_roundtrip(key):
+    assert decode_key(encode_key(key)) == key
+
+
+@given(keys_of(texts))
+def test_text_roundtrip(key):
+    assert decode_key(encode_key(key)) == key
+
+
+@given(keys_of(blobs))
+def test_bytes_roundtrip(key):
+    assert decode_key(encode_key(key)) == key
+
+
+@given(keys_of(floats))
+def test_float_roundtrip(key):
+    decoded = decode_key(encode_key(key))
+    assert all(a == b or (a != a and b != b)
+               for a, b in zip(decoded, key))
+    assert len(decoded) == len(key)
+
+
+@given(keys_of(ints), keys_of(ints))
+def test_int_order_preserved(a, b):
+    assert (encode_key(a) < encode_key(b)) == (a < b)
+
+
+@given(keys_of(texts), keys_of(texts))
+def test_text_order_preserved(a, b):
+    assert (encode_key(a) < encode_key(b)) == (a < b)
+
+
+@given(keys_of(blobs), keys_of(blobs))
+def test_bytes_order_preserved(a, b):
+    assert (encode_key(a) < encode_key(b)) == (a < b)
+
+
+@given(st.lists(st.floats(allow_nan=False, width=64), min_size=1,
+                max_size=3).map(tuple),
+       st.lists(st.floats(allow_nan=False, width=64), min_size=1,
+                max_size=3).map(tuple))
+def test_float_order_preserved(a, b):
+    # -0.0 and 0.0 compare equal but encode differently; normalise
+    a = tuple(0.0 if v == 0 else v for v in a)
+    b = tuple(0.0 if v == 0 else v for v in b)
+    assert (encode_key(a) < encode_key(b)) == (a < b)
+
+
+@given(st.lists(st.one_of(ints, texts, blobs, st.none()),
+                max_size=5).map(tuple))
+def test_size_matches_encoding(key):
+    assert encoded_size(key) == len(encode_key(key))

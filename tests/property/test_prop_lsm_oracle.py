@@ -1,0 +1,46 @@
+"""Property test: LSM-Tree agrees with a dict oracle across flushes and
+compactions."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.buffer.pool import BufferPool
+from repro.index.lsm.tree import LSMTree
+from repro.sim.clock import SimClock
+from repro.sim.device import SimulatedDevice
+from repro.sim.profiles import UNIT_TEST_PROFILE
+from repro.storage.pagefile import PageFile
+
+op = st.one_of(
+    st.tuples(st.just("put"), st.integers(0, 50), st.text(max_size=6)),
+    st.tuples(st.just("delete"), st.integers(0, 50), st.just("")),
+    st.tuples(st.just("flush"), st.just(0), st.just("")),
+)
+
+
+def fresh_lsm():
+    clock = SimClock()
+    device = SimulatedDevice(UNIT_TEST_PROFILE, clock)
+    return LSMTree("l", PageFile("l", device, 1024, 8), BufferPool(512),
+                   memtable_bytes=512, l0_component_limit=2,
+                   level_base_bytes=2048)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(op, max_size=250))
+def test_lsm_matches_dict(ops):
+    tree = fresh_lsm()   # tiny thresholds force frequent compactions
+    oracle: dict[int, str] = {}
+    for kind, k, v in ops:
+        if kind == "put":
+            tree.put((k,), v)
+            oracle[k] = v
+        elif kind == "delete":
+            tree.delete((k,))
+            oracle.pop(k, None)
+        else:
+            tree.flush_memtable()
+    for k in range(51):
+        assert tree.get((k,)) == oracle.get(k), k
+    scanned = tree.scan(None, 1000)
+    assert scanned == sorted(((k,), v) for k, v in oracle.items())

@@ -1,0 +1,138 @@
+"""Property tests on MV-PBT structural invariants.
+
+* ``scan_limit`` returns exactly the prefix of ``range_scan``;
+* eviction points (when partitions are cut) never change query answers;
+* partition merge never changes query answers;
+* the record serialisation codec round-trips arbitrary records.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.buffer.partition_buffer import PartitionBuffer
+from repro.buffer.pool import BufferPool
+from repro.core.records import MVPBTRecord, RecordType
+from repro.core.serialization import decode_record, encode_record
+from repro.core.tree import MVPBT
+from repro.sim.clock import SimClock
+from repro.sim.device import SimulatedDevice
+from repro.sim.profiles import UNIT_TEST_PROFILE
+from repro.storage.pagefile import PageFile
+from repro.storage.recordid import RecordID
+from repro.txn.manager import TransactionManager
+
+KEYS = list(range(10))
+
+operation = st.tuples(
+    st.sampled_from(KEYS),
+    st.sampled_from(["insert", "update", "delete", "evict"]),
+    st.booleans(),                       # snapshot before this op?
+)
+
+
+def build_tree():
+    clock = SimClock()
+    device = SimulatedDevice(UNIT_TEST_PROFILE, clock)
+    mgr = TransactionManager(clock)
+    tree = MVPBT("p", PageFile("p", device, 2048, 8), BufferPool(256),
+                 PartitionBuffer(1 << 22), mgr)
+    return mgr, tree
+
+
+def apply_ops(mgr, tree, ops):
+    """Replays the history; returns held snapshots and a live-rid oracle."""
+    live: dict[int, tuple[RecordID, int]] = {}   # key -> (rid, vid)
+    next_vid = 1
+    next_rid = 0
+    held = []
+    for key, action, snap_before in ops:
+        if snap_before:
+            held.append((mgr.begin(),
+                         {k: rid for k, (rid, _v) in live.items()}))
+        txn = mgr.begin()
+        if action == "insert" and key not in live:
+            next_rid += 1
+            rid = RecordID(0, next_rid)
+            tree.insert(txn, (key,), rid, vid=next_vid)
+            live[key] = (rid, next_vid)
+            next_vid += 1
+        elif action == "update" and key in live:
+            old_rid, vid = live[key]
+            next_rid += 1
+            rid = RecordID(0, next_rid)
+            tree.update_nonkey(txn, (key,), rid, old_rid, vid)
+            live[key] = (rid, vid)
+        elif action == "delete" and key in live:
+            old_rid, vid = live[key]
+            tree.delete(txn, (key,), old_rid, vid)
+            del live[key]
+        elif action == "evict":
+            tree.evict_partition()
+        txn.commit()
+    held.append((mgr.begin(), {k: rid for k, (rid, _v) in live.items()}))
+    return held
+
+
+def check_answers(tree, held):
+    for snap_txn, expected in held:
+        full = tree.range_scan(snap_txn, None, None)
+        assert sorted((h.key[0], h.rid) for h in full) \
+            == sorted(expected.items())
+        # scan_limit agrees with every prefix of the full scan
+        for limit in (1, 3, len(expected) + 2):
+            limited = tree.scan_limit(snap_txn, None, limit)
+            assert [(h.key, h.rid) for h in limited] \
+                == [(h.key, h.rid) for h in full[:limit]]
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(operation, max_size=60))
+def test_eviction_points_never_change_answers(ops):
+    mgr, tree = build_tree()
+    held = apply_ops(mgr, tree, ops)
+    check_answers(tree, held)
+    for snap_txn, _expected in held:
+        snap_txn.commit()
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(operation, max_size=60))
+def test_merge_never_changes_answers(ops):
+    mgr, tree = build_tree()
+    held = apply_ops(mgr, tree, ops)
+    tree.evict_partition()
+    tree.merge_partitions()
+    check_answers(tree, held)
+    for snap_txn, _expected in held:
+        snap_txn.commit()
+
+
+rids = st.integers(0, 2 ** 16 - 1).map(lambda s: RecordID(s % 97, s))
+record_strategy = st.builds(
+    MVPBTRecord,
+    key=st.tuples(st.integers(-1000, 1000), st.text(max_size=8)),
+    ts=st.integers(0, 2 ** 40),
+    seq=st.integers(0, 2 ** 40),
+    rtype=st.sampled_from([RecordType.REGULAR, RecordType.REPLACEMENT,
+                           RecordType.ANTI, RecordType.TOMBSTONE]),
+    vid=st.integers(0, 2 ** 32),
+    rid_new=st.one_of(st.none(), rids),
+    rid_old=st.one_of(st.none(), rids),
+    payload=st.one_of(st.none(), st.text(max_size=20)),
+    flags=st.integers(0, 1),
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(record_strategy)
+def test_serialization_roundtrip(record):
+    decoded, _consumed = decode_record(encode_record(record))
+    assert decoded.key == record.key
+    assert decoded.ts == record.ts
+    assert decoded.seq == record.seq
+    assert decoded.rtype == record.rtype
+    assert decoded.vid == record.vid
+    assert decoded.rid_new == record.rid_new
+    assert decoded.rid_old == record.rid_old
+    assert decoded.payload == record.payload
+    assert decoded.flags == record.flags

@@ -1,0 +1,56 @@
+"""Unit tests for benchmark reporting and metric capture."""
+
+from repro.bench.harness import buffer_stats_by_group, engine_config, fresh_database
+from repro.bench.metrics import MetricWindow
+from repro.bench.reporting import format_series, format_table
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        out = format_table("T", ["name", "value"],
+                           [["a", 1.0], ["bb", 123456.0]])
+        lines = out.splitlines()
+        assert lines[0] == "== T =="
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_numbers(self):
+        out = format_table("T", ["v"], [[0.123456], [12.3], [1234567.0]])
+        assert "0.123" in out
+        assert "12.3" in out
+        assert "1,234,567" in out
+
+    def test_format_series(self):
+        out = format_series("S", "x", [1, 2],
+                            {"a": [10.0, 20.0], "b": [1.0, 2.0]})
+        assert "x" in out and "a" in out and "b" in out
+        assert out.count("\n") == 4
+
+
+class TestHarness:
+    def test_engine_config_defaults(self):
+        cfg = engine_config()
+        assert cfg.buffer_pool_pages == 256
+        assert cfg.partition_buffer_bytes == 64 * 8192
+
+    def test_metric_window(self):
+        db = fresh_database()
+        window = MetricWindow(db).start()
+        db.clock.advance(2.0)
+        window.stop()
+        assert window.elapsed == 2.0
+        assert window.throughput(120, per=60.0) == 3600.0
+
+    def test_buffer_stats_by_group(self):
+        db = fresh_database()
+        db.create_table("t", [("a", "int")])
+        db.create_index("i", "t", ["a"], kind="btree")
+        txn = db.begin()
+        for i in range(50):
+            db.insert(txn, "t", (i,))
+        txn.commit()
+        r = db.begin()
+        db.select(r, "i", (25,))
+        r.commit()
+        groups = buffer_stats_by_group(db)
+        assert groups["index"].requests > 0

@@ -1,0 +1,47 @@
+"""Unit tests for the simulated clock."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.clock import SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_custom_start(self):
+        assert SimClock(5.0).now == 5.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ConfigError):
+            SimClock(-1.0)
+
+    def test_advance_accumulates(self):
+        clock = SimClock()
+        clock.advance(1.5)
+        clock.advance(0.5)
+        assert clock.now == 2.0
+
+    def test_advance_returns_new_time(self):
+        clock = SimClock()
+        assert clock.advance(3.0) == 3.0
+
+    def test_zero_advance_allowed(self):
+        clock = SimClock()
+        clock.advance(0.0)
+        assert clock.now == 0.0
+
+    def test_negative_advance_rejected(self):
+        clock = SimClock()
+        with pytest.raises(ConfigError):
+            clock.advance(-0.1)
+
+    def test_elapsed_since(self):
+        clock = SimClock()
+        t0 = clock.now
+        clock.advance(2.5)
+        assert clock.elapsed_since(t0) == 2.5
+
+    def test_repr_shows_time(self):
+        assert "SimClock" in repr(SimClock())

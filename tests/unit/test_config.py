@@ -1,0 +1,46 @@
+"""Unit tests for configuration validation."""
+
+import pytest
+
+from repro.config import CostModel, EngineConfig
+from repro.errors import ConfigError
+
+
+class TestEngineConfig:
+    def test_defaults_valid(self):
+        cfg = EngineConfig()
+        assert cfg.page_size == 8192
+        assert cfg.extent_bytes == 8192 * 8
+
+    def test_page_size_too_small(self):
+        with pytest.raises(ConfigError):
+            EngineConfig(page_size=256)
+
+    def test_extent_pages_positive(self):
+        with pytest.raises(ConfigError):
+            EngineConfig(extent_pages=0)
+
+    def test_buffer_pool_minimum(self):
+        with pytest.raises(ConfigError):
+            EngineConfig(buffer_pool_pages=4)
+
+    def test_fill_factor_bounds(self):
+        with pytest.raises(ConfigError):
+            EngineConfig(leaf_fill_factor=0.0)
+        with pytest.raises(ConfigError):
+            EngineConfig(leaf_fill_factor=1.5)
+
+    def test_bloom_fpr_bounds(self):
+        with pytest.raises(ConfigError):
+            EngineConfig(bloom_fpr=0.0)
+        with pytest.raises(ConfigError):
+            EngineConfig(bloom_fpr=1.0)
+
+    def test_cost_model_is_per_instance(self):
+        a, b = EngineConfig(), EngineConfig()
+        assert a.cost is not b.cost
+
+    def test_cost_model_frozen(self):
+        cost = CostModel()
+        with pytest.raises(Exception):
+            cost.compare = 1.0  # type: ignore[misc]

@@ -1,0 +1,97 @@
+"""Unit tests for the simulated device."""
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.sim.clock import SimClock
+from repro.sim.device import SimulatedDevice
+from repro.sim.profiles import INTEL_DC_P3600, UNIT_TEST_PROFILE
+
+
+@pytest.fixture
+def dev():
+    return SimulatedDevice(INTEL_DC_P3600, SimClock())
+
+
+class TestAllocation:
+    def test_allocations_are_monotonic(self, dev):
+        a = dev.allocate(4096)
+        b = dev.allocate(4096)
+        assert b == a + 4096
+
+    def test_zero_allocation_rejected(self, dev):
+        with pytest.raises(DeviceError):
+            dev.allocate(0)
+
+    def test_capacity_enforced(self):
+        dev = SimulatedDevice(UNIT_TEST_PROFILE, SimClock())
+        dev.allocate(UNIT_TEST_PROFILE.capacity_bytes)
+        with pytest.raises(DeviceError):
+            dev.allocate(1)
+
+    def test_allocated_bytes_tracked(self, dev):
+        dev.allocate(1000)
+        dev.allocate(2000)
+        assert dev.allocated_bytes == 3000
+
+
+class TestIOAccounting:
+    def test_read_advances_clock(self, dev):
+        offset = dev.allocate(8192)
+        before = dev.clock.now
+        latency = dev.read(offset, 8192)
+        assert dev.clock.now == pytest.approx(before + latency)
+
+    def test_first_access_is_random(self, dev):
+        offset = dev.allocate(8192)
+        dev.read(offset, 8192)
+        assert dev.stats.rand_reads == 1
+        assert dev.stats.seq_reads == 0
+
+    def test_adjacent_access_is_sequential(self, dev):
+        offset = dev.allocate(16384)
+        dev.read(offset, 8192)
+        dev.read(offset + 8192, 8192)
+        assert dev.stats.seq_reads == 1
+
+    def test_non_adjacent_access_is_random(self, dev):
+        offset = dev.allocate(32768)
+        dev.read(offset, 8192)
+        dev.read(offset + 16384, 8192)
+        assert dev.stats.rand_reads == 2
+
+    def test_read_and_write_streams_tracked_separately(self, dev):
+        offset = dev.allocate(32768)
+        dev.write(offset, 8192)
+        dev.read(offset + 8192, 8192)     # random (first read)
+        dev.write(offset + 8192, 8192)    # sequential write continuation
+        assert dev.stats.seq_writes == 1
+        assert dev.stats.rand_writes == 1
+        assert dev.stats.rand_reads == 1
+
+    def test_bytes_counted(self, dev):
+        offset = dev.allocate(65536)
+        dev.write(offset, 65536)
+        dev.read(offset, 8192)
+        assert dev.stats.bytes_written == 65536
+        assert dev.stats.bytes_read == 8192
+
+    def test_out_of_bounds_io_rejected(self, dev):
+        with pytest.raises(DeviceError):
+            dev.read(INTEL_DC_P3600.capacity_bytes, 8192)
+
+    def test_sequential_write_faster_than_random(self, dev):
+        offset = dev.allocate(3 * 65536)
+        dev.write(offset, 65536)
+        seq_latency = dev.write(offset + 65536, 65536)        # sequential
+        rand_latency = dev.write(offset, 65536)               # jump back
+        assert seq_latency < rand_latency
+
+    def test_stats_delta(self, dev):
+        offset = dev.allocate(16384)
+        dev.read(offset, 8192)
+        snap = dev.stats.snapshot()
+        dev.read(offset + 8192, 8192)
+        delta = dev.stats.delta(snap)
+        assert delta.reads == 1
+        assert delta.bytes_read == 8192

@@ -1,0 +1,94 @@
+"""Unit tests for the YCSB key distributions."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.distributions import (LatestDistribution,
+                                           ScrambledZipfian,
+                                           UniformDistribution,
+                                           ZipfianDistribution, fnv1a_64,
+                                           make_distribution)
+
+
+class TestUniform:
+    def test_range(self):
+        d = UniformDistribution(100, random.Random(1))
+        assert all(0 <= d.next_index() < 100 for _ in range(1000))
+
+    def test_roughly_uniform(self):
+        d = UniformDistribution(10, random.Random(1))
+        counts = Counter(d.next_index() for _ in range(10000))
+        assert min(counts.values()) > 700
+
+    def test_grow(self):
+        d = UniformDistribution(10, random.Random(1))
+        d.grow(1000)
+        assert d.item_count == 1000
+
+    def test_invalid_count(self):
+        with pytest.raises(WorkloadError):
+            UniformDistribution(0, random.Random(1))
+
+
+class TestZipfian:
+    def test_range(self):
+        d = ZipfianDistribution(1000, random.Random(2))
+        assert all(0 <= d.next_index() < 1000 for _ in range(5000))
+
+    def test_skew_towards_low_indices(self):
+        d = ZipfianDistribution(1000, random.Random(2))
+        counts = Counter(d.next_index() for _ in range(20000))
+        top10 = sum(counts[i] for i in range(10))
+        assert top10 > 0.3 * 20000   # heavy head
+
+    def test_grow_keeps_validity(self):
+        d = ZipfianDistribution(100, random.Random(2))
+        d.grow(200)
+        assert all(0 <= d.next_index() < 200 for _ in range(2000))
+
+    def test_grow_noop_for_smaller(self):
+        d = ZipfianDistribution(100, random.Random(2))
+        zetan = d._zetan
+        d.grow(50)
+        assert d._zetan == zetan
+
+
+class TestScrambled:
+    def test_spreads_hot_keys(self):
+        d = ScrambledZipfian(1000, random.Random(3))
+        counts = Counter(d.next_index() for _ in range(20000))
+        hottest = counts.most_common(10)
+        # hot keys exist but are not all clustered at the low end
+        assert any(idx > 100 for idx, _n in hottest)
+
+    def test_fnv_deterministic(self):
+        assert fnv1a_64(42) == fnv1a_64(42)
+        assert fnv1a_64(42) != fnv1a_64(43)
+
+
+class TestLatest:
+    def test_skew_towards_newest(self):
+        d = LatestDistribution(1000, random.Random(4))
+        counts = Counter(d.next_index() for _ in range(20000))
+        newest10 = sum(counts[i] for i in range(990, 1000))
+        assert newest10 > 0.4 * 20000
+
+    def test_tracks_growth(self):
+        d = LatestDistribution(10, random.Random(4))
+        d.grow(1000)
+        counts = Counter(d.next_index() for _ in range(5000))
+        assert max(counts) > 900   # newest items dominate
+
+
+class TestFactory:
+    def test_known_kinds(self):
+        rng = random.Random(5)
+        for kind in ("uniform", "zipfian", "latest"):
+            make_distribution(kind, 10, rng)
+
+    def test_unknown_kind(self):
+        with pytest.raises(WorkloadError):
+            make_distribution("pareto", 10, random.Random(1))

@@ -1,0 +1,125 @@
+"""Unit tests for the KV-store engines."""
+
+import pytest
+
+from repro.config import EngineConfig
+from repro.errors import ConfigError
+from repro.kv import make_kv_store
+
+
+CONFIG = EngineConfig(buffer_pool_pages=64,
+                      partition_buffer_bytes=16 * 8192)
+
+ENGINES = ("btree", "lsm", "mvpbt")
+
+
+@pytest.fixture(params=ENGINES)
+def store(request):
+    return make_kv_store(request.param, CONFIG)
+
+
+class TestCommonSemantics:
+    """All three engines must agree on KV semantics."""
+
+    def test_put_get(self, store):
+        store.put("k1", "v1")
+        assert store.get("k1") == "v1"
+
+    def test_get_missing(self, store):
+        assert store.get("missing") is None
+
+    def test_overwrite(self, store):
+        store.put("k", "v1")
+        store.put("k", "v2")
+        assert store.get("k") == "v2"
+
+    def test_delete(self, store):
+        store.put("k", "v")
+        store.delete("k")
+        assert store.get("k") is None
+
+    def test_delete_missing_is_noop(self, store):
+        store.delete("missing")
+        assert store.get("missing") is None
+
+    def test_reinsert_after_delete(self, store):
+        store.put("k", "v1")
+        store.delete("k")
+        store.put("k", "v2")
+        assert store.get("k") == "v2"
+
+    def test_scan_ordered(self, store):
+        for i in (3, 1, 4, 1, 5, 9, 2, 6):
+            store.put(f"key{i}", f"v{i}")
+        got = store.scan("key2", 3)
+        assert got == [("key2", "v2"), ("key3", "v3"), ("key4", "v4")]
+
+    def test_scan_skips_deleted(self, store):
+        for i in range(5):
+            store.put(f"k{i}", "v")
+        store.delete("k2")
+        got = [k for k, _v in store.scan("k0", 10)]
+        assert got == ["k0", "k1", "k3", "k4"]
+
+    def test_scan_returns_latest_values(self, store):
+        store.put("a", "old")
+        store.put("a", "new")
+        assert store.scan("a", 1) == [("a", "new")]
+
+    def test_many_keys_survive_structure_maintenance(self, store):
+        """Enough data to force evictions / flushes / splits."""
+        for i in range(3000):
+            store.put(f"key{i:06d}", f"value-{i}" * 5)
+        for i in range(0, 3000, 7):
+            store.put(f"key{i:06d}", "updated")
+        for probe in (0, 7, 1234, 2999):
+            expected = "updated" if probe % 7 == 0 else f"value-{probe}" * 5
+            assert store.get(f"key{probe:06d}") == expected
+
+    def test_stats_counters(self, store):
+        store.put("a", "1")
+        store.get("a")
+        store.scan("a", 1)
+        store.delete("a")
+        assert store.stats.reads == 1
+        assert store.stats.scans == 1
+        assert store.stats.deletes == 1
+
+
+class TestFactory:
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigError):
+            make_kv_store("rocksdb", CONFIG)
+
+    def test_engines_report_names(self):
+        for kind in ENGINES:
+            assert make_kv_store(kind, CONFIG).name == kind
+
+
+class TestEngineCharacteristics:
+    def test_mvpbt_writes_are_appends(self):
+        store = make_kv_store("mvpbt", CONFIG)
+        for i in range(3000):
+            store.put(f"key{i:06d}", "v" * 50)
+        dev = store.env.device
+        assert dev.stats.seq_writes >= dev.stats.rand_writes
+
+    def test_btree_updates_cause_random_writes(self):
+        store = make_kv_store("btree", CONFIG, value_bytes=400)
+        for i in range(3000):
+            store.put(f"key{i:06d}", "v" * 400)
+        for i in range(0, 3000, 3):
+            store.put(f"key{i:06d}", "w" * 400)
+        dev = store.env.device
+        assert dev.stats.rand_writes > 0
+
+    def test_lsm_write_amplification_exceeds_mvpbt(self):
+        lsm = make_kv_store("lsm", CONFIG,
+                            memtable_bytes=4 * 8192)
+        mv = make_kv_store("mvpbt", CONFIG)
+        for i in range(4000):
+            lsm.put(f"key{i:06d}", "v" * 60)
+            mv.put(f"key{i:06d}", "v" * 60)
+        lsm_written = lsm.env.device.stats.bytes_written
+        mv_written = mv.env.device.stats.bytes_written
+        assert lsm_written > mv_written   # compaction rewrites vs append-once

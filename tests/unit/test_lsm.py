@@ -1,0 +1,154 @@
+"""Unit tests for the LSM-Tree."""
+
+import random
+
+import pytest
+
+from repro.buffer.pool import BufferPool
+from repro.index.lsm.memtable import TOMBSTONE, MemTable, entry_bytes
+from repro.index.lsm.tree import LSMTree
+from repro.sim.clock import SimClock
+from repro.sim.device import SimulatedDevice
+from repro.sim.profiles import INTEL_DC_P3600
+from repro.storage.pagefile import PageFile
+
+
+def make_tree(memtable_bytes=4 * 8192, l0_limit=2):
+    clock = SimClock()
+    device = SimulatedDevice(INTEL_DC_P3600, clock)
+    pool = BufferPool(64)
+    tree = LSMTree("lsm", PageFile("lsm", device, 8192, 8), pool,
+                   memtable_bytes=memtable_bytes,
+                   l0_component_limit=l0_limit,
+                   level_base_bytes=16 * 8192)
+    return device, tree
+
+
+class TestMemTable:
+    def test_put_get(self):
+        mt = MemTable()
+        mt.put(("a",), 1, "v1")
+        assert mt.get(("a",)) == (1, "v1")
+
+    def test_replace_in_place(self):
+        mt = MemTable()
+        mt.put(("a",), 1, "v1")
+        mt.put(("a",), 2, "v2")
+        assert mt.get(("a",)) == (2, "v2")
+        assert len(mt) == 1
+
+    def test_size_accounting_on_replace(self):
+        mt = MemTable()
+        mt.put(("a",), 1, "short")
+        mt.put(("a",), 2, "a much longer value indeed")
+        assert mt.bytes_used == entry_bytes(("a",),
+                                            "a much longer value indeed")
+
+    def test_scan_from_sorted(self):
+        mt = MemTable()
+        for k in ("c", "a", "b"):
+            mt.put((k,), 1, k)
+        assert [k[0] for k, _s, _v in mt.scan_from(("b",))] == ["b", "c"]
+
+
+class TestLSMBasics:
+    def test_put_get_delete(self):
+        _d, tree = make_tree()
+        tree.put(("k",), "v")
+        assert tree.get(("k",)) == "v"
+        tree.delete(("k",))
+        assert tree.get(("k",)) is None
+
+    def test_flush_creates_component(self):
+        _d, tree = make_tree()
+        for i in range(2000):
+            tree.put((f"key{i:05d}",), "v" * 20)
+        assert tree.stats.flushes >= 1
+        assert tree.component_count >= 1
+
+    def test_get_prefers_newest(self):
+        _d, tree = make_tree()
+        tree.put(("k",), "old")
+        tree.flush_memtable()
+        tree.put(("k",), "new")
+        assert tree.get(("k",)) == "new"
+
+    def test_tombstone_shadows_older_value(self):
+        _d, tree = make_tree()
+        tree.put(("k",), "old")
+        tree.flush_memtable()
+        tree.delete(("k",))
+        tree.flush_memtable()
+        assert tree.get(("k",)) is None
+
+    def test_scan_merges_components(self):
+        _d, tree = make_tree()
+        for i in range(0, 20, 2):
+            tree.put((f"k{i:02d}",), f"v{i}")
+        tree.flush_memtable()
+        for i in range(1, 20, 2):
+            tree.put((f"k{i:02d}",), f"v{i}")
+        got = [k[0] for k, _v in tree.scan(("k00",), 20)]
+        assert got == [f"k{i:02d}" for i in range(20)]
+
+    def test_scan_shadowing(self):
+        _d, tree = make_tree()
+        tree.put(("a",), "old")
+        tree.flush_memtable()
+        tree.put(("a",), "new")
+        tree.delete(("b",))
+        assert tree.scan(("a",), 10) == [(("a",), "new")]
+
+    def test_scan_limit(self):
+        _d, tree = make_tree()
+        for i in range(100):
+            tree.put((f"k{i:03d}",), "v")
+        assert len(tree.scan((f"k{0:03d}",), 7)) == 7
+
+
+class TestCompaction:
+    def test_l0_merges_into_l1(self):
+        _d, tree = make_tree(memtable_bytes=2 * 8192, l0_limit=2)
+        for i in range(4000):
+            tree.put((f"key{i:05d}",), "v" * 10)
+        assert tree.stats.compactions >= 1
+        assert tree.stats.write_amplification > 1.0
+
+    def test_compaction_preserves_data(self):
+        _d, tree = make_tree(memtable_bytes=2 * 8192, l0_limit=2)
+        rng = random.Random(4)
+        oracle = {}
+        for _ in range(5000):
+            k = f"key{rng.randrange(500):04d}"
+            if rng.random() < 0.85:
+                v = f"val{rng.randrange(10 ** 6)}"
+                tree.put((k,), v)
+                oracle[k] = v
+            else:
+                tree.delete((k,))
+                oracle.pop(k, None)
+        for k, v in oracle.items():
+            assert tree.get((k,)) == v, k
+        absent = set(f"key{i:04d}" for i in range(500)) - set(oracle)
+        for k in list(absent)[:50]:
+            assert tree.get((k,)) is None, k
+
+    def test_tombstones_dropped_at_bottom_level(self):
+        _d, tree = make_tree(memtable_bytes=2 * 8192, l0_limit=1)
+        for i in range(500):
+            tree.put((f"k{i:04d}",), "v" * 30)
+        for i in range(500):
+            tree.delete((f"k{i:04d}",))
+        tree.flush_memtable()
+        # after enough compaction rounds the data shrinks
+        total_records = sum(s.record_count for s in tree._l0)
+        for level in tree._levels:
+            if level is not None:
+                total_records += level.record_count
+        assert total_records < 1000
+
+    def test_compaction_reads_sequentially(self):
+        device, tree = make_tree(memtable_bytes=2 * 8192, l0_limit=2)
+        for i in range(4000):
+            tree.put((f"key{i:05d}",), "v" * 10)
+        assert device.stats.seq_reads > 0

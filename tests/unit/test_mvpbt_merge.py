@@ -1,0 +1,208 @@
+"""Unit tests for on-line partition merge and bulk load (paper §4 extras)."""
+
+import pytest
+
+from repro.buffer.partition_buffer import PartitionBuffer
+from repro.buffer.pool import BufferPool
+from repro.core.tree import MVPBT
+from repro.errors import IndexError_
+from repro.sim.clock import SimClock
+from repro.sim.device import SimulatedDevice
+from repro.sim.profiles import INTEL_DC_P3600
+from repro.storage.pagefile import PageFile
+from repro.storage.recordid import RecordID
+from repro.txn.manager import TransactionManager
+
+
+@pytest.fixture
+def env():
+    clock = SimClock()
+    device = SimulatedDevice(INTEL_DC_P3600, clock)
+    pool = BufferPool(256)
+    pb = PartitionBuffer(1 << 22)
+    mgr = TransactionManager(clock)
+
+    def make(name="m", **opts):
+        return MVPBT(name, PageFile(name, device, 8192, 8), pool, pb, mgr,
+                     **opts)
+    return mgr, make, device
+
+
+def fill_partitions(mgr, ix, partitions=4, rows_per=100, update_frac=0.5):
+    rids = {}
+    key = 0
+    for _p in range(partitions):
+        t = mgr.begin()
+        for _ in range(rows_per):
+            rid = RecordID(1, key % 60000)
+            ix.insert(t, (key,), rid, vid=key + 1)
+            rids[key] = rid
+            key += 1
+        # update a fraction of previously inserted keys (cross-partition
+        # chains for the merge GC to collapse)
+        for upd in range(0, key, max(2, int(1 / update_frac))):
+            nrid = RecordID(2, upd % 60000)
+            ix.update_nonkey(t, (upd,), nrid, rids[upd], vid=upd + 1)
+            rids[upd] = nrid
+        t.commit()
+        ix.evict_partition()
+    return rids, key
+
+
+class TestMerge:
+    def test_merge_reduces_partition_count(self, env):
+        mgr, make, _d = env
+        ix = make()
+        fill_partitions(mgr, ix, partitions=4)
+        assert len(ix.persisted_partitions) == 4
+        merged = ix.merge_partitions()
+        assert merged is not None
+        assert len(ix.persisted_partitions) == 1
+        assert ix.stats.merges == 1
+
+    def test_merge_preserves_query_answers(self, env):
+        mgr, make, _d = env
+        ix = make()
+        rids, key_count = fill_partitions(mgr, ix, partitions=4)
+        reader_before = mgr.begin()
+        expected = {k: [h.rid for h in ix.search(reader_before, (k,))]
+                    for k in range(0, key_count, 7)}
+        ix.merge_partitions()
+        for k, rid_list in expected.items():
+            assert [h.rid for h in ix.search(reader_before, (k,))] \
+                == rid_list, k
+        reader_before.commit()
+        fresh = mgr.begin()
+        for k in (0, 5, key_count - 1):
+            assert [h.rid for h in fresh_hits(ix, fresh, k)] == [rids[k]], k
+
+
+def fresh_hits(ix, txn, k):
+    return ix.search(txn, (k,))
+
+
+class TestMergeGC:
+    def test_merge_collapses_cross_partition_chains(self, env):
+        mgr, make, _d = env
+        ix = make()
+        _rids, _n = fill_partitions(mgr, ix, partitions=4, rows_per=50)
+        before = sum(p.record_count for p in ix.persisted_partitions)
+        merged = ix.merge_partitions()
+        assert merged.record_count < before
+
+    def test_merge_respects_active_snapshots(self, env):
+        mgr, make, _d = env
+        ix = make()
+        t = mgr.begin()
+        ix.insert(t, (5,), RecordID(0, 0), vid=1)
+        t.commit()
+        ix.evict_partition()
+        pinned = mgr.begin()
+        t = mgr.begin()
+        ix.update_nonkey(t, (5,), RecordID(0, 1), RecordID(0, 0), vid=1)
+        t.commit()
+        ix.evict_partition()
+        ix.merge_partitions()
+        assert [h.rid for h in ix.search(pinned, (5,))] == [RecordID(0, 0)]
+        fresh = mgr.begin()
+        assert [h.rid for h in ix.search(fresh, (5,))] == [RecordID(0, 1)]
+
+    def test_merge_writes_sequentially_and_frees_inputs(self, env):
+        mgr, make, device = env
+        ix = make()
+        fill_partitions(mgr, ix, partitions=3)
+        pages_before = ix.file.allocated_pages
+        snap = device.stats.snapshot()
+        ix.merge_partitions()
+        delta = device.stats.delta(snap)
+        assert delta.seq_writes + delta.rand_writes >= 1
+        assert ix.file.allocated_pages <= pages_before
+
+    def test_single_partition_merge_is_noop(self, env):
+        mgr, make, _d = env
+        ix = make()
+        fill_partitions(mgr, ix, partitions=1)
+        assert ix.merge_partitions() is None
+        assert ix.stats.merges == 0
+
+
+class TestAutoMergePolicy:
+    def test_max_partitions_bounds_partition_count(self, env):
+        mgr, make, _d = env
+        pb = PartitionBuffer(2 * 8192)
+        ix = MVPBT("auto", PageFile("auto", _d, 8192, 8), BufferPool(128),
+                   pb, mgr, max_partitions=3)
+        t = mgr.begin()
+        for k in range(3000):
+            ix.insert(t, (k,), RecordID(1, k % 60000), vid=k + 1)
+        t.commit()
+        assert ix.stats.evictions > 4
+        assert len(ix.persisted_partitions) <= 3
+        assert ix.stats.merges >= 1
+        reader = mgr.begin()
+        assert len(ix.search(reader, (1500,))) == 1
+
+
+class TestBulkLoad:
+    def test_bulk_load_builds_partition(self, env):
+        mgr, make, _d = env
+        ix = make()
+        t = mgr.begin()
+        entries = [((k,), RecordID(1, k % 60000), k + 1) for k in range(500)]
+        part = ix.bulk_load(t, entries)
+        t.commit()
+        assert part is not None
+        assert ix.stats.bulk_loads == 1
+        reader = mgr.begin()
+        assert [h.rid for h in ix.search(reader, (123,))] \
+            == [RecordID(1, 123)]
+        assert len(ix.range_scan(reader, (0,), (49,))) == 50
+
+    def test_bulk_load_sorts_input(self, env):
+        mgr, make, _d = env
+        ix = make()
+        t = mgr.begin()
+        entries = [((k,), RecordID(1, k % 60000), k + 1)
+                   for k in (5, 1, 9, 3, 7)]
+        ix.bulk_load(t, entries)
+        t.commit()
+        reader = mgr.begin()
+        keys = [h.key[0] for h in ix.range_scan(reader, None, None)]
+        assert keys == [1, 3, 5, 7, 9]
+
+    def test_bulk_load_is_older_than_later_writes(self, env):
+        mgr, make, _d = env
+        ix = make()
+        t = mgr.begin()
+        ix.bulk_load(t, [((1,), RecordID(0, 0), 1)])
+        t.commit()
+        t2 = mgr.begin()
+        ix.update_nonkey(t2, (1,), RecordID(0, 1), RecordID(0, 0), vid=1)
+        t2.commit()
+        reader = mgr.begin()
+        assert [h.rid for h in ix.search(reader, (1,))] == [RecordID(0, 1)]
+
+    def test_bulk_load_requires_empty_memory_partition(self, env):
+        mgr, make, _d = env
+        ix = make()
+        t = mgr.begin()
+        ix.insert(t, (1,), RecordID(0, 0), vid=1)
+        with pytest.raises(IndexError_):
+            ix.bulk_load(t, [((2,), RecordID(0, 1), 2)])
+
+    def test_bulk_load_with_payloads(self, env):
+        mgr, make, _d = env
+        ix = make()
+        t = mgr.begin()
+        entries = [((k,), RecordID(0, k), k + 1) for k in range(10)]
+        ix.bulk_load(t, entries, payloads=[f"v{k}" for k in range(10)])
+        t.commit()
+        reader = mgr.begin()
+        hits = ix.search(reader, (3,))
+        assert hits and hits[0].payload == "v3"
+
+    def test_empty_bulk_load_is_noop(self, env):
+        mgr, make, _d = env
+        ix = make()
+        t = mgr.begin()
+        assert ix.bulk_load(t, []) is None

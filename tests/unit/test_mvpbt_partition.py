@@ -1,0 +1,98 @@
+"""Unit tests for MV-PBT memory partitions (§4.3 ordering, leaf organisation)."""
+
+import pytest
+
+from repro.core.partition import MemoryPartition
+from repro.core.records import MVPBTRecord, RecordType, ReferenceMode
+from repro.storage.recordid import RecordID
+
+
+@pytest.fixture
+def part():
+    return MemoryPartition(0, ReferenceMode.PHYSICAL, page_size=8192)
+
+
+def rec(key, ts, seq, rtype=RecordType.REGULAR, vid=1):
+    return MVPBTRecord((key,), ts, seq, rtype, vid,
+                       rid_new=RecordID(0, seq) if rtype in
+                       (RecordType.REGULAR, RecordType.REPLACEMENT) else None,
+                       rid_old=RecordID(0, seq - 1) if rtype in
+                       (RecordType.REPLACEMENT, RecordType.ANTI,
+                        RecordType.TOMBSTONE) else None)
+
+
+class TestOrdering:
+    def test_records_sorted_by_key(self, part):
+        for k in (5, 1, 3):
+            part.insert(rec(k, 1, k))
+        assert [r.key[0] for r in part.iter_records()] == [1, 3, 5]
+
+    def test_same_key_newest_first(self, part):
+        """§4.3: within a key, newer records precede older ones."""
+        part.insert(rec(7, 1, 0))
+        part.insert(rec(7, 3, 2))
+        part.insert(rec(7, 2, 1))
+        assert [r.ts for r in part.iter_records()] == [3, 2, 1]
+
+    def test_figure11_tombstone_precedes_regular(self, part):
+        """Paper Figure 11: the key-1 tombstone (TXU3) sorts before the
+        key-1 replacement (TXU2) because timestamp(TXU3) > timestamp(TXU2)."""
+        part.insert(rec(1, 2, 2, RecordType.REPLACEMENT))
+        part.insert(rec(1, 3, 3, RecordType.TOMBSTONE))
+        records = list(part.iter_records())
+        assert records[0].rtype is RecordType.TOMBSTONE
+        assert records[1].rtype is RecordType.REPLACEMENT
+
+    def test_search_yields_newest_first(self, part):
+        for ts in (1, 2, 3):
+            part.insert(rec(7, ts, ts))
+        part.insert(rec(8, 9, 9))
+        hits = [r.ts for _leaf, r in part.search((7,))]
+        assert hits == [3, 2, 1]
+
+
+class TestLeafOrganisation:
+    def test_leaves_split_when_full(self, part):
+        for i in range(3000):
+            part.insert(rec(i, 1, i))
+        assert part.leaf_count > 1
+        # leaf fences preserve global order
+        records = [r.sort_key() for r in part.iter_records()]
+        assert records == sorted(records)
+
+    def test_search_across_leaf_boundaries(self, part):
+        for i in range(2000):
+            part.insert(rec(i % 50, i + 1, i))   # 40 versions per key
+        hits = [r for _l, r in part.search((25,))]
+        assert len(hits) == 40
+        assert [r.ts for r in hits] == sorted((r.ts for r in hits),
+                                              reverse=True)
+
+    def test_bytes_accounting(self, part):
+        assert part.bytes_used == 0
+        part.insert(rec(1, 1, 0))
+        assert part.bytes_used > 0
+        before = part.bytes_used
+        part.insert(rec(2, 1, 1))
+        assert part.bytes_used > before
+
+    def test_scan_range(self, part):
+        for i in range(100):
+            part.insert(rec(i, 1, i))
+        got = [r.key[0] for _l, r in part.scan((10,), (20,))]
+        assert got == list(range(10, 21))
+
+    def test_scan_excludes_bounds(self, part):
+        for i in range(30):
+            part.insert(rec(i, 1, i))
+        got = [r.key[0] for _l, r in part.scan((10,), (20,), lo_incl=False,
+                                               hi_incl=False)]
+        assert got == list(range(11, 20))
+
+    def test_note_removed_accounting(self, part):
+        leaf = part.insert(rec(1, 1, 0))
+        size = part.bytes_used
+        leaf.remove_at(0, size)
+        part.note_removed(size, 1)
+        assert part.bytes_used == 0
+        assert part.record_count == 0

@@ -1,0 +1,124 @@
+"""Unit tests for page files."""
+
+import pytest
+
+from repro.errors import PageNotFoundError
+from repro.sim.clock import SimClock
+from repro.sim.device import SimulatedDevice
+from repro.sim.profiles import INTEL_DC_P3600
+from repro.storage.pagefile import PageFile
+
+
+@pytest.fixture
+def setup():
+    clock = SimClock()
+    device = SimulatedDevice(INTEL_DC_P3600, clock)
+    return clock, device, PageFile("f", device, 8192, 8)
+
+
+class TestAllocation:
+    def test_pages_numbered_sequentially(self, setup):
+        _c, _d, f = setup
+        assert f.allocate_page() == 0
+        assert f.allocate_page() == 1
+
+    def test_pages_within_extent_are_contiguous(self, setup):
+        _c, d, f = setup
+        f.allocate_page()
+        f.allocate_page()
+        assert f._addresses[1] == f._addresses[0] + 8192
+
+    def test_free_page_is_reused(self, setup):
+        _c, _d, f = setup
+        p = f.allocate_page()
+        f.write_page(p, "x")
+        f.free_page(p)
+        assert f.allocate_page() == p
+
+    def test_allocated_pages_counter(self, setup):
+        _c, _d, f = setup
+        p = f.allocate_page()
+        f.allocate_page()
+        f.write_page(p, "x")
+        f.free_page(p)
+        assert f.allocated_pages == 1
+        assert f.max_page_no == 2
+
+
+class TestReadWrite:
+    def test_write_then_read(self, setup):
+        _c, _d, f = setup
+        p = f.allocate_page()
+        f.write_page(p, {"data": 1})
+        assert f.read_page(p) == {"data": 1}
+
+    def test_read_unwritten_page_raises(self, setup):
+        _c, _d, f = setup
+        p = f.allocate_page()
+        with pytest.raises(PageNotFoundError):
+            f.read_page(p)
+
+    def test_read_unallocated_raises(self, setup):
+        _c, _d, f = setup
+        with pytest.raises(PageNotFoundError):
+            f.read_page(99)
+
+    def test_io_counters(self, setup):
+        _c, _d, f = setup
+        p = f.allocate_page()
+        f.write_page(p, "x")
+        f.read_page(p)
+        assert f.physical_writes == 1
+        assert f.physical_reads == 1
+
+    def test_io_charges_device(self, setup):
+        clock, d, f = setup
+        p = f.allocate_page()
+        before = clock.now
+        f.write_page(p, "x")
+        assert clock.now > before
+
+    def test_put_page_nocost_charges_nothing(self, setup):
+        clock, _d, f = setup
+        p = f.allocate_page()
+        before = clock.now
+        f.put_page_nocost(p, "x")
+        assert clock.now == before
+        assert f.peek(p) == "x"
+
+
+class TestAppendExtents:
+    def test_append_returns_new_page_numbers(self, setup):
+        _c, _d, f = setup
+        nos = f.append_extents(["a", "b", "c"])
+        assert nos == [0, 1, 2]
+        assert f.peek(1) == "b"
+
+    def test_append_issues_one_write_per_extent(self, setup):
+        _c, d, f = setup
+        f.append_extents([str(i) for i in range(20)])  # 20 pages, 8/extent
+        assert f.physical_writes == 3
+
+    def test_append_writes_are_sequential_on_device(self, setup):
+        _c, d, f = setup
+        f.append_extents([str(i) for i in range(24)])
+        # first write random (no prior stream), the rest continue the stream
+        assert d.stats.seq_writes == 2
+        assert d.stats.rand_writes == 1
+
+    def test_flush_pages_sequential_groups_runs(self, setup):
+        _c, d, f = setup
+        pages = [f.allocate_page() for _ in range(8)]
+        f.flush_pages_sequential([(p, f"pl{p}") for p in pages])
+        assert f.physical_writes == 1
+        assert f.peek(pages[3]) == "pl3"
+
+    def test_flush_pages_sequential_splits_noncontiguous(self, setup):
+        _c, _d, f = setup
+        pages = [f.allocate_page() for _ in range(3)]   # extent 1
+        for _ in range(8):
+            f.allocate_page()
+        late = f.allocate_page()                         # later extent
+        f.flush_pages_sequential([(pages[0], "a"), (pages[1], "b"),
+                                  (late, "z")])
+        assert f.physical_writes == 2

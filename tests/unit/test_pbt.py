@@ -1,0 +1,104 @@
+"""Unit tests for the version-oblivious Partitioned B-Tree."""
+
+import pytest
+
+from repro.buffer.partition_buffer import PartitionBuffer
+from repro.buffer.pool import BufferPool
+from repro.index.pbt import PartitionedBTree
+from repro.sim.clock import SimClock
+from repro.sim.device import SimulatedDevice
+from repro.sim.profiles import INTEL_DC_P3600
+from repro.storage.pagefile import PageFile
+from repro.storage.recordid import RecordID
+
+
+@pytest.fixture
+def env():
+    clock = SimClock()
+    device = SimulatedDevice(INTEL_DC_P3600, clock)
+    pool = BufferPool(128)
+    pb = PartitionBuffer(4 * 8192)
+    tree = PartitionedBTree("pbt", PageFile("pbt", device, 8192, 8), pool, pb)
+    return device, pb, tree
+
+
+class TestPartitioning:
+    def test_eviction_when_buffer_full(self, env):
+        _d, pb, tree = env
+        for k in range(3000):
+            tree.insert_entry((k,), RecordID(0, k % 100))
+        assert tree.partition_count > 1
+        assert pb.evictions >= 1
+
+    def test_eviction_writes_sequentially(self, env):
+        device, _pb, tree = env
+        for k in range(12000):
+            tree.insert_entry((k,), RecordID(0, k % 100))
+        # several evictions into consecutively allocated extents: after the
+        # first request, writes continue the device's write stream
+        assert device.stats.writes >= 2
+        assert device.stats.seq_writes >= device.stats.writes - tree.partition_count
+
+    def test_search_spans_all_partitions(self, env):
+        _d, _pb, tree = env
+        for round_no in range(4):
+            for k in range(800):
+                tree.insert_entry((k,), RecordID(round_no, k % 100))
+            tree.evict_partition()
+        refs = tree.search((5,))
+        assert len(refs) == 4          # one candidate per round
+        assert {r.page for r in refs} == {0, 1, 2, 3}
+
+    def test_range_scan_merges_partitions_sorted(self, env):
+        _d, _pb, tree = env
+        for k in range(0, 100, 2):
+            tree.insert_entry((k,), RecordID(0, k))
+        tree.evict_partition()
+        for k in range(1, 100, 2):
+            tree.insert_entry((k,), RecordID(1, k))
+        got = [k[0] for k, _r in tree.range_scan((0,), (99,))]
+        assert got == list(range(100))
+
+    def test_bloom_filter_skips_partitions(self, env):
+        _d, _pb, tree = env
+        for k in range(500):
+            tree.insert_entry((k,), RecordID(0, 0))
+        tree.evict_partition()
+        for k in range(1000, 1500):
+            tree.insert_entry((k,), RecordID(1, 0))
+        tree.evict_partition()
+        tree.search((5000,))
+        skipped = sum(p.bloom.stats.negatives
+                      for p in tree.persisted_partitions)
+        assert skipped == 2
+
+    def test_version_obliviousness(self, env):
+        """Multiple versions of one tuple are just multiple candidates."""
+        _d, _pb, tree = env
+        for version in range(5):
+            tree.insert_entry((7,), RecordID(version, 0))
+        assert len(tree.search((7,))) == 5
+
+
+class TestMemoryPartition:
+    def test_remove_entry_only_in_memory(self, env):
+        _d, _pb, tree = env
+        tree.insert_entry((1,), RecordID(0, 0))
+        tree.evict_partition()
+        tree.insert_entry((2,), RecordID(0, 1))
+        assert tree.remove_entry((2,), RecordID(0, 1))
+        assert not tree.remove_entry((1,), RecordID(0, 0))  # persisted
+
+    def test_entry_count(self, env):
+        _d, _pb, tree = env
+        for k in range(100):
+            tree.insert_entry((k,), RecordID(0, 0))
+        tree.evict_partition()
+        for k in range(50):
+            tree.insert_entry((k,), RecordID(1, 0))
+        assert tree.entry_count() == 150
+
+    def test_evict_empty_is_noop(self, env):
+        _d, _pb, tree = env
+        tree.evict_partition()
+        assert tree.partition_count == 1

@@ -1,0 +1,74 @@
+"""Unit tests for device cost profiles (paper Figure 8)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.profiles import (INTEL_DC_P3600, LARGE_BLOCK, SMALL_BLOCK,
+                                OpCost)
+
+
+class TestOpCost:
+    def test_small_block_latency_is_inverse_iops(self):
+        cost = OpCost(iops_8k=1000.0, iops_64k=100.0)
+        assert cost.latency(SMALL_BLOCK) == pytest.approx(1e-3)
+
+    def test_sub_8k_charged_as_one_small_op(self):
+        cost = OpCost(iops_8k=1000.0, iops_64k=100.0)
+        assert cost.latency(512) == pytest.approx(1e-3)
+
+    def test_large_block_latency(self):
+        cost = OpCost(iops_8k=1000.0, iops_64k=100.0)
+        assert cost.latency(LARGE_BLOCK) == pytest.approx(1e-2)
+
+    def test_interpolation_between_block_sizes(self):
+        cost = OpCost(iops_8k=1000.0, iops_64k=100.0)
+        mid = (SMALL_BLOCK + LARGE_BLOCK) // 2
+        latency = cost.latency(mid)
+        assert 1e-3 < latency < 1e-2
+
+    def test_multi_extent_requests_charged_per_chunk(self):
+        cost = OpCost(iops_8k=1000.0, iops_64k=100.0)
+        assert cost.latency(2 * LARGE_BLOCK) == pytest.approx(2e-2)
+
+    def test_zero_size_rejected(self):
+        cost = OpCost(iops_8k=1000.0, iops_64k=100.0)
+        with pytest.raises(ConfigError):
+            cost.latency(0)
+
+    def test_latency_monotone_in_size(self):
+        cost = OpCost(iops_8k=1000.0, iops_64k=100.0)
+        sizes = [512, SMALL_BLOCK, 16 * 1024, 32 * 1024, LARGE_BLOCK,
+                 128 * 1024]
+        latencies = [cost.latency(s) for s in sizes]
+        assert latencies == sorted(latencies)
+
+
+class TestP3600Profile:
+    """The transcription of the paper's Figure 8."""
+
+    def test_figure8_read_iops(self):
+        assert INTEL_DC_P3600.seq_read.iops_8k == 122382
+        assert INTEL_DC_P3600.rand_read.iops_8k == 112479
+
+    def test_figure8_write_iops(self):
+        assert INTEL_DC_P3600.seq_write.iops_8k == 11104
+        assert INTEL_DC_P3600.rand_write.iops_8k == 7185
+
+    def test_reads_much_faster_than_writes(self):
+        read = INTEL_DC_P3600.latency(SMALL_BLOCK, write=False,
+                                      sequential=False)
+        write = INTEL_DC_P3600.latency(SMALL_BLOCK, write=True,
+                                       sequential=False)
+        assert write > 10 * read
+
+    def test_sequential_writes_cheaper_per_byte_than_random(self):
+        seq = INTEL_DC_P3600.latency(LARGE_BLOCK, write=True, sequential=True)
+        rand_equiv = 8 * INTEL_DC_P3600.latency(SMALL_BLOCK, write=True,
+                                                sequential=False)
+        assert seq < rand_equiv
+
+    def test_cost_selector(self):
+        assert INTEL_DC_P3600.cost(write=False, sequential=True) \
+            is INTEL_DC_P3600.seq_read
+        assert INTEL_DC_P3600.cost(write=True, sequential=False) \
+            is INTEL_DC_P3600.rand_write

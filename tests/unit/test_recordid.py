@@ -1,0 +1,33 @@
+"""Unit tests for RecordID."""
+
+from repro.storage.recordid import NULL_RID, RID_BYTES, RecordID
+
+
+class TestRecordID:
+    def test_pack_unpack_roundtrip(self):
+        rid = RecordID(12345, 678)
+        assert RecordID.unpack(rid.pack()) == rid
+
+    def test_pack_size(self):
+        assert len(RecordID(1, 2).pack()) == RID_BYTES
+
+    def test_unpack_with_offset(self):
+        data = b"\x00\x00" + RecordID(7, 9).pack()
+        assert RecordID.unpack(data, 2) == RecordID(7, 9)
+
+    def test_null_rid(self):
+        assert NULL_RID.is_null
+        assert not RecordID(0, 0).is_null
+
+    def test_equality_and_hash(self):
+        assert RecordID(1, 2) == RecordID(1, 2)
+        assert hash(RecordID(1, 2)) == hash(RecordID(1, 2))
+        assert RecordID(1, 2) != RecordID(1, 3)
+
+    def test_ordering_page_major(self):
+        assert RecordID(1, 99) < RecordID(2, 0)
+        assert RecordID(1, 1) < RecordID(1, 2)
+
+    def test_repr(self):
+        assert repr(RecordID(3, 4)) == "RID(3,4)"
+        assert repr(NULL_RID) == "RID(null)"

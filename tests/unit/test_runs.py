@@ -1,0 +1,149 @@
+"""Unit tests for persisted runs."""
+
+import pytest
+
+from repro.buffer.pool import BufferPool
+from repro.errors import StorageError
+from repro.index.runs import PersistedRun
+from repro.sim.clock import SimClock
+from repro.sim.device import SimulatedDevice
+from repro.sim.profiles import INTEL_DC_P3600
+from repro.storage.pagefile import PageFile
+
+
+@pytest.fixture
+def env():
+    clock = SimClock()
+    device = SimulatedDevice(INTEL_DC_P3600, clock)
+    pool = BufferPool(32)
+    file = PageFile("run", device, 8192, 8)
+    return device, pool, file
+
+
+def _make_run(pool, file, records, fill=1.0):
+    return PersistedRun(file, pool, records,
+                        key_of=lambda r: r[0],
+                        size_of=lambda r: 64,
+                        fill_factor=fill)
+
+
+def _records(n, dup_every=0):
+    out = []
+    for i in range(n):
+        out.append(((i,), f"val-{i}"))
+        if dup_every and i % dup_every == 0:
+            out.append(((i,), f"dup-{i}"))
+    return out
+
+
+class TestBuild:
+    def test_empty_run(self, env):
+        _d, pool, file = env
+        run = _make_run(pool, file, [])
+        assert run.record_count == 0
+        assert run.min_key is None
+        assert list(run.search((1,))) == []
+        assert list(run.scan(None, None)) == []
+
+    def test_metadata(self, env):
+        _d, pool, file = env
+        run = _make_run(pool, file, _records(500))
+        assert run.record_count == 500
+        assert run.min_key == (0,)
+        assert run.max_key == (499,)
+        assert run.page_count > 1
+
+    def test_fill_factor_changes_page_count(self, env):
+        _d, pool, file = env
+        dense = _make_run(pool, file, _records(500), fill=1.0)
+        sparse = _make_run(pool, file, _records(500), fill=0.5)
+        assert sparse.page_count > dense.page_count
+
+    def test_bad_fill_factor(self, env):
+        _d, pool, file = env
+        with pytest.raises(StorageError):
+            _make_run(pool, file, _records(10), fill=0.0)
+
+    def test_build_writes_sequentially(self, env):
+        device, pool, file = env
+        _make_run(pool, file, _records(2000))
+        assert device.stats.seq_writes >= device.stats.rand_writes
+
+
+class TestSearch:
+    def test_point_search(self, env):
+        _d, pool, file = env
+        run = _make_run(pool, file, _records(500))
+        assert [v for _k, v in run.search((250,))] == ["val-250"]
+
+    def test_search_out_of_range_is_free(self, env):
+        device, pool, file = env
+        run = _make_run(pool, file, _records(100))
+        reads_before = device.stats.reads
+        assert list(run.search((5000,))) == []
+        assert device.stats.reads == reads_before
+
+    def test_duplicates_returned_in_run_order(self, env):
+        _d, pool, file = env
+        run = _make_run(pool, file, _records(300, dup_every=10))
+        values = [v for _k, v in run.search((100,))]
+        assert values == ["val-100", "dup-100"]
+
+    def test_duplicates_spanning_pages(self, env):
+        _d, pool, file = env
+        records = [((1,), f"v{i}") for i in range(400)]   # one huge key group
+        run = _make_run(pool, file, records)
+        assert run.page_count > 1
+        assert len(list(run.search((1,)))) == 400
+
+    def test_overlaps(self, env):
+        _d, pool, file = env
+        run = _make_run(pool, file, _records(100))
+        assert run.overlaps((50,), (60,))
+        assert run.overlaps(None, (0,))
+        assert not run.overlaps((200,), None)
+        assert not run.overlaps(None, (-1,))
+
+
+class TestScan:
+    def test_range_scan_inclusive(self, env):
+        _d, pool, file = env
+        run = _make_run(pool, file, _records(500))
+        got = [k[0] for k, _v in run.scan((10,), (20,))]
+        assert got == list(range(10, 21))
+
+    def test_range_scan_exclusive_bounds(self, env):
+        _d, pool, file = env
+        run = _make_run(pool, file, _records(100))
+        got = [k[0] for k, _v in run.scan((10,), (20,), lo_incl=False,
+                                          hi_incl=False)]
+        assert got == list(range(11, 20))
+
+    def test_unbounded_scan(self, env):
+        _d, pool, file = env
+        run = _make_run(pool, file, _records(100))
+        assert len(list(run.scan(None, None))) == 100
+
+    def test_iter_all_matches_input_order(self, env):
+        _d, pool, file = env
+        records = _records(300)
+        run = _make_run(pool, file, records)
+        assert list(run.iter_all()) == records
+
+    def test_iter_all_sequential_charges_extent_reads(self, env):
+        device, pool, file = env
+        run = _make_run(pool, file, _records(2000))
+        reads_before = device.stats.reads
+        assert len(list(run.iter_all_sequential())) == 2000
+        extent_reads = device.stats.reads - reads_before
+        assert extent_reads <= run.page_count  # coarse-grained, not per page
+
+
+class TestFree:
+    def test_free_releases_pages(self, env):
+        _d, pool, file = env
+        run = _make_run(pool, file, _records(200))
+        pages = run.page_count
+        allocated_before = file.allocated_pages
+        run.free()
+        assert file.allocated_pages == allocated_before - pages

@@ -1,0 +1,68 @@
+"""Unit tests for the blktrace-style I/O trace."""
+
+from repro.sim.clock import SimClock
+from repro.sim.device import SimulatedDevice
+from repro.sim.profiles import UNIT_TEST_PROFILE
+from repro.sim.trace import IOTrace, TraceEntry
+
+
+class TestIOTrace:
+    def test_disabled_by_default(self):
+        trace = IOTrace()
+        trace.record(0.0, 0, 8192, "W")
+        assert len(trace) == 0
+
+    def test_records_when_enabled(self):
+        trace = IOTrace()
+        trace.enable()
+        trace.record(1.0, 100, 8192, "W")
+        assert len(trace) == 1
+        entry = trace.entries()[0]
+        assert entry == TraceEntry(1.0, 100, 16, "W")
+
+    def test_kind_filter(self):
+        trace = IOTrace()
+        trace.enable()
+        trace.record(0.0, 0, 8192, "W")
+        trace.record(0.0, 16, 8192, "R")
+        assert len(trace.entries("W")) == 1
+        assert len(trace.entries("R")) == 1
+
+    def test_sequential_fraction_all_sequential(self):
+        trace = IOTrace()
+        trace.enable()
+        for i in range(5):
+            trace.record(float(i), i * 16, 8192, "W")
+        assert trace.sequential_fraction("W") == 1.0
+
+    def test_sequential_fraction_all_random(self):
+        trace = IOTrace()
+        trace.enable()
+        for i in range(5):
+            trace.record(float(i), i * 1000, 8192, "W")
+        assert trace.sequential_fraction("W") == 0.0
+
+    def test_lba_span(self):
+        trace = IOTrace()
+        trace.enable()
+        trace.record(0.0, 100, 8192, "W")
+        trace.record(0.0, 500, 8192, "W")
+        assert trace.lba_span("W") == (100, 516)
+
+    def test_clear(self):
+        trace = IOTrace()
+        trace.enable()
+        trace.record(0.0, 0, 8192, "W")
+        trace.clear()
+        assert len(trace) == 0
+
+    def test_device_integration(self):
+        clock = SimClock()
+        trace = IOTrace()
+        dev = SimulatedDevice(UNIT_TEST_PROFILE, clock, trace)
+        offset = dev.allocate(65536)
+        trace.enable()
+        dev.write(offset, 65536)
+        dev.write(offset + 65536 - 65536 + 65536, 8192)  # adjacent
+        assert len(trace.entries("W")) == 2
+        assert trace.sequential_fraction("W") == 1.0

@@ -1,0 +1,144 @@
+"""Unit tests for tuple-level garbage collection (vacuum)."""
+
+import pytest
+
+from repro.buffer.pool import BufferPool
+from repro.sim.clock import SimClock
+from repro.sim.device import SimulatedDevice
+from repro.sim.profiles import UNIT_TEST_PROFILE
+from repro.storage.pagefile import PageFile
+from repro.table.heap import HeapTable
+from repro.table.sias import SIASTable
+from repro.table.vacuum import vacuum_heap, vacuum_sias
+from repro.txn.manager import TransactionManager
+
+
+@pytest.fixture
+def env():
+    clock = SimClock()
+    device = SimulatedDevice(UNIT_TEST_PROFILE, clock)
+    return TransactionManager(clock), device, BufferPool(128)
+
+
+class TestVacuumHeap:
+    def test_superseded_versions_removed(self, env):
+        mgr, device, pool = env
+        table = HeapTable("t", PageFile("t", device, 8192, 8), pool)
+        t = mgr.begin()
+        _, rid = table.insert(t, (1, "a"))
+        t.commit()
+        last = rid
+        for i in range(5):
+            t = mgr.begin()
+            resolved = table.visible_version(t, rid)
+            last = table.update(t, resolved[0], (1, f"v{i}"))
+            t.commit()
+        result = vacuum_heap(table, mgr)
+        assert result.versions_removed == 5
+        reader = mgr.begin()
+        resolved = table.visible_version(reader, rid)
+        assert resolved is not None and resolved[1].data == (1, "v4")
+
+    def test_versions_visible_to_active_snapshot_kept(self, env):
+        mgr, device, pool = env
+        table = HeapTable("t", PageFile("t", device, 8192, 8), pool)
+        t = mgr.begin()
+        _, rid = table.insert(t, (1, "a"))
+        t.commit()
+        old_reader = mgr.begin()
+        t2 = mgr.begin()
+        table.update(t2, rid, (1, "b"))
+        t2.commit()
+        result = vacuum_heap(table, mgr)
+        assert result.versions_removed == 0
+        assert table.visible_version(old_reader, rid)[1].data == (1, "a")
+
+    def test_aborted_versions_removed(self, env):
+        mgr, device, pool = env
+        table = HeapTable("t", PageFile("t", device, 8192, 8), pool)
+        t = mgr.begin()
+        _, rid = table.insert(t, (1, "a"))
+        t.abort()
+        result = vacuum_heap(table, mgr)
+        assert result.versions_removed == 1
+
+    def test_chain_root_becomes_stub_and_walk_still_works(self, env):
+        mgr, device, pool = env
+        table = HeapTable("t", PageFile("t", device, 8192, 8), pool)
+        t = mgr.begin()
+        _, rid = table.insert(t, (1, "a"))
+        t.commit()
+        t2 = mgr.begin()
+        table.update(t2, rid, (1, "b"))
+        t2.commit()
+        vacuum_heap(table, mgr)
+        reader = mgr.begin()
+        # index entries still point at the root rid; the stub must forward
+        resolved = table.visible_version(reader, rid)
+        assert resolved is not None and resolved[1].data == (1, "b")
+
+
+class TestVacuumSias:
+    def test_dead_chain_dropped_and_page_freed(self, env):
+        mgr, device, pool = env
+        table = SIASTable("s", PageFile("s", device, 8192, 8), pool,
+                          flush_extent_pages=1)
+        t = mgr.begin()
+        vid, rid = table.insert(t, (1, "x" * 3000))
+        t.commit()
+        t2 = mgr.begin()
+        table.delete(t2, rid)
+        t2.commit()
+        # push versions out of the tail so pages become freeable
+        t3 = mgr.begin()
+        for i in range(30):
+            table.insert(t3, (100 + i, "y" * 500))
+        t3.commit()
+        table.flush_tail()
+        result = vacuum_sias(table, mgr)
+        assert vid in result.dropped_vids
+        assert not table.has_chain(vid)
+
+    def test_old_snapshot_blocks_reclamation(self, env):
+        mgr, device, pool = env
+        table = SIASTable("s", PageFile("s", device, 8192, 8), pool)
+        t = mgr.begin()
+        vid, rid = table.insert(t, (1, "a"))
+        t.commit()
+        reader = mgr.begin()
+        t2 = mgr.begin()
+        table.update(t2, rid, (1, "b"))
+        t2.commit()
+        result = vacuum_sias(table, mgr)
+        assert result.versions_removed == 0
+        entry = table.entry_point(vid)
+        assert table.visible_version(reader, entry)[1].data == (1, "a")
+
+    def test_superseded_below_cutoff_detached(self, env):
+        mgr, device, pool = env
+        table = SIASTable("s", PageFile("s", device, 8192, 8), pool)
+        t = mgr.begin()
+        vid, rid = table.insert(t, (1, "v0"))
+        t.commit()
+        last = rid
+        for i in range(4):
+            t = mgr.begin()
+            last = table.update(t, last, (1, f"v{i + 1}"))
+            t.commit()
+        result = vacuum_sias(table, mgr)
+        assert result.versions_removed == 4
+        # chain anchor no longer links to removed predecessors
+        anchor = table.fetch(table.entry_point(vid))
+        assert anchor.prev_rid is None
+
+    def test_aborted_versions_collected(self, env):
+        mgr, device, pool = env
+        table = SIASTable("s", PageFile("s", device, 8192, 8), pool)
+        t = mgr.begin()
+        vid, rid = table.insert(t, (1, "a"))
+        t.commit()
+        t2 = mgr.begin()
+        table.update(t2, rid, (1, "bad"))
+        t2.abort()
+        result = vacuum_sias(table, mgr)
+        assert result.versions_removed >= 1

@@ -1,0 +1,119 @@
+"""Unit tests for the YCSB driver."""
+
+import pytest
+
+from repro.config import EngineConfig
+from repro.errors import WorkloadError
+from repro.kv import make_kv_store
+from repro.workloads.ycsb import (WORKLOAD_A, WORKLOAD_E, WORKLOADS,
+                                  YCSBConfig, YCSBRunner, run_workload)
+
+CONFIG = EngineConfig(buffer_pool_pages=64,
+                      partition_buffer_bytes=16 * 8192)
+
+
+class TestConfig:
+    def test_presets_proportions_sum_to_one(self):
+        for name, preset in WORKLOADS.items():
+            total = (preset.read_proportion + preset.update_proportion
+                     + preset.insert_proportion + preset.scan_proportion
+                     + preset.rmw_proportion)
+            assert total == pytest.approx(1.0), name
+
+    def test_invalid_proportions_rejected(self):
+        with pytest.raises(WorkloadError):
+            YCSBConfig(read_proportion=0.9, update_proportion=0.5)
+
+    def test_scaled_copy(self):
+        scaled = WORKLOAD_A.scaled(record_count=10, operation_count=20)
+        assert scaled.record_count == 10
+        assert scaled.operation_count == 20
+        assert scaled.read_proportion == WORKLOAD_A.read_proportion
+
+
+class TestRunner:
+    def test_run_before_load_rejected(self):
+        store = make_kv_store("mvpbt", CONFIG)
+        runner = YCSBRunner(store, WORKLOAD_A.scaled(record_count=10))
+        with pytest.raises(WorkloadError):
+            runner.run()
+
+    def test_load_populates_all_records(self):
+        store = make_kv_store("mvpbt", CONFIG)
+        runner = YCSBRunner(store, WORKLOAD_A.scaled(record_count=50))
+        runner.load()
+        for i in (0, 25, 49):
+            assert store.get(f"user{i:010d}") is not None
+
+    def test_mix_respected(self):
+        store = make_kv_store("mvpbt", CONFIG)
+        cfg = WORKLOAD_A.scaled(record_count=100, operation_count=1000)
+        runner = YCSBRunner(store, cfg, "A")
+        runner.load()
+        result = runner.run()
+        assert result.operations == 1000
+        assert result.counts["read"] + result.counts["update"] == 1000
+        assert 300 < result.counts["read"] < 700
+
+    def test_workload_d_inserts_extend_keyspace(self):
+        store = make_kv_store("mvpbt", CONFIG)
+        result = run_workload(store, "D", record_count=100,
+                              operation_count=500)
+        assert result.counts["insert"] > 0
+        assert result.not_found == 0   # "latest" reads find inserted keys
+
+    def test_workload_e_scans(self):
+        store = make_kv_store("lsm", CONFIG)
+        result = run_workload(store, "E", record_count=100,
+                              operation_count=200)
+        assert result.counts["scan"] > 150
+
+    def test_throughput_positive(self):
+        store = make_kv_store("btree", CONFIG)
+        result = run_workload(store, "A", record_count=200,
+                              operation_count=500)
+        assert result.throughput > 0
+        assert result.elapsed_sim_seconds > 0
+
+    def test_deterministic_given_seed(self):
+        results = []
+        for _ in range(2):
+            store = make_kv_store("mvpbt", CONFIG)
+            results.append(run_workload(store, "A", record_count=100,
+                                        operation_count=300, seed=11))
+        assert results[0].counts == results[1].counts
+        assert results[0].elapsed_sim_seconds == pytest.approx(
+            results[1].elapsed_sim_seconds)
+
+    def test_unknown_workload(self):
+        store = make_kv_store("btree", CONFIG)
+        with pytest.raises(WorkloadError):
+            run_workload(store, "Z")
+
+
+class TestWorkloadsCF:
+    def test_workload_c_is_read_only(self):
+        store = make_kv_store("mvpbt", CONFIG)
+        result = run_workload(store, "C", record_count=100,
+                              operation_count=300)
+        assert result.counts["read"] == 300
+        assert result.not_found == 0
+
+    def test_workload_f_mixes_reads_and_rmw(self):
+        store = make_kv_store("mvpbt", CONFIG)
+        result = run_workload(store, "F", record_count=100,
+                              operation_count=400)
+        assert result.counts["rmw"] > 100
+        assert result.counts["read"] > 100
+        assert result.counts["rmw"] + result.counts["read"] == 400
+
+    def test_rmw_actually_writes(self):
+        import dataclasses
+        from repro.workloads.ycsb import WORKLOAD_F, YCSBRunner
+        store = make_kv_store("btree", CONFIG)
+        cfg = dataclasses.replace(WORKLOAD_F, record_count=50,
+                                  operation_count=200)
+        runner = YCSBRunner(store, cfg, "F")
+        runner.load()
+        runner.run()
+        assert store.stats.updates + store.stats.inserts > 50
