@@ -1,0 +1,227 @@
+"""Quick-mode benchmark runner: one command, one machine-readable report.
+
+Runs (a) a hot-path scan-pipeline microbenchmark on a 100k-record,
+multi-partition MV-PBT — wall-clock, per-record allocation work and the
+visibility/filter counters for ``range_scan``, ``cursor``, ``scan_limit``
+and point ``search`` — and (b) scaled-down versions of the fig12/fig14/
+fig15 figure benchmarks, then writes everything to ``BENCH_PR1.json`` so
+future PRs have a perf trajectory to compare against.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_all.py [--out BENCH_PR1.json]
+                                                [--skip-figures]
+
+The scan microbenchmark degrades gracefully on trees without the streaming
+``cursor`` API, so the same script can be pointed (via PYTHONPATH) at older
+checkouts to produce before/after numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+import tracemalloc
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))       # common.py
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.buffer.partition_buffer import PartitionBuffer
+from repro.buffer.pool import BufferPool
+from repro.core.tree import MVPBT
+from repro.sim.clock import SimClock
+from repro.sim.device import SimulatedDevice
+from repro.sim.profiles import UNIT_TEST_PROFILE
+from repro.storage.pagefile import PageFile
+from repro.storage.recordid import RecordID
+from repro.txn.manager import TransactionManager
+
+SCAN_RECORDS = 100_000
+SCAN_PARTITION_EVERY = 12_500      # -> 8 persisted partitions
+SCAN_REPEAT = 3
+
+
+def build_scan_tree():
+    clock = SimClock()
+    device = SimulatedDevice(UNIT_TEST_PROFILE, clock)
+    # no manager clock: measure pure python wall-clock, not simulated cost
+    mgr = TransactionManager()
+    tree = MVPBT("bench", PageFile("bench", device, 8192, 8),
+                 BufferPool(4096), PartitionBuffer(1 << 28), mgr)
+    t = mgr.begin()
+    for i in range(SCAN_RECORDS):
+        tree.insert(t, (i,), RecordID(1, i), vid=i + 1)
+        if (i + 1) % SCAN_PARTITION_EVERY == 0:
+            t.commit()
+            tree.evict_partition()
+            t = mgr.begin()
+    if t.is_active:
+        t.commit()
+    # a second wave of updates so scans cross versions and partitions
+    t = mgr.begin()
+    for i in range(0, SCAN_RECORDS, 16):
+        tree.update_nonkey(t, (i,), RecordID(2, i), RecordID(1, i),
+                           vid=i + 1)
+    t.commit()
+    return mgr, tree
+
+
+def timed(fn, repeat=SCAN_REPEAT):
+    """Best-of-N wall clock plus the allocation work of one tracked run."""
+    best = float("inf")
+    result = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    tracemalloc.start()
+    fn()
+    _current, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return best, peak, result
+
+
+def bench_scan_pipeline() -> dict:
+    print(f"[scan] building {SCAN_RECORDS} records "
+          f"({SCAN_RECORDS // SCAN_PARTITION_EVERY} persisted partitions)…")
+    mgr, tree = build_scan_tree()
+    reader = mgr.begin()
+    out: dict = {
+        "records": SCAN_RECORDS,
+        "partitions": tree.partition_count,
+    }
+
+    def snapshot_counters():
+        return (tree.stats.records_checked,
+                tree.stats.partitions_skipped_bloom
+                + tree.stats.partitions_skipped_mints
+                + tree.stats.partitions_skipped_range)
+
+    # full range scan ------------------------------------------------------
+    checked0, skipped0 = snapshot_counters()
+    secs, alloc_peak, hits = timed(
+        lambda: tree.range_scan(reader, None, None))
+    checked1, skipped1 = snapshot_counters()
+    n = len(hits)
+    out["range_scan"] = {
+        "hits": n,
+        "seconds": round(secs, 4),
+        "hits_per_sec": round(n / secs),
+        "records_checked": (checked1 - checked0) // (SCAN_REPEAT + 1),
+        "partitions_skipped": (skipped1 - skipped0) // (SCAN_REPEAT + 1),
+        "alloc_peak_bytes": alloc_peak,
+        "alloc_bytes_per_hit": round(alloc_peak / n, 1),
+    }
+    print(f"[scan] range_scan: {n} hits in {secs:.3f}s "
+          f"({out['range_scan']['hits_per_sec']} hits/s, "
+          f"alloc peak {alloc_peak // 1024} KiB)")
+
+    # streaming cursor, early termination ---------------------------------
+    if hasattr(tree, "cursor"):
+        def first_100():
+            cur = tree.cursor(reader, None, None)
+            got = [next(cur) for _ in range(100)]
+            cur.close()
+            return got
+
+        secs, alloc_peak, _ = timed(first_100)
+        out["cursor_first_100"] = {
+            "seconds": round(secs, 6),
+            "alloc_peak_bytes": alloc_peak,
+        }
+        print(f"[scan] cursor first-100: {secs * 1000:.2f} ms "
+              f"(alloc peak {alloc_peak // 1024} KiB)")
+    else:
+        out["cursor_first_100"] = None
+        print("[scan] cursor API not present (pre-cursor checkout)")
+
+    # LIMIT scan -----------------------------------------------------------
+    secs, alloc_peak, hits = timed(
+        lambda: tree.scan_limit(reader, (1000,), 1000))
+    out["scan_limit_1000"] = {
+        "hits": len(hits),
+        "seconds": round(secs, 6),
+        "alloc_peak_bytes": alloc_peak,
+    }
+    print(f"[scan] scan_limit(1000): {secs * 1000:.2f} ms")
+
+    # point lookups --------------------------------------------------------
+    keys = list(range(0, SCAN_RECORDS, SCAN_RECORDS // 2000))
+
+    def points():
+        for k in keys:
+            tree.search(reader, (k,))
+
+    secs, _alloc, _ = timed(points, repeat=1)
+    out["search"] = {
+        "lookups": len(keys),
+        "seconds": round(secs, 4),
+        "lookups_per_sec": round(len(keys) / secs),
+    }
+    print(f"[scan] {len(keys)} point lookups: "
+          f"{out['search']['lookups_per_sec']} ops/s")
+    return out
+
+
+def bench_figures() -> dict:
+    """Scaled-down fig12/fig14/fig15 runs (simulated-time metrics)."""
+    out: dict = {}
+
+    print("[fig12b] visibility check vs chain length (quick)…")
+    import bench_fig12b_visibility_check as f12
+    out["fig12b"] = {
+        "pbt_scan_ms": f12.scan_time("pbt", {}, 2),
+        "mvpbt_gc_scan_ms": f12.scan_time("mvpbt", {}, 2),
+    }
+
+    print("[fig14b] indexing approaches under TPC-C (quick)…")
+    import bench_fig14b_indexing_approaches as f14
+    out["fig14b_tpm"] = {
+        "btree_lr": f14.run_variant("btree", "logical", 1),
+        "mvpbt_lr": f14.run_variant("mvpbt", "logical", 1),
+    }
+
+    print("[fig15a] YCSB (quick)…")
+    import bench_fig15a_ycsb as f15
+    f15.RECORDS = 4_000
+    f15.OPERATIONS = 6_000
+    f15.SCAN_OPERATIONS = 600
+    out["fig15a_ops_per_sim_s"] = {
+        "A_mvpbt": f15.run_cell("mvpbt", "A"),
+        "B_mvpbt": f15.run_cell("mvpbt", "B"),
+        "E_mvpbt": f15.run_cell("mvpbt", "E"),
+    }
+    return out
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=str(
+        Path(__file__).resolve().parent.parent / "BENCH_PR1.json"))
+    parser.add_argument("--skip-figures", action="store_true",
+                        help="only run the scan-pipeline microbenchmark")
+    args = parser.parse_args()
+
+    started = time.time()
+    report = {
+        "meta": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        },
+        "scan_pipeline": bench_scan_pipeline(),
+    }
+    if not args.skip_figures:
+        report["figures"] = bench_figures()
+    report["meta"]["wall_seconds"] = round(time.time() - started, 1)
+
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {args.out} ({report['meta']['wall_seconds']}s total)")
+
+
+if __name__ == "__main__":
+    main()

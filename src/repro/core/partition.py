@@ -23,6 +23,9 @@ from ..storage.page import PAGE_HEADER_BYTES
 from ..txn.snapshot import Snapshot
 from .records import MVPBTRecord, ReferenceMode, record_size
 
+#: sorts after any (-ts, -seq) pair — exclusive-bound probe component
+_AFTER_KEY = float("inf")
+
 
 class MemLeaf:
     """One in-memory leaf node of ``P_N``.
@@ -160,17 +163,37 @@ class MemoryPartition:
     def scan(self, lo: tuple | None, hi: tuple | None, *,
              lo_incl: bool = True,
              hi_incl: bool = True) -> Iterator[tuple[MemLeaf, MVPBTRecord]]:
-        """Records with keys in range, in partition order."""
-        if lo is not None:
-            start = max(0, bisect_right(self._fences, (lo,)) - 1)
+        """Records with keys in range, in partition order.
+
+        Copy-free: bisects to the start offset inside the first leaf and
+        iterates records in place (no per-leaf list copies, no per-record
+        lower-bound comparisons).  The iterator borrows the leaf lists —
+        consume it before further inserts/GC on this partition, like any
+        unlatched cursor.
+        """
+        if lo is None:
+            start, probe = 0, None
         else:
-            start = 0
+            # sort keys are (key, -ts, -seq): a bare ``(lo,)`` sorts before
+            # every record of key ``lo``; ``(lo, inf)`` sorts after them all
+            probe = (lo,) if lo_incl else (lo, _AFTER_KEY)
+            start = max(0, bisect_right(self._fences, probe) - 1)
         for leaf_idx in range(start, len(self._leaves)):
             leaf = self._leaves[leaf_idx]
-            for record in list(leaf.records):
+            records = leaf.records
+            if probe is not None:
+                pos = bisect_left(leaf.sort_keys, probe)
+                if pos < len(records):
+                    probe = None    # found the range start; later leaves
+                                    # begin at their first record
+                # else: the whole leaf is below the range (the start leaf is
+                # chosen one early — records equal to a fence key may sit in
+                # the leaf before it); keep probing in the next leaf
+            else:
+                pos = 0
+            for idx in range(pos, len(records)):
+                record = records[idx]
                 key = record.key
-                if lo is not None and (key < lo or (not lo_incl and key == lo)):
-                    continue
                 if hi is not None and (key > hi or (not hi_incl and key == hi)):
                     return
                 yield leaf, record

@@ -62,6 +62,13 @@ class ReferenceMode(Enum):
     LOGICAL = "logical"
 
 
+#: matter / anti-matter by record type (indexed by the IntEnum value; see
+#: the table in the module docstring) — hot visibility paths index these
+#: instead of testing ``rtype in (...)`` per record
+HAS_MATTER = (True, True, False, False, True)
+HAS_ANTIMATTER = (False, True, True, True, False)
+
+
 @dataclass(slots=True)
 class MVPBTRecord:
     """One MV-PBT index record.
@@ -87,13 +94,11 @@ class MVPBTRecord:
 
     @property
     def has_matter(self) -> bool:
-        return self.rtype in (RecordType.REGULAR, RecordType.REPLACEMENT,
-                              RecordType.REGULAR_SET)
+        return HAS_MATTER[self.rtype]
 
     @property
     def has_antimatter(self) -> bool:
-        return self.rtype in (RecordType.REPLACEMENT, RecordType.ANTI,
-                              RecordType.TOMBSTONE)
+        return HAS_ANTIMATTER[self.rtype]
 
     @property
     def is_gc(self) -> bool:

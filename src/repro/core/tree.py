@@ -26,7 +26,9 @@ executor must resolve against the base table.
 
 from __future__ import annotations
 
-from typing import NamedTuple
+import heapq
+from itertools import islice
+from typing import Iterator, NamedTuple
 
 from ..buffer.partition_buffer import PartitionBuffer
 from ..buffer.pool import BufferPool
@@ -257,70 +259,108 @@ class MVPBT:
         self.stats.hits_returned += len(hits)
         return hits
 
+    def cursor(self, txn: Transaction, lo: tuple | None = None,
+               hi: tuple | None = None, *, lo_incl: bool = True,
+               hi_incl: bool = True) -> Iterator[SearchHit]:
+        """Streaming index-only range scan: yield visible entries lazily.
+
+        All partitions are k-way heap-merged on the §4.3 composite order —
+        search key ascending, then partition number and timestamp/sequence
+        *descending* — so per key the records arrive in exactly the §4.4
+        processing order (newest partition first, newest change first) the
+        anti-matter cascade requires, while hits stream out in global key
+        order without materialising or re-sorting the range.
+
+        Partition filters (range keys, minimum timestamp, prefix bloom) are
+        applied when the cursor starts; each surviving partition contributes
+        one lazy source, so abandoning the cursor early leaves the tail of
+        every partition unread.  The cursor borrows the partitions it
+        iterates: consume it before further modifications of this tree
+        (like any unlatched database cursor).
+        """
+        self.stats.scans += 1
+        if not self.index_only_visibility:
+            yield from self._candidates_range(lo, hi, lo_incl, hi_incl)
+            return
+
+        checker = self._checker(txn)
+        check = checker.check
+        stats = self.stats
+        visible = Visibility.VISIBLE
+        try:
+            # inlined _classify: this loop touches every candidate record of
+            # the range and dominates scan wall-clock
+            for item in self._merged_records(txn, lo, hi, lo_incl, hi_incl):
+                # item = (key, -pno, -ts, -seq, record, leaf-or-None)
+                record = item[4]
+                if record.rtype is RecordType.REGULAR_SET:
+                    key = record.key
+                    payload = record.payload
+                    for vid, rid, ts, _seq in \
+                            checker.visible_set_entries(record):
+                        stats.hits_returned += 1
+                        yield SearchHit(key, rid, vid, ts, payload)
+                    continue
+                vis = check(record)
+                if vis is visible:
+                    stats.hits_returned += 1
+                    yield SearchHit(record.key, record.rid_new, record.vid,
+                                    record.ts, record.payload)
+                elif vis is Visibility.GARBAGE and item[5] is not None:
+                    if not record.is_gc:
+                        record.mark_gc()
+                        self.gc_stats.flagged += 1
+                    item[5].has_garbage = True
+        finally:
+            # runs on exhaustion *and* on early close (GeneratorExit)
+            stats.records_checked += checker.records_processed
+
     def range_scan(self, txn: Transaction, lo: tuple | None,
                    hi: tuple | None, *, lo_incl: bool = True,
                    hi_incl: bool = True) -> list[SearchHit]:
-        """Index-only range scan (Algorithm 2): visible entries, key order."""
-        self.stats.scans += 1
-        if not self.index_only_visibility:
-            return self._candidates_range(lo, hi, lo_incl, hi_incl)
+        """Index-only range scan (Algorithm 2): visible entries, key order.
 
-        checker = self._checker(txn)
-        hits: list[SearchHit] = []
-
-        for leaf, record in self._mem.scan(lo, hi, lo_incl=lo_incl,
-                                           hi_incl=hi_incl):
-            self._classify(checker, record, hits, leaf)
-
-        prefix = None
-        for part in reversed(self._persisted):
-            if not part.possibly_visible_to(txn.snapshot):
-                self.stats.partitions_skipped_mints += 1
-                continue
-            if not part.overlaps(lo, hi):
-                self.stats.partitions_skipped_range += 1
-                continue
-            gated = False
-            if self.use_prefix_bloom and part.prefix_bloom is not None:
-                prefix = part.prefix_bloom.applicable(lo, hi)
-                if prefix is not None:
-                    gated = True
-                    if not part.prefix_bloom.query_prefix(prefix):
-                        self.stats.partitions_skipped_bloom += 1
-                        continue
-            matched = False
-            for record in part.scan(lo, hi, lo_incl=lo_incl, hi_incl=hi_incl):
-                matched = True
-                self._classify(checker, record, hits, None)
-            if gated and part.prefix_bloom is not None:
-                part.prefix_bloom.report_pass_outcome(matched)
-
-        hits.sort(key=lambda h: h.key)
-        self.stats.records_checked += checker.records_processed
-        self.stats.hits_returned += len(hits)
-        return hits
+        Thin wrapper draining :meth:`cursor`; the hits arrive already in
+        key order, so no collect-then-sort pass is needed.
+        """
+        return list(self.cursor(txn, lo, hi, lo_incl=lo_incl,
+                                hi_incl=hi_incl))
 
     def scan_limit(self, txn: Transaction, lo: tuple | None, limit: int,
                    hi: tuple | None = None, *,
                    lo_incl: bool = True) -> list[SearchHit]:
         """Index-only scan returning at most ``limit`` visible entries.
 
-        Lazily k-way-merges all partitions on the composite order
-        (key asc, partition desc, timestamp desc) — which is exactly the
-        §4.3/§4.4 processing order per key — so the scan stops pulling
-        records as soon as ``limit`` keys' groups are complete, instead of
-        materialising the whole range (YCSB workload E, LIMIT queries).
+        Thin wrapper taking the first ``limit`` hits off :meth:`cursor`:
+        the streaming merge stops pulling records as soon as the limit is
+        reached, instead of materialising the whole range (YCSB workload E,
+        LIMIT queries).
         """
-        import heapq
+        if limit <= 0:
+            self.stats.scans += 1
+            return []
+        return list(islice(self.cursor(txn, lo, hi, lo_incl=lo_incl),
+                           limit))
 
-        self.stats.scans += 1
-        checker = self._checker(txn)
+    def _merged_records(self, txn: Transaction, lo: tuple | None,
+                        hi: tuple | None, lo_incl: bool,
+                        hi_incl: bool) -> Iterator[tuple]:
+        """All partitions' records merged on (key asc, partition desc,
+        ts desc, seq desc), as ``(key, -pno, -ts, -seq, record, leaf)``
+        tuples.
+
+        The tuples compare directly — no merge key function.  Their 4-prefix
+        is globally unique (``seq`` comes from the tree-wide monotonic
+        counter, partitions have distinct numbers), so a comparison never
+        falls through to the record element.
+        """
         sources = []
         mem_pno = self._mem.number
 
-        def mem_source():
-            for leaf, record in self._mem.scan(lo, hi, lo_incl=lo_incl):
-                yield (record.key, -mem_pno, -record.ts, -record.seq,
+        def mem_source(neg=-mem_pno):
+            for leaf, record in self._mem.scan(lo, hi, lo_incl=lo_incl,
+                                               hi_incl=hi_incl):
+                yield (record.key, neg, -record.ts, -record.seq,
                        record, leaf)
 
         sources.append(mem_source())
@@ -331,32 +371,32 @@ class MVPBT:
             if not part.overlaps(lo, hi):
                 self.stats.partitions_skipped_range += 1
                 continue
-            pno = part.number
+            gate = None
+            if self.use_prefix_bloom and part.prefix_bloom is not None:
+                prefix = part.prefix_bloom.applicable(lo, hi)
+                if prefix is not None:
+                    if not part.prefix_bloom.query_prefix(prefix):
+                        self.stats.partitions_skipped_bloom += 1
+                        continue
+                    gate = part.prefix_bloom
 
-            def part_source(p=part, pno=pno):
-                for record in p.scan(lo, hi, lo_incl=lo_incl):
-                    yield (record.key, -pno, -record.ts, -record.seq,
+            def part_source(p=part, neg=-part.number, gate=gate):
+                matched = False
+                for record in p.scan(lo, hi, lo_incl=lo_incl,
+                                     hi_incl=hi_incl):
+                    matched = True
+                    yield (record.key, neg, -record.ts, -record.seq,
                            record, None)
+                # adaptivity feedback fires only when the source is drained;
+                # an abandoned cursor reports nothing (no false "miss")
+                if gate is not None:
+                    gate.report_pass_outcome(matched)
 
             sources.append(part_source())
 
-        hits: list[SearchHit] = []
-        group: list[SearchHit] = []
-        group_key: tuple | None = None
-        for key, _npno, _nts, _nseq, record, leaf in heapq.merge(
-                *sources, key=lambda item: item[:4]):
-            if key != group_key:
-                hits.extend(group)
-                group = []
-                group_key = key
-                if len(hits) >= limit:
-                    break
-            self._classify(checker, record, group, leaf)
-        if len(hits) < limit:
-            hits.extend(group)
-        self.stats.records_checked += checker.records_processed
-        self.stats.hits_returned += len(hits[:limit])
-        return hits[:limit]
+        if len(sources) == 1:
+            return sources[0]
+        return heapq.merge(*sources)
 
     # ----------------------------------------------------- partition buffer
 

@@ -39,7 +39,8 @@ from ..config import CostModel
 from ..sim.clock import SimClock
 from ..txn.snapshot import Snapshot
 from ..txn.status import CommitLog
-from .records import MVPBTRecord, RecordType, ReferenceMode
+from .records import (FLAG_GC, HAS_ANTIMATTER, HAS_MATTER, MVPBTRecord,
+                      RecordType, ReferenceMode)
 
 
 class Visibility(Enum):
@@ -53,8 +54,8 @@ class VisibilityChecker:
     """Stateful per-operation visibility check."""
 
     __slots__ = ("snapshot", "commit_log", "mode", "cutoff",
-                 "active_snapshots", "_anti", "_clock", "_cost",
-                 "records_processed")
+                 "active_snapshots", "_anti", "_sees_memo", "_clock",
+                 "_cost", "records_processed")
 
     def __init__(self, snapshot: Snapshot, commit_log: CommitLog,
                  mode: ReferenceMode, *, cutoff: int | None = None,
@@ -68,6 +69,8 @@ class VisibilityChecker:
         self.active_snapshots = active_snapshots
         #: anti-matter map: identity -> (ts, seq) of the newest invalidation
         self._anti: dict[object, tuple[int, int]] = {}
+        #: memo: ts -> sees_ts answer, resolved at most once per operation
+        self._sees_memo: dict[int, bool] = {}
         self._clock = clock
         self._cost = cost if cost is not None else CostModel()
         self.records_processed = 0
@@ -75,38 +78,59 @@ class VisibilityChecker:
     # -------------------------------------------------------------- checking
 
     def check(self, record: MVPBTRecord) -> Visibility:
-        """Classify one record (records must arrive in processing order)."""
-        self._charge()
+        """Classify one record (records must arrive in processing order).
+
+        This is the hottest loop of every index-only scan: steps (a)-(d)
+        below mirror Algorithm 3, but matter/anti-matter are dispatched via
+        flat per-type tables and the ts memo is probed inline rather than
+        through the record properties / helper methods used elsewhere.
+        """
+        if self._clock is not None:                       # == _charge()
+            self._clock.advance(self._cost.visibility_step)
         self.records_processed += 1
 
         # (b) timestamp not committed-visible to the snapshot
-        if not self.snapshot.sees_ts(record.ts, self.commit_log):
+        ts = record.ts
+        memo = self._sees_memo
+        sees = memo.get(ts)
+        if sees is None:
+            sees = memo[ts] = self.snapshot.sees_ts(ts, self.commit_log)
+        if not sees:
             return Visibility.INVISIBLE
+
+        rtype = record.rtype
+        anti = self._anti
+        logical = self.mode is ReferenceMode.LOGICAL
 
         # (c) matter already superseded by visible anti-matter?
         superseded_by: tuple[int, int] | None = None
-        if record.has_matter:
-            anti_ts = self._anti.get(record.matter_id(self.mode))
-            if anti_ts is not None and (record.ts, record.seq) < anti_ts:
+        if HAS_MATTER[rtype]:
+            anti_ts = anti.get(record.vid if logical else record.rid_new)
+            if anti_ts is not None and (ts, record.seq) < anti_ts:
                 superseded_by = anti_ts
 
         # cascade: committed-visible anti-matter always registers — even on
         # GC-flagged records: the flag declares the *matter* dead, but the
         # record's invalidation reach is only transferred at physical purge
         # time (phase 2/3 patching), so until then it must keep killing
-        if record.has_antimatter:
-            self._register_anti(record)
+        if HAS_ANTIMATTER[rtype]:
+            identity = record.vid if logical else record.rid_old
+            if identity is not None:
+                stamp = (ts, record.seq)
+                existing = anti.get(identity)
+                if existing is None or stamp > existing:
+                    anti[identity] = stamp
 
         # (a) flagged garbage is never returned
-        if record.is_gc:
+        if record.flags & FLAG_GC:
             return Visibility.INVISIBLE
 
-        # (d) pure anti-matter is never returned
-        if record.rtype in (RecordType.ANTI, RecordType.TOMBSTONE):
+        # (d) pure anti-matter (ANTI / TOMBSTONE) is never returned
+        if not HAS_MATTER[rtype]:
             return Visibility.INVISIBLE
 
         if superseded_by is not None:
-            if self._dead_below_cutoff(record.ts, superseded_by[0]):
+            if self._dead_below_cutoff(ts, superseded_by[0]):
                 return Visibility.GARBAGE
             return Visibility.INVISIBLE
         return Visibility.VISIBLE
@@ -124,7 +148,7 @@ class VisibilityChecker:
         for vid, rid, ts, seq in record.set_entries:
             self._charge()
             self.records_processed += 1
-            if not self.snapshot.sees_ts(ts, self.commit_log):
+            if not self._sees(ts):
                 continue
             identity = vid if self.mode is ReferenceMode.LOGICAL else rid
             anti_ts = self._anti.get(identity)
@@ -134,6 +158,25 @@ class VisibilityChecker:
         return visible
 
     # -------------------------------------------------------------- internal
+
+    def _sees(self, ts: int) -> bool:
+        """Memoised ``snapshot.sees_ts``: each distinct timestamp is resolved
+        against the snapshot at most once per operation.
+
+        Safe to cache for the checker's lifetime: relative to a *fixed*
+        snapshot, every answer is immutable — a timestamp below ``xmax`` and
+        outside ``active`` was decided before the snapshot was taken, and all
+        other timestamps are invisible regardless of their eventual commit
+        outcome.  A transaction committing mid-operation therefore cannot
+        flip a cached decision (it was concurrent, hence invisible, when the
+        snapshot was taken).
+        """
+        memo = self._sees_memo
+        sees = memo.get(ts)
+        if sees is None:
+            sees = self.snapshot.sees_ts(ts, self.commit_log)
+            memo[ts] = sees
+        return sees
 
     def _register_anti(self, record: MVPBTRecord) -> None:
         identity = record.anti_id(self.mode)

@@ -83,17 +83,46 @@ class Executor:
                 if key_in_range(tuple(hit.row[p] for p in positions),
                                 lo, hi, lo_incl, hi_incl)]
 
+    def scan_stream(self, txn: Transaction, index_info: IndexInfo,
+                    lo: tuple | None, hi: tuple | None, *,
+                    lo_incl: bool = True, hi_incl: bool = True):
+        """Streaming variant of :meth:`scan`: yields ``RowHit``s lazily.
+
+        On the MV-PBT index-only path this rides the index's streaming
+        cursor, so neither the index hits nor the row set is materialised —
+        a consumer that stops early (LIMIT, first-match) leaves the tail of
+        every partition unread.  Other index kinds fall back to the
+        materialising scan.
+        """
+        if index_info.is_mvpbt and index_info.mvpbt.index_only_visibility:
+            table = self.db.catalog.table(index_info.table)
+            store = table.store
+            hits = index_info.mvpbt.cursor(txn, lo, hi, lo_incl=lo_incl,
+                                           hi_incl=hi_incl)
+            if isinstance(store, DeltaTable):
+                for h in hits:
+                    resolved = store.visible_version(txn, h.rid)
+                    if resolved is not None:
+                        yield RowHit(*resolved)
+            else:
+                for h in hits:
+                    yield RowHit(h.rid, store.fetch(h.rid))
+            return
+        yield from self.scan(txn, index_info, lo, hi,
+                             lo_incl=lo_incl, hi_incl=hi_incl)
+
     def count(self, txn: Transaction, index_info: IndexInfo,
               lo: tuple | None, hi: tuple | None, *,
               lo_incl: bool = True, hi_incl: bool = True) -> int:
         """COUNT(*) over an index-key range.
 
         For a version-aware MV-PBT this is **index-only**: no base-table
-        page is read (the paper's Figure 2 query).  Every other path must
+        page is read (the paper's Figure 2 query), and the streaming cursor
+        counts hits without materialising them.  Every other path must
         resolve candidates against the base table first.
         """
         if index_info.is_mvpbt and index_info.mvpbt.index_only_visibility:
-            return len(index_info.mvpbt.range_scan(
+            return sum(1 for _ in index_info.mvpbt.cursor(
                 txn, lo, hi, lo_incl=lo_incl, hi_incl=hi_incl))
         return len(self.scan(txn, index_info, lo, hi,
                              lo_incl=lo_incl, hi_incl=hi_incl))

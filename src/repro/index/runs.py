@@ -117,31 +117,47 @@ class PersistedRun:
             if page.keys[lo] != key:
                 break     # keys jumped past the probe: no more matches
             hi = bisect_right(page.keys, key)
-            yield from page.records[lo:hi]
+            records = page.records
+            for idx in range(lo, hi):
+                yield records[idx]
             if hi < len(page.keys):
                 break     # matches ended within this page
 
     def scan(self, lo: tuple | None, hi: tuple | None, *,
              lo_incl: bool = True, hi_incl: bool = True) -> Iterator[R]:
-        """Records with keys in the range, in run order."""
+        """Records with keys in the range, in run order.
+
+        Copy-free: bisects to the start offset within the first page and
+        iterates keys/records in place (no ``keys[pos:]`` slice copies).
+        """
         if self.min_key is None:
             return
         if lo is not None:
-            start = max(0, bisect_right(self._fences, lo) - 1)
+            # bisect_left for inclusive bounds: with duplicate keys several
+            # consecutive fences can equal ``lo`` and the matching group
+            # starts at the page before the first of them (same reasoning
+            # as in :meth:`search`)
+            if lo_incl:
+                start = max(0, bisect_left(self._fences, lo) - 1)
+            else:
+                start = max(0, bisect_right(self._fences, lo) - 1)
         else:
             start = 0
         for page_idx in range(start, len(self.page_nos)):
             page = self._load(page_idx)
+            keys = page.keys
+            records = page.records
             if lo is not None:
-                pos = (bisect_left(page.keys, lo) if lo_incl
-                       else bisect_right(page.keys, lo))
+                pos = (bisect_left(keys, lo) if lo_incl
+                       else bisect_right(keys, lo))
+                lo = None  # subsequent pages start from their beginning
             else:
                 pos = 0
-            for key, record in zip(page.keys[pos:], page.records[pos:]):
+            for idx in range(pos, len(keys)):
+                key = keys[idx]
                 if hi is not None and (key > hi or (not hi_incl and key == hi)):
                     return
-                yield record
-            lo = None  # subsequent pages start from their beginning
+                yield records[idx]
 
     def iter_all(self) -> Iterator[R]:
         """Every record, through the buffer pool (run order)."""

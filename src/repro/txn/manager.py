@@ -68,6 +68,15 @@ class TransactionManager:
         return self._next_txid
 
     @property
+    def decided_watermark(self) -> int:
+        """Lowest txid not known decided (see :attr:`CommitLog.watermark`).
+
+        Every id below it has an immutable commit/abort status, so
+        visibility decisions for those ids may be cached indefinitely.
+        """
+        return self.commit_log.watermark
+
+    @property
     def active_transactions(self) -> list[Transaction]:
         return list(self._active.values())
 

@@ -32,11 +32,31 @@ class Snapshot:
         """Is the effect of transaction ``ts`` visible to this snapshot?"""
         if ts == self.owner:
             return True
+        if ts < self.xmin and ts not in self.active:
+            # below the snapshot horizon the id was already decided: only
+            # the commit bit matters (an O(1) array probe in the CommitLog).
+            # The ``active`` probe guards hand-built snapshots whose xmin
+            # does not bound the active set (manager snapshots always do).
+            return commit_log.is_committed(ts)
         if ts >= self.xmax:
             return False
         if ts in self.active:
             return False
         return commit_log.is_committed(ts)
+
+    def decision_is_stable(self, ts: int, commit_log: CommitLog) -> bool:
+        """May a ``sees_ts(ts)`` answer be cached beyond this snapshot?
+
+        True when the commit status of ``ts`` can never change again (below
+        the decided watermark) or when status is irrelevant (own writes,
+        concurrent ids are invisible regardless of their eventual outcome).
+        Per-snapshot caches — such as the per-operation memo of the
+        :class:`~repro.core.visibility.VisibilityChecker` — do not need this
+        check: relative to one snapshot every answer is already stable.
+        """
+        if ts == self.owner or ts >= self.xmax or ts in self.active:
+            return True
+        return ts < commit_log.watermark
 
     def is_concurrent(self, ts: int) -> bool:
         """Was ``ts`` running concurrently (not finished) at snapshot time?

@@ -3,6 +3,14 @@
 Version records and MV-PBT index records carry the *transaction id* of their
 creator as logical timestamp.  Whether such a timestamp denotes a committed
 change is resolved against the :class:`CommitLog`.
+
+The log is backed by a flat byte array indexed by transaction id (ids are
+small, dense and monotonically increasing), so every status probe on the
+visibility hot path is one O(1) array read instead of a dict probe.  It also
+maintains a *decided watermark*: every id below :attr:`CommitLog.watermark`
+is decided (committed or aborted) and its status can never change again —
+callers may therefore cache visibility decisions for those ids for as long
+as they like.
 """
 
 from __future__ import annotations
@@ -16,6 +24,16 @@ class TxnStatus(Enum):
     ABORTED = "aborted"
 
 
+#: byte codes of the backing array (0 doubles as "unknown")
+_IN_PROGRESS = 0
+_COMMITTED = 1
+_ABORTED = 2
+
+_STATUS_OF = {_IN_PROGRESS: TxnStatus.IN_PROGRESS,
+              _COMMITTED: TxnStatus.COMMITTED,
+              _ABORTED: TxnStatus.ABORTED}
+
+
 class CommitLog:
     """Status by transaction id.
 
@@ -23,26 +41,74 @@ class CommitLog:
     them as invisible.
     """
 
+    __slots__ = ("_status", "_known", "_watermark")
+
     def __init__(self) -> None:
-        self._status: dict[int, TxnStatus] = {}
+        self._status = bytearray(1)      # index 0 unused; txids start at 1
+        self._known: set[int] = set()    # registered ids (only for __len__)
+        self._watermark = 1
+
+    @property
+    def watermark(self) -> int:
+        """Lowest txid not known to be decided.
+
+        Every ``txid < watermark`` has an immutable committed/aborted
+        status; the watermark only ever advances.  Ids are decided in
+        roughly-increasing order (snapshot isolation, short transactions),
+        so the watermark tracks the id frontier closely and the byte-array
+        statuses below it are effectively a read-only bitmap.
+        """
+        return self._watermark
+
+    def _ensure(self, txid: int) -> None:
+        status = self._status
+        if txid >= len(status):
+            status.extend(bytes(txid + 1 - len(status)))
+
+    def _advance_watermark(self) -> None:
+        status = self._status
+        mark = self._watermark
+        end = len(status)
+        while mark < end and status[mark] != _IN_PROGRESS:
+            mark += 1
+        self._watermark = mark
 
     def register(self, txid: int) -> None:
-        self._status[txid] = TxnStatus.IN_PROGRESS
+        self._ensure(txid)
+        self._status[txid] = _IN_PROGRESS
+        self._known.add(txid)
 
     def set_committed(self, txid: int) -> None:
-        self._status[txid] = TxnStatus.COMMITTED
+        self._ensure(txid)
+        self._status[txid] = _COMMITTED
+        self._known.add(txid)
+        if txid == self._watermark:
+            self._advance_watermark()
 
     def set_aborted(self, txid: int) -> None:
-        self._status[txid] = TxnStatus.ABORTED
+        self._ensure(txid)
+        self._status[txid] = _ABORTED
+        self._known.add(txid)
+        if txid == self._watermark:
+            self._advance_watermark()
 
     def status(self, txid: int) -> TxnStatus:
-        return self._status.get(txid, TxnStatus.IN_PROGRESS)
+        if 0 <= txid < len(self._status):
+            return _STATUS_OF[self._status[txid]]
+        return TxnStatus.IN_PROGRESS
 
     def is_committed(self, txid: int) -> bool:
-        return self._status.get(txid) is TxnStatus.COMMITTED
+        return (0 <= txid < len(self._status)
+                and self._status[txid] == _COMMITTED)
 
     def is_aborted(self, txid: int) -> bool:
-        return self._status.get(txid) is TxnStatus.ABORTED
+        return (0 <= txid < len(self._status)
+                and self._status[txid] == _ABORTED)
+
+    def is_decided(self, txid: int) -> bool:
+        """Committed or aborted (below-watermark ids always are)."""
+        return (0 <= txid < len(self._status)
+                and self._status[txid] != _IN_PROGRESS)
 
     def __len__(self) -> int:
-        return len(self._status)
+        return len(self._known)

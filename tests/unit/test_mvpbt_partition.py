@@ -96,3 +96,70 @@ class TestLeafOrganisation:
         part.note_removed(size, 1)
         assert part.bytes_used == 0
         assert part.record_count == 0
+
+
+class TestDuplicateKeysAcrossLeaves:
+    """Edge cases where one key's record group spans leaf boundaries — the
+    ``emitted``/fence interplay in ``MemoryPartition.search`` and the
+    bisect-positioned, copy-free ``MemoryPartition.scan``."""
+
+    def _spanning_partition(self, dup_key=7, dups=600):
+        part = MemoryPartition(0, ReferenceMode.PHYSICAL, page_size=2048)
+        part.insert(rec(dup_key - 1, 1, 10_000))
+        part.insert(rec(dup_key + 1, 1, 10_001))
+        for ts in range(1, dups + 1):
+            part.insert(rec(dup_key, ts, ts))
+        assert part.leaf_count > 2, "duplicates must span several leaves"
+        return part
+
+    def test_search_returns_all_duplicates_newest_first(self):
+        part = self._spanning_partition(dups=600)
+        hits = [r.ts for _leaf, r in part.search((7,))]
+        assert hits == list(range(600, 0, -1))
+
+    def test_search_key_in_last_leaf(self):
+        part = MemoryPartition(0, ReferenceMode.PHYSICAL, page_size=2048)
+        for i in range(500):
+            part.insert(rec(i, 1, i))
+        assert part.leaf_count > 1
+        assert [r.key[0] for _l, r in part.search((499,))] == [499]
+
+    def test_search_key_equal_to_fence(self):
+        """A probe equal to a leaf fence must find records in the leaf
+        *before* the fence as well (duplicates straddle the split point)."""
+        part = self._spanning_partition(dups=600)
+        fences = [leaf.sort_keys[0] for leaf in part.leaves[1:]]
+        assert any(f[0] == (7,) for f in fences), \
+            "test needs a fence inside the duplicate group"
+        assert len(list(part.search((7,)))) == 600
+
+    def test_scan_lo_inside_duplicate_group(self):
+        part = self._spanning_partition(dups=600)
+        got = [r.key[0] for _l, r in part.scan((7,), None)]
+        assert got == [7] * 600 + [8]
+
+    def test_scan_lo_exclusive_skips_whole_group(self):
+        part = self._spanning_partition(dups=600)
+        got = [r.key[0] for _l, r in part.scan((7,), None, lo_incl=False)]
+        assert got == [8]
+
+    def test_scan_hi_exclusive_stops_before_group(self):
+        part = self._spanning_partition(dups=600)
+        got = [r.key[0] for _l, r in part.scan(None, (7,), hi_incl=False)]
+        assert got == [6]
+
+    def test_scan_lo_between_keys_starts_at_next_leaf(self):
+        """lo falls beyond every record of the bisected start leaf: the scan
+        must keep probing subsequent leaves rather than emit them whole."""
+        part = MemoryPartition(0, ReferenceMode.PHYSICAL, page_size=2048)
+        for i in range(400):
+            part.insert(rec(i * 2, 1, i))          # even keys only
+        assert part.leaf_count > 2
+        got = [r.key[0] for _l, r in part.scan((401,), (411,))]
+        assert got == [402, 404, 406, 408, 410]
+
+    def test_scan_results_sorted_without_per_record_filtering(self):
+        part = self._spanning_partition(dups=600)
+        keys = [r.key[0] for _l, r in part.scan(None, None)]
+        assert keys == sorted(keys)
+        assert len(keys) == 602

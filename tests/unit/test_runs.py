@@ -147,3 +147,58 @@ class TestFree:
         allocated_before = file.allocated_pages
         run.free()
         assert file.allocated_pages == allocated_before - pages
+
+
+class TestDuplicatesAcrossPages:
+    """One key's duplicate group spanning several leaf pages — the fence /
+    ``bisect`` edge cases in ``PersistedRun.search`` and the copy-free,
+    index-based ``PersistedRun.scan``."""
+
+    def _dup_run(self, pool, file, dups=400):
+        # 64-byte records on 8 KiB pages: ~127 records per page, so the
+        # duplicate group spans >= 3 pages with pages fenced by the dup key
+        records = ([((5,), "below")]
+                   + [((7,), f"dup-{i}") for i in range(dups)]
+                   + [((9,), "above")])
+        run = _make_run(pool, file, records)
+        assert run.page_count >= 3
+        return run
+
+    def test_search_yields_every_duplicate(self, env):
+        _d, pool, file = env
+        run = self._dup_run(pool, file)
+        hits = [v for _k, v in run.search((7,))]
+        assert hits == [f"dup-{i}" for i in range(400)]
+
+    def test_search_key_on_page_boundary_fences(self, env):
+        _d, pool, file = env
+        run = self._dup_run(pool, file)
+        dup_fences = [f for f in run._fences if f == (7,)]
+        assert len(dup_fences) >= 2, "group must supply several page fences"
+        assert len(list(run.search((7,)))) == 400
+
+    def test_search_first_and_last_keys(self, env):
+        _d, pool, file = env
+        run = self._dup_run(pool, file)
+        assert [v for _k, v in run.search((5,))] == ["below"]
+        assert [v for _k, v in run.search((9,))] == ["above"]
+        assert list(run.search((6,))) == []
+        assert list(run.search((8,))) == []
+
+    def test_scan_lo_exclusive_skips_spanning_group(self, env):
+        _d, pool, file = env
+        run = self._dup_run(pool, file)
+        got = [v for _k, v in run.scan((7,), None, lo_incl=False)]
+        assert got == ["above"]
+
+    def test_scan_lo_inclusive_from_group_start(self, env):
+        _d, pool, file = env
+        run = self._dup_run(pool, file)
+        got = [k for k, _v in run.scan((7,), (7,))]
+        assert got == [(7,)] * 400
+
+    def test_scan_hi_exclusive_stops_before_group(self, env):
+        _d, pool, file = env
+        run = self._dup_run(pool, file)
+        got = [v for _k, v in run.scan(None, (7,), hi_incl=False)]
+        assert got == ["below"]
