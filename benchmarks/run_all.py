@@ -3,23 +3,29 @@
 Runs (a) a hot-path scan-pipeline microbenchmark on a 100k-record,
 multi-partition MV-PBT — wall-clock, per-record allocation work and the
 visibility/filter counters for ``range_scan``, ``cursor``, ``scan_limit``
-and point ``search`` — and (b) scaled-down versions of the fig12/fig14/
-fig15 figure benchmarks, then writes everything to ``BENCH_PR1.json`` so
-future PRs have a perf trajectory to compare against.
+and point ``search`` — (b) a write-path microbenchmark — ingest throughput,
+eviction and merge wall time, peak allocation during merge and write
+amplification, each compared against an in-file reimplementation of the
+pre-streaming (materialise-and-sort) pipeline as the recorded baseline —
+and (c) scaled-down versions of the fig12/fig14/fig15 figure benchmarks,
+then writes everything to ``BENCH_PR2.json`` so future PRs have a perf
+trajectory to compare against.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/run_all.py [--out BENCH_PR1.json]
-                                                [--skip-figures]
+    PYTHONPATH=src python benchmarks/run_all.py [--out BENCH_PR2.json]
+                                                [--skip-figures] [--quick]
 
-The scan microbenchmark degrades gracefully on trees without the streaming
-``cursor`` API, so the same script can be pointed (via PYTHONPATH) at older
-checkouts to produce before/after numbers.
+``--quick`` shrinks both microbenchmarks to a seconds-long smoke run (used
+by CI).  The scan microbenchmark degrades gracefully on trees without the
+streaming ``cursor`` API, so the same script can be pointed (via
+PYTHONPATH) at older checkouts to produce before/after numbers.
 """
 
 from __future__ import annotations
 
 import argparse
+import gc as pygc
 import json
 import platform
 import sys
@@ -32,10 +38,18 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.buffer.partition_buffer import PartitionBuffer
 from repro.buffer.pool import BufferPool
+from repro.core.eviction import reconcile_records
+from repro.core.gc import GCStats
+from repro.core.partition import MemoryPartition, PersistedPartition
+from repro.core.records import (MVPBTRecord, RecordType, ReferenceMode,
+                                record_size)
 from repro.core.tree import MVPBT
+from repro.index.filters import BloomFilter
+from repro.index.runs import PersistedRun
 from repro.sim.clock import SimClock
 from repro.sim.device import SimulatedDevice
 from repro.sim.profiles import UNIT_TEST_PROFILE
+from repro.storage.keycodec import encode_key
 from repro.storage.pagefile import PageFile
 from repro.storage.recordid import RecordID
 from repro.txn.manager import TransactionManager
@@ -43,6 +57,9 @@ from repro.txn.manager import TransactionManager
 SCAN_RECORDS = 100_000
 SCAN_PARTITION_EVERY = 12_500      # -> 8 persisted partitions
 SCAN_REPEAT = 3
+
+WRITE_RECORDS = 100_000
+WRITE_PARTITIONS = 8
 
 
 def build_scan_tree():
@@ -167,6 +184,254 @@ def bench_scan_pipeline() -> dict:
     return out
 
 
+# --------------------------------------------------------------- write path
+
+def build_write_tree(records: int, partitions: int, *, legacy_evict=False):
+    """Insert/update workload cut into ``partitions`` persisted partitions.
+
+    Returns the manager, the tree and the total seconds spent inside
+    eviction calls.
+    """
+    clock = SimClock()
+    device = SimulatedDevice(UNIT_TEST_PROFILE, clock)
+    mgr = TransactionManager()
+    tree = MVPBT("wbench", PageFile("wbench", device, 8192, 8),
+                 BufferPool(4096), PartitionBuffer(1 << 28), mgr)
+    per_part = records // partitions
+    evict = (lambda: legacy_evict_partition(tree)) if legacy_evict \
+        else tree.evict_partition
+    evict_secs = 0.0
+    t = mgr.begin()
+    for i in range(records):
+        tree.insert(t, (i,), RecordID(1, i), vid=i + 1)
+        if i and i % 7 == 0:  # cross-partition version chains for the merge
+            tree.update_nonkey(t, (i - 7,), RecordID(2, i - 7),
+                               RecordID(1, i - 7), vid=i - 6)
+        if (i + 1) % per_part == 0:
+            t.commit()
+            start = time.perf_counter()
+            evict()
+            evict_secs += time.perf_counter() - start
+            t = mgr.begin()
+    if t.is_active:
+        t.commit()
+    if tree.memory_partition.record_count:
+        evict()
+    return mgr, tree, evict_secs
+
+
+def legacy_reduce_chain(chain: list, active_snapshots, commit_log, mode):
+    """Frozen pre-PR ``reduce_chain`` (before the single-record fast path):
+    every chain — including the dominant singleton case — pays the sort and
+    the classification lists."""
+    chain = sorted(chain, key=lambda r: (-r.ts, -r.seq))  # newest first
+    victims: list = []
+    committed: list = []
+    antis: list = []
+    for record in chain:
+        if commit_log.is_aborted(record.ts):
+            victims.append(record)
+        elif record.rtype is RecordType.ANTI:
+            antis.append(record)
+        elif commit_log.is_committed(record.ts):
+            committed.append(record)
+    if not committed:
+        return victims
+    keep_idx: set = {0}
+    for snap in active_snapshots:
+        for idx, record in enumerate(committed):
+            if snap.sees_ts(record.ts, commit_log):
+                keep_idx.add(idx)
+                break
+    kept = [committed[i] for i in sorted(keep_idx)]
+    chain_victims = [committed[i] for i in range(len(committed))
+                     if i not in keep_idx]
+    chain_rooted_here = any(r.rtype is RecordType.REGULAR for r in committed)
+    if (len(kept) == 1 and kept[0].rtype is RecordType.TOMBSTONE
+            and chain_rooted_here):
+        victims.extend(kept)
+        victims.extend(chain_victims)
+        victims.extend(antis)
+        return victims
+    if not chain_victims:
+        return victims
+    if mode is ReferenceMode.PHYSICAL:
+        for pos, record in enumerate(kept):
+            if not record.has_antimatter:
+                continue
+            if pos + 1 < len(kept):
+                record.rid_old = kept[pos + 1].rid_new
+            else:
+                below = [v for v in chain_victims
+                         if (v.ts, v.seq) < (record.ts, record.seq)]
+                if below:
+                    oldest = min(below, key=lambda r: (r.ts, r.seq))
+                    if oldest.rtype is not RecordType.REGULAR:
+                        record.rid_old = oldest.rid_old
+    victims.extend(chain_victims)
+    return victims
+
+
+def legacy_collect_for_eviction(records: list, active_snapshots,
+                                commit_log, mode, stats) -> list:
+    """Frozen pre-PR phase-3 GC: one list allocated per chain via
+    ``setdefault`` and the full chain reduction on each (the recorded
+    baseline — the live :mod:`repro.core.gc` has since been optimised)."""
+    by_vid: dict = {}
+    for record in records:
+        by_vid.setdefault(record.vid, []).append(record)
+    drop: set = set()
+    for chain in by_vid.values():
+        victims = legacy_reduce_chain(chain, active_snapshots, commit_log,
+                                      mode)
+        if victims and len(victims) == len(chain):
+            stats.chains_dropped += 1
+        for victim in victims:
+            drop.add(victim.seq)
+            stats.purged_eviction += 1
+            stats.bytes_reclaimed += record_size(victim, mode)
+    return [r for r in records if r.seq not in drop]
+
+
+def legacy_evict_partition(tree) -> None:
+    """Pre-streaming eviction: materialise P_N, GC, reconcile, then build
+    filters and the run from the list (the recorded baseline)."""
+    mem = tree.memory_partition
+    records = list(mem.iter_records())
+    if tree.enable_gc:
+        records = legacy_collect_for_eviction(
+            records, tree.manager.active_snapshots(),
+            tree.manager.commit_log, tree.mode, GCStats())
+    if tree.reconcile:
+        records = reconcile_records(records)
+    tree._mem = MemoryPartition(mem.number + 1, tree.mode,
+                                tree.file.page_size)
+    if not records:
+        return
+    tree._persisted.append(legacy_build_partition(tree, records, mem.number))
+
+
+def legacy_merge_partitions(tree) -> None:
+    """Pre-streaming merge: extend all inputs into one list, global sort,
+    GC, reconcile, rebuild (the recorded baseline)."""
+    inputs = tree.persisted_partitions
+    records: list = []
+    for part in inputs:
+        records.extend(part.run.iter_all_buffered())
+    records.sort(key=MVPBTRecord.sort_key)
+    if tree.enable_gc:
+        records = legacy_collect_for_eviction(
+            records, tree.manager.active_snapshots(),
+            tree.manager.commit_log, tree.mode, GCStats())
+    if tree.reconcile:
+        records = reconcile_records(records)
+    merged = legacy_build_partition(tree, records, inputs[-1].number)
+    for part in inputs:
+        part.run.free()
+    tree._persisted[:] = [merged]
+
+
+def legacy_build_partition(tree, records: list, number: int):
+    bloom = None
+    if tree.use_bloom:
+        bloom = BloomFilter(len(records), tree.bloom_fpr)
+        for r in records:
+            bloom.add(encode_key(r.key))
+    all_ts = [e[2] for r in records if r.rtype is RecordType.REGULAR_SET
+              for e in r.set_entries]
+    all_ts += [r.ts for r in records
+               if r.rtype is not RecordType.REGULAR_SET]
+    run = PersistedRun(tree.file, tree.pool, records,
+                       key_of=lambda r: r.key,
+                       size_of=lambda r: record_size(r, tree.mode),
+                       fill_factor=1.0)
+    return PersistedPartition(number=number, run=run, bloom=bloom,
+                              prefix_bloom=None, min_ts=min(all_ts),
+                              max_ts=max(all_ts))
+
+
+def bench_write_variant(records: int, partitions: int, legacy: bool,
+                        repeat: int = 3) -> dict:
+    """Ingest + merge for one pipeline variant.
+
+    A merge is destructive, so best-of-N needs N identically-built trees.
+    Wall clock and allocation peak come from separate runs (tracemalloc's
+    per-allocation bookkeeping roughly triples merge time and would drown
+    the comparison) and the cyclic collector is paused around the timed
+    merge — a generation-2 pass landing inside one run but not another
+    otherwise dominates the variance.
+    """
+    merge = (lambda t: legacy_merge_partitions(t)) if legacy \
+        else (lambda t: t.merge_partitions())
+    best_ingest = best_evict = best_merge = float("inf")
+    tree = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        _mgr, tree, evict_secs = build_write_tree(records, partitions,
+                                                  legacy_evict=legacy)
+        best_ingest = min(best_ingest, time.perf_counter() - start)
+        best_evict = min(best_evict, evict_secs)
+        pygc.collect()
+        pygc.disable()
+        start = time.perf_counter()
+        merge(tree)
+        best_merge = min(best_merge, time.perf_counter() - start)
+        pygc.enable()
+
+    _mgr2, tree2, _ = build_write_tree(records, partitions,
+                                       legacy_evict=legacy)
+    tracemalloc.start()
+    merge(tree2)
+    _current, merge_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    out = {
+        "ingest_seconds": round(best_ingest, 4),
+        "records_per_sec": round(records / best_ingest),
+        "evict_seconds": round(best_evict, 4),
+        "merge_seconds": round(best_merge, 4),
+        "merge_alloc_peak_bytes": merge_peak,
+    }
+    if not legacy:
+        out["bytes_ingested"] = tree.stats.bytes_ingested
+        out["bytes_written"] = tree.stats.bytes_written
+        out["write_amplification"] = round(
+            tree.stats.write_amplification, 4)
+    return out
+
+
+def bench_write_path(records: int = WRITE_RECORDS,
+                     partitions: int = WRITE_PARTITIONS,
+                     repeat: int = 3) -> dict:
+    out: dict = {"records": records, "partitions": partitions}
+
+    print(f"[write] streaming ingest of {records} records "
+          f"({partitions} evictions) + merge…")
+    s = out["streaming"] = bench_write_variant(records, partitions, False,
+                                               repeat)
+    print(f"[write] streaming: ingest {s['ingest_seconds']}s "
+          f"({s['records_per_sec']} rec/s), merge {s['merge_seconds']}s "
+          f"(alloc peak {s['merge_alloc_peak_bytes'] // 1024} KiB), "
+          f"write amp {s['write_amplification']}")
+
+    print("[write] legacy (materialise-and-sort) baseline…")
+    b = out["baseline_legacy"] = bench_write_variant(records, partitions,
+                                                     True, repeat)
+    out["vs_baseline"] = {
+        "merge_speedup": round(b["merge_seconds"] / s["merge_seconds"], 3),
+        "merge_alloc_peak_ratio": round(
+            s["merge_alloc_peak_bytes"] / b["merge_alloc_peak_bytes"], 4),
+        "evict_speedup": round(
+            b["evict_seconds"] / s["evict_seconds"], 3),
+    }
+    print(f"[write] legacy: merge {b['merge_seconds']}s "
+          f"(alloc peak {b['merge_alloc_peak_bytes'] // 1024} KiB) -> "
+          f"streaming is {out['vs_baseline']['merge_speedup']}x, peak "
+          f"alloc {out['vs_baseline']['merge_alloc_peak_ratio']}x of "
+          f"legacy")
+    return out
+
+
 def bench_figures() -> dict:
     """Scaled-down fig12/fig14/fig15 runs (simulated-time metrics)."""
     out: dict = {}
@@ -199,12 +464,22 @@ def bench_figures() -> dict:
 
 
 def main() -> None:
+    global SCAN_RECORDS, SCAN_PARTITION_EVERY
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default=str(
-        Path(__file__).resolve().parent.parent / "BENCH_PR1.json"))
+        Path(__file__).resolve().parent.parent / "BENCH_PR2.json"))
     parser.add_argument("--skip-figures", action="store_true",
-                        help="only run the scan-pipeline microbenchmark")
+                        help="only run the scan/write microbenchmarks")
+    parser.add_argument("--quick", action="store_true",
+                        help="seconds-long smoke run (CI)")
     args = parser.parse_args()
+
+    write_records, write_partitions, write_repeat = (
+        WRITE_RECORDS, WRITE_PARTITIONS, 3)
+    if args.quick:
+        SCAN_RECORDS = 8_000
+        SCAN_PARTITION_EVERY = 2_000
+        write_records, write_partitions, write_repeat = 8_000, 4, 1
 
     started = time.time()
     report = {
@@ -212,8 +487,11 @@ def main() -> None:
             "python": platform.python_version(),
             "platform": platform.platform(),
             "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "quick": args.quick,
         },
         "scan_pipeline": bench_scan_pipeline(),
+        "write_path": bench_write_path(write_records, write_partitions,
+                                       write_repeat),
     }
     if not args.skip_figures:
         report["figures"] = bench_figures()

@@ -1,18 +1,27 @@
-"""MV-PBT partition eviction (paper §4.5, Algorithm 4).
+"""MV-PBT partition eviction (paper §4.5, Algorithm 4) — streaming build.
 
-Evicting the in-memory partition ``P_N``:
+Evicting the in-memory partition ``P_N`` is a single-pass pipeline over the
+frozen partition's records (version chains are implicit in the record order
++ VIDs):
 
-1. freeze ``P_N`` and scan it (version chains are implicit in the record
-   order + VIDs);
-2. run the final (phase-3) garbage collection over the scan;
-3. reconcile same-key regular records into set records (§4.7, non-unique
-   indices);
-4. build the partition bloom filter and prefix bloom filter from the
-   surviving records (the paper's ``worker2``);
-5. dense-pack the records into leaf pages at 100% fill and append them to
-   the index file with sequential extent-sized writes (``worker1``);
-6. publish the new :class:`~repro.core.partition.PersistedPartition` in the
-   partition metadata and start a fresh ``P_N``.
+1. a *decision* scan computes the phase-3 garbage set
+   (:func:`~repro.core.gc.gc_victim_seqs`) and re-links the kept records;
+2. the build stream — partition scan, filtered by the decision set — flows
+   through generator stages: §4.7 reconciliation
+   (:func:`reconcile_stream`), the fused ``worker2`` accounting pass
+   (:class:`PartitionMetaBuilder`: bloom / prefix-bloom digests computed
+   from one key encoding, timestamp range) and the streaming
+   :class:`~repro.index.runs.PersistedRun` packer, which dense-packs leaf
+   pages at 100% fill and appends them extent by extent with sequential
+   writes (``worker1``);
+3. the new :class:`~repro.core.partition.PersistedPartition` is published
+   and a fresh ``P_N`` started.
+
+No stage materialises the record set: peak transient memory is one leaf
+page, one extent of packed pages, the current reconciliation key group and
+the filter digest arrays (two 8-byte ints per record per filter).  The same
+:func:`build_partition` pipeline is shared by partition merge and bulk load
+(:mod:`repro.core.merge`).
 
 Partition numbering note (deviation from the paper, DESIGN.md §6): the paper
 renumbers the evicted partition from ``N`` to ``N-1`` inside the shared tree
@@ -22,12 +31,13 @@ and the new ``P_N`` gets the next one.  The orderings are isomorphic.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from array import array
+from typing import TYPE_CHECKING, Iterable, Iterator
 
-from ..index.filters import BloomFilter, PrefixBloomFilter
+from ..index.filters import BloomFilter, PrefixBloomFilter, digest
 from ..index.runs import PersistedRun
-from ..storage.keycodec import encode_key
-from .gc import collect_for_eviction
+from ..storage.keycodec import encode_key, encode_key_with_prefix
+from .gc import gc_victim_seqs
 from .partition import MemoryPartition, PersistedPartition
 from .records import MVPBTRecord, RecordType, record_size
 
@@ -42,107 +52,188 @@ def evict_partition(tree: "MVPBT") -> PersistedPartition | None:
     if mem.record_count == 0:
         return None
 
-    records = list(mem.iter_records())
     clock = tree.manager.clock
     cost = tree.manager.cost
     if clock is not None:
         # the cooperative eviction scan over all leaves
         clock.advance(cost.page_cpu * mem.leaf_count
-                      + cost.compare * len(records))
+                      + cost.compare * mem.record_count)
+    tree.stats.bytes_ingested += mem.bytes_used
 
+    stream: Iterable[MVPBTRecord] = mem.iter_records()
     if tree.enable_gc:
-        records = collect_for_eviction(
-            records, tree.manager.active_snapshots(),
-            tree.manager.commit_log, tree.mode, tree.gc_stats)
+        drop = gc_victim_seqs(mem.iter_records(),
+                              tree.manager.active_snapshots(),
+                              tree.manager.commit_log, tree.mode,
+                              tree.gc_stats)
+        if drop:
+            stream = (r for r in mem.iter_records() if r.seq not in drop)
 
-    if tree.reconcile:
-        records = reconcile_records(records)
+    partition = build_partition(tree, stream, mem.number)
 
-    # start the successor partition before publishing (concurrent reads in a
-    # real system keep using the frozen P_N; single-threaded here)
-    tree._mem = MemoryPartition(mem.number + 1, tree.mode, tree.file.page_size)
+    # start the successor partition once the build drained the frozen P_N
+    # (concurrent reads in a real system keep using the frozen partition;
+    # single-threaded here)
+    tree._mem = MemoryPartition(mem.number + 1, tree.mode,
+                                tree.file.page_size)
     tree.stats.evictions += 1
-
-    if not records:
-        return None
-
-    bloom, prefix_bloom = build_filters(tree, records)
-    if clock is not None:
-        clock.advance(cost.hash_op * len(records))
-
-    run = PersistedRun(
-        tree.file, tree.pool, records,
-        key_of=lambda r: r.key,
-        size_of=lambda r: record_size(r, tree.mode),
-        fill_factor=1.0)
-
-    min_ts, max_ts = _timestamp_range(records)
-    partition = PersistedPartition(
-        number=mem.number, run=run, bloom=bloom,
-        prefix_bloom=prefix_bloom, min_ts=min_ts, max_ts=max_ts)
-    tree._persisted.append(partition)
+    if partition is not None:
+        tree._persisted.append(partition)
     return partition
 
 
-def reconcile_records(records: list[MVPBTRecord]) -> list[MVPBTRecord]:
-    """§4.7 reconciliation: merge runs of same-key REGULAR records.
+def build_partition(tree: "MVPBT", records: Iterable[MVPBTRecord],
+                    number: int) -> PersistedPartition | None:
+    """Shared single-pass partition build (eviction, merge, bulk load).
+
+    Consumes an already §4.3-ordered record stream once: optional §4.7
+    reconciliation, fused filter/timestamp accounting, incremental page
+    packing with extent-sized sequential appends.  Returns the
+    publish-ready partition, or None when the stream turns out empty.
+    """
+    if tree.reconcile:
+        records = reconcile_stream(records)
+    meta = PartitionMetaBuilder(tree)
+    run = PersistedRun(
+        tree.file, tree.pool, meta.observe(records),
+        key_of=lambda r: r.key,
+        size_of=lambda r: record_size(r, tree.mode),
+        fill_factor=1.0)
+    if run.record_count == 0:
+        return None
+
+    clock = tree.manager.clock
+    if clock is not None:
+        clock.advance(tree.manager.cost.hash_op * run.record_count)
+    bloom, prefix_bloom = meta.build_filters()
+    tree.stats.bytes_written += run.size_bytes
+    return PersistedPartition(
+        number=number, run=run, bloom=bloom, prefix_bloom=prefix_bloom,
+        min_ts=meta.min_ts, max_ts=meta.max_ts)
+
+
+class PartitionMetaBuilder:
+    """Fused ``worker2`` pass: partition filters and the timestamp range,
+    computed while the record stream flows into the page packer.
+
+    Bloom sizing needs the final record count, which a stream only reveals
+    at its end; the builder therefore hashes each key **once** as it passes
+    (one shared encoding serves the bloom filter and the prefix bloom
+    filter), buffers the 32-bit digest pairs in flat ``array`` storage, and
+    materialises the filters in :meth:`build_filters` — bit-identical to
+    building them from a materialised record list.
+    """
+
+    __slots__ = ("use_bloom", "bloom_fpr", "use_prefix_bloom",
+                 "prefix_columns", "prefix_bloom_fpr", "count",
+                 "min_ts", "max_ts", "_digests", "_prefix_digests")
+
+    def __init__(self, tree: "MVPBT") -> None:
+        self.use_bloom = tree.use_bloom
+        self.bloom_fpr = tree.bloom_fpr
+        self.use_prefix_bloom = tree.use_prefix_bloom
+        self.prefix_columns = tree.prefix_columns
+        self.prefix_bloom_fpr = tree.prefix_bloom_fpr
+        self.count = 0
+        self.min_ts = 0
+        self.max_ts = 0
+        self._digests = array("I")          # 32-bit digest pairs, flat
+        self._prefix_digests = array("I")
+
+    def observe(self, records: Iterable[MVPBTRecord]
+                ) -> Iterator[MVPBTRecord]:
+        """Generator stage: account every record passing through."""
+        use_bloom = self.use_bloom
+        use_prefix = self.use_prefix_bloom
+        digests = self._digests
+        prefix_digests = self._prefix_digests
+        count = 0
+        min_ts = None
+        max_ts = None
+        for record in records:
+            count += 1
+            if record.rtype is RecordType.REGULAR_SET:
+                for _vid, _rid, ts, _seq in record.set_entries:
+                    if min_ts is None or ts < min_ts:
+                        min_ts = ts
+                    if max_ts is None or ts > max_ts:
+                        max_ts = ts
+            else:
+                ts = record.ts
+                if min_ts is None or ts < min_ts:
+                    min_ts = ts
+                if max_ts is None or ts > max_ts:
+                    max_ts = ts
+            if use_prefix:
+                encoded, prefix = encode_key_with_prefix(
+                    record.key, self.prefix_columns)
+                prefix_digests.extend(digest(prefix))
+                if use_bloom:
+                    digests.extend(digest(encoded))
+            elif use_bloom:
+                digests.extend(digest(encode_key(record.key)))
+            yield record
+        self.count = count
+        if min_ts is not None:
+            self.min_ts = min_ts
+            self.max_ts = max_ts
+
+    def build_filters(self) -> tuple[BloomFilter | None,
+                                     PrefixBloomFilter | None]:
+        bloom: BloomFilter | None = None
+        prefix_bloom: PrefixBloomFilter | None = None
+        if self.use_bloom:
+            bloom = BloomFilter(self.count, self.bloom_fpr)
+            d = self._digests
+            for i in range(0, len(d), 2):
+                bloom.add_digest(d[i], d[i + 1])
+        if self.use_prefix_bloom:
+            prefix_bloom = PrefixBloomFilter(
+                self.count, self.prefix_bloom_fpr, self.prefix_columns)
+            d = self._prefix_digests
+            for i in range(0, len(d), 2):
+                prefix_bloom.add_digest(d[i], d[i + 1])
+        return bloom, prefix_bloom
+
+
+def reconcile_stream(records: Iterable[MVPBTRecord]
+                     ) -> Iterator[MVPBTRecord]:
+    """§4.7 reconciliation as a generator stage: merge runs of same-key
+    REGULAR records, buffering only the current key group.
 
     Only key groups consisting *entirely* of regular records are merged (a
     group containing replacement/anti/tombstone records keeps its per-record
     timestamp ordering, which the visibility check relies on).  Entries keep
     the group's newest-first order.
     """
-    out: list[MVPBTRecord] = []
-    idx = 0
-    n = len(records)
-    while idx < n:
-        start = idx
-        key = records[idx].key
-        all_regular = True
-        while idx < n and records[idx].key == key:
-            if records[idx].rtype is not RecordType.REGULAR:
-                all_regular = False
-            idx += 1
-        group = records[start:idx]
-        if all_regular and len(group) > 1:
-            entries = [(r.vid, r.rid_new, r.ts, r.seq) for r in group]
-            merged = MVPBTRecord(
-                key=key, ts=group[0].ts, seq=group[0].seq,
-                rtype=RecordType.REGULAR_SET, vid=-1,
-                set_entries=entries)
-            out.append(merged)
-        else:
-            out.extend(group)
-    return out
-
-
-def build_filters(tree: "MVPBT", records: list[MVPBTRecord]
-                  ) -> tuple[BloomFilter | None, PrefixBloomFilter | None]:
-    """Build the per-partition bloom / prefix-bloom filters (``worker2``)."""
-    bloom: BloomFilter | None = None
-    prefix_bloom: PrefixBloomFilter | None = None
-    if tree.use_bloom:
-        bloom = BloomFilter(len(records), tree.bloom_fpr)
-        for record in records:
-            bloom.add(encode_key(record.key))
-    if tree.use_prefix_bloom:
-        prefix_bloom = PrefixBloomFilter(
-            len(records), tree.prefix_bloom_fpr, tree.prefix_columns)
-        for record in records:
-            prefix_bloom.add_key(record.key)
-    return bloom, prefix_bloom
-
-
-def _timestamp_range(records: list[MVPBTRecord]) -> tuple[int, int]:
-    min_ts: int | None = None
-    max_ts: int | None = None
+    group: list[MVPBTRecord] = []
+    all_regular = True
     for record in records:
-        if record.rtype is RecordType.REGULAR_SET:
-            for _vid, _rid, ts, _seq in record.set_entries:
-                min_ts = ts if min_ts is None else min(min_ts, ts)
-                max_ts = ts if max_ts is None else max(max_ts, ts)
+        if group and record.key != group[0].key:
+            if all_regular and len(group) > 1:
+                yield _reconciled_set(group)
+            else:
+                yield from group
+            group = []
+            all_regular = True
+        group.append(record)
+        if record.rtype is not RecordType.REGULAR:
+            all_regular = False
+    if group:
+        if all_regular and len(group) > 1:
+            yield _reconciled_set(group)
         else:
-            min_ts = record.ts if min_ts is None else min(min_ts, record.ts)
-            max_ts = record.ts if max_ts is None else max(max_ts, record.ts)
-    return (min_ts if min_ts is not None else 0,
-            max_ts if max_ts is not None else 0)
+            yield from group
+
+
+def _reconciled_set(group: list[MVPBTRecord]) -> MVPBTRecord:
+    entries = [(r.vid, r.rid_new, r.ts, r.seq) for r in group]
+    return MVPBTRecord(
+        key=group[0].key, ts=group[0].ts, seq=group[0].seq,
+        rtype=RecordType.REGULAR_SET, vid=-1, set_entries=entries)
+
+
+def reconcile_records(records: list[MVPBTRecord]) -> list[MVPBTRecord]:
+    """Materialised wrapper around :func:`reconcile_stream` (tests and
+    reference paths; the write pipeline streams)."""
+    return list(reconcile_stream(records))

@@ -29,6 +29,7 @@ this partition vanish entirely.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 from ..txn.snapshot import Snapshot
 from ..txn.status import CommitLog
@@ -58,6 +59,10 @@ def reduce_chain(chain: list[MVPBTRecord],
     reaches both dropped records' predecessors in older partitions and
     other kept records.
     """
+    if len(chain) == 1:
+        # dominant case on eviction/merge: a single-record chain never has
+        # older versions to shed — it is a victim only when aborted
+        return chain if commit_log.is_aborted(chain[0].ts) else []
     chain = sorted(chain, key=lambda r: (-r.ts, -r.seq))  # newest first
     victims: list[MVPBTRecord] = []
     committed: list[MVPBTRecord] = []
@@ -145,27 +150,77 @@ def purge_leaf(partition: MemoryPartition, leaf: MemLeaf,
     return removed
 
 
+def gc_victim_seqs(records: "Iterable[MVPBTRecord]",
+                   active_snapshots: list[Snapshot],
+                   commit_log: CommitLog, mode: ReferenceMode,
+                   stats: GCStats) -> set[int]:
+    """Phase-3 *decision* pass: the ``seq`` set of eviction/merge victims.
+
+    Consumes any record iterable (a partition scan, a sequential run read) —
+    order is irrelevant, chains are grouped by VID and reduced internally.
+    Kept records are re-linked in place exactly as :func:`reduce_chain`
+    prescribes, so running the decision pass first and filtering the build
+    stream by the returned set is equivalent to the old materialise-then-
+    filter shape, without ever holding the full record list.
+
+    ``REGULAR_SET`` records are never chain-reduced: reconciled bundles all
+    share the pseudo-VID ``-1``, and grouping them into one "chain" would
+    cross-link unrelated keys' bundles and drop every bundle but the newest
+    (a data-loss bug the pre-streaming merge path had).  Their members are
+    committed REGULAR versions whose chains ended before reconciliation, so
+    there is nothing chain reduction could reclaim anyway.
+
+    Most chains hold exactly one record (a key inserted and never updated
+    in this partition's lifetime), so the grouping stores the bare record
+    and promotes to a list only on a second occurrence — the per-chain list
+    allocations of the naive ``setdefault(vid, []).append`` shape dominated
+    the whole write path's peak memory.
+    """
+    by_vid: dict[int, MVPBTRecord | list[MVPBTRecord]] = {}
+    get = by_vid.get
+    for record in records:
+        if record.rtype is RecordType.REGULAR_SET:
+            continue
+        vid = record.vid
+        prev = get(vid)
+        if prev is None:
+            by_vid[vid] = record
+        elif prev.__class__ is list:
+            prev.append(record)
+        else:
+            by_vid[vid] = [prev, record]
+
+    drop: set[int] = set()
+    is_aborted = commit_log.is_aborted
+    for entry in by_vid.values():
+        if entry.__class__ is not list:
+            # singleton chain: nothing to shed — victim only when aborted
+            if is_aborted(entry.ts):
+                drop.add(entry.seq)
+                stats.chains_dropped += 1
+                stats.purged_eviction += 1
+                stats.bytes_reclaimed += record_size(entry, mode)
+            continue
+        victims = reduce_chain(entry, active_snapshots, commit_log, mode)
+        if victims and len(victims) == len(entry):
+            stats.chains_dropped += 1
+        for victim in victims:
+            drop.add(victim.seq)
+            stats.purged_eviction += 1
+            stats.bytes_reclaimed += record_size(victim, mode)
+    return drop
+
+
 def collect_for_eviction(records: list[MVPBTRecord],
                          active_snapshots: list[Snapshot],
                          commit_log: CommitLog, mode: ReferenceMode,
                          stats: GCStats) -> list[MVPBTRecord]:
     """Phase 3: final GC over a whole partition about to be evicted.
 
-    ``records`` arrive in partition order; the returned (possibly re-linked)
-    survivors preserve that order.
+    Materialised wrapper around :func:`gc_victim_seqs` (the streaming write
+    path filters by the decision set instead).  ``records`` arrive in
+    partition order; the returned (possibly re-linked) survivors preserve
+    that order.
     """
-    by_vid: dict[int, list[MVPBTRecord]] = {}
-    for record in records:
-        by_vid.setdefault(record.vid, []).append(record)
-
-    drop: set[int] = set()
-    for vid, chain in by_vid.items():
-        victims = reduce_chain(chain, active_snapshots, commit_log, mode)
-        if victims and len(victims) == len(chain):
-            stats.chains_dropped += 1
-        for victim in victims:
-            drop.add(victim.seq)
-            stats.purged_eviction += 1
-            stats.bytes_reclaimed += record_size(victim, mode)
-
+    drop = gc_victim_seqs(records, active_snapshots, commit_log, mode, stats)
     return [r for r in records if r.seq not in drop]

@@ -32,7 +32,7 @@ from typing import Iterator, NamedTuple
 
 from ..buffer.partition_buffer import PartitionBuffer
 from ..buffer.pool import BufferPool
-from ..errors import UniqueViolationError
+from ..errors import ConfigError, UniqueViolationError
 from ..storage.keycodec import encode_key
 from ..storage.pagefile import PageFile
 from ..storage.recordid import RecordID
@@ -66,7 +66,8 @@ class MVPBTStats:
                  "searches", "scans", "hits_returned", "records_checked",
                  "partitions_skipped_bloom", "partitions_skipped_mints",
                  "partitions_skipped_range", "evictions", "unique_checks",
-                 "merges", "bulk_loads")
+                 "unique_fast_negatives", "merges", "bulk_loads",
+                 "bytes_ingested", "bytes_written")
 
     def __init__(self) -> None:
         self.inserts = 0
@@ -82,8 +83,23 @@ class MVPBTStats:
         self.partitions_skipped_range = 0
         self.evictions = 0
         self.unique_checks = 0
+        self.unique_fast_negatives = 0
         self.merges = 0
         self.bulk_loads = 0
+        #: logical bytes entering the write path (evicted P_N contents,
+        #: bulk-loaded entries)
+        self.bytes_ingested = 0
+        #: physical bytes written by partition builds (eviction + merge
+        #: rewrites + bulk loads)
+        self.bytes_written = 0
+
+    @property
+    def write_amplification(self) -> float:
+        """Physical bytes written per logical byte ingested (§1/§6: the
+        MV-PBT selling point vs. LSM leveling is keeping this near 1)."""
+        if self.bytes_ingested == 0:
+            return 0.0
+        return self.bytes_written / self.bytes_ingested
 
 
 class MVPBT:
@@ -103,7 +119,8 @@ class MVPBT:
                  index_only_visibility: bool = True,
                  reconcile: bool | None = None,
                  first_hit_only: bool = False,
-                 max_partitions: int | None = None) -> None:
+                 max_partitions: int | None = None,
+                 merge_fanout: int = 4) -> None:
         self.name = name
         self.file = file
         self.pool = pool
@@ -118,9 +135,17 @@ class MVPBT:
         self.prefix_bloom_fpr = prefix_bloom_fpr
         self.enable_gc = enable_gc
         self.index_only_visibility = index_only_visibility
-        #: merge all persisted partitions when their count exceeds this
-        #: (the paper's on-line "system-transaction merge steps"); None = off
+        #: trigger an on-line merge step when the persisted-partition count
+        #: exceeds this (the paper's "system-transaction merge steps");
+        #: None = off
         self.max_partitions = max_partitions
+        #: tiered merge width: each triggered merge step combines (at least)
+        #: this many adjacent partitions — the cheapest contiguous window by
+        #: total bytes — instead of merging ALL partitions
+        if merge_fanout < 2:
+            raise ConfigError(
+                f"merge_fanout must be >= 2: {merge_fanout}")
+        self.merge_fanout = merge_fanout
         #: stop point lookups at the first visible hit even when not unique
         #: (KV semantics: one live version per key; paper's point-lookup
         #: early termination, §5 "Partition Filters")
@@ -143,11 +168,9 @@ class MVPBT:
         """INSERT: regular record for the tuple's initial version."""
         txn.require_active()
         key = tuple(key)
-        if self.unique:
-            self.stats.unique_checks += 1
-            if self.search(txn, key):
-                raise UniqueViolationError(
-                    f"{self.name}: duplicate key {key}")
+        if self.unique and not self._unique_check_passes(txn, key):
+            raise UniqueViolationError(
+                f"{self.name}: duplicate key {key}")
         self._add(MVPBTRecord(key, txn.id, self._seq(), RecordType.REGULAR,
                               vid, rid_new=rid_new, payload=payload))
         self.stats.inserts += 1
@@ -170,11 +193,9 @@ class MVPBT:
         record at the new key (§4.1 "Anti-Records")."""
         txn.require_active()
         new_key = tuple(new_key)
-        if self.unique:
-            self.stats.unique_checks += 1
-            if self.search(txn, new_key):
-                raise UniqueViolationError(
-                    f"{self.name}: duplicate key {new_key}")
+        if self.unique and not self._unique_check_passes(txn, new_key):
+            raise UniqueViolationError(
+                f"{self.name}: duplicate key {new_key}")
         self._add(MVPBTRecord(tuple(old_key), txn.id, self._seq(),
                               RecordType.ANTI, vid, rid_old=rid_old))
         self.stats.anti_records += 1
@@ -191,6 +212,38 @@ class MVPBT:
         self._add(MVPBTRecord(tuple(key), txn.id, self._seq(),
                               RecordType.TOMBSTONE, vid, rid_old=rid_old))
         self.stats.tombstones += 1
+
+    def _unique_check_passes(self, txn: Transaction, key: tuple) -> bool:
+        """Unique-constraint check with a negative-lookup fast path.
+
+        Fresh-key inserts are the common case (TPC-C new-order: every order
+        id is new), and for those the full visibility-checked :meth:`search`
+        is pure overhead.  A key that no in-memory leaf holds and that every
+        persisted partition's range + bloom filter rules out cannot have a
+        visible version, so the check passes without a search.  Any filter
+        pass (or absent filter) falls back to the exact search.  Filter
+        probes go through :meth:`BloomFilter.may_contain`, leaving the
+        query-path effectiveness counters untouched.
+        """
+        self.stats.unique_checks += 1
+        definitely_new = True
+        for _leaf, _record in self._mem.search(key):
+            definitely_new = False
+            break
+        if definitely_new:
+            encoded = encode_key(key) if self.use_bloom else b""
+            for part in self._persisted:
+                if not part.overlaps(key, key):
+                    continue
+                if (self.use_bloom and part.bloom is not None
+                        and not part.bloom.may_contain(encoded)):
+                    continue
+                definitely_new = False
+                break
+        if definitely_new:
+            self.stats.unique_fast_negatives += 1
+            return True
+        return not self.search(txn, key)
 
     def _add_build_record(self, key: tuple, ts: int, kind: str, vid: int,
                           rid_new: RecordID | None = None,
@@ -405,18 +458,31 @@ class MVPBT:
 
     def evict_partition(self) -> PersistedPartition | None:
         from .eviction import evict_partition
+        from .merge import select_merge_window
         partition = evict_partition(self)
-        if (self.max_partitions is not None
-                and len(self._persisted) > self.max_partitions):
-            self.merge_partitions()
+        # tiered auto-merge: restore the partition bound by merging the
+        # cheapest contiguous window (merge_fanout wide, or wider when one
+        # step must absorb a larger overshoot) instead of merging ALL
+        # partitions — bounds per-step write amplification
+        while (self.max_partitions is not None
+               and len(self._persisted) > self.max_partitions):
+            n = len(self._persisted)
+            need = n - self.max_partitions + 1
+            k = max(need, min(self.merge_fanout, n))
+            start, k = select_merge_window(self._persisted, k)
+            before = n
+            self.merge_partitions(k, start=start)
+            if len(self._persisted) >= before:  # GC-emptied inputs only
+                break
         return partition
 
-    def merge_partitions(self, count: int | None = None
-                         ) -> PersistedPartition | None:
-        """Merge the ``count`` oldest persisted partitions (default: all)
-        in an on-line system-transaction merge step (§4, §4.7)."""
+    def merge_partitions(self, count: int | None = None, *,
+                         start: int = 0) -> PersistedPartition | None:
+        """Merge ``count`` adjacent persisted partitions starting at the
+        ``start``-oldest (defaults: all) in an on-line system-transaction
+        merge step (§4, §4.7)."""
         from .merge import merge_partitions
-        return merge_partitions(self, count)
+        return merge_partitions(self, count, start=start)
 
     def bulk_load(self, txn: Transaction, entries, payloads=None
                   ) -> PersistedPartition | None:
@@ -470,6 +536,15 @@ class MVPBT:
             "persisted_partitions": partitions,
             "evictions": self.stats.evictions,
             "merges": self.stats.merges,
+            "write_path": {
+                "bytes_ingested": self.stats.bytes_ingested,
+                "bytes_written": self.stats.bytes_written,
+                "write_amplification": round(
+                    self.stats.write_amplification, 4),
+                "max_partitions": self.max_partitions,
+                "merge_fanout": self.merge_fanout,
+                "unique_fast_negatives": self.stats.unique_fast_negatives,
+            },
             "gc": {
                 "flagged": self.gc_stats.flagged,
                 "purged_page_level": self.gc_stats.purged_page_level,
@@ -531,7 +606,10 @@ class MVPBT:
             self._raw_hits(record, hits)
         encoded = encode_key(key) if self.use_bloom else b""
         for part in reversed(self._persisted):
+            # no partitions_skipped_mints counterpart here: the ablation
+            # path has no snapshot, so min-timestamp gating never applies
             if not part.overlaps(key, key):
+                self.stats.partitions_skipped_range += 1
                 continue
             if self.use_bloom and part.bloom is not None:
                 if not part.bloom.query(encoded):
@@ -556,6 +634,7 @@ class MVPBT:
             self._raw_hits(record, hits)
         for part in reversed(self._persisted):
             if not part.overlaps(lo, hi):
+                self.stats.partitions_skipped_range += 1
                 continue
             for record in part.scan(lo, hi, lo_incl=lo_incl, hi_incl=hi_incl):
                 self._raw_hits(record, hits)

@@ -7,7 +7,11 @@ columns so range scans with a fixed leading prefix can skip too.
 
 Hashing uses double hashing over two independent CRC-based digests — stable
 across processes (unlike Python's ``hash``), cheap, and adequate for the
-filter sizes involved.  Effectiveness counters back the paper's Figure 13.
+filter sizes involved.  The digest pair of a key is exposed separately
+(:func:`digest` / :meth:`BloomFilter.add_digest`) so streaming partition
+builds can hash each key once while records flow past and materialise the
+filter — bit-identical to sequential ``add`` calls — only when the final
+record count is known.  Effectiveness counters back the paper's Figure 13.
 """
 
 from __future__ import annotations
@@ -18,6 +22,17 @@ from dataclasses import dataclass
 
 from ..errors import ConfigError
 from ..storage.keycodec import encode_key
+
+
+def digest(data: bytes) -> tuple[int, int]:
+    """The double-hashing digest pair of a key's encoded bytes.
+
+    Streaming partition builds call this once per record while the stream
+    flows past and replay the pairs into :meth:`BloomFilter.add_digest` once
+    the final record count (hence the filter size) is known.
+    """
+    return (zlib.crc32(data) & 0xFFFFFFFF,
+            (zlib.adler32(data) & 0xFFFFFFFF) | 1)
 
 
 @dataclass
@@ -65,16 +80,32 @@ class BloomFilter:
         self.stats = FilterStats()
 
     # ------------------------------------------------------------------ core
+    # The probe loops are inlined (no generator) — filter adds/probes run
+    # once per record on the eviction/merge and point-lookup hot paths, and
+    # the per-probe generator frame dominated their cost.
 
     def add(self, data: bytes) -> None:
-        for pos in self._positions(data):
-            self._bits[pos >> 3] |= 1 << (pos & 7)
+        self.add_digest(zlib.crc32(data) & 0xFFFFFFFF,
+                        (zlib.adler32(data) & 0xFFFFFFFF) | 1)
+
+    def add_digest(self, h1: int, h2: int) -> None:
+        """Add a key by its precomputed :func:`digest` pair."""
+        bits = self._bits
+        nbits = self.nbits
+        for i in range(self.nhashes):
+            pos = (h1 + i * h2) % nbits
+            bits[pos >> 3] |= 1 << (pos & 7)
         self.items_added += 1
 
     def may_contain(self, data: bytes) -> bool:
         """Probe without touching effectiveness counters."""
-        for pos in self._positions(data):
-            if not self._bits[pos >> 3] & (1 << (pos & 7)):
+        h1 = zlib.crc32(data) & 0xFFFFFFFF
+        h2 = (zlib.adler32(data) & 0xFFFFFFFF) | 1  # odd, never zero
+        bits = self._bits
+        nbits = self.nbits
+        for i in range(self.nhashes):
+            pos = (h1 + i * h2) % nbits
+            if not bits[pos >> 3] & (1 << (pos & 7)):
                 return False
         return True
 
@@ -95,13 +126,6 @@ class BloomFilter:
     @property
     def size_bytes(self) -> int:
         return len(self._bits)
-
-    def _positions(self, data: bytes):
-        h1 = zlib.crc32(data) & 0xFFFFFFFF
-        h2 = (zlib.adler32(data) & 0xFFFFFFFF) | 1  # odd, never zero
-        nbits = self.nbits
-        for i in range(self.nhashes):
-            yield (h1 + i * h2) % nbits
 
     def __repr__(self) -> str:
         return (f"BloomFilter(bits={self.nbits}, k={self.nhashes}, "
@@ -125,6 +149,10 @@ class PrefixBloomFilter:
 
     def add_key(self, key: tuple) -> None:
         self._bloom.add(encode_key(key[:self.prefix_columns]))
+
+    def add_digest(self, h1: int, h2: int) -> None:
+        """Add a key prefix by its precomputed :func:`digest` pair."""
+        self._bloom.add_digest(h1, h2)
 
     def query_prefix(self, prefix: tuple) -> bool:
         """Counted probe for a full prefix (exactly ``prefix_columns`` values)."""

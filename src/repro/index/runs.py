@@ -2,9 +2,16 @@
 
 A :class:`PersistedRun` is the shared building block of every append-written
 sorted structure in this library: PBT partitions, MV-PBT partitions and LSM
-SSTables.  It packs an already-sorted record list into leaf pages, appends
+SSTables.  It packs an already-sorted record stream into leaf pages, appends
 them to a page file with sequential extent-sized writes, and serves point and
 range accesses through the shared buffer pool.
+
+Construction is a **single streaming pass**: the record source may be any
+iterable (a list, a ``heapq.merge`` of other runs, a generator pipeline) and
+is consumed exactly once.  Pages are flushed extent by extent as they fill,
+so building a run never holds more than one partially-packed leaf plus one
+extent of finished pages — eviction and merge of arbitrarily large
+partitions run in bounded builder memory.
 
 Fence keys (the first key of each leaf) are kept in memory, modelling the
 paper's observation that the higher levels of the tree structure are
@@ -14,7 +21,7 @@ paper's observation that the higher levels of the tree structure are
 from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
-from typing import Callable, Iterator, Sequence, TypeVar
+from typing import Callable, Iterable, Iterator, TypeVar
 
 from ..buffer.pool import BufferPool
 from ..errors import StorageError
@@ -39,10 +46,16 @@ class RunPage:
 
 
 class PersistedRun:
-    """Immutable sorted run of records packed into leaf pages."""
+    """Immutable sorted run of records packed into leaf pages.
+
+    ``records`` may be any iterable in run order; it is consumed in one
+    streaming pass and pages are appended to the file extent by extent as
+    they fill (identical write pattern and page numbering to packing a
+    materialised list, without ever holding the whole run).
+    """
 
     def __init__(self, file: PageFile, pool: BufferPool,
-                 records: Sequence[R], *,
+                 records: Iterable[R], *,
                  key_of: Callable[[R], tuple],
                  size_of: Callable[[R], int],
                  fill_factor: float = 1.0) -> None:
@@ -50,38 +63,44 @@ class PersistedRun:
             raise StorageError(f"bad fill factor: {fill_factor}")
         self.file = file
         self.pool = pool
-        self.record_count = len(records)
+        self.record_count = 0
         self.size_bytes = 0
         self.min_key: tuple | None = None
         self.max_key: tuple | None = None
         self._fences: list[tuple] = []
         self.page_nos: list[int] = []
 
-        if not records:
-            return
-        self.min_key = key_of(records[0])
-        self.max_key = key_of(records[-1])
-
         capacity = int((file.page_size - PAGE_HEADER_BYTES) * fill_factor)
-        pages: list[RunPage] = []
+        extent_pages = file.extent_pages
+        pending: list[RunPage] = []     # finished pages of the open extent
         cur_keys: list[tuple] = []
         cur_records: list[R] = []
         used = 0
+        last_key: tuple | None = None
         for record in records:
+            key = key_of(record)
             nbytes = size_of(record)
             if cur_records and used + nbytes > capacity:
-                pages.append(RunPage(cur_keys, cur_records))
+                pending.append(RunPage(cur_keys, cur_records))
                 self._fences.append(cur_keys[0])
+                if len(pending) >= extent_pages:
+                    self.page_nos += file.append_extents(pending)
+                    pending = []
                 cur_keys, cur_records, used = [], [], 0
-            cur_keys.append(key_of(record))
+            if self.min_key is None:
+                self.min_key = key
+            cur_keys.append(key)
             cur_records.append(record)
             used += nbytes
             self.size_bytes += nbytes
+            self.record_count += 1
+            last_key = key
+        self.max_key = last_key
         if cur_records:
-            pages.append(RunPage(cur_keys, cur_records))
+            pending.append(RunPage(cur_keys, cur_records))
             self._fences.append(cur_keys[0])
-
-        self.page_nos = file.append_extents(pages)
+        if pending:
+            self.page_nos += file.append_extents(pending)
 
     # ---------------------------------------------------------------- access
 
@@ -179,6 +198,21 @@ class PersistedRun:
             for page_no in chunk:
                 page = self.file.peek(page_no)
                 yield from page.records  # type: ignore[union-attr]
+
+    def iter_all_buffered(self) -> Iterator[R]:
+        """Every record via the file's in-memory page images — no device
+        charge, no pool pollution.
+
+        This is the *second* traversal of a merge input: the physical
+        sequential read of each extent is charged exactly once, by the GC
+        decision scan that streams the same extents first
+        (:meth:`iter_all_sequential`).  A pipelined merge feeds both
+        consumers from the one buffered extent; this models that sharing.
+        """
+        file = self.file
+        for page_no in self.page_nos:
+            page = file.peek(page_no)
+            yield from page.records  # type: ignore[union-attr]
 
     def free(self) -> None:
         """Release all pages of the run (after compaction/merge)."""

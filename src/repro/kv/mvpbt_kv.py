@@ -28,7 +28,8 @@ class MVPBTKV(KVStore):
     def __init__(self, env: KVEnvironment, *,
                  use_bloom: bool = True,
                  enable_gc: bool = True,
-                 max_partitions: int | None = None) -> None:
+                 max_partitions: int | None = None,
+                 merge_fanout: int = 4) -> None:
         self.name = "mvpbt"
         self.env = env
         self.stats = KVStats()
@@ -45,6 +46,7 @@ class MVPBTKV(KVStore):
             bloom_fpr=env.config.bloom_fpr,
             enable_gc=enable_gc,
             max_partitions=max_partitions,
+            merge_fanout=merge_fanout,
             # KV point reads: one live version per key — stop at first hit
             first_hit_only=True,
             # reconciliation merges only REGULAR records; KV updates are

@@ -66,27 +66,50 @@ def _encode_blob(tag: int, raw: bytes, out: bytearray) -> None:
     out += _TERMINATOR
 
 
+def _encode_value(value: object, out: bytearray) -> None:
+    if value is None:
+        out.append(TAG_NULL)
+    elif isinstance(value, bool):
+        # bool is an int subclass; encode as int for stable ordering.
+        _encode_int(int(value), out)
+    elif isinstance(value, int):
+        _encode_int(value, out)
+    elif isinstance(value, float):
+        _encode_float(value, out)
+    elif isinstance(value, str):
+        _encode_blob(TAG_STR, value.encode("utf-8"), out)
+    elif isinstance(value, (bytes, bytearray)):
+        _encode_blob(TAG_BYTES, bytes(value), out)
+    else:
+        raise KeyCodecError(
+            f"unsupported key element type: {type(value).__name__}")
+
+
 def encode_key(values: Sequence[object]) -> bytes:
     """Encode a key tuple to order-preserving bytes."""
     out = bytearray()
     for value in values:
-        if value is None:
-            out.append(TAG_NULL)
-        elif isinstance(value, bool):
-            # bool is an int subclass; encode as int for stable ordering.
-            _encode_int(int(value), out)
-        elif isinstance(value, int):
-            _encode_int(value, out)
-        elif isinstance(value, float):
-            _encode_float(value, out)
-        elif isinstance(value, str):
-            _encode_blob(TAG_STR, value.encode("utf-8"), out)
-        elif isinstance(value, (bytes, bytearray)):
-            _encode_blob(TAG_BYTES, bytes(value), out)
-        else:
-            raise KeyCodecError(
-                f"unsupported key element type: {type(value).__name__}")
+        _encode_value(value, out)
     return bytes(out)
+
+
+def encode_key_with_prefix(values: Sequence[object],
+                           ncolumns: int) -> tuple[bytes, bytes]:
+    """Encode a key once, returning ``(full, prefix)`` encodings.
+
+    The column encoding is concatenative, so the encoded prefix of the first
+    ``ncolumns`` columns is a byte prefix of the full encoding — one encode
+    pass serves both the partition bloom filter (full key) and the prefix
+    bloom filter (leading columns).
+    """
+    out = bytearray()
+    cut = -1
+    for idx, value in enumerate(values):
+        _encode_value(value, out)
+        if idx + 1 == ncolumns:
+            cut = len(out)
+    full = bytes(out)
+    return full, (full if cut < 0 else full[:cut])
 
 
 def encoded_size(values: Sequence[object]) -> int:

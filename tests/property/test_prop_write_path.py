@@ -1,0 +1,108 @@
+"""Property tests on the streaming write path.
+
+Under arbitrary interleavings of inserts, updates, deletes, snapshot
+acquisitions and evictions, merging persisted partitions — the full set or
+a tiered sub-window — must never change any held or fresh snapshot's query
+answers: the streaming GC-filtered k-way merge plus single-pass rebuild is
+a pure physical reorganisation.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.buffer.partition_buffer import PartitionBuffer
+from repro.buffer.pool import BufferPool
+from repro.core.merge import select_merge_window
+from repro.core.tree import MVPBT
+from repro.sim.clock import SimClock
+from repro.sim.device import SimulatedDevice
+from repro.sim.profiles import UNIT_TEST_PROFILE
+from repro.storage.pagefile import PageFile
+from repro.storage.recordid import RecordID
+from repro.txn.manager import TransactionManager
+
+KEYS = list(range(12))
+
+operation = st.tuples(
+    st.sampled_from(KEYS),
+    st.sampled_from(["insert", "update", "delete", "evict"]),
+    st.booleans(),                       # snapshot before this op?
+)
+
+
+def build_tree(**opts):
+    clock = SimClock()
+    device = SimulatedDevice(UNIT_TEST_PROFILE, clock)
+    mgr = TransactionManager(clock)
+    tree = MVPBT("wp", PageFile("wp", device, 2048, 8), BufferPool(256),
+                 PartitionBuffer(1 << 22), mgr, **opts)
+    return mgr, tree
+
+
+def apply_ops(mgr, tree, ops):
+    live: dict[int, tuple[RecordID, int]] = {}
+    next_vid = 1
+    next_rid = 0
+    held = []
+    for key, action, snap_before in ops:
+        if snap_before:
+            held.append((mgr.begin(),
+                         {k: rid for k, (rid, _v) in live.items()}))
+        txn = mgr.begin()
+        if action == "insert" and key not in live:
+            next_rid += 1
+            rid = RecordID(0, next_rid)
+            tree.insert(txn, (key,), rid, vid=next_vid)
+            live[key] = (rid, next_vid)
+            next_vid += 1
+        elif action == "update" and key in live:
+            old_rid, vid = live[key]
+            next_rid += 1
+            rid = RecordID(0, next_rid)
+            tree.update_nonkey(txn, (key,), rid, old_rid, vid)
+            live[key] = (rid, vid)
+        elif action == "delete" and key in live:
+            old_rid, vid = live[key]
+            tree.delete(txn, (key,), old_rid, vid)
+            del live[key]
+        elif action == "evict":
+            tree.evict_partition()
+        txn.commit()
+    held.append((mgr.begin(), {k: rid for k, (rid, _v) in live.items()}))
+    return held
+
+
+def snapshot_answers(tree, held):
+    return [
+        (sorted((h.key[0], h.rid) for h in tree.range_scan(txn, None, None)),
+         [[h.rid for h in tree.search(txn, (k,))] for k in KEYS])
+        for txn, _expected in held
+    ]
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=st.lists(operation, min_size=1, max_size=40))
+def test_merge_preserves_all_snapshot_answers(ops):
+    mgr, tree = build_tree()
+    held = apply_ops(mgr, tree, ops)
+    before = snapshot_answers(tree, held)
+    # oracle check on the freshest snapshot, then merge, then recheck all
+    fresh_txn, expected = held[-1]
+    assert before[-1][0] == sorted(expected.items())
+    while len(tree.persisted_partitions) >= 2:
+        start, k = select_merge_window(tree.persisted_partitions, 2)
+        tree.merge_partitions(k, start=start)
+        assert snapshot_answers(tree, held) == before
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops=st.lists(operation, min_size=1, max_size=40),
+       fanout=st.integers(min_value=2, max_value=4))
+def test_tiered_policy_keeps_bound_and_answers(ops, fanout):
+    mgr, tree = build_tree(max_partitions=2, merge_fanout=fanout)
+    held = apply_ops(mgr, tree, ops)
+    assert len(tree.persisted_partitions) <= 2
+    _txn, expected = held[-1]
+    got = sorted((h.key[0], h.rid)
+                 for h in tree.range_scan(held[-1][0], None, None))
+    assert got == sorted(expected.items())
