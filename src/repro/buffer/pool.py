@@ -136,6 +136,19 @@ class BufferPool:
         self._dirty.discard(key)
         self._policy.remove(key)
 
+    def drop_file(self, file: PageFile) -> int:
+        """Drop every cached page of one file without write-back.
+
+        Crash recovery: the cache must not survive the reboot — recovery
+        has to see exactly what the medium holds.  Returns pages dropped.
+        """
+        keys = [k for k in self._frames if k[0] == file.file_id]
+        for key in keys:
+            self._frames.pop(key, None)
+            self._dirty.discard(key)
+            self._policy.remove(key)
+        return len(keys)
+
     # ------------------------------------------------------------- inspection
 
     def contains(self, file: PageFile, page_no: int) -> bool:

@@ -56,6 +56,10 @@ class EngineConfig:
     cost: CostModel = field(default_factory=CostModel)
     #: random seed used by any engine-internal randomised decision.
     seed: int = 7
+    #: crash durability for MV-PBT indexes: partition manifest + P_N WAL.
+    durability: bool = False
+    #: pages per manifest superblock slot (two slots are preallocated).
+    manifest_slot_pages: int = 8
 
     def __post_init__(self) -> None:
         if self.page_size < 512:
@@ -70,6 +74,9 @@ class EngineConfig:
                 f"leaf_fill_factor must be in (0, 1]: {self.leaf_fill_factor}")
         if not 0.0 < self.bloom_fpr < 1.0:
             raise ConfigError(f"bloom_fpr must be in (0, 1): {self.bloom_fpr}")
+        if self.manifest_slot_pages < 1:
+            raise ConfigError(
+                f"manifest_slot_pages must be >= 1: {self.manifest_slot_pages}")
 
     @property
     def extent_bytes(self) -> int:

@@ -79,6 +79,10 @@ def evict_partition(tree: "MVPBT") -> PersistedPartition | None:
     tree.stats.evictions += 1
     if partition is not None:
         tree._persisted.append(partition)
+    if tree._durability is not None:
+        # the partition extents are fully written: flip the manifest, then
+        # advance the WAL floor past the records it now covers
+        tree._durability.on_eviction(tree)
     return partition
 
 

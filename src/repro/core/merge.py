@@ -164,15 +164,17 @@ def merge_partitions(tree: "MVPBT", count: int | None = None, *,
     merged = build_partition(tree, merged_stream,
                              inputs[-1].number)  # newest merged slot
 
-    # inputs stay readable until the build stream is drained; free after
+    # install-before-retire: publish the merged partition (and flip the
+    # manifest) *before* freeing the input extents, so a crash between the
+    # two steps leaves either the complete old or the complete new set
+    del persisted[start:start + count]
+    if merged is not None:
+        persisted.insert(start, merged)
+    tree.stats.merges += 1
+    if tree._durability is not None:
+        tree._durability.on_reorg(tree)
     for partition in inputs:
         partition.run.free()
-    del persisted[start:start + count]
-    tree.stats.merges += 1
-
-    if merged is None:
-        return None
-    persisted.insert(start, merged)
     return merged
 
 
@@ -217,4 +219,6 @@ def bulk_load(tree: "MVPBT", txn: Transaction,
     tree._mem.number += 1
     tree.stats.inserts += len(entries)
     tree.stats.bulk_loads += 1
+    if tree._durability is not None:
+        tree._durability.on_reorg(tree)
     return partition

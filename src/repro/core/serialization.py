@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import struct
 
-from ..errors import StorageError
+from ..errors import KeyCodecError, StorageError
 from ..storage.keycodec import decode_key, encode_key
 from ..storage.recordid import RecordID
 from .records import MVPBTRecord, RecordType
@@ -124,7 +124,10 @@ def decode_record(data: bytes, offset: int = 0) -> tuple[MVPBTRecord, int]:
         if presence & HAS_PAYLOAD:
             (length,) = _U32.unpack_from(data, pos)
             pos += 4
-            payload = data[pos:pos + length].decode("utf-8")
+            raw = data[pos:pos + length]
+            if len(raw) != length:
+                raise ValueError("truncated payload")
+            payload = raw.decode("utf-8")
             pos += length
         if presence & HAS_SET:
             (count,) = _U16.unpack_from(data, pos)
@@ -138,10 +141,13 @@ def decode_record(data: bytes, offset: int = 0) -> tuple[MVPBTRecord, int]:
                                     entry_seq))
         (key_len,) = _U16.unpack_from(data, pos)
         pos += 2
-        key = decode_key(data[pos:pos + key_len])
+        key_bytes = data[pos:pos + key_len]
+        if len(key_bytes) != key_len:
+            raise ValueError("truncated key")
+        key = decode_key(key_bytes)
         pos += key_len
         rtype = RecordType(rtype_raw)
-    except (struct.error, ValueError, IndexError) as exc:
+    except (struct.error, ValueError, IndexError, KeyCodecError) as exc:
         raise StorageError(f"corrupt MV-PBT record at {offset}") from exc
     record = MVPBTRecord(key=key, ts=ts, seq=seq, rtype=rtype,
                          vid=(-1 if rtype is RecordType.REGULAR_SET else vid),

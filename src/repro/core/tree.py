@@ -159,6 +159,12 @@ class MVPBT:
         self._next_seq = 0
         self._mem = MemoryPartition(0, mode, file.page_size)
         self._persisted: list[PersistedPartition] = []
+        #: set by DurabilityController.register; when present, committed
+        #: P_N mutations flow into the write-ahead log
+        self._durability = None
+        #: per-transaction mutation buffers awaiting their commit-time WAL
+        #: append (txid -> records, insertion order)
+        self._wal_pending: dict[int, list[MVPBTRecord]] = {}
         partition_buffer.register(self)
 
     # ------------------------------------------------------------ operations
@@ -171,8 +177,9 @@ class MVPBT:
         if self.unique and not self._unique_check_passes(txn, key):
             raise UniqueViolationError(
                 f"{self.name}: duplicate key {key}")
-        self._add(MVPBTRecord(key, txn.id, self._seq(), RecordType.REGULAR,
-                              vid, rid_new=rid_new, payload=payload))
+        self._add_logged(MVPBTRecord(key, txn.id, self._seq(),
+                                     RecordType.REGULAR, vid,
+                                     rid_new=rid_new, payload=payload))
         self.stats.inserts += 1
 
     def update_nonkey(self, txn: Transaction, key: tuple, rid_new: RecordID,
@@ -180,10 +187,10 @@ class MVPBT:
                       payload: object = None) -> None:
         """Non-key UPDATE: replacement record (new matter + anti-matter)."""
         txn.require_active()
-        self._add(MVPBTRecord(tuple(key), txn.id, self._seq(),
-                              RecordType.REPLACEMENT, vid,
-                              rid_new=rid_new, rid_old=rid_old,
-                              payload=payload))
+        self._add_logged(MVPBTRecord(tuple(key), txn.id, self._seq(),
+                                     RecordType.REPLACEMENT, vid,
+                                     rid_new=rid_new, rid_old=rid_old,
+                                     payload=payload))
         self.stats.replacements += 1
 
     def update_key(self, txn: Transaction, old_key: tuple, new_key: tuple,
@@ -196,21 +203,22 @@ class MVPBT:
         if self.unique and not self._unique_check_passes(txn, new_key):
             raise UniqueViolationError(
                 f"{self.name}: duplicate key {new_key}")
-        self._add(MVPBTRecord(tuple(old_key), txn.id, self._seq(),
-                              RecordType.ANTI, vid, rid_old=rid_old))
+        self._add_logged(MVPBTRecord(tuple(old_key), txn.id, self._seq(),
+                                     RecordType.ANTI, vid, rid_old=rid_old))
         self.stats.anti_records += 1
-        self._add(MVPBTRecord(new_key, txn.id, self._seq(),
-                              RecordType.REPLACEMENT, vid,
-                              rid_new=rid_new, rid_old=rid_old,
-                              payload=payload))
+        self._add_logged(MVPBTRecord(new_key, txn.id, self._seq(),
+                                     RecordType.REPLACEMENT, vid,
+                                     rid_new=rid_new, rid_old=rid_old,
+                                     payload=payload))
         self.stats.replacements += 1
 
     def delete(self, txn: Transaction, key: tuple, rid_old: RecordID,
                vid: int) -> None:
         """DELETE: tombstone record terminating the whole version chain."""
         txn.require_active()
-        self._add(MVPBTRecord(tuple(key), txn.id, self._seq(),
-                              RecordType.TOMBSTONE, vid, rid_old=rid_old))
+        self._add_logged(MVPBTRecord(tuple(key), txn.id, self._seq(),
+                                     RecordType.TOMBSTONE, vid,
+                                     rid_old=rid_old))
         self.stats.tombstones += 1
 
     def _unique_check_passes(self, txn: Transaction, key: tuple) -> bool:
@@ -254,8 +262,15 @@ class MVPBT:
                   "replacement": RecordType.REPLACEMENT,
                   "anti": RecordType.ANTI,
                   "tombstone": RecordType.TOMBSTONE}
-        self._add(MVPBTRecord(tuple(key), ts, self._seq(), rtypes[kind],
-                              vid, rid_new=rid_new, rid_old=rid_old))
+        record = MVPBTRecord(tuple(key), ts, self._seq(), rtypes[kind],
+                             vid, rid_new=rid_new, rid_old=rid_old)
+        if self._durability is not None:
+            # build records carry historical, already-decided timestamps: no
+            # commit will follow, so they are logged right away — before the
+            # insert, whose eviction side effect may advance the WAL floor
+            # past this point (the record would then live in a partition)
+            self._durability.log_records(self, [record])
+        self._add(record)
 
     # ---------------------------------------------------------------- search
 
@@ -554,12 +569,82 @@ class MVPBT:
             },
         }
 
+    # ------------------------------------------------------------ durability
+
+    def drain_wal_pending(self, txid: int) -> list[MVPBTRecord]:
+        """Take (and forget) one transaction's unflushed ``P_N`` records."""
+        return self._wal_pending.pop(txid, [])
+
+    def clear_wal_pending(self) -> None:
+        """Drop all pending buffers — the records just became
+        partition-durable through an eviction."""
+        self._wal_pending.clear()
+
+    @classmethod
+    def recover(cls, name: str, file: PageFile, pool: BufferPool,
+                partition_buffer: PartitionBuffer,
+                manager: TransactionManager, *,
+                index_state=None,
+                wal_records: list[MVPBTRecord] | None = None,
+                durability=None,
+                **options) -> "MVPBT":
+        """Rebuild a tree from its durable state after a crash.
+
+        ``index_state`` is the tree's
+        :class:`~repro.durability.manifest.IndexManifest` (None when no
+        manifest flip ever covered it); ``wal_records`` are its replayed
+        WAL records in log order.  Persisted partitions are re-attached
+        purely from manifest metadata — no leaf pages are read — and the
+        WAL records are inserted into a fresh ``P_N``.  Structural options
+        (uniqueness, reference mode, filters, merge policy) are passed
+        exactly as to the constructor; they come from the host catalog,
+        which this subsystem does not persist (DESIGN.md §11.5).
+        """
+        from ..durability.recovery import restore_partition
+        tree = cls(name, file, pool, partition_buffer, manager, **options)
+        if durability is not None:
+            # attach before any eviction can fire (evicting a durable tree
+            # must flip the manifest); floor 1 when the index never reached
+            # a flip — its replayed records stay WAL-covered until the
+            # first eviction advances the floor
+            durability.register(
+                tree,
+                wal_floor=(index_state.wal_floor
+                           if index_state is not None else 1))
+        if index_state is not None:
+            tree._persisted = [restore_partition(meta, file, pool)
+                               for meta in index_state.partitions]
+            tree._mem = MemoryPartition(index_state.mem_number, tree.mode,
+                                        file.page_size)
+            tree._next_seq = index_state.next_seq
+        max_seq = tree._next_seq - 1
+        for record in wal_records or []:
+            tree._mem.insert(record)
+            if record.seq > max_seq:
+                max_seq = record.seq
+        tree._next_seq = max_seq + 1
+        # a replayed P_N may exceed the partition-buffer budget (crash
+        # mid-eviction): recovery deliberately does NOT evict — it stays a
+        # pure-read sequence — and the first mutation re-triggers it
+        return tree
+
     # -------------------------------------------------------------- internal
 
     def _seq(self) -> int:
         seq = self._next_seq
         self._next_seq += 1
         return seq
+
+    def _add_logged(self, record: MVPBTRecord) -> None:
+        """Mutation entry: buffer for the commit-time WAL append, then add.
+
+        Buffering happens *first*: the insert below can trigger an eviction,
+        which makes every current ``P_N`` record partition-durable and
+        clears the pending buffers — including, correctly, this record.
+        """
+        if self._durability is not None:
+            self._wal_pending.setdefault(record.ts, []).append(record)
+        self._add(record)
 
     def _add(self, record: MVPBTRecord) -> None:
         if self.manager.clock is not None:

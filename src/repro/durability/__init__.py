@@ -1,0 +1,33 @@
+"""Crash durability for MV-PBT (DESIGN.md §11).
+
+Three cooperating pieces:
+
+- :mod:`~repro.durability.wal` — an append-only, per-entry-checksummed
+  write-ahead log of committed ``P_N`` mutations plus commit markers;
+- :mod:`~repro.durability.manifest` — a double-buffered, epoch-stamped,
+  checksummed superblock recording the live set of persisted partitions
+  (page extents, fence keys, filters, timestamp ranges);
+- :mod:`~repro.durability.controller` — the runtime glue: transaction
+  commit/abort hooks feed the WAL, eviction/merge/bulk-load flips the
+  manifest atomically (new partition fully written *before* the flip,
+  retired extents freed only *after*), and WAL segments covered by an
+  eviction are truncated.
+
+Recovery (:mod:`~repro.durability.recovery`) is sequential-read only:
+load the manifest, re-attach the persisted partitions without touching
+their leaves, replay the WAL tail into a fresh ``P_N``.
+"""
+
+from .controller import DurabilityController
+from .manifest import IndexManifest, ManifestState, ManifestStore, PartitionMeta
+from .wal import WALEntry, WriteAheadLog
+
+__all__ = [
+    "DurabilityController",
+    "IndexManifest",
+    "ManifestState",
+    "ManifestStore",
+    "PartitionMeta",
+    "WALEntry",
+    "WriteAheadLog",
+]

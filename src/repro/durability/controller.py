@@ -1,0 +1,154 @@
+"""Runtime durability orchestration (DESIGN.md §11.3).
+
+One :class:`DurabilityController` per database instance owns the manifest
+store and the WAL and attaches to the transaction manager's commit/abort
+hooks:
+
+- Mutations of a durable MV-PBT's ``P_N`` buffer per-transaction in the
+  tree (:attr:`MVPBT._wal_pending`).  At **commit**, the pending records of
+  all registered trees plus a COMMIT marker are appended to the WAL in one
+  call — the commit is acknowledged only after the log pages are durable,
+  and a crash mid-append leaves the marker unwritten, keeping the
+  transaction invisible.  **Abort** just drops the pending buffers.
+- **Eviction** makes the evicted records partition-durable, so the tree's
+  WAL floor advances to ``end_lsn``, the manifest flips, pending buffers
+  for records now living in the partition are dropped, and fully-covered
+  WAL pages are truncated.
+- **Merge / bulk load** flip the manifest without moving any floor; merge
+  frees its input extents only after the flip (install-before-retire).
+
+The ordering invariant throughout: *new state fully written → manifest
+flip → old state freed*.  A crash at any I/O lands on one side of the flip
+and recovery sees either the complete old or the complete new state.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from ..core.records import MVPBTRecord
+from .manifest import (IndexManifest, ManifestState, ManifestStore,
+                       PartitionMeta)
+from .wal import WriteAheadLog
+
+if TYPE_CHECKING:
+    from ..core.partition import PersistedPartition
+    from ..core.tree import MVPBT
+    from ..txn.manager import TransactionManager
+    from ..txn.transaction import Transaction
+
+
+def partition_meta(partition: "PersistedPartition") -> PartitionMeta:
+    """Snapshot one live partition's manifest record."""
+    run = partition.run
+    return PartitionMeta(
+        number=partition.number,
+        record_count=run.record_count,
+        size_bytes=run.size_bytes,
+        min_ts=partition.min_ts,
+        max_ts=partition.max_ts,
+        page_nos=list(run.page_nos),
+        fences=list(run._fences),
+        min_key=run.min_key,
+        max_key=run.max_key,
+        bloom_state=(partition.bloom.to_state()
+                     if partition.bloom is not None else None),
+        prefix_state=(partition.prefix_bloom.to_state()
+                      if partition.prefix_bloom is not None else None))
+
+
+class DurabilityController:
+    """Glue between the transaction manager, MV-PBT trees, WAL and
+    manifest."""
+
+    def __init__(self, manifest: ManifestStore, wal: WriteAheadLog,
+                 manager: "TransactionManager") -> None:
+        self.manifest = manifest
+        self.wal = wal
+        self.manager = manager
+        self._trees: dict[str, "MVPBT"] = {}
+        self._floors: dict[str, int] = {}
+        manager.add_commit_hook(self._on_commit)
+        manager.add_abort_hook(self._on_abort)
+        manifest.preallocate()
+
+    # ---------------------------------------------------------- registration
+
+    def register(self, tree: "MVPBT", *, wal_floor: int | None = None) -> None:
+        """Attach a tree; its mutations start flowing through the WAL."""
+        self._trees[tree.name] = tree
+        self._floors[tree.name] = (self.wal.end_lsn if wal_floor is None
+                                   else wal_floor)
+        tree._durability = self
+
+    @property
+    def trees(self) -> dict[str, "MVPBT"]:
+        return dict(self._trees)
+
+    def floor_of(self, name: str) -> int:
+        return self._floors[name]
+
+    # ------------------------------------------------------------- txn hooks
+
+    def _on_commit(self, txn: "Transaction") -> None:
+        records: list[tuple[str, MVPBTRecord]] = []
+        for tree in self._trees.values():
+            for record in tree.drain_wal_pending(txn.id):
+                records.append((tree.name, record))
+        # marker written for EVERY commit: outcomes of record-less
+        # transactions (base-table only, or records already evicted) must
+        # survive a restart too
+        self.wal.log(records, commit_txid=txn.id)
+
+    def _on_abort(self, txn: "Transaction") -> None:
+        for tree in self._trees.values():
+            tree.drain_wal_pending(txn.id)
+
+    def log_records(self, tree: "MVPBT",
+                    records: Iterable[MVPBTRecord]) -> None:
+        """Immediately log already-decided records (CREATE INDEX build path:
+        their timestamps are historical, no commit will follow)."""
+        self.wal.log([(tree.name, record) for record in records])
+
+    # ------------------------------------------------------- reorganisations
+
+    def on_eviction(self, tree: "MVPBT") -> None:
+        """``P_N`` just became a persisted partition: flip and truncate."""
+        self._floors[tree.name] = self.wal.end_lsn
+        self.manifest.write(self.snapshot_state())
+        # the evicted records live in the partition now; replaying them
+        # from the WAL as well would duplicate them
+        tree.clear_wal_pending()
+        self._truncate()
+
+    def on_reorg(self, tree: "MVPBT") -> None:
+        """A merge or bulk load changed the partition set: flip.
+
+        The caller must invoke this *after* the new partition is fully
+        written and *before* retired input extents are freed.
+        """
+        self.manifest.write(self.snapshot_state())
+        self._truncate()
+
+    def snapshot_state(self) -> ManifestState:
+        manager = self.manager
+        state = ManifestState(
+            txid_watermark=manager.next_txid,
+            aborted_txids=sorted(manager.commit_log.aborted_ids),
+            active_txids=sorted(t.id for t in manager.active_transactions))
+        for name, tree in self._trees.items():
+            state.indexes[name] = IndexManifest(
+                name=name,
+                mem_number=tree._mem.number,
+                next_seq=tree._next_seq,
+                wal_floor=self._floors[name],
+                partitions=[partition_meta(p) for p in tree._persisted])
+        return state
+
+    def _truncate(self) -> None:
+        if self._floors:
+            self.wal.truncate_below(min(self._floors.values()))
+
+    def __repr__(self) -> str:
+        return (f"DurabilityController(trees={sorted(self._trees)}, "
+                f"epoch={self.manifest.epoch}, wal_end={self.wal.end_lsn})")

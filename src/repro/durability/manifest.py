@@ -1,0 +1,354 @@
+"""The partition manifest superblock (DESIGN.md §11.1).
+
+One durable record of the index forest's persisted state: for every MV-PBT,
+the live persisted partitions (page numbers, fence keys, key range, record
+counts, timestamp range, serialised bloom / prefix-bloom filters), the
+``P_N`` successor number, the tree-wide sequence counter and the WAL replay
+floor; globally, the transaction-id watermark at the time of the flip.
+
+Storage is a classic **double-buffered superblock**: two fixed slots of
+``slot_pages`` pages each at the head of the manifest file.  A flip bumps
+the epoch and rewrites the *other* slot (alternating by epoch parity), so
+the previous manifest stays intact until the new one is fully on disk.
+Every page carries ``CRC32 | epoch | page index | page count | chunk
+length``; a reader accepts a slot only if all its pages parse, share one
+epoch and pass their CRCs, then picks the valid slot with the highest
+epoch.  A crash anywhere during a flip therefore falls back to the
+previous manifest — the flip is atomic.
+
+Fence keys and key bounds are serialised with the order-preserving
+:mod:`repro.storage.keycodec`, the same codec the runtime uses, so the
+restored partitions bisect identically.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass, field
+
+from ..errors import RecoveryError, StorageError
+from ..storage.keycodec import decode_key, encode_key
+from ..storage.pagefile import PageFile
+
+MAGIC = b"MVPBTMF1"
+
+_PAGE_HEAD = struct.Struct("<IQHHI")  # crc, epoch, page idx, page count, len
+_U8 = struct.Struct("<B")
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+
+
+@dataclass
+class PartitionMeta:
+    """Everything needed to re-attach one persisted partition unread."""
+
+    number: int
+    record_count: int
+    size_bytes: int
+    min_ts: int
+    max_ts: int
+    page_nos: list[int]
+    fences: list[tuple]
+    min_key: tuple | None
+    max_key: tuple | None
+    bloom_state: tuple[int, int, int, bytes] | None = None
+    prefix_state: tuple[int, tuple[int, int, int, bytes]] | None = None
+
+
+@dataclass
+class IndexManifest:
+    """Durable state of one MV-PBT index."""
+
+    name: str
+    mem_number: int          #: partition number of the (re-created) ``P_N``
+    next_seq: int            #: tree-wide sequence counter at the flip
+    wal_floor: int           #: replay only WAL records with lsn >= floor
+    partitions: list[PartitionMeta] = field(default_factory=list)
+
+
+@dataclass
+class ManifestState:
+    """One full manifest image (everything a flip persists).
+
+    The three transaction fields are the compact pg_xact equivalent: a
+    txid below ``txid_watermark`` that is in neither ``aborted_txids`` nor
+    ``active_txids`` was durably committed before the flip.  Outcomes of
+    ``active_txids`` (in flight at the flip) and of txids at or above the
+    watermark are resolved by WAL commit markers at recovery — absent a
+    marker they count as aborted, which is exactly the no-durable-ack case.
+    """
+
+    txid_watermark: int      #: manager's next txid at the flip
+    aborted_txids: list[int] = field(default_factory=list)
+    active_txids: list[int] = field(default_factory=list)
+    indexes: dict[str, IndexManifest] = field(default_factory=dict)
+
+
+# ------------------------------------------------------------------ encoding
+
+def _pack_key(key: tuple | None) -> bytes:
+    if key is None:
+        return _U16.pack(0xFFFF)
+    data = encode_key(key)
+    if len(data) >= 0xFFFF:
+        raise StorageError(f"manifest key too long: {len(data)} bytes")
+    return _U16.pack(len(data)) + data
+
+
+def _unpack_key(data: bytes, pos: int) -> tuple[tuple | None, int]:
+    (length,) = _U16.unpack_from(data, pos)
+    pos += 2
+    if length == 0xFFFF:
+        return None, pos
+    return decode_key(bytes(data[pos:pos + length])), pos + length
+
+
+def _pack_bloom(state: tuple[int, int, int, bytes] | None) -> bytes:
+    if state is None:
+        return _U8.pack(0)
+    nbits, nhashes, items, bits = state
+    return (_U8.pack(1) + _U32.pack(nbits) + _U8.pack(nhashes)
+            + _U32.pack(items) + _U32.pack(len(bits)) + bits)
+
+
+def _unpack_bloom(data: bytes, pos: int
+                  ) -> tuple[tuple[int, int, int, bytes] | None, int]:
+    present = data[pos]
+    pos += 1
+    if not present:
+        return None, pos
+    (nbits,) = _U32.unpack_from(data, pos)
+    nhashes = data[pos + 4]
+    (items,) = _U32.unpack_from(data, pos + 5)
+    (blen,) = _U32.unpack_from(data, pos + 9)
+    pos += 13
+    return (nbits, nhashes, items, bytes(data[pos:pos + blen])), pos + blen
+
+
+def encode_state(state: ManifestState) -> bytes:
+    out = bytearray(MAGIC)
+    out += _U64.pack(state.txid_watermark)
+    for txids in (state.aborted_txids, state.active_txids):
+        out += _U32.pack(len(txids))
+        for txid in sorted(txids):
+            out += _U64.pack(txid)
+    out += _U16.pack(len(state.indexes))
+    for name in sorted(state.indexes):
+        ix = state.indexes[name]
+        encoded_name = name.encode("utf-8")
+        out += _U16.pack(len(encoded_name)) + encoded_name
+        out += _U64.pack(ix.mem_number)
+        out += _U64.pack(ix.next_seq)
+        out += _U64.pack(ix.wal_floor)
+        out += _U16.pack(len(ix.partitions))
+        for part in ix.partitions:
+            out += _U64.pack(part.number)
+            out += _U64.pack(part.record_count)
+            out += _U64.pack(part.size_bytes)
+            out += _U64.pack(part.min_ts)
+            out += _U64.pack(part.max_ts)
+            out += _U32.pack(len(part.page_nos))
+            for page_no in part.page_nos:
+                out += _U32.pack(page_no)
+            out += _U32.pack(len(part.fences))
+            for fence in part.fences:
+                out += _pack_key(fence)
+            out += _pack_key(part.min_key)
+            out += _pack_key(part.max_key)
+            out += _pack_bloom(part.bloom_state)
+            if part.prefix_state is None:
+                out += _U8.pack(0)
+            else:
+                prefix_columns, bloom_state = part.prefix_state
+                out += _U8.pack(prefix_columns)
+                out += _pack_bloom(bloom_state)
+    return bytes(out)
+
+
+def decode_state(data: bytes) -> ManifestState:
+    try:
+        if bytes(data[:len(MAGIC)]) != MAGIC:
+            raise StorageError("bad manifest magic")
+        pos = len(MAGIC)
+        (watermark,) = _U64.unpack_from(data, pos)
+        pos += 8
+        txid_lists: list[list[int]] = []
+        for _ in range(2):
+            (count,) = _U32.unpack_from(data, pos)
+            pos += 4
+            txid_lists.append([_U64.unpack_from(data, pos + 8 * i)[0]
+                               for i in range(count)])
+            pos += 8 * count
+        (n_indexes,) = _U16.unpack_from(data, pos)
+        pos += 2
+        state = ManifestState(txid_watermark=watermark,
+                              aborted_txids=txid_lists[0],
+                              active_txids=txid_lists[1])
+        for _ in range(n_indexes):
+            (name_len,) = _U16.unpack_from(data, pos)
+            pos += 2
+            name = bytes(data[pos:pos + name_len]).decode("utf-8")
+            pos += name_len
+            (mem_number,) = _U64.unpack_from(data, pos)
+            (next_seq,) = _U64.unpack_from(data, pos + 8)
+            (wal_floor,) = _U64.unpack_from(data, pos + 16)
+            pos += 24
+            (n_parts,) = _U16.unpack_from(data, pos)
+            pos += 2
+            ix = IndexManifest(name, mem_number, next_seq, wal_floor)
+            for _p in range(n_parts):
+                (number,) = _U64.unpack_from(data, pos)
+                (record_count,) = _U64.unpack_from(data, pos + 8)
+                (size_bytes,) = _U64.unpack_from(data, pos + 16)
+                (min_ts,) = _U64.unpack_from(data, pos + 24)
+                (max_ts,) = _U64.unpack_from(data, pos + 32)
+                pos += 40
+                (n_pages,) = _U32.unpack_from(data, pos)
+                pos += 4
+                page_nos = [_U32.unpack_from(data, pos + 4 * i)[0]
+                            for i in range(n_pages)]
+                pos += 4 * n_pages
+                (n_fences,) = _U32.unpack_from(data, pos)
+                pos += 4
+                fences = []
+                for _f in range(n_fences):
+                    fence, pos = _unpack_key(data, pos)
+                    fences.append(fence)
+                min_key, pos = _unpack_key(data, pos)
+                max_key, pos = _unpack_key(data, pos)
+                bloom_state, pos = _unpack_bloom(data, pos)
+                prefix_columns = data[pos]
+                pos += 1
+                prefix_state = None
+                if prefix_columns:
+                    prefix_bloom, pos = _unpack_bloom(data, pos)
+                    if prefix_bloom is not None:
+                        prefix_state = (prefix_columns, prefix_bloom)
+                ix.partitions.append(PartitionMeta(
+                    number, record_count, size_bytes, min_ts, max_ts,
+                    page_nos, fences, min_key, max_key,
+                    bloom_state, prefix_state))
+            state.indexes[name] = ix
+        return state
+    except (struct.error, IndexError, ValueError, StorageError) as exc:
+        raise RecoveryError(f"undecodable manifest body: {exc}") from exc
+
+
+# ------------------------------------------------------------------- storage
+
+class ManifestStore:
+    """Double-buffered superblock storage on one manifest page file."""
+
+    def __init__(self, file: PageFile, slot_pages: int = 8) -> None:
+        if slot_pages < 1:
+            raise StorageError(f"slot_pages must be >= 1: {slot_pages}")
+        self.file = file
+        self.slot_pages = slot_pages
+        self.epoch = 0
+        self.flips = 0
+
+    @property
+    def _chunk_bytes(self) -> int:
+        return self.file.page_size - _PAGE_HEAD.size
+
+    def preallocate(self) -> None:
+        """Allocate both slots up-front (adjacent extents, never reused)."""
+        while self.file.max_page_no < 2 * self.slot_pages:
+            self.file.allocate_page()
+
+    # ----------------------------------------------------------------- write
+
+    def write(self, state: ManifestState) -> None:
+        """Persist ``state`` as the next epoch (atomic flip).
+
+        Writes the inactive slot front-to-back (sequential page writes
+        inside the slot); the flip takes effect only once the last page —
+        and with it the slot's complete CRC/epoch set — is durable.
+        """
+        body = encode_state(state)
+        chunk = self._chunk_bytes
+        pages = [body[i:i + chunk] for i in range(0, len(body), chunk)] or [b""]
+        if len(pages) > self.slot_pages:
+            raise StorageError(
+                f"manifest body ({len(body)} bytes, {len(pages)} pages) "
+                f"exceeds slot capacity ({self.slot_pages} pages); raise "
+                f"manifest_slot_pages")
+        self.preallocate()
+        epoch = self.epoch + 1
+        base = (epoch % 2) * self.slot_pages
+        total = len(pages)
+        for idx, payload in enumerate(pages):
+            head_rest = _PAGE_HEAD.pack(0, epoch, idx, total, len(payload))
+            crc = zlib.crc32(head_rest[4:] + payload) & 0xFFFFFFFF
+            image = _PAGE_HEAD.pack(crc, epoch, idx, total,
+                                    len(payload)) + payload
+            self.file.write_page(base + idx, image)
+        self.epoch = epoch
+        self.flips += 1
+
+    # ------------------------------------------------------------------ read
+
+    def _read_slot(self, slot: int) -> tuple[int, ManifestState] | None:
+        """Validate one slot; returns (epoch, state) or None."""
+        base = slot * self.slot_pages
+        if not self.file.has_contents(base):
+            return None
+        chunks: list[bytes] = []
+        epoch = total = None
+        idx = 0
+        while True:
+            page_no = base + idx
+            if page_no >= self.file.max_page_no \
+                    or not self.file.has_contents(page_no):
+                return None
+            data = self.file.read_page(page_no)
+            if not isinstance(data, (bytes, bytearray)) \
+                    or len(data) < _PAGE_HEAD.size:
+                return None
+            crc, page_epoch, page_idx, page_total, length = \
+                _PAGE_HEAD.unpack_from(data, 0)
+            payload = bytes(data[_PAGE_HEAD.size:_PAGE_HEAD.size + length])
+            expect = zlib.crc32(
+                data[4:_PAGE_HEAD.size] + payload) & 0xFFFFFFFF
+            if (crc != expect or page_idx != idx or len(payload) != length):
+                return None
+            if epoch is None:
+                epoch, total = page_epoch, page_total
+                if total < 1 or total > self.slot_pages:
+                    return None
+            elif page_epoch != epoch or page_total != total:
+                return None
+            chunks.append(payload)
+            idx += 1
+            if idx == total:
+                break
+        try:
+            return epoch, decode_state(b"".join(chunks))
+        except RecoveryError:
+            return None
+
+    @classmethod
+    def attach(cls, file: PageFile, slot_pages: int = 8
+               ) -> tuple["ManifestStore", ManifestState | None]:
+        """Load the newest valid manifest after a restart.
+
+        Reads both slots front-to-back (sequential within each slot) and
+        adopts the valid one with the highest epoch; a device that never
+        completed a flip yields ``(store, None)`` — the empty-forest state.
+        """
+        store = cls(file, slot_pages)
+        best: tuple[int, ManifestState] | None = None
+        for slot in (0, 1):
+            result = store._read_slot(slot)
+            if result is not None and (best is None or result[0] > best[0]):
+                best = result
+        if best is None:
+            return store, None
+        store.epoch = best[0]
+        return store, best[1]
+
+    def __repr__(self) -> str:
+        return (f"ManifestStore(epoch={self.epoch}, flips={self.flips}, "
+                f"slot_pages={self.slot_pages})")

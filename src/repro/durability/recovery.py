@@ -1,0 +1,104 @@
+"""Crash recovery (DESIGN.md §11.4): manifest load + WAL replay.
+
+The whole durable state is read with two sequential passes — both manifest
+slots front-to-back, then the WAL file's surviving pages in page order.
+Partition *leaves* are never read: every navigation structure (fences, key
+bounds, filters, counts) comes out of the manifest, so the recovered tree
+answers its first query through the buffer pool exactly like a warm one
+would, just with cold leaves.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, NamedTuple
+
+from ..core.records import MVPBTRecord
+from ..index.filters import BloomFilter, PrefixBloomFilter
+from ..index.runs import PersistedRun
+from ..storage.pagefile import PageFile
+from .manifest import ManifestState, ManifestStore, PartitionMeta
+from .wal import KIND_COMMIT, KIND_RECORD, WriteAheadLog
+
+if TYPE_CHECKING:
+    from ..buffer.pool import BufferPool
+    from ..core.partition import PersistedPartition
+
+
+class DurableState(NamedTuple):
+    """Everything read back from the device after a crash."""
+
+    store: ManifestStore
+    state: ManifestState | None          #: None: no flip ever completed
+    wal: WriteAheadLog
+    committed: set[int]                  #: all durably-committed txids
+    records: dict[str, list[MVPBTRecord]]  #: per-index P_N replay sets
+    next_txid: int                       #: safe next transaction id
+
+
+def read_durable_state(manifest_file: PageFile, wal_file: PageFile,
+                       slot_pages: int = 8) -> DurableState:
+    """Load the manifest and replay the WAL (the two sequential passes).
+
+    The committed set combines both durability channels: txids the latest
+    manifest flip recorded as decided-committed (below its watermark,
+    neither aborted nor still active at the flip — their WAL markers may
+    have been truncated since), plus txids with a surviving WAL COMMIT
+    marker.  Everything else is aborted: a transaction whose marker never
+    became durable was never acknowledged.
+    """
+    store, state = ManifestStore.attach(manifest_file, slot_pages)
+    wal, entries = WriteAheadLog.recover(wal_file)
+
+    floors = ({name: ix.wal_floor for name, ix in state.indexes.items()}
+              if state is not None else {})
+    committed: set[int] = set()
+    records: dict[str, list[MVPBTRecord]] = {}
+    max_record_ts = 0
+    for entry in entries:
+        if entry.kind == KIND_COMMIT:
+            committed.add(entry.txid)
+        elif entry.kind == KIND_RECORD:
+            record = entry.record
+            if record.ts > max_record_ts:
+                max_record_ts = record.ts
+            # records below the index's floor were made partition-durable
+            # by an eviction; replaying them would duplicate state
+            if entry.lsn >= floors.get(entry.index_name, 0):
+                records.setdefault(entry.index_name, []).append(record)
+
+    if state is not None:
+        undecided = set(state.aborted_txids) | set(state.active_txids)
+        committed.update(t for t in range(1, state.txid_watermark)
+                         if t not in undecided)
+
+    next_txid = max(
+        state.txid_watermark if state is not None else 1,
+        max(committed, default=0) + 1,
+        max_record_ts + 1,
+        1)
+    return DurableState(store, state, wal, committed, records, next_txid)
+
+
+def restore_bloom(state: tuple[int, int, int, bytes] | None
+                  ) -> BloomFilter | None:
+    return None if state is None else BloomFilter.from_state(*state)
+
+
+def restore_prefix_bloom(state: tuple[int, tuple[int, int, int, bytes]] | None
+                         ) -> PrefixBloomFilter | None:
+    return None if state is None else PrefixBloomFilter.from_state(*state)
+
+
+def restore_partition(meta: PartitionMeta, file: PageFile,
+                      pool: "BufferPool") -> "PersistedPartition":
+    """Re-attach one persisted partition from its manifest record."""
+    from ..core.partition import PersistedPartition
+    run = PersistedRun.restore(
+        file, pool, page_nos=meta.page_nos, fences=meta.fences,
+        record_count=meta.record_count, size_bytes=meta.size_bytes,
+        min_key=meta.min_key, max_key=meta.max_key)
+    return PersistedPartition(
+        number=meta.number, run=run,
+        bloom=restore_bloom(meta.bloom_state),
+        prefix_bloom=restore_prefix_bloom(meta.prefix_state),
+        min_ts=meta.min_ts, max_ts=meta.max_ts)

@@ -1,0 +1,244 @@
+"""The ``P_N`` write-ahead log (DESIGN.md §11.2).
+
+Committed mutations of the in-memory partition are the only MV-PBT state
+not covered by the partition manifest; they are logged here at commit time
+and replayed into a fresh ``P_N`` during recovery.
+
+Layout: entries are packed back-to-back into page-sized byte images and
+appended through the ordinary cost model (the tail page is re-written as
+it fills — an *append-only* image, so a torn tail write can only corrupt
+the suffix holding not-yet-acknowledged entries).  Each entry carries its
+own LSN and CRC32::
+
+    u16  payload length
+    u64  LSN            (1-based, monotonically increasing)
+    u8   kind           (0 = RECORD, 1 = COMMIT)
+    ...  payload
+    u32  CRC32 over (length .. payload)
+
+RECORD payload: u16 index-name length + name + one MV-PBT record in the
+:mod:`repro.core.serialization` wire format.  COMMIT payload: u64 txid.
+A COMMIT marker is appended for *every* commit (even record-less ones), so
+transaction outcomes survive a restart.
+
+Replay scans the log file's pages in page-number order (sequential reads),
+parses each page's entries, orders them by LSN and keeps the single
+contiguous LSN run — per-entry CRCs stop the scan at the first torn or
+stale byte, so anything after the crash frontier is ignored.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Iterable, NamedTuple
+
+from ..core.records import MVPBTRecord
+from ..core.serialization import decode_record, encode_record
+from ..errors import StorageError
+from ..storage.pagefile import PageFile
+
+KIND_RECORD = 0
+KIND_COMMIT = 1
+
+_HEAD = struct.Struct("<HQB")   # payload length, lsn, kind
+_CRC = struct.Struct("<I")
+_U16 = struct.Struct("<H")
+_U64 = struct.Struct("<Q")
+
+
+class WALEntry(NamedTuple):
+    """One decoded log entry."""
+
+    lsn: int
+    kind: int
+    txid: int                    #: commit marker's transaction (COMMIT only)
+    index_name: str              #: owning index (RECORD only)
+    record: MVPBTRecord | None   #: logged mutation (RECORD only)
+
+
+def _encode_entry(lsn: int, kind: int, payload: bytes) -> bytes:
+    body = _HEAD.pack(len(payload), lsn, kind) + payload
+    return body + _CRC.pack(zlib.crc32(body) & 0xFFFFFFFF)
+
+
+def encode_record_entry(lsn: int, index_name: str,
+                        record: MVPBTRecord) -> bytes:
+    name = index_name.encode("utf-8")
+    payload = _U16.pack(len(name)) + name + encode_record(record)
+    return _encode_entry(lsn, KIND_RECORD, payload)
+
+
+def encode_commit_entry(lsn: int, txid: int) -> bytes:
+    return _encode_entry(lsn, KIND_COMMIT, _U64.pack(txid))
+
+
+def parse_entries(data: bytes) -> list[WALEntry]:
+    """Decode the valid entry prefix of one page image.
+
+    Stops (without raising) at the first truncated header, bad CRC or
+    undecodable payload — exactly the torn-tail semantics replay needs.
+    """
+    entries: list[WALEntry] = []
+    pos = 0
+    n = len(data)
+    while pos + _HEAD.size + _CRC.size <= n:
+        plen, lsn, kind = _HEAD.unpack_from(data, pos)
+        end = pos + _HEAD.size + plen + _CRC.size
+        if end > n:
+            break
+        (crc,) = _CRC.unpack_from(data, end - _CRC.size)
+        if zlib.crc32(data[pos:end - _CRC.size]) & 0xFFFFFFFF != crc:
+            break
+        payload = data[pos + _HEAD.size:end - _CRC.size]
+        try:
+            if kind == KIND_COMMIT:
+                (txid,) = _U64.unpack_from(payload, 0)
+                entries.append(WALEntry(lsn, kind, txid, "", None))
+            elif kind == KIND_RECORD:
+                (name_len,) = _U16.unpack_from(payload, 0)
+                name = payload[2:2 + name_len].decode("utf-8")
+                record, _ = decode_record(payload, 2 + name_len)
+                entries.append(WALEntry(lsn, kind, 0, name, record))
+            else:
+                break
+        except (StorageError, struct.error, UnicodeDecodeError):
+            break
+        pos = end
+    return entries
+
+
+class WriteAheadLog:
+    """Append-only log over one :class:`~repro.storage.pagefile.PageFile`.
+
+    ``end_lsn`` is the LSN the *next* entry will get; everything below it
+    has been durably acknowledged (each append call returns only after its
+    page writes completed).
+    """
+
+    def __init__(self, file: PageFile) -> None:
+        self.file = file
+        self.end_lsn = 1
+        #: sealed pages as (page_no, first_lsn, last_lsn); truncation frees
+        #: pages whose last_lsn falls below every index's replay floor
+        self._pages: list[tuple[int, int, int]] = []
+        self._tail_no: int | None = None
+        self._tail = bytearray()
+        self._tail_first = 0
+        self._tail_last = 0
+        self.entries_appended = 0
+        self.pages_written = 0
+        self.pages_freed = 0
+
+    # ---------------------------------------------------------------- append
+
+    def log(self, records: Iterable[tuple[str, MVPBTRecord]],
+            commit_txid: int | None = None) -> None:
+        """Append RECORD entries (plus an optional COMMIT marker) durably.
+
+        Pages are written in LSN order; the call returns only once every
+        touched page image hit the device, so a normal return *is* the
+        durability acknowledgement.  A crash mid-call persists an entry
+        prefix — replay's contiguous-LSN rule keeps exactly that prefix,
+        and the missing COMMIT marker keeps the transaction invisible.
+        """
+        blobs: list[bytes] = []
+        for name, record in records:
+            blobs.append(encode_record_entry(self.end_lsn + len(blobs),
+                                             name, record))
+        if commit_txid is not None:
+            blobs.append(encode_commit_entry(self.end_lsn + len(blobs),
+                                             commit_txid))
+        if not blobs:
+            return
+
+        capacity = self.file.page_size
+        touched: list[tuple[int, bytearray]] = []
+        touched_nos: set[int] = set()
+        lsn = self.end_lsn
+        for blob in blobs:
+            if (self._tail_no is not None and self._tail
+                    and len(self._tail) + len(blob) > capacity):
+                self._pages.append((self._tail_no, self._tail_first,
+                                    self._tail_last))
+                self._tail_no = None
+            if self._tail_no is None:
+                self._tail_no = self.file.allocate_page()
+                self._tail = bytearray()
+                self._tail_first = lsn
+            if self._tail_no not in touched_nos:
+                touched_nos.add(self._tail_no)
+                touched.append((self._tail_no, self._tail))
+            self._tail += blob
+            self._tail_last = lsn
+            lsn += 1
+
+        for page_no, buf in touched:
+            self.file.write_page(page_no, bytes(buf))
+            self.pages_written += 1
+        self.end_lsn = lsn
+        self.entries_appended += len(blobs)
+
+    # -------------------------------------------------------------- truncate
+
+    def truncate_below(self, lsn: int) -> int:
+        """Free sealed pages whose entries all fall below ``lsn``.
+
+        Called after an eviction advanced the replay floor; returns the
+        number of pages discarded.  Freeing drops the page image (models a
+        TRIM) — no device I/O, so truncation can never be a crash point.
+        """
+        kept: list[tuple[int, int, int]] = []
+        freed = 0
+        for page_no, first, last in self._pages:
+            if last < lsn:
+                self.file.free_page(page_no)
+                freed += 1
+            else:
+                kept.append((page_no, first, last))
+        self._pages = kept
+        self.pages_freed += freed
+        return freed
+
+    # --------------------------------------------------------------- recover
+
+    @classmethod
+    def recover(cls, file: PageFile) -> tuple["WriteAheadLog",
+                                              list[WALEntry]]:
+        """Replay a log file after a crash.
+
+        Reads surviving pages in page-number order (sequential, charged),
+        keeps each page's CRC-valid entry prefix, and returns the single
+        contiguous LSN run — together with a log object positioned to
+        append after it.  The recovered tail page is treated as sealed, so
+        new appends start on a fresh page and never splice into a torn one.
+        """
+        found: list[tuple[int, int, list[WALEntry]]] = []
+        for page_no in range(file.max_page_no):
+            if not file.has_contents(page_no):
+                continue
+            data = file.read_page(page_no)
+            if not isinstance(data, (bytes, bytearray)):
+                continue
+            entries = parse_entries(bytes(data))
+            if entries:
+                found.append((entries[0].lsn, page_no, entries))
+        found.sort()
+
+        wal = cls(file)
+        replay: list[WALEntry] = []
+        expected: int | None = None
+        for first_lsn, page_no, entries in found:
+            if expected is not None and first_lsn != expected:
+                break  # LSN gap: stale pages beyond the crash frontier
+            replay.extend(entries)
+            expected = entries[-1].lsn + 1
+            wal._pages.append((page_no, first_lsn, entries[-1].lsn))
+        if replay:
+            wal.end_lsn = replay[-1].lsn + 1
+        return wal, replay
+
+    def __repr__(self) -> str:
+        return (f"WriteAheadLog(end_lsn={self.end_lsn}, "
+                f"sealed_pages={len(self._pages)}, "
+                f"appended={self.entries_appended})")

@@ -36,6 +36,25 @@ class DeviceError(StorageError):
     """An I/O request is malformed (bad LBA / size)."""
 
 
+class DeviceCrashError(DeviceError):
+    """The simulated device crashed (fault injection) during an I/O.
+
+    ``bytes_persisted`` is the prefix of the failing *write* that reached
+    stable storage before power was lost: 0 for a clean crash, a
+    sector/page-rounded prefix for torn-page and partial-extent faults.
+    Every subsequent I/O fails with this error until
+    :meth:`~repro.sim.device.SimulatedDevice.reboot`.
+    """
+
+    def __init__(self, message: str, *, bytes_persisted: int = 0) -> None:
+        super().__init__(message)
+        self.bytes_persisted = bytes_persisted
+
+
+class RecoveryError(StorageError):
+    """Crash recovery could not reconstruct a consistent durable state."""
+
+
 class BufferError_(ReproError):
     """Buffer-pool failure (e.g. all frames pinned)."""
 

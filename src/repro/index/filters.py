@@ -127,6 +127,36 @@ class BloomFilter:
     def size_bytes(self) -> int:
         return len(self._bits)
 
+    # --------------------------------------------------------- serialisation
+
+    def to_state(self) -> tuple[int, int, int, bytes]:
+        """Durable state: ``(nbits, nhashes, items_added, bit array)``.
+
+        Effectiveness counters are deliberately excluded — they describe the
+        observer (one process run), not the filter.
+        """
+        return (self.nbits, self.nhashes, self.items_added, bytes(self._bits))
+
+    @classmethod
+    def from_state(cls, nbits: int, nhashes: int, items_added: int,
+                   bits: bytes) -> "BloomFilter":
+        """Rebuild a filter from :meth:`to_state` output (manifest load).
+
+        Bypasses the sizing constructor: the persisted geometry is
+        authoritative, fresh stats start at zero.
+        """
+        if nbits < 1 or nhashes < 1 or len(bits) != (nbits + 7) // 8:
+            raise ConfigError(
+                f"inconsistent bloom state: nbits={nbits} nhashes={nhashes} "
+                f"len(bits)={len(bits)}")
+        obj = object.__new__(cls)
+        obj.nbits = nbits
+        obj.nhashes = nhashes
+        obj._bits = bytearray(bits)
+        obj.items_added = items_added
+        obj.stats = FilterStats()
+        return obj
+
     def __repr__(self) -> str:
         return (f"BloomFilter(bits={self.nbits}, k={self.nhashes}, "
                 f"items={self.items_added})")
@@ -188,3 +218,20 @@ class PrefixBloomFilter:
     @property
     def items_added(self) -> int:
         return self._bloom.items_added
+
+    # --------------------------------------------------------- serialisation
+
+    def to_state(self) -> tuple[int, tuple[int, int, int, bytes]]:
+        return (self.prefix_columns, self._bloom.to_state())
+
+    @classmethod
+    def from_state(cls, prefix_columns: int,
+                   bloom_state: tuple[int, int, int, bytes]
+                   ) -> "PrefixBloomFilter":
+        if prefix_columns < 1:
+            raise ConfigError(
+                f"prefix_columns must be >= 1: {prefix_columns}")
+        obj = object.__new__(cls)
+        obj.prefix_columns = prefix_columns
+        obj._bloom = BloomFilter.from_state(*bloom_state)
+        return obj

@@ -102,6 +102,34 @@ class PersistedRun:
         if pending:
             self.page_nos += file.append_extents(pending)
 
+    @classmethod
+    def restore(cls, file: PageFile, pool: BufferPool, *,
+                page_nos: list[int], fences: list[tuple],
+                record_count: int, size_bytes: int,
+                min_key: tuple | None, max_key: tuple | None
+                ) -> "PersistedRun":
+        """Re-attach a run to pages that already exist on the device.
+
+        The crash-recovery path: all navigation metadata (fences, key range,
+        counts) comes from the durable partition manifest, so re-attaching
+        reads **zero** partition pages — leaves are only touched again by
+        queries, through the buffer pool, exactly like before the crash.
+        """
+        if len(page_nos) != len(fences):
+            raise StorageError(
+                f"{file.name}: manifest fence/page mismatch "
+                f"({len(fences)} fences, {len(page_nos)} pages)")
+        run = object.__new__(cls)
+        run.file = file
+        run.pool = pool
+        run.record_count = record_count
+        run.size_bytes = size_bytes
+        run.min_key = min_key
+        run.max_key = max_key
+        run._fences = list(fences)
+        run.page_nos = list(page_nos)
+        return run
+
     # ---------------------------------------------------------------- access
 
     @property

@@ -15,10 +15,55 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..errors import DeviceError
+from ..errors import DeviceCrashError, DeviceError
 from .clock import SimClock
 from .profiles import DeviceProfile
 from .trace import IOTrace
+
+#: device sector size; torn writes persist a whole number of sectors
+SECTOR_BYTES = 512
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Injectable crash plan: kill the device at the ``fail_at``-th I/O.
+
+    I/Os are counted from 0 in submission order (reads and writes alike).
+    I/Os ``0 .. fail_at-1`` complete normally; I/O ``fail_at`` fails with
+    :class:`~repro.errors.DeviceCrashError` and the device stays dead until
+    :meth:`SimulatedDevice.reboot`.
+
+    ``mode`` controls how much of the *failing write* persists:
+
+    - ``"clean"``: nothing — the whole request is lost.
+    - ``"torn"``: a sector-rounded prefix (``fraction`` of the request,
+      rounded down to :data:`SECTOR_BYTES`) — the torn-page case.
+    - ``"partial_extent"``: a page-rounded prefix (``fraction`` rounded
+      down to ``granularity``, default 8 KiB) — a multi-page extent append
+      that persisted only its leading pages.
+
+    A failing *read* never persists anything regardless of mode.
+    """
+
+    fail_at: int
+    mode: str = "clean"
+    fraction: float = 0.5
+    granularity: int = 8192
+
+    def __post_init__(self) -> None:
+        if self.fail_at < 0:
+            raise DeviceError(f"fail_at must be >= 0: {self.fail_at}")
+        if self.mode not in ("clean", "torn", "partial_extent"):
+            raise DeviceError(f"unknown fault mode: {self.mode!r}")
+        if not 0.0 <= self.fraction <= 1.0:
+            raise DeviceError(f"fraction must be in [0, 1]: {self.fraction}")
+
+    def persisted_prefix(self, nbytes: int, *, write: bool) -> int:
+        """Bytes of the failing request that reach stable storage."""
+        if not write or self.mode == "clean":
+            return 0
+        unit = SECTOR_BYTES if self.mode == "torn" else self.granularity
+        return min(nbytes, int(nbytes * self.fraction) // unit * unit)
 
 
 @dataclass
@@ -84,6 +129,37 @@ class SimulatedDevice:
         self._last_read_end = -1
         self._last_write_end = -1
         self._allocations: list[_Allocation] = []
+        self._io_index = 0          # completed I/Os, for fault planning
+        self._fault_plan: FaultPlan | None = None
+        self._crashed = False
+
+    # ---------------------------------------------------------------- faults
+
+    @property
+    def io_count(self) -> int:
+        """Number of successfully completed I/O requests."""
+        return self._io_index
+
+    @property
+    def crashed(self) -> bool:
+        return self._crashed
+
+    def set_fault_plan(self, plan: FaultPlan | None) -> None:
+        """Arm (or clear) a crash-point fault plan."""
+        self._fault_plan = plan
+
+    def reboot(self) -> None:
+        """Power-cycle a crashed device: it accepts I/O again.
+
+        The fault plan is cleared and the sequential-detection state reset
+        (a fresh controller has no notion of the pre-crash access pattern).
+        Counters, the trace and allocations survive — they model the
+        observer, not the device state.
+        """
+        self._crashed = False
+        self._fault_plan = None
+        self._last_read_end = -1
+        self._last_write_end = -1
 
     # ------------------------------------------------------------------ space
 
@@ -120,6 +196,19 @@ class SimulatedDevice:
         if offset + nbytes > self.profile.capacity_bytes:
             raise DeviceError(
                 f"I/O beyond device capacity: offset={offset} nbytes={nbytes}")
+        if self._crashed:
+            raise DeviceCrashError(
+                f"device is crashed (reboot required); dropped "
+                f"{'write' if write else 'read'} at offset={offset}")
+        plan = self._fault_plan
+        if plan is not None and self._io_index >= plan.fail_at:
+            self._crashed = True
+            persisted = plan.persisted_prefix(nbytes, write=write)
+            raise DeviceCrashError(
+                f"injected crash at I/O #{self._io_index} "
+                f"({'write' if write else 'read'} offset={offset} "
+                f"nbytes={nbytes}, mode={plan.mode}, persisted={persisted})",
+                bytes_persisted=persisted)
         last_end = self._last_write_end if write else self._last_read_end
         sequential = offset == last_end
         latency = self.profile.latency(nbytes, write=write, sequential=sequential)
@@ -143,6 +232,7 @@ class SimulatedDevice:
                           "W" if write else "R")
         self.stats.busy_time += latency
         self.clock.advance(latency)
+        self._io_index += 1
         return latency
 
     def __repr__(self) -> str:

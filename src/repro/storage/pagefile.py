@@ -14,8 +14,27 @@ from __future__ import annotations
 
 from typing import Callable, Sequence
 
-from ..errors import PageNotFoundError
+from ..errors import DeviceCrashError, PageNotFoundError
 from ..sim.device import SimulatedDevice
+
+
+class TornPage:
+    """Contents of a page whose write was torn mid-crash.
+
+    Object (non-byte) payloads cannot be prefix-spliced the way real sector
+    images can, so a torn object write leaves this marker; any attempt to
+    interpret it as real data fails loudly.  Byte payloads (logs, manifest
+    superblocks) get a faithful ``new[:n] + old[n:]`` sector splice instead
+    and never produce this marker.
+    """
+
+    __slots__ = ("bytes_persisted",)
+
+    def __init__(self, bytes_persisted: int) -> None:
+        self.bytes_persisted = bytes_persisted
+
+    def __repr__(self) -> str:
+        return f"TornPage(bytes_persisted={self.bytes_persisted})"
 
 
 class PageFile:
@@ -92,9 +111,18 @@ class PageFile:
         return self._contents[page_no]
 
     def write_page(self, page_no: int, payload: object) -> None:
-        """Physically write one page (random 8 KiB write)."""
+        """Physically write one page (random 8 KiB write).
+
+        Contents are installed only once the device accepts the write; an
+        injected crash leaves the old contents (clean crash) or a torn
+        sector-prefix image (torn-write fault) — never the full new payload.
+        """
         self._require_allocated(page_no)
-        self.device.write(self._addresses[page_no], self.page_size)
+        try:
+            self.device.write(self._addresses[page_no], self.page_size)
+        except DeviceCrashError as exc:
+            self._install_torn(page_no, payload, exc.bytes_persisted)
+            raise
         self.physical_writes += 1
         self._contents[page_no] = payload
 
@@ -121,14 +149,22 @@ class PageFile:
         while idx < len(payloads):
             chunk = payloads[idx:idx + self.extent_pages]
             base = self.device.allocate(self.page_size * self.extent_pages)
-            for offset, payload in enumerate(chunk):
+            chunk_nos: list[int] = []
+            for offset, _payload in enumerate(chunk):
                 page_no = self._next_page_no
                 self._next_page_no += 1
                 self._addresses[page_no] = base + offset * self.page_size
-                self._contents[page_no] = payload
-                page_nos.append(page_no)
-            self.device.write(base, self.page_size * len(chunk))
+                chunk_nos.append(page_no)
+            try:
+                self.device.write(base, self.page_size * len(chunk))
+            except DeviceCrashError as exc:
+                self._install_extent_prefix(chunk_nos, chunk,
+                                            exc.bytes_persisted)
+                raise
             self.physical_writes += 1
+            for page_no, payload in zip(chunk_nos, chunk):
+                self._contents[page_no] = payload
+            page_nos.extend(chunk_nos)
             idx += self.extent_pages
         return page_nos
 
@@ -149,7 +185,13 @@ class PageFile:
             if not run:
                 return
             base = self._addresses[run[0][0]]
-            self.device.write(base, self.page_size * len(run))
+            try:
+                self.device.write(base, self.page_size * len(run))
+            except DeviceCrashError as exc:
+                self._install_extent_prefix([no for no, _ in run],
+                                            [p for _, p in run],
+                                            exc.bytes_persisted)
+                raise
             self.physical_writes += 1
             for no, payload in run:
                 self._contents[no] = payload
@@ -178,6 +220,32 @@ class PageFile:
         return page_no in self._contents
 
     # --------------------------------------------------------------- internal
+
+    def _install_torn(self, page_no: int, payload: object,
+                      nbytes: int) -> None:
+        """Install what a crashed single-page write left behind."""
+        if nbytes <= 0:
+            return  # clean crash: old contents (or absence) survive intact
+        if nbytes >= self.page_size:
+            self._contents[page_no] = payload
+            return
+        if isinstance(payload, (bytes, bytearray)):
+            old = self._contents.get(page_no)
+            tail = old[nbytes:] if isinstance(old, (bytes, bytearray)) else b""
+            self._contents[page_no] = bytes(payload[:nbytes]) + bytes(tail)
+        else:
+            self._contents[page_no] = TornPage(nbytes)
+
+    def _install_extent_prefix(self, page_nos: Sequence[int],
+                               payloads: Sequence[object],
+                               nbytes: int) -> None:
+        """Install the persisted prefix of a crashed multi-page write."""
+        full = min(nbytes // self.page_size, len(page_nos))
+        for page_no, payload in zip(page_nos[:full], payloads[:full]):
+            self._contents[page_no] = payload
+        rest = nbytes - full * self.page_size
+        if rest > 0 and full < len(page_nos):
+            self._install_torn(page_nos[full], payloads[full], rest)
 
     def _require_allocated(self, page_no: int) -> None:
         if page_no not in self._addresses:

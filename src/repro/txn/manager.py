@@ -28,6 +28,19 @@ class TransactionManager:
         self._active: dict[int, Transaction] = {}
         self.committed_count = 0
         self.aborted_count = 0
+        #: durability hooks, run while the transaction is still ACTIVE and
+        #: *before* the status flip — a crash inside a commit hook (WAL
+        #: append) leaves the transaction uncommitted, which is exactly the
+        #: not-yet-acknowledged semantics recovery assumes
+        self._commit_hooks: list = []
+        self._abort_hooks: list = []
+
+    def add_commit_hook(self, hook) -> None:
+        """Register ``hook(txn)`` to run at every commit, pre-status-flip."""
+        self._commit_hooks.append(hook)
+
+    def add_abort_hook(self, hook) -> None:
+        self._abort_hooks.append(hook)
 
     # ------------------------------------------------------------- lifecycle
 
@@ -44,11 +57,21 @@ class TransactionManager:
         return txn
 
     def commit(self, txn: Transaction) -> None:
+        if txn.state is not TxnState.ACTIVE:
+            raise TransactionStateError(
+                f"transaction {txn.id} already {txn.state.value}")
+        for hook in self._commit_hooks:
+            hook(txn)
         self._finish(txn, TxnState.COMMITTED)
         self.commit_log.set_committed(txn.id)
         self.committed_count += 1
 
     def abort(self, txn: Transaction) -> None:
+        if txn.state is not TxnState.ACTIVE:
+            raise TransactionStateError(
+                f"transaction {txn.id} already {txn.state.value}")
+        for hook in self._abort_hooks:
+            hook(txn)
         self._finish(txn, TxnState.ABORTED)
         self.commit_log.set_aborted(txn.id)
         self.aborted_count += 1
@@ -60,6 +83,20 @@ class TransactionManager:
         txn.state = state
         del self._active[txn.id]
         self._charge_overhead()
+
+    def restore(self, next_txid: int, committed: set[int]) -> None:
+        """Recovery entry point: adopt the durable transaction history.
+
+        ``next_txid`` must exceed every txid whose effects may exist
+        anywhere durable; ``committed`` lists the durably-committed ids.
+        All other below-``next_txid`` ids become aborted.
+        """
+        if self._active:
+            raise TransactionStateError(
+                f"cannot restore with {len(self._active)} active transactions")
+        self._next_txid = max(next_txid, 1)
+        self.commit_log.restore(self._next_txid, committed)
+        self.committed_count = len(committed)
 
     # ------------------------------------------------------------ inspection
 

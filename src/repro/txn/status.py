@@ -41,12 +41,15 @@ class CommitLog:
     them as invisible.
     """
 
-    __slots__ = ("_status", "_known", "_watermark")
+    __slots__ = ("_status", "_known", "_watermark", "_aborted_ids")
 
     def __init__(self) -> None:
         self._status = bytearray(1)      # index 0 unused; txids start at 1
         self._known: set[int] = set()    # registered ids (only for __len__)
         self._watermark = 1
+        #: all ids ever aborted — the durability manifest persists this set
+        #: (compact pg_xact model: aborts are rare, commits are the default)
+        self._aborted_ids: set[int] = set()
 
     @property
     def watermark(self) -> int:
@@ -89,8 +92,33 @@ class CommitLog:
         self._ensure(txid)
         self._status[txid] = _ABORTED
         self._known.add(txid)
+        self._aborted_ids.add(txid)
         if txid == self._watermark:
             self._advance_watermark()
+
+    @property
+    def aborted_ids(self) -> set[int]:
+        """Every txid ever recorded as aborted (manifest flip input)."""
+        return set(self._aborted_ids)
+
+    def restore(self, next_txid: int, committed: set[int]) -> None:
+        """Recovery bulk-load: every id below ``next_txid`` is decided.
+
+        Ids in ``committed`` become COMMITTED, all others ABORTED — a
+        transaction without a durable commit record was never acknowledged.
+        """
+        size = max(next_txid, 1)
+        self._status = bytearray(size)
+        self._known = set()
+        self._aborted_ids = set()
+        for txid in range(1, size):
+            if txid in committed:
+                self._status[txid] = _COMMITTED
+            else:
+                self._status[txid] = _ABORTED
+                self._aborted_ids.add(txid)
+            self._known.add(txid)
+        self._watermark = size
 
     def status(self, txid: int) -> TxnStatus:
         if 0 <= txid < len(self._status):

@@ -13,6 +13,19 @@ from repro.storage.pagefile import PageFile
 from repro.txn.manager import TransactionManager
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--run-crash-sweep", action="store_true", default=False,
+        help="run the crash-point sweep exhaustively (every I/O index) "
+             "instead of the quick sampled subset")
+
+
+@pytest.fixture
+def run_crash_sweep(request: pytest.FixtureRequest) -> bool:
+    """True when the exhaustive crash sweep was requested."""
+    return bool(request.config.getoption("--run-crash-sweep"))
+
+
 @pytest.fixture
 def clock() -> SimClock:
     return SimClock()

@@ -1,0 +1,441 @@
+"""Unit tests for the durability building blocks.
+
+Covers the fault-injection device layer (:class:`FaultPlan`, crash state,
+torn installs), the write-ahead log (append / replay / truncate / torn
+tail), the manifest superblock (round-trip, double-buffered fallback) and
+clean-restart recovery at the :class:`Database` level.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.buffer.pool import BufferPool
+from repro.config import EngineConfig
+from repro.core.records import MVPBTRecord, RecordType
+from repro.durability.manifest import (IndexManifest, ManifestState,
+                                       ManifestStore, PartitionMeta,
+                                       decode_state, encode_state)
+from repro.durability.recovery import read_durable_state
+from repro.durability.wal import (KIND_COMMIT, KIND_RECORD, WriteAheadLog,
+                                  parse_entries)
+from repro.engine.database import Database
+from repro.errors import DeviceCrashError, DeviceError, RecoveryError
+from repro.sim.clock import SimClock
+from repro.sim.device import SECTOR_BYTES, FaultPlan, SimulatedDevice
+from repro.sim.profiles import UNIT_TEST_PROFILE
+from repro.storage.pagefile import PageFile, TornPage
+from repro.storage.recordid import RecordID
+
+pytestmark = pytest.mark.crash
+
+
+def make_file(device: SimulatedDevice, page_size: int = 512) -> PageFile:
+    return PageFile("dura_test", device, page_size, 8)
+
+
+def rec(key: int, ts: int, seq: int,
+        rtype: RecordType = RecordType.REGULAR) -> MVPBTRecord:
+    rid = RecordID(7, key % 50)
+    if rtype in (RecordType.ANTI, RecordType.TOMBSTONE):
+        return MVPBTRecord((key,), ts, seq, rtype, key, rid_old=rid)
+    return MVPBTRecord((key,), ts, seq, rtype, key, rid_new=rid)
+
+
+# ------------------------------------------------------------- FaultPlan
+
+class TestFaultPlan:
+    def test_validation(self) -> None:
+        with pytest.raises(DeviceError):
+            FaultPlan(fail_at=-1)
+        with pytest.raises(DeviceError):
+            FaultPlan(fail_at=0, mode="mangle")
+        with pytest.raises(DeviceError):
+            FaultPlan(fail_at=0, fraction=1.5)
+
+    def test_clean_mode_persists_nothing(self) -> None:
+        plan = FaultPlan(fail_at=0, mode="clean", fraction=1.0)
+        assert plan.persisted_prefix(8192, write=True) == 0
+
+    def test_reads_never_persist(self) -> None:
+        plan = FaultPlan(fail_at=0, mode="torn", fraction=1.0)
+        assert plan.persisted_prefix(8192, write=False) == 0
+
+    def test_torn_rounds_to_sectors(self) -> None:
+        plan = FaultPlan(fail_at=0, mode="torn", fraction=0.5)
+        n = plan.persisted_prefix(8192, write=True)
+        assert n == 4096
+        assert plan.persisted_prefix(100, write=True) == 0  # < one sector
+        odd = FaultPlan(fail_at=0, mode="torn", fraction=0.37)
+        assert odd.persisted_prefix(8192, write=True) % SECTOR_BYTES == 0
+
+    def test_partial_extent_rounds_to_pages(self) -> None:
+        plan = FaultPlan(fail_at=0, mode="partial_extent", fraction=0.6,
+                         granularity=8192)
+        # 65536 * 0.6 = 39321.6 -> rounded down to 4 whole pages
+        n = plan.persisted_prefix(8 * 8192, write=True)
+        assert n == 4 * 8192
+
+
+class TestDeviceCrash:
+    def test_io_index_counts_completed_ios(self, clock: SimClock) -> None:
+        device = SimulatedDevice(UNIT_TEST_PROFILE, clock)
+        device.write(0, 512)
+        device.read(0, 512)
+        assert device.io_count == 2
+
+    def test_fail_at_k_allows_k_ios(self, clock: SimClock) -> None:
+        device = SimulatedDevice(UNIT_TEST_PROFILE, clock)
+        device.set_fault_plan(FaultPlan(fail_at=2))
+        device.write(0, 512)
+        device.write(512, 512)
+        with pytest.raises(DeviceCrashError):
+            device.write(1024, 512)
+        assert device.crashed
+        assert device.io_count == 2
+
+    def test_crashed_device_refuses_everything(self, clock: SimClock) -> None:
+        device = SimulatedDevice(UNIT_TEST_PROFILE, clock)
+        device.set_fault_plan(FaultPlan(fail_at=0))
+        with pytest.raises(DeviceCrashError):
+            device.read(0, 512)
+        with pytest.raises(DeviceCrashError):
+            device.write(0, 512)
+        device.reboot()
+        assert not device.crashed
+        device.write(0, 512)  # healthy again
+
+    def test_bytes_persisted_carried_on_error(self, clock: SimClock) -> None:
+        device = SimulatedDevice(UNIT_TEST_PROFILE, clock)
+        device.set_fault_plan(FaultPlan(fail_at=0, mode="torn",
+                                        fraction=0.5))
+        with pytest.raises(DeviceCrashError) as err:
+            device.write(0, 4096)
+        assert err.value.bytes_persisted == 2048
+
+
+class TestTornInstall:
+    def test_write_page_clean_crash_keeps_old(self, clock: SimClock) -> None:
+        device = SimulatedDevice(UNIT_TEST_PROFILE, clock)
+        file = make_file(device)
+        no = file.allocate_page()
+        file.write_page(no, b"old" + bytes(509))
+        device.set_fault_plan(FaultPlan(fail_at=device.io_count))
+        with pytest.raises(DeviceCrashError):
+            file.write_page(no, b"new" + bytes(509))
+        assert bytes(file.peek(no)).startswith(b"old")
+
+    def test_write_page_torn_splices_prefix(self, clock: SimClock) -> None:
+        device = SimulatedDevice(UNIT_TEST_PROFILE, clock)
+        file = PageFile("t", device, 1024, 8)
+        no = file.allocate_page()
+        file.write_page(no, b"B" * 1024)
+        device.set_fault_plan(FaultPlan(fail_at=device.io_count,
+                                        mode="torn", fraction=0.5))
+        with pytest.raises(DeviceCrashError):
+            file.write_page(no, b"A" * 1024)
+        torn = bytes(file.peek(no))
+        assert torn == b"A" * 512 + b"B" * 512
+
+    def test_object_payload_becomes_torn_marker(self, clock: SimClock) -> None:
+        device = SimulatedDevice(UNIT_TEST_PROFILE, clock)
+        file = PageFile("t", device, 1024, 8)
+        no = file.allocate_page()
+        device.set_fault_plan(FaultPlan(fail_at=device.io_count,
+                                        mode="torn", fraction=0.9))
+        with pytest.raises(DeviceCrashError):
+            file.write_page(no, ["not", "bytes"])
+        assert isinstance(file.peek(no), TornPage)
+
+    def test_extent_append_persists_page_prefix(self, clock: SimClock) -> None:
+        device = SimulatedDevice(UNIT_TEST_PROFILE, clock)
+        file = make_file(device)
+        payloads = [bytes([i]) * 512 for i in range(8)]
+        device.set_fault_plan(FaultPlan(
+            fail_at=device.io_count, mode="partial_extent",
+            fraction=0.6, granularity=512))
+        with pytest.raises(DeviceCrashError):
+            file.append_extents(payloads)
+        survived = [no for no in range(file.max_page_no)
+                    if file.has_contents(no)]
+        # 8 pages * 0.6 rounded down to page granularity = 2 full pages
+        # at 4096 * 0.6 = 2457 -> 4 pages of 512
+        assert survived == list(range(4))
+        for no in survived:
+            assert bytes(file.peek(no)) == payloads[no]
+
+
+# ------------------------------------------------------------------- WAL
+
+class TestWriteAheadLog:
+    def test_round_trip(self, clock: SimClock) -> None:
+        device = SimulatedDevice(UNIT_TEST_PROFILE, clock)
+        file = make_file(device)
+        wal = WriteAheadLog(file)
+        wal.log([("ix", rec(1, 10, 0)), ("ix", rec(2, 10, 1))],
+                commit_txid=10)
+        wal.log([("other", rec(3, 11, 2))], commit_txid=11)
+        wal.log([], commit_txid=12)
+
+        recovered, entries = WriteAheadLog.recover(make_file_like(file))
+        kinds = [e.kind for e in entries]
+        assert kinds == [KIND_RECORD, KIND_RECORD, KIND_COMMIT,
+                         KIND_RECORD, KIND_COMMIT, KIND_COMMIT]
+        assert [e.lsn for e in entries] == list(range(1, 7))
+        assert {e.txid for e in entries if e.kind == KIND_COMMIT} \
+            == {10, 11, 12}
+        assert entries[0].index_name == "ix"
+        assert entries[3].index_name == "other"
+        assert entries[0].record == rec(1, 10, 0)
+        assert recovered.end_lsn == wal.end_lsn
+
+    def test_empty_log_call_is_noop(self, clock: SimClock) -> None:
+        device = SimulatedDevice(UNIT_TEST_PROFILE, clock)
+        wal = WriteAheadLog(make_file(device))
+        wal.log([])
+        assert wal.end_lsn == 1
+        assert wal.pages_written == 0
+
+    def test_tail_page_seals_and_new_page_starts(self,
+                                                 clock: SimClock) -> None:
+        device = SimulatedDevice(UNIT_TEST_PROFILE, clock)
+        file = make_file(device)
+        wal = WriteAheadLog(file)
+        for i in range(60):
+            wal.log([("ix", rec(i, i + 1, i))], commit_txid=i + 1)
+        assert len(wal._pages) >= 1   # at least one page sealed
+        _, entries = WriteAheadLog.recover(make_file_like(file))
+        assert [e.lsn for e in entries] == list(range(1, wal.end_lsn))
+
+    def test_truncate_frees_only_covered_pages(self, clock: SimClock) -> None:
+        device = SimulatedDevice(UNIT_TEST_PROFILE, clock)
+        file = make_file(device)
+        wal = WriteAheadLog(file)
+        for i in range(60):
+            wal.log([("ix", rec(i, i + 1, i))], commit_txid=i + 1)
+        sealed = list(wal._pages)
+        assert sealed
+        cut = sealed[len(sealed) // 2][2] + 1   # above some page's last lsn
+        freed = wal.truncate_below(cut)
+        assert freed >= 1
+        _, entries = WriteAheadLog.recover(make_file_like(file))
+        assert entries, "suffix must survive truncation"
+        assert all(e.lsn >= cut or e.lsn >= entries[0].lsn
+                   for e in entries)
+        assert entries[-1].lsn == wal.end_lsn - 1
+        # the surviving run is still LSN-contiguous
+        lsns = [e.lsn for e in entries]
+        assert lsns == list(range(lsns[0], lsns[-1] + 1))
+
+    def test_torn_tail_keeps_valid_prefix(self, clock: SimClock) -> None:
+        device = SimulatedDevice(UNIT_TEST_PROFILE, clock)
+        file = make_file(device)
+        wal = WriteAheadLog(file)
+        wal.log([("ix", rec(1, 5, 0))], commit_txid=5)
+        # tear the next append halfway through its page rewrite
+        device.set_fault_plan(FaultPlan(fail_at=device.io_count,
+                                        mode="torn", fraction=0.2))
+        with pytest.raises(DeviceCrashError):
+            wal.log([("ix", rec(2, 6, 1)), ("ix", rec(3, 6, 2))],
+                    commit_txid=6)
+        device.reboot()
+        _, entries = WriteAheadLog.recover(make_file_like(file))
+        # the pre-crash prefix is intact; the torn suffix is dropped at an
+        # entry boundary
+        assert entries[0].record == rec(1, 5, 0)
+        assert entries[1].kind == KIND_COMMIT and entries[1].txid == 5
+        assert all(e.lsn < wal.end_lsn for e in entries)
+        committed = {e.txid for e in entries if e.kind == KIND_COMMIT}
+        assert 6 not in committed or len(entries) >= 5
+
+    def test_parse_entries_rejects_garbage(self) -> None:
+        assert parse_entries(b"") == []
+        assert parse_entries(b"\x00" * 64) == []
+        assert parse_entries(bytes(range(256)) * 4) == []
+
+
+def make_file_like(file: PageFile) -> PageFile:
+    """The same file, as a recovery pass would see it (identity: recovery
+    re-reads the very PageFile that holds the durable contents)."""
+    return file
+
+
+# -------------------------------------------------------------- manifest
+
+def sample_state() -> ManifestState:
+    part = PartitionMeta(
+        number=3, record_count=120, size_bytes=4096, min_ts=5, max_ts=44,
+        page_nos=[4, 5, 6], fences=[(10,), (20,), (999,)],
+        min_key=(1,), max_key=(999,),
+        bloom_state=(256, 3, 120, bytes(32)),
+        prefix_state=(1, (128, 2, 120, bytes(16))))
+    bare = PartitionMeta(
+        number=4, record_count=1, size_bytes=64, min_ts=50, max_ts=50,
+        page_nos=[9], fences=[(7, "b")], min_key=None, max_key=None)
+    return ManifestState(
+        txid_watermark=77, aborted_txids=[3, 9], active_txids=[76],
+        indexes={"ix": IndexManifest("ix", 5, 400, 12, [part, bare]),
+                 "empty": IndexManifest("empty", 0, 0, 1, [])})
+
+
+class TestManifest:
+    def test_state_round_trip(self) -> None:
+        state = sample_state()
+        decoded = decode_state(encode_state(state))
+        assert decoded == state
+
+    def test_decode_rejects_corruption(self) -> None:
+        data = bytearray(encode_state(sample_state()))
+        data[0] ^= 0xFF
+        with pytest.raises(RecoveryError):
+            decode_state(bytes(data))
+        with pytest.raises(RecoveryError):
+            decode_state(encode_state(sample_state())[:-10])
+
+    def test_store_flip_and_attach(self, clock: SimClock) -> None:
+        device = SimulatedDevice(UNIT_TEST_PROFILE, clock)
+        file = make_file(device)
+        store = ManifestStore(file, slot_pages=6)
+        store.preallocate()
+        state = sample_state()
+        store.write(state)
+        store.write(ManifestState(txid_watermark=99))
+
+        attached, read_back = ManifestStore.attach(file, slot_pages=6)
+        assert attached.epoch == 2
+        assert read_back == ManifestState(txid_watermark=99)
+
+    def test_attach_empty_device(self, clock: SimClock) -> None:
+        device = SimulatedDevice(UNIT_TEST_PROFILE, clock)
+        store, state = ManifestStore.attach(make_file(device), slot_pages=4)
+        assert state is None
+        assert store.epoch == 0
+
+    def test_torn_flip_falls_back_to_previous_epoch(self,
+                                                    clock: SimClock) -> None:
+        device = SimulatedDevice(UNIT_TEST_PROFILE, clock)
+        file = make_file(device)
+        store = ManifestStore(file, slot_pages=6)
+        store.preallocate()
+        store.write(ManifestState(txid_watermark=10))
+        first_epoch_io = device.io_count
+        # epoch 2 targets the other slot; tear its first page
+        device.set_fault_plan(FaultPlan(fail_at=first_epoch_io,
+                                        mode="torn", fraction=0.3))
+        with pytest.raises(DeviceCrashError):
+            store.write(sample_state())
+        device.reboot()
+        _, state = ManifestStore.attach(file, slot_pages=6)
+        assert state == ManifestState(txid_watermark=10)
+
+    def test_oversized_state_raises(self, clock: SimClock) -> None:
+        device = SimulatedDevice(UNIT_TEST_PROFILE, clock)
+        store = ManifestStore(make_file(device), slot_pages=1)
+        store.preallocate()
+        big = ManifestState(txid_watermark=1,
+                            aborted_txids=list(range(1000)))
+        with pytest.raises(Exception):
+            store.write(big)
+
+
+# ------------------------------------------------------- end-to-end units
+
+def durable_db(**extra) -> Database:
+    config = EngineConfig(durability=True, page_size=512,
+                          partition_buffer_bytes=1024,
+                          buffer_pool_pages=64, manifest_slot_pages=6)
+    db = Database(config)
+    db.create_table("t", [("id", "int"), ("val", "str")])
+    db.create_index("ix", "t", ["id"], kind="mvpbt", enable_gc=False,
+                    **extra)
+    return db
+
+
+class TestDatabaseRecovery:
+    def test_clean_restart_round_trip(self) -> None:
+        db = durable_db()
+        for i in range(40):
+            txn = db.begin()
+            db.insert(txn, "t", (i, f"v{i}"))
+            txn.commit()
+        tree = db.catalog.index("ix").mvpbt
+        assert tree.stats.evictions >= 1
+
+        db2 = Database.recover(db)
+        tree2 = db2.catalog.index("ix").mvpbt
+        assert len(tree2._persisted) == len(tree._persisted)
+        txn = db2.begin()
+        for i in range(40):
+            assert db2.select(txn, "ix", (i,)) == [(i, f"v{i}")]
+        txn.abort()
+
+    def test_partitions_reattach_without_leaf_reads(self) -> None:
+        db = durable_db()
+        for i in range(40):
+            txn = db.begin()
+            db.insert(txn, "t", (i, f"v{i}"))
+            txn.commit()
+        index_file = db.catalog.index("ix").mvpbt.file
+        reads_before = index_file.physical_reads
+        Database.recover(db)
+        assert index_file.physical_reads == reads_before
+
+    def test_recovered_filters_match(self) -> None:
+        db = durable_db()
+        for i in range(40):
+            txn = db.begin()
+            db.insert(txn, "t", (i, f"v{i}"))
+            txn.commit()
+        old = db.catalog.index("ix").mvpbt
+        db2 = Database.recover(db)
+        new = db2.catalog.index("ix").mvpbt
+        for p_old, p_new in zip(old._persisted, new._persisted):
+            assert p_new.number == p_old.number
+            assert p_new.min_ts == p_old.min_ts
+            assert p_new.max_ts == p_old.max_ts
+            if p_old.bloom is not None:
+                assert p_new.bloom is not None
+                assert p_new.bloom._bits == p_old.bloom._bits
+
+    def test_uncommitted_txn_recovers_as_aborted(self) -> None:
+        db = durable_db()
+        txn = db.begin()
+        db.insert(txn, "t", (1, "committed"))
+        txn.commit()
+        open_txn = db.begin()
+        db.insert(open_txn, "t", (2, "dirty"))
+        # crash with open_txn still active (no commit marker written)
+        db.device.set_fault_plan(FaultPlan(fail_at=db.device.io_count))
+        db2 = Database.recover(db)
+        from repro.txn.status import TxnStatus
+        assert db2.txn.status_of(open_txn.id) is TxnStatus.ABORTED
+        check = db2.begin()
+        assert db2.select(check, "ix", (1,)) == [(1, "committed")]
+        assert db2.select(check, "ix", (2,)) == []
+        check.abort()
+
+    def test_recover_requires_durability(self) -> None:
+        db = Database(EngineConfig())
+        with pytest.raises(RecoveryError):
+            Database.recover(db)
+
+    def test_wal_truncation_bounds_log_size(self) -> None:
+        db = durable_db()
+        for i in range(200):
+            txn = db.begin()
+            db.insert(txn, "t", (i, f"v{i}"))
+            txn.commit()
+        wal = db.durability.wal
+        assert wal.pages_freed > 0
+        live_pages = len(wal._pages) + (1 if wal._tail_no is not None else 0)
+        # the live log covers roughly one partition buffer's worth of
+        # records, not the whole history
+        assert live_pages * 512 < 200 * 20
+
+    def test_read_durable_state_empty(self, clock: SimClock) -> None:
+        device = SimulatedDevice(UNIT_TEST_PROFILE, clock)
+        state = read_durable_state(make_file(device), make_file(device))
+        assert state.state is None
+        assert state.committed == set()
+        assert state.records == {}
+        assert state.next_txid == 1

@@ -1,9 +1,12 @@
 """Integration: failure injection and recovery-adjacent invariants.
 
-The engine has no crash recovery (the paper's contribution is an index, not
-a WAL), but it must fail *cleanly*: aborted transactions leave no trace,
+The engine must fail *cleanly*: aborted transactions leave no trace,
 resource exhaustion raises typed errors without corrupting state, and
 mid-transaction errors roll back atomically at the snapshot level.
+Crash recovery proper (partition manifest + P_N write-ahead log, see
+DESIGN.md §11) is exercised by the fault-injection sweep in
+``tests/crash/``; this module covers in-process failure paths that hold
+with or without durability enabled.
 """
 
 import pytest
@@ -17,18 +20,19 @@ from repro.sim.device import SimulatedDevice
 from repro.sim.profiles import DeviceProfile, OpCost
 
 
-def make_db(**cfg):
+def make_db(storage="sias", **cfg):
     defaults = dict(buffer_pool_pages=64, partition_buffer_bytes=16 * 8192)
     defaults.update(cfg)
     db = Database(EngineConfig(**defaults))
-    db.create_table("r", [("a", "int"), ("b", "str")], storage="sias")
+    db.create_table("r", [("a", "int"), ("b", "str")], storage=storage)
     db.create_index("ix", "r", ["a"], kind="mvpbt")
     return db
 
 
+@pytest.mark.parametrize("storage", ["heap", "sias", "delta"])
 class TestAbortAtomicity:
-    def test_multi_statement_abort_leaves_no_trace(self):
-        db = make_db()
+    def test_multi_statement_abort_leaves_no_trace(self, storage):
+        db = make_db(storage)
         t = db.begin()
         db.insert(t, "r", (1, "keep"))
         t.commit()
@@ -40,8 +44,8 @@ class TestAbortAtomicity:
         r = db.begin()
         assert db.range_select(r, "ix", None, None) == [(1, "keep")]
 
-    def test_abort_after_delete_restores_visibility(self):
-        db = make_db()
+    def test_abort_after_delete_restores_visibility(self, storage):
+        db = make_db(storage)
         t = db.begin()
         db.insert(t, "r", (1, "keep"))
         t.commit()
@@ -55,9 +59,9 @@ class TestAbortAtomicity:
         assert db.update_by_key(t3, "ix", (1,), {"b": "updated"}) == 1
         t3.commit()
 
-    def test_unique_violation_mid_txn_can_roll_back(self):
+    def test_unique_violation_mid_txn_can_roll_back(self, storage):
         db = Database(EngineConfig(buffer_pool_pages=64))
-        db.create_table("u", [("a", "int")], storage="sias")
+        db.create_table("u", [("a", "int")], storage=storage)
         db.create_index("ux", "u", ["a"], kind="mvpbt", unique=True)
         t = db.begin()
         db.insert(t, "u", (1,))
@@ -70,8 +74,8 @@ class TestAbortAtomicity:
         r = db.begin()
         assert db.range_select(r, "ux", None, None) == [(1,)]
 
-    def test_conflict_retry_pattern(self):
-        db = make_db()
+    def test_conflict_retry_pattern(self, storage):
+        db = make_db(storage)
         t = db.begin()
         db.insert(t, "r", (1, "v0"))
         t.commit()

@@ -95,3 +95,54 @@ class TestIOAccounting:
         delta = dev.stats.delta(snap)
         assert delta.reads == 1
         assert delta.bytes_read == 8192
+
+
+class TestTraceReconciliation:
+    """The I/O trace and the stats counters observe the same request stream."""
+
+    def _mixed_workload(self, dev):
+        a = dev.allocate(16 * 8192)
+        b = dev.allocate(16 * 8192)
+        dev.write(a, 8192)
+        dev.write(a + 8192, 8192)            # sequential continuation
+        dev.write(b, 4 * 8192)               # random jump, extent-sized
+        dev.read(a, 8192)
+        dev.read(a + 8192, 512)              # sub-page sequential read
+        dev.read(b + 8 * 8192, 2 * 8192)     # random read
+        dev.write(a + 2 * 8192, 512)         # random small write
+
+    def test_entry_counts_match_stats(self, dev):
+        dev.trace.enable()
+        self._mixed_workload(dev)
+        assert len(dev.trace.entries("R")) == dev.stats.reads
+        assert len(dev.trace.entries("W")) == dev.stats.writes
+        assert len(dev.trace.entries()) == dev.stats.reads + dev.stats.writes
+
+    def test_traced_bytes_match_stats(self, dev):
+        dev.trace.enable()
+        self._mixed_workload(dev)
+        traced_read = sum(e.sectors for e in dev.trace.entries("R")) * 512
+        traced_written = sum(e.sectors for e in dev.trace.entries("W")) * 512
+        assert traced_read == dev.stats.bytes_read
+        assert traced_written == dev.stats.bytes_written
+
+    def test_trace_lbas_are_sector_addresses(self, dev):
+        dev.trace.enable()
+        offset = dev.allocate(8192)
+        dev.write(offset, 8192)
+        (entry,) = dev.trace.entries("W")
+        assert entry.lba == offset // 512
+        assert entry.sectors == 16
+
+    def test_disabled_trace_records_nothing_but_stats_still_count(self, dev):
+        self._mixed_workload(dev)
+        assert len(dev.trace) == 0
+        assert dev.stats.reads == 3
+        assert dev.stats.writes == 4
+
+    def test_trace_clear_does_not_reset_stats(self, dev):
+        dev.trace.enable()
+        self._mixed_workload(dev)
+        dev.trace.clear()
+        assert len(dev.trace) == 0
+        assert dev.stats.reads == 3

@@ -122,3 +122,93 @@ class TestAppendExtents:
         f.flush_pages_sequential([(pages[0], "a"), (pages[1], "b"),
                                   (late, "z")])
         assert f.physical_writes == 2
+
+
+class TestFreePageReuse:
+    """free_page / allocate_page reuse semantics (WAL truncation relies on
+    these: a freed page's old contents must never resurface)."""
+
+    def test_free_drops_contents(self, setup):
+        _c, _d, f = setup
+        p = f.allocate_page()
+        f.write_page(p, "stale")
+        f.free_page(p)
+        q = f.allocate_page()
+        assert q == p
+        with pytest.raises(PageNotFoundError):
+            f.peek(q)
+        with pytest.raises(PageNotFoundError):
+            f.read_page(q)
+
+    def test_free_unallocated_raises(self, setup):
+        _c, _d, f = setup
+        with pytest.raises(PageNotFoundError):
+            f.free_page(0)
+
+    def test_reused_page_keeps_device_address(self, setup):
+        _c, _d, f = setup
+        p = f.allocate_page()
+        addr = f._addresses[p]
+        f.free_page(p)
+        assert f.allocate_page() == p
+        assert f._addresses[p] == addr
+
+    def test_reuse_is_lifo_and_exhausts_before_growing(self, setup):
+        _c, _d, f = setup
+        pages = [f.allocate_page() for _ in range(3)]
+        for p in pages:
+            f.free_page(p)
+        assert f.allocate_page() == pages[2]
+        assert f.allocate_page() == pages[1]
+        assert f.allocate_page() == pages[0]
+        assert f.allocate_page() == 3          # free list empty: fresh page
+        assert f.max_page_no == 4
+
+    def test_double_free_then_double_allocate(self, setup):
+        _c, _d, f = setup
+        a, b = f.allocate_page(), f.allocate_page()
+        f.free_page(a)
+        f.free_page(b)
+        assert {f.allocate_page(), f.allocate_page()} == {a, b}
+        assert f.allocated_pages == 2
+
+
+class TestPutPageNocost:
+    """put_page_nocost installs contents without any device-side effect."""
+
+    def test_no_sim_time_advance(self, setup):
+        clock, _d, f = setup
+        p = f.allocate_page()
+        before = clock.now
+        f.put_page_nocost(p, {"k": 1})
+        assert clock.now == before
+        assert f.peek(p) == {"k": 1}
+
+    def test_no_trace_entry_and_no_stats(self, setup):
+        _c, d, f = setup
+        d.trace.enable()
+        p = f.allocate_page()
+        f.put_page_nocost(p, "payload")
+        assert len(d.trace) == 0
+        assert d.stats.reads == 0 and d.stats.writes == 0
+        assert d.stats.bytes_written == 0
+
+    def test_no_file_counter_bump(self, setup):
+        _c, _d, f = setup
+        p = f.allocate_page()
+        f.put_page_nocost(p, "x")
+        assert f.physical_writes == 0
+        assert f.physical_reads == 0
+
+    def test_unallocated_page_rejected(self, setup):
+        _c, _d, f = setup
+        with pytest.raises(PageNotFoundError):
+            f.put_page_nocost(7, "x")
+
+    def test_overwrites_prior_contents(self, setup):
+        _c, _d, f = setup
+        p = f.allocate_page()
+        f.write_page(p, "old")
+        f.put_page_nocost(p, "new")
+        assert f.peek(p) == "new"
+        assert f.physical_writes == 1          # only the paid write counted
