@@ -8,17 +8,23 @@ how long the simulation took to execute and are not the reproduction result.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.config import EngineConfig
 from repro.engine import Database
 
+if TYPE_CHECKING:
+    from repro.workloads.tpcc import TPCCConfig
 
-def run_simulation(benchmark, fn: Callable[[], dict]) -> dict:
+#: one benchmark's metrics: simulated-time numbers plus free-form details
+Metrics = dict[str, Any]
+
+
+def run_simulation(benchmark: Any, fn: Callable[[], Metrics]) -> Metrics:
     """Run ``fn`` exactly once under pytest-benchmark; returns its metrics."""
-    result: dict = {}
+    result: Metrics = {}
 
-    def wrapper():
+    def wrapper() -> None:
         result.update(fn())
 
     benchmark.pedantic(wrapper, rounds=1, iterations=1)
@@ -30,7 +36,7 @@ def run_simulation(benchmark, fn: Callable[[], dict]) -> dict:
 
 def small_engine(buffer_pool_pages: int = 128,
                  partition_buffer_pages: int = 32,
-                 **overrides) -> EngineConfig:
+                 **overrides: Any) -> EngineConfig:
     """Benchmark engine config: buffer deliberately small relative to the
     generated data so the buffer:data ratio matches the paper's setup."""
     return EngineConfig(buffer_pool_pages=buffer_pool_pages,
@@ -38,20 +44,21 @@ def small_engine(buffer_pool_pages: int = 128,
                         **overrides)
 
 
-def tpcc_scale(warehouses: int = 2, seed: int = 7, **overrides):
+def tpcc_scale(warehouses: int = 2, seed: int = 7,
+               **overrides: Any) -> TPCCConfig:
     """Scaled-down TPC-C with PostgreSQL-like housekeeping defaults:
     periodic vacuum (autovacuum / HOT pruning) and a fixed per-transaction
     engine overhead so index costs are a realistic *share* of each
     transaction rather than its entirety."""
     from repro.workloads.tpcc import TPCCConfig
-    params = dict(warehouses=warehouses,
-                  districts_per_warehouse=4,
-                  customers_per_district=20,
-                  items=50,
-                  initial_orders_per_district=15,
-                  vacuum_every=150,
-                  overhead_per_txn=100e-6,
-                  seed=seed)
+    params: dict[str, Any] = dict(warehouses=warehouses,
+                                  districts_per_warehouse=4,
+                                  customers_per_district=20,
+                                  items=50,
+                                  initial_orders_per_district=15,
+                                  vacuum_every=150,
+                                  overhead_per_txn=100e-6,
+                                  seed=seed)
     params.update(overrides)
     return TPCCConfig(**params)
 

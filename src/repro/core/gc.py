@@ -185,7 +185,7 @@ def gc_victim_seqs(records: "Iterable[MVPBTRecord]",
         prev = get(vid)
         if prev is None:
             by_vid[vid] = record
-        elif prev.__class__ is list:
+        elif isinstance(prev, list):
             prev.append(record)
         else:
             by_vid[vid] = [prev, record]
@@ -193,7 +193,7 @@ def gc_victim_seqs(records: "Iterable[MVPBTRecord]",
     drop: set[int] = set()
     is_aborted = commit_log.is_aborted
     for entry in by_vid.values():
-        if entry.__class__ is not list:
+        if not isinstance(entry, list):
             # singleton chain: nothing to shed — victim only when aborted
             if is_aborted(entry.ts):
                 drop.add(entry.seq)

@@ -40,6 +40,7 @@ from .eviction import build_partition
 from .gc import gc_victim_seqs
 from .partition import PersistedPartition
 from .records import MVPBTRecord, RecordType, record_size
+from ..types import Key
 
 if TYPE_CHECKING:
     from .tree import MVPBT
@@ -72,7 +73,7 @@ def select_merge_window(partitions: Sequence[PersistedPartition],
     return best_start, k
 
 
-def _merge_pinned_runs(runs: list[list[MVPBTRecord]]
+def _merge_pinned_runs(runs: list[Sequence[MVPBTRecord]]
                        ) -> Iterator[MVPBTRecord]:
     """Galloping k-way merge of pinned, §4.3-sorted record runs.
 
@@ -143,7 +144,8 @@ def merge_partitions(tree: "MVPBT", count: int | None = None, *,
     # off, nothing needs a decision pass and the build lazily consumes the
     # charged read directly through heapq.merge in bounded memory.
     if tree.enable_gc:
-        pinned = [list(p.run.iter_all_sequential()) for p in inputs]
+        pinned: list[Sequence[MVPBTRecord]] = [
+            list(p.run.iter_all_sequential()) for p in inputs]
         drop = gc_victim_seqs(chain.from_iterable(pinned),
                               tree.manager.active_snapshots(),
                               tree.manager.commit_log, tree.mode,
@@ -179,7 +181,7 @@ def merge_partitions(tree: "MVPBT", count: int | None = None, *,
 
 
 def bulk_load(tree: "MVPBT", txn: Transaction,
-              entries: Sequence[tuple[tuple, RecordID, int]],
+              entries: Sequence[tuple[Key, RecordID, int]],
               payloads: Sequence[object] | None = None
               ) -> PersistedPartition | None:
     """Build one persisted partition directly from ``(key, rid, vid)``

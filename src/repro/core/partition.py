@@ -22,6 +22,7 @@ from ..index.runs import PersistedRun
 from ..storage.page import PAGE_HEADER_BYTES
 from ..txn.snapshot import Snapshot
 from .records import MVPBTRecord, ReferenceMode, record_size
+from ..types import Key
 
 #: sorts after any (-ts, -seq) pair — exclusive-bound probe component
 _AFTER_KEY = float("inf")
@@ -38,7 +39,7 @@ class MemLeaf:
     __slots__ = ("sort_keys", "records", "bytes_used", "has_garbage")
 
     def __init__(self) -> None:
-        self.sort_keys: list[tuple] = []
+        self.sort_keys: list[Key] = []
         self.records: list[MVPBTRecord] = []
         self.bytes_used = 0
         self.has_garbage = False
@@ -68,7 +69,7 @@ class MemoryPartition:
         self.mode = mode
         self.leaf_capacity = page_size - PAGE_HEADER_BYTES
         self._leaves: list[MemLeaf] = [MemLeaf()]
-        self._fences: list[tuple] = []  # first sort_key of leaves[1:]
+        self._fences: list[Key] = []  # first sort_key of leaves[1:]
         #: per-chain registry (vid -> records) used by partition GC
         self._by_vid: dict[int, list[MVPBTRecord]] = {}
         self.bytes_used = 0
@@ -141,7 +142,7 @@ class MemoryPartition:
 
     # ----------------------------------------------------------------- reads
 
-    def search(self, key: tuple) -> Iterator[tuple[MemLeaf, MVPBTRecord]]:
+    def search(self, key: Key) -> Iterator[tuple[MemLeaf, MVPBTRecord]]:
         """Records whose key equals ``key``, newest first (§4.3 ordering)."""
         probe = (key,)
         start = max(0, bisect_right(self._fences, probe) - 1)
@@ -160,7 +161,7 @@ class MemoryPartition:
             if not emitted:
                 return
 
-    def scan(self, lo: tuple | None, hi: tuple | None, *,
+    def scan(self, lo: Key | None, hi: Key | None, *,
              lo_incl: bool = True,
              hi_incl: bool = True) -> Iterator[tuple[MemLeaf, MVPBTRecord]]:
         """Records with keys in range, in partition order.
@@ -223,7 +224,7 @@ class PersistedPartition:
     """One immutable on-storage partition with its metadata."""
 
     number: int
-    run: PersistedRun
+    run: PersistedRun[MVPBTRecord]
     bloom: BloomFilter | None
     prefix_bloom: PrefixBloomFilter | None
     min_ts: int
@@ -246,14 +247,14 @@ class PersistedPartition:
             return True
         return self.min_ts <= snapshot.owner <= self.max_ts
 
-    def overlaps(self, lo: tuple | None, hi: tuple | None) -> bool:
+    def overlaps(self, lo: Key | None, hi: Key | None) -> bool:
         """Partition range-key filter."""
         return self.run.overlaps(lo, hi)
 
-    def search(self, key: tuple) -> Iterator[MVPBTRecord]:
+    def search(self, key: Key) -> Iterator[MVPBTRecord]:
         yield from self.run.search(key)
 
-    def scan(self, lo: tuple | None, hi: tuple | None, *,
+    def scan(self, lo: Key | None, hi: Key | None, *,
              lo_incl: bool = True,
              hi_incl: bool = True) -> Iterator[MVPBTRecord]:
         yield from self.run.scan(lo, hi, lo_incl=lo_incl, hi_incl=hi_incl)

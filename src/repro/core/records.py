@@ -31,6 +31,7 @@ from enum import Enum, IntEnum
 
 from ..storage.keycodec import encoded_size
 from ..storage.recordid import RecordID
+from ..types import Key, SetEntry, SortKey
 
 #: flags bitfield: record is garbage (invisible to every snapshot, §4.6)
 FLAG_GC = 0x01
@@ -78,7 +79,7 @@ class MVPBTRecord:
     one transaction may touch the same key).
     """
 
-    key: tuple
+    key: Key
     ts: int
     seq: int
     rtype: RecordType
@@ -88,7 +89,7 @@ class MVPBTRecord:
     payload: object = None            #: inline value (KV mode), else None
     flags: int = 0
     #: REGULAR_SET only: reconciled (vid, rid, ts, seq) entries, newest first
-    set_entries: list = field(default_factory=list)
+    set_entries: list[SetEntry] = field(default_factory=list)
 
     # ------------------------------------------------------------ semantics
 
@@ -119,7 +120,7 @@ class MVPBTRecord:
             return self.vid
         return self.rid_old
 
-    def sort_key(self) -> tuple:
+    def sort_key(self) -> SortKey:
         """Partition-internal ordering (paper §4.3): primary by search key,
         secondary newest-first by (timestamp, sequence)."""
         return (self.key, -self.ts, -self.seq)

@@ -31,6 +31,7 @@ import struct
 from ..errors import KeyCodecError, StorageError
 from ..storage.keycodec import decode_key, encode_key
 from ..storage.recordid import RecordID
+from ..types import SetEntry
 from .records import MVPBTRecord, RecordType
 
 _HEADER = struct.Struct("<BBH")
@@ -116,7 +117,7 @@ def decode_record(data: bytes, offset: int = 0) -> tuple[MVPBTRecord, int]:
         pos += 1
         rid_new = rid_old = None
         payload = None
-        set_entries: list = []
+        set_entries: list[SetEntry] = []
         if presence & HAS_RID_NEW:
             rid_new, pos = _unpack_rid(data, pos)
         if presence & HAS_RID_OLD:
@@ -126,7 +127,9 @@ def decode_record(data: bytes, offset: int = 0) -> tuple[MVPBTRecord, int]:
             pos += 4
             raw = data[pos:pos + length]
             if len(raw) != length:
-                raise ValueError("truncated payload")
+                raise StorageError(
+                    f"corrupt MV-PBT record at {offset}: truncated payload "
+                    f"({len(raw)} of {length} bytes)")
             payload = raw.decode("utf-8")
             pos += length
         if presence & HAS_SET:
@@ -143,7 +146,9 @@ def decode_record(data: bytes, offset: int = 0) -> tuple[MVPBTRecord, int]:
         pos += 2
         key_bytes = data[pos:pos + key_len]
         if len(key_bytes) != key_len:
-            raise ValueError("truncated key")
+            raise StorageError(
+                f"corrupt MV-PBT record at {offset}: truncated key "
+                f"({len(key_bytes)} of {key_len} bytes)")
         key = decode_key(key_bytes)
         pos += key_len
         rtype = RecordType(rtype_raw)

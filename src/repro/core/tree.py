@@ -28,20 +28,33 @@ from __future__ import annotations
 
 import heapq
 from itertools import islice
-from typing import Iterator, NamedTuple
+from typing import (TYPE_CHECKING, Any, Iterator, NamedTuple, Sequence,
+                    TypeAlias)
 
 from ..buffer.partition_buffer import PartitionBuffer
 from ..buffer.pool import BufferPool
 from ..errors import ConfigError, UniqueViolationError
+from ..index.filters import PrefixBloomFilter
 from ..storage.keycodec import encode_key
 from ..storage.pagefile import PageFile
 from ..storage.recordid import RecordID
 from ..txn.manager import TransactionManager
 from ..txn.transaction import Transaction
+from ..types import JSONDict, Key
 from .gc import GCStats, purge_leaf
-from .partition import MemoryPartition, PersistedPartition
+from .partition import MemLeaf, MemoryPartition, PersistedPartition
 from .records import MVPBTRecord, RecordType, ReferenceMode
 from .visibility import Visibility, VisibilityChecker
+
+if TYPE_CHECKING:
+    from ..durability.controller import DurabilityController
+    from ..durability.manifest import IndexManifest
+
+#: one cursor merge item: ``(key, -partition_no, -ts, -seq, record, leaf)``
+#: — the 4-prefix orders the k-way merge, ``leaf`` is None for persisted
+#: partitions (no phase-1 GC flagging there)
+_MergeItem: TypeAlias = \
+    "tuple[Key, int, int, int, MVPBTRecord, MemLeaf | None]"
 
 
 class SearchHit(NamedTuple):
@@ -52,7 +65,7 @@ class SearchHit(NamedTuple):
     diagnostics and tests.
     """
 
-    key: tuple
+    key: Key
     rid: RecordID
     vid: int
     ts: int
@@ -161,7 +174,7 @@ class MVPBT:
         self._persisted: list[PersistedPartition] = []
         #: set by DurabilityController.register; when present, committed
         #: P_N mutations flow into the write-ahead log
-        self._durability = None
+        self._durability: DurabilityController | None = None
         #: per-transaction mutation buffers awaiting their commit-time WAL
         #: append (txid -> records, insertion order)
         self._wal_pending: dict[int, list[MVPBTRecord]] = {}
@@ -169,7 +182,7 @@ class MVPBT:
 
     # ------------------------------------------------------------ operations
 
-    def insert(self, txn: Transaction, key: tuple, rid_new: RecordID,
+    def insert(self, txn: Transaction, key: Key, rid_new: RecordID,
                vid: int, payload: object = None) -> None:
         """INSERT: regular record for the tuple's initial version."""
         txn.require_active()
@@ -182,7 +195,7 @@ class MVPBT:
                                      rid_new=rid_new, payload=payload))
         self.stats.inserts += 1
 
-    def update_nonkey(self, txn: Transaction, key: tuple, rid_new: RecordID,
+    def update_nonkey(self, txn: Transaction, key: Key, rid_new: RecordID,
                       rid_old: RecordID, vid: int,
                       payload: object = None) -> None:
         """Non-key UPDATE: replacement record (new matter + anti-matter)."""
@@ -193,7 +206,7 @@ class MVPBT:
                                      payload=payload))
         self.stats.replacements += 1
 
-    def update_key(self, txn: Transaction, old_key: tuple, new_key: tuple,
+    def update_key(self, txn: Transaction, old_key: Key, new_key: Key,
                    rid_new: RecordID, rid_old: RecordID, vid: int,
                    payload: object = None) -> None:
         """Index-key UPDATE: anti record at the old key plus a replacement
@@ -212,7 +225,7 @@ class MVPBT:
                                      payload=payload))
         self.stats.replacements += 1
 
-    def delete(self, txn: Transaction, key: tuple, rid_old: RecordID,
+    def delete(self, txn: Transaction, key: Key, rid_old: RecordID,
                vid: int) -> None:
         """DELETE: tombstone record terminating the whole version chain."""
         txn.require_active()
@@ -221,7 +234,7 @@ class MVPBT:
                                      rid_old=rid_old))
         self.stats.tombstones += 1
 
-    def _unique_check_passes(self, txn: Transaction, key: tuple) -> bool:
+    def _unique_check_passes(self, txn: Transaction, key: Key) -> bool:
         """Unique-constraint check with a negative-lookup fast path.
 
         Fresh-key inserts are the common case (TPC-C new-order: every order
@@ -253,7 +266,7 @@ class MVPBT:
             return True
         return not self.search(txn, key)
 
-    def _add_build_record(self, key: tuple, ts: int, kind: str, vid: int,
+    def _add_build_record(self, key: Key, ts: int, kind: str, vid: int,
                           rid_new: RecordID | None = None,
                           rid_old: RecordID | None = None) -> None:
         """Index-build path: insert a record with a historical timestamp
@@ -274,7 +287,7 @@ class MVPBT:
 
     # ---------------------------------------------------------------- search
 
-    def search(self, txn: Transaction, key: tuple) -> list[SearchHit]:
+    def search(self, txn: Transaction, key: Key) -> list[SearchHit]:
         """Index-only point lookup (Algorithm 1): visible entries for ``key``.
 
         With ``index_only_visibility=False`` every matter record's reference
@@ -327,8 +340,8 @@ class MVPBT:
         self.stats.hits_returned += len(hits)
         return hits
 
-    def cursor(self, txn: Transaction, lo: tuple | None = None,
-               hi: tuple | None = None, *, lo_incl: bool = True,
+    def cursor(self, txn: Transaction, lo: Key | None = None,
+               hi: Key | None = None, *, lo_incl: bool = True,
                hi_incl: bool = True) -> Iterator[SearchHit]:
         """Streaming index-only range scan: yield visible entries lazily.
 
@@ -383,8 +396,8 @@ class MVPBT:
             # runs on exhaustion *and* on early close (GeneratorExit)
             stats.records_checked += checker.records_processed
 
-    def range_scan(self, txn: Transaction, lo: tuple | None,
-                   hi: tuple | None, *, lo_incl: bool = True,
+    def range_scan(self, txn: Transaction, lo: Key | None,
+                   hi: Key | None, *, lo_incl: bool = True,
                    hi_incl: bool = True) -> list[SearchHit]:
         """Index-only range scan (Algorithm 2): visible entries, key order.
 
@@ -394,8 +407,8 @@ class MVPBT:
         return list(self.cursor(txn, lo, hi, lo_incl=lo_incl,
                                 hi_incl=hi_incl))
 
-    def scan_limit(self, txn: Transaction, lo: tuple | None, limit: int,
-                   hi: tuple | None = None, *,
+    def scan_limit(self, txn: Transaction, lo: Key | None, limit: int,
+                   hi: Key | None = None, *,
                    lo_incl: bool = True) -> list[SearchHit]:
         """Index-only scan returning at most ``limit`` visible entries.
 
@@ -410,9 +423,9 @@ class MVPBT:
         return list(islice(self.cursor(txn, lo, hi, lo_incl=lo_incl),
                            limit))
 
-    def _merged_records(self, txn: Transaction, lo: tuple | None,
-                        hi: tuple | None, lo_incl: bool,
-                        hi_incl: bool) -> Iterator[tuple]:
+    def _merged_records(self, txn: Transaction, lo: Key | None,
+                        hi: Key | None, lo_incl: bool,
+                        hi_incl: bool) -> Iterator[_MergeItem]:
         """All partitions' records merged on (key asc, partition desc,
         ts desc, seq desc), as ``(key, -pno, -ts, -seq, record, leaf)``
         tuples.
@@ -422,10 +435,10 @@ class MVPBT:
         counter, partitions have distinct numbers), so a comparison never
         falls through to the record element.
         """
-        sources = []
+        sources: list[Iterator[_MergeItem]] = []
         mem_pno = self._mem.number
 
-        def mem_source(neg=-mem_pno):
+        def mem_source(neg: int = -mem_pno) -> Iterator[_MergeItem]:
             for leaf, record in self._mem.scan(lo, hi, lo_incl=lo_incl,
                                                hi_incl=hi_incl):
                 yield (record.key, neg, -record.ts, -record.seq,
@@ -439,7 +452,7 @@ class MVPBT:
             if not part.overlaps(lo, hi):
                 self.stats.partitions_skipped_range += 1
                 continue
-            gate = None
+            gate: PrefixBloomFilter | None = None
             if self.use_prefix_bloom and part.prefix_bloom is not None:
                 prefix = part.prefix_bloom.applicable(lo, hi)
                 if prefix is not None:
@@ -448,7 +461,10 @@ class MVPBT:
                         continue
                     gate = part.prefix_bloom
 
-            def part_source(p=part, neg=-part.number, gate=gate):
+            def part_source(p: PersistedPartition = part,
+                            neg: int = -part.number,
+                            gate: PrefixBloomFilter | None = gate,
+                            ) -> Iterator[_MergeItem]:
                 matched = False
                 for record in p.scan(lo, hi, lo_incl=lo_incl,
                                      hi_incl=hi_incl):
@@ -499,7 +515,9 @@ class MVPBT:
         from .merge import merge_partitions
         return merge_partitions(self, count, start=start)
 
-    def bulk_load(self, txn: Transaction, entries, payloads=None
+    def bulk_load(self, txn: Transaction,
+                  entries: Sequence[tuple[Key, RecordID, int]],
+                  payloads: Sequence[object] | None = None
                   ) -> PersistedPartition | None:
         """Build a persisted partition directly from (key, rid, vid)
         entries, bypassing ``P_N`` (the paper's bulk-load use case)."""
@@ -525,7 +543,7 @@ class MVPBT:
         return (self._mem.record_count
                 + sum(p.record_count for p in self._persisted))
 
-    def describe(self) -> dict:
+    def describe(self) -> JSONDict:
         """Structural snapshot for diagnostics and experiment reporting."""
         partitions = [{
             "number": p.number,
@@ -584,10 +602,10 @@ class MVPBT:
     def recover(cls, name: str, file: PageFile, pool: BufferPool,
                 partition_buffer: PartitionBuffer,
                 manager: TransactionManager, *,
-                index_state=None,
+                index_state: IndexManifest | None = None,
                 wal_records: list[MVPBTRecord] | None = None,
-                durability=None,
-                **options) -> "MVPBT":
+                durability: DurabilityController | None = None,
+                **options: Any) -> "MVPBT":
         """Rebuild a tree from its durable state after a crash.
 
         ``index_state`` is the tree's
@@ -665,7 +683,7 @@ class MVPBT:
                                  cost=self.manager.cost)
 
     def _classify(self, checker: VisibilityChecker, record: MVPBTRecord,
-                  hits: list[SearchHit], leaf) -> None:
+                  hits: list[SearchHit], leaf: MemLeaf | None) -> None:
         """Run one record through the visibility check; collect hits and do
         phase-1 GC flagging for in-memory leaves."""
         if record.rtype is RecordType.REGULAR_SET:
@@ -685,7 +703,7 @@ class MVPBT:
 
     # --------------------------------------- version-oblivious (ablation)
 
-    def _candidates_point(self, key: tuple) -> list[SearchHit]:
+    def _candidates_point(self, key: Key) -> list[SearchHit]:
         hits: list[SearchHit] = []
         for _leaf, record in self._mem.search(key):
             self._raw_hits(record, hits)
@@ -711,7 +729,7 @@ class MVPBT:
         self.stats.hits_returned += len(hits)
         return hits
 
-    def _candidates_range(self, lo: tuple | None, hi: tuple | None,
+    def _candidates_range(self, lo: Key | None, hi: Key | None,
                           lo_incl: bool, hi_incl: bool) -> list[SearchHit]:
         hits: list[SearchHit] = []
         for _leaf, record in self._mem.scan(lo, hi, lo_incl=lo_incl,

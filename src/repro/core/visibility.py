@@ -40,7 +40,7 @@ from ..sim.clock import SimClock
 from ..txn.snapshot import Snapshot
 from ..txn.status import CommitLog
 from .records import (FLAG_GC, HAS_ANTIMATTER, HAS_MATTER, MVPBTRecord,
-                      RecordType, ReferenceMode)
+                      ReferenceMode)
 
 
 class Visibility(Enum):

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from ..errors import RecoveryError, StorageError
 from ..storage.keycodec import decode_key, encode_key
 from ..storage.pagefile import PageFile
+from ..types import Key
 
 MAGIC = b"MVPBTMF1"
 
@@ -50,9 +51,9 @@ class PartitionMeta:
     min_ts: int
     max_ts: int
     page_nos: list[int]
-    fences: list[tuple]
-    min_key: tuple | None
-    max_key: tuple | None
+    fences: list[Key]
+    min_key: Key | None
+    max_key: Key | None
     bloom_state: tuple[int, int, int, bytes] | None = None
     prefix_state: tuple[int, tuple[int, int, int, bytes]] | None = None
 
@@ -88,7 +89,7 @@ class ManifestState:
 
 # ------------------------------------------------------------------ encoding
 
-def _pack_key(key: tuple | None) -> bytes:
+def _pack_key(key: Key | None) -> bytes:
     if key is None:
         return _U16.pack(0xFFFF)
     data = encode_key(key)
@@ -97,7 +98,7 @@ def _pack_key(key: tuple | None) -> bytes:
     return _U16.pack(len(data)) + data
 
 
-def _unpack_key(data: bytes, pos: int) -> tuple[tuple | None, int]:
+def _unpack_key(data: bytes, pos: int) -> tuple[Key | None, int]:
     (length,) = _U16.unpack_from(data, pos)
     pos += 2
     if length == 0xFFFF:

@@ -93,7 +93,7 @@ def restore_partition(meta: PartitionMeta, file: PageFile,
                       pool: "BufferPool") -> "PersistedPartition":
     """Re-attach one persisted partition from its manifest record."""
     from ..core.partition import PersistedPartition
-    run = PersistedRun.restore(
+    run: PersistedRun[MVPBTRecord] = PersistedRun.restore(
         file, pool, page_nos=meta.page_nos, fences=meta.fences,
         record_count=meta.record_count, size_bytes=meta.size_bytes,
         min_key=meta.min_key, max_key=meta.max_key)

@@ -9,7 +9,7 @@ are selected per table/index, exactly the configurations the paper compares.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Any, Sequence
 
 from ..buffer.partition_buffer import PartitionBuffer
 from ..buffer.pool import BufferPool
@@ -41,9 +41,10 @@ from ..txn.transaction import Transaction
 from .catalog import Catalog, IndexInfo, TableInfo
 from .executor import Executor, RowHit
 from .schema import Schema
+from ..types import JSONDict, Key, TxnBody
 
 
-def _tree_options(tree: MVPBT) -> dict:
+def _tree_options(tree: MVPBT) -> dict[str, Any]:
     """Structural constructor options of an MV-PBT, for re-creation at
     recovery (the catalog, not this subsystem, is their durable home)."""
     return dict(
@@ -177,7 +178,7 @@ class Database:
         chains = self._existing_chains(table_info)
         for chain in chains:
             prev_rid: RecordID | None = None
-            prev_key: tuple | None = None
+            prev_key: Key | None = None
             for rid, version in chain:
                 if version.is_tombstone:
                     if info.is_mvpbt and prev_rid is not None:
@@ -209,13 +210,14 @@ class Database:
                         info.oblivious.insert_entry(key, version.vid)
                 prev_rid, prev_key = rid, key
 
-    def _existing_chains(self, table_info: TableInfo) -> list[list]:
+    def _existing_chains(self, table_info: TableInfo
+                         ) -> list[list[tuple[RecordID, TupleVersion]]]:
         """Version chains of a table, each ordered oldest-to-newest."""
         store = table_info.store
-        chains: list[list] = []
+        chains: list[list[tuple[RecordID, TupleVersion]]] = []
         if isinstance(store, SIASTable):
             for _vid, entry in list(store.chain_entries()):
-                chain = []
+                chain: list[tuple[RecordID, TupleVersion]] = []
                 rid: RecordID | None = entry
                 while rid is not None:
                     version = store.fetch(rid)
@@ -230,7 +232,7 @@ class Database:
             for rid, version in versions.items():
                 if rid in successors:
                     continue  # not a chain root
-                chain = []
+                chain = []  # type: list[tuple[RecordID, TupleVersion]]
                 cur: RecordID | None = rid
                 while cur is not None:
                     v = versions[cur]
@@ -251,7 +253,7 @@ class Database:
     def begin(self) -> Transaction:
         return self.txn.begin()
 
-    def run_transaction(self, fn, retries: int = 3):
+    def run_transaction(self, fn: TxnBody, retries: int = 3) -> Any:
         """Run ``fn(txn)`` with commit-on-success and first-updater-wins
         retry: a :class:`~repro.errors.WriteConflictError` aborts and retries
         with a fresh snapshot, up to ``retries`` times."""
@@ -360,7 +362,7 @@ class Database:
 
     # ----------------------------------------------------------- by-key DML
 
-    def update_by_key(self, txn: Transaction, index_name: str, key: tuple,
+    def update_by_key(self, txn: Transaction, index_name: str, key: Key,
                       updates: dict[str, object]) -> int:
         """UPDATE all visible rows matching ``key`` on the named index."""
         ix = self.catalog.index(index_name)
@@ -370,7 +372,7 @@ class Database:
         return len(hits)
 
     def delete_by_key(self, txn: Transaction, index_name: str,
-                      key: tuple) -> int:
+                      key: Key) -> int:
         ix = self.catalog.index(index_name)
         hits = self.executor.lookup(txn, ix, key)
         for hit in hits:
@@ -380,40 +382,40 @@ class Database:
     # ----------------------------------------------------------------- reads
 
     def select(self, txn: Transaction, index_name: str,
-               key: tuple) -> list[tuple]:
+               key: Key) -> list[Key]:
         """Visible rows whose index key equals ``key``."""
         ix = self.catalog.index(index_name)
         return [hit.row for hit in self.executor.lookup(txn, ix, key)]
 
     def select_hits(self, txn: Transaction, index_name: str,
-                    key: tuple) -> list[RowHit]:
+                    key: Key) -> list[RowHit]:
         ix = self.catalog.index(index_name)
         return self.executor.lookup(txn, ix, key)
 
     def range_select(self, txn: Transaction, index_name: str,
-                     lo: tuple | None, hi: tuple | None, *,
+                     lo: Key | None, hi: Key | None, *,
                      lo_incl: bool = True,
-                     hi_incl: bool = True) -> list[tuple]:
+                     hi_incl: bool = True) -> list[Key]:
         ix = self.catalog.index(index_name)
         return [hit.row for hit in self.executor.scan(
             txn, ix, lo, hi, lo_incl=lo_incl, hi_incl=hi_incl)]
 
     def range_hits(self, txn: Transaction, index_name: str,
-                   lo: tuple | None, hi: tuple | None, *,
+                   lo: Key | None, hi: Key | None, *,
                    lo_incl: bool = True, hi_incl: bool = True) -> list[RowHit]:
         ix = self.catalog.index(index_name)
         return self.executor.scan(txn, ix, lo, hi,
                                   lo_incl=lo_incl, hi_incl=hi_incl)
 
     def count_range(self, txn: Transaction, index_name: str,
-                    lo: tuple | None, hi: tuple | None, *,
+                    lo: Key | None, hi: Key | None, *,
                     lo_incl: bool = True, hi_incl: bool = True) -> int:
         """COUNT(*) over an index-key range (index-only on MV-PBT)."""
         ix = self.catalog.index(index_name)
         return self.executor.count(txn, ix, lo, hi,
                                    lo_incl=lo_incl, hi_incl=hi_incl)
 
-    def seq_scan(self, txn: Transaction, table: str) -> list[tuple]:
+    def seq_scan(self, txn: Transaction, table: str) -> list[Key]:
         """Full-table scan of visible rows."""
         info = self.catalog.table(table)
         return [row for _rid, row in info.store.scan_visible(txn)]
@@ -527,7 +529,7 @@ class Database:
                 **_tree_options(old))
         return db
 
-    def stats(self) -> dict:
+    def stats(self) -> JSONDict:
         """One experiment-reporting snapshot of the whole instance."""
         device = self.device.stats
         pool_total = self.pool.total_stats()

@@ -13,9 +13,10 @@ The executor is where the paper's cost asymmetry lives:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, NamedTuple
+from typing import TYPE_CHECKING, Iterable, Iterator, NamedTuple
 
 from ..core.records import ReferenceMode
+from ..core.tree import SearchHit
 from ..errors import CatalogError
 from ..index.base import key_in_range
 from ..storage.recordid import RecordID
@@ -27,6 +28,7 @@ from ..table.visibility import (resolve_candidates_heap,
                                 resolve_candidates_sias)
 from ..txn.transaction import Transaction
 from .catalog import IndexInfo, TableInfo
+from ..types import Key
 
 if TYPE_CHECKING:
     from .database import Database
@@ -39,7 +41,7 @@ class RowHit(NamedTuple):
     version: TupleVersion
 
     @property
-    def row(self) -> tuple:
+    def row(self) -> Key:
         return self.version.data
 
 
@@ -52,7 +54,7 @@ class Executor:
     # ------------------------------------------------------------- lookups
 
     def lookup(self, txn: Transaction, index_info: IndexInfo,
-               key: tuple) -> list[RowHit]:
+               key: Key) -> list[RowHit]:
         """Visible rows whose index key equals ``key``."""
         key = tuple(key)
         table = self.db.catalog.table(index_info.table)
@@ -66,7 +68,7 @@ class Executor:
                 if tuple(hit.row[p] for p in positions) == key]
 
     def scan(self, txn: Transaction, index_info: IndexInfo,
-             lo: tuple | None, hi: tuple | None, *,
+             lo: Key | None, hi: Key | None, *,
              lo_incl: bool = True, hi_incl: bool = True) -> list[RowHit]:
         """Visible rows with index keys in the range, fetched from the table."""
         table = self.db.catalog.table(index_info.table)
@@ -84,8 +86,9 @@ class Executor:
                                 lo, hi, lo_incl, hi_incl)]
 
     def scan_stream(self, txn: Transaction, index_info: IndexInfo,
-                    lo: tuple | None, hi: tuple | None, *,
-                    lo_incl: bool = True, hi_incl: bool = True):
+                    lo: Key | None, hi: Key | None, *,
+                    lo_incl: bool = True,
+                    hi_incl: bool = True) -> Iterator[RowHit]:
         """Streaming variant of :meth:`scan`: yields ``RowHit``s lazily.
 
         On the MV-PBT index-only path this rides the index's streaming
@@ -112,7 +115,7 @@ class Executor:
                              lo_incl=lo_incl, hi_incl=hi_incl)
 
     def count(self, txn: Transaction, index_info: IndexInfo,
-              lo: tuple | None, hi: tuple | None, *,
+              lo: Key | None, hi: Key | None, *,
               lo_incl: bool = True, hi_incl: bool = True) -> int:
         """COUNT(*) over an index-key range.
 
@@ -130,7 +133,7 @@ class Executor:
     # ------------------------------------------------------------- internal
 
     def _fetch_hits(self, txn: Transaction, table: TableInfo,
-                    hits) -> list[RowHit]:
+                    hits: Iterable[SearchHit]) -> list[RowHit]:
         """Materialise rows for index-only hits.
 
         On materialised stores (heap/SIAS) the hit's recordID *is* the
@@ -150,13 +153,13 @@ class Executor:
         return [RowHit(h.rid, store.fetch(h.rid)) for h in hits]
 
     def _candidates_point(self, txn: Transaction, index_info: IndexInfo,
-                          key: tuple) -> list[object]:
+                          key: Key) -> list[object]:
         if index_info.is_mvpbt:
             return [h.rid for h in index_info.mvpbt.search(txn, key)]
         return index_info.oblivious.search(key)
 
     def _candidates_range(self, txn: Transaction, index_info: IndexInfo,
-                          lo: tuple | None, hi: tuple | None,
+                          lo: Key | None, hi: Key | None,
                           lo_incl: bool, hi_incl: bool) -> list[object]:
         if index_info.is_mvpbt:
             return [h.rid for h in index_info.mvpbt.range_scan(
@@ -177,7 +180,7 @@ class Executor:
             resolved = resolve_candidates_sias(txn, store, candidates)
         elif isinstance(store, DeltaTable):
             resolved = []
-            seen: set = set()
+            seen: set[object] = set()
             for rid in candidates:
                 if rid in seen:
                     continue

@@ -6,8 +6,10 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from ..errors import CatalogError
+from ..types import Key
 
-_TYPES = {"int": int, "float": float, "str": str}
+_TYPES: dict[str, type[object]] = {"int": int, "float": float,
+                                  "str": str}
 
 
 @dataclass(frozen=True)
@@ -24,7 +26,7 @@ class Column:
                 f"(expected one of {sorted(_TYPES)})")
 
     @property
-    def python_type(self) -> type:
+    def python_type(self) -> type[object]:
         return _TYPES[self.ctype]
 
 
@@ -58,7 +60,7 @@ class Schema:
     def positions(self, names: Sequence[str]) -> list[int]:
         return [self.position(n) for n in names]
 
-    def validate_row(self, row: Sequence[object]) -> tuple:
+    def validate_row(self, row: Sequence[object]) -> Key:
         if len(row) != len(self.columns):
             raise CatalogError(
                 f"row has {len(row)} values, schema has {len(self.columns)}")
@@ -74,11 +76,11 @@ class Schema:
         return tuple(row)
 
     def extract(self, row: Sequence[object],
-                positions: Sequence[int]) -> tuple:
+                positions: Sequence[int]) -> Key:
         return tuple(row[p] for p in positions)
 
     def apply_updates(self, row: Sequence[object],
-                      updates: dict[str, object]) -> tuple:
+                      updates: dict[str, object]) -> Key:
         """A new row with the named columns replaced."""
         out = list(row)
         for name, value in updates.items():

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Iterator, Union
 
 from ..storage.recordid import RecordID
+from ..types import Key
 
 Ref = Union[RecordID, int]
 
@@ -44,21 +45,21 @@ class Index(ABC):
     stats: IndexStats
 
     @abstractmethod
-    def insert_entry(self, key: tuple, ref: Ref) -> None:
+    def insert_entry(self, key: Key, ref: Ref) -> None:
         """Add one entry (duplicates of the same key are allowed)."""
 
     @abstractmethod
-    def remove_entry(self, key: tuple, ref: Ref) -> bool:
+    def remove_entry(self, key: Key, ref: Ref) -> bool:
         """Remove one entry (index-level GC); returns whether it existed."""
 
     @abstractmethod
-    def search(self, key: tuple) -> list[Ref]:
+    def search(self, key: Key) -> list[Ref]:
         """All candidate references whose entry key equals ``key``."""
 
     @abstractmethod
-    def range_scan(self, lo: tuple | None, hi: tuple | None,
+    def range_scan(self, lo: Key | None, hi: Key | None,
                    *, lo_incl: bool = True,
-                   hi_incl: bool = True) -> Iterator[tuple[tuple, Ref]]:
+                   hi_incl: bool = True) -> Iterator[tuple[Key, Ref]]:
         """Candidate (key, ref) pairs with keys in the given range, sorted."""
 
     @abstractmethod
@@ -100,12 +101,12 @@ class _Top:
 TOP = _Top()
 
 
-def prefix_bounds(prefix: tuple) -> tuple[tuple, tuple]:
+def prefix_bounds(prefix: Key) -> tuple[Key, Key]:
     """(lo, hi) bounds covering every key that extends ``prefix``."""
     return tuple(prefix), tuple(prefix) + (TOP,)
 
 
-def key_in_range(key: tuple, lo: tuple | None, hi: tuple | None,
+def key_in_range(key: Key, lo: Key | None, hi: Key | None,
                  lo_incl: bool, hi_incl: bool) -> bool:
     """Range-predicate test shared by the scan implementations."""
     if lo is not None:

@@ -4,13 +4,14 @@ from __future__ import annotations
 
 from ...storage.keycodec import encoded_size
 from ..base import ENTRY_OVERHEAD_BYTES, REF_BYTES
+from ...types import Key
 
 
-def leaf_entry_bytes(key: tuple) -> int:
+def leaf_entry_bytes(key: Key) -> int:
     return encoded_size(key) + REF_BYTES + ENTRY_OVERHEAD_BYTES
 
 
-def inner_entry_bytes(key: tuple) -> int:
+def inner_entry_bytes(key: Key) -> int:
     return encoded_size(key) + 4 + ENTRY_OVERHEAD_BYTES  # child page no
 
 
@@ -20,7 +21,7 @@ class LeafNode:
     __slots__ = ("keys", "payloads", "next_page", "bytes_used")
 
     def __init__(self) -> None:
-        self.keys: list[tuple] = []
+        self.keys: list[Key] = []
         self.payloads: list[object] = []
         self.next_page: int | None = None
         self.bytes_used = 0
@@ -35,7 +36,7 @@ class InnerNode:
     __slots__ = ("keys", "children", "bytes_used")
 
     def __init__(self) -> None:
-        self.keys: list[tuple] = []
+        self.keys: list[Key] = []
         self.children: list[int] = []
         self.bytes_used = 0
 

@@ -20,6 +20,7 @@ from ...storage.page import PAGE_HEADER_BYTES
 from ...storage.pagefile import PageFile
 from ..base import Index, IndexStats, Ref, key_in_range
 from .node import InnerNode, LeafNode, inner_entry_bytes, leaf_entry_bytes
+from ...types import Key
 
 
 class BPlusTree(Index):
@@ -50,10 +51,10 @@ class BPlusTree(Index):
     def _dirty(self, page_no: int) -> None:
         self.pool.mark_dirty(self.file, page_no)
 
-    def _leaf_entry_bytes(self, key: tuple) -> int:
+    def _leaf_entry_bytes(self, key: Key) -> int:
         return leaf_entry_bytes(key) + self.value_bytes
 
-    def _descend(self, key: tuple,
+    def _descend(self, key: Key,
                  for_insert: bool = False) -> tuple[list[int], LeafNode]:
         """Root-to-leaf path (page numbers); returns (path, leaf node).
 
@@ -81,7 +82,7 @@ class BPlusTree(Index):
 
     # ------------------------------------------------------------------- DML
 
-    def insert_entry(self, key: tuple, ref: Ref) -> None:
+    def insert_entry(self, key: Key, ref: Ref) -> None:
         key = tuple(key)
         path, leaf = self._descend(key, for_insert=True)
         idx = bisect_right(leaf.keys, key)
@@ -94,7 +95,7 @@ class BPlusTree(Index):
         if leaf.bytes_used > self._capacity:
             self._split_leaf(path)
 
-    def upsert(self, key: tuple, value: object) -> bool:
+    def upsert(self, key: Key, value: object) -> bool:
         """KV semantics: replace the first entry for ``key`` in place,
         or insert a new entry.  Returns True if an entry was replaced.
 
@@ -119,7 +120,7 @@ class BPlusTree(Index):
             self._split_leaf(path)
         return False
 
-    def remove_entry(self, key: tuple, ref: Ref) -> bool:
+    def remove_entry(self, key: Key, ref: Ref) -> bool:
         key = tuple(key)
         path, leaf = self._descend(key)
         page_no = path[-1]
@@ -146,7 +147,7 @@ class BPlusTree(Index):
 
     # ----------------------------------------------------------------- reads
 
-    def search(self, key: tuple) -> list[Ref]:
+    def search(self, key: Key) -> list[Ref]:
         key = tuple(key)
         self.stats.searches += 1
         refs: list[Ref] = []
@@ -167,14 +168,14 @@ class BPlusTree(Index):
         self.stats.entries_returned += len(refs)
         return refs
 
-    def get(self, key: tuple) -> object | None:
+    def get(self, key: Key) -> object | None:
         """KV semantics: first payload for ``key`` or None."""
         refs = self.search(key)
         return refs[0] if refs else None
 
-    def range_scan(self, lo: tuple | None, hi: tuple | None,
+    def range_scan(self, lo: Key | None, hi: Key | None,
                    *, lo_incl: bool = True,
-                   hi_incl: bool = True) -> Iterator[tuple[tuple, Ref]]:
+                   hi_incl: bool = True) -> Iterator[tuple[Key, Ref]]:
         self.stats.scans += 1
         if lo is not None:
             _path, leaf = self._descend(tuple(lo))
@@ -223,7 +224,7 @@ class BPlusTree(Index):
         self._dirty(page_no)
         self._insert_separator(path[:-1], right.keys[0], right_page, page_no)
 
-    def _insert_separator(self, path: list[int], sep_key: tuple,
+    def _insert_separator(self, path: list[int], sep_key: Key,
                           right_page: int, left_page: int) -> None:
         if not path:
             # the split node was the root: grow the tree by one level

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 from ..errors import ConfigError
 from ..storage.keycodec import encode_key
+from ..types import Key
 
 
 def digest(data: bytes) -> tuple[int, int]:
@@ -177,18 +178,18 @@ class PrefixBloomFilter:
         self.prefix_columns = prefix_columns
         self._bloom = BloomFilter(expected_items, fpr)
 
-    def add_key(self, key: tuple) -> None:
+    def add_key(self, key: Key) -> None:
         self._bloom.add(encode_key(key[:self.prefix_columns]))
 
     def add_digest(self, h1: int, h2: int) -> None:
         """Add a key prefix by its precomputed :func:`digest` pair."""
         self._bloom.add_digest(h1, h2)
 
-    def query_prefix(self, prefix: tuple) -> bool:
+    def query_prefix(self, prefix: Key) -> bool:
         """Counted probe for a full prefix (exactly ``prefix_columns`` values)."""
         return self._bloom.query(encode_key(prefix[:self.prefix_columns]))
 
-    def applicable(self, lo: tuple | None, hi: tuple | None) -> tuple | None:
+    def applicable(self, lo: Key | None, hi: Key | None) -> Key | None:
         """The shared fixed prefix of a range predicate, if the filter applies.
 
         Returns the prefix values when ``lo`` and ``hi`` agree on the first

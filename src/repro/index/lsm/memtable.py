@@ -10,6 +10,7 @@ from bisect import bisect_left
 from typing import Iterator
 
 from ...storage.keycodec import encoded_size
+from ...types import Key
 
 
 class _Tombstone:
@@ -42,7 +43,7 @@ def value_bytes(value: object) -> int:
     return 16
 
 
-def entry_bytes(key: tuple, value: object) -> int:
+def entry_bytes(key: Key, value: object) -> int:
     return encoded_size(key) + value_bytes(value) + 12  # seq + overhead
 
 
@@ -50,11 +51,11 @@ class MemTable:
     """Sorted in-memory component."""
 
     def __init__(self) -> None:
-        self._keys: list[tuple] = []
+        self._keys: list[Key] = []
         self._entries: list[tuple[int, object]] = []  # (seq, value)
         self.bytes_used = 0
 
-    def put(self, key: tuple, seq: int, value: object) -> None:
+    def put(self, key: Key, seq: int, value: object) -> None:
         idx = bisect_left(self._keys, key)
         if idx < len(self._keys) and self._keys[idx] == key:
             old_seq, old_value = self._entries[idx]
@@ -66,20 +67,20 @@ class MemTable:
             self._entries.insert(idx, (seq, value))
             self.bytes_used += entry_bytes(key, value)
 
-    def get(self, key: tuple) -> tuple[int, object] | None:
+    def get(self, key: Key) -> tuple[int, object] | None:
         idx = bisect_left(self._keys, key)
         if idx < len(self._keys) and self._keys[idx] == key:
             return self._entries[idx]
         return None
 
-    def scan_from(self, key: tuple | None) -> Iterator[tuple[tuple, int, object]]:
+    def scan_from(self, key: Key | None) -> Iterator[tuple[Key, int, object]]:
         """(key, seq, value) in key order starting at ``key`` (or the start)."""
         idx = bisect_left(self._keys, key) if key is not None else 0
         for pos in range(idx, len(self._keys)):
             seq, value = self._entries[pos]
             yield self._keys[pos], seq, value
 
-    def items(self) -> Iterator[tuple[tuple, int, object]]:
+    def items(self) -> Iterator[tuple[Key, int, object]]:
         yield from self.scan_from(None)
 
     def __len__(self) -> int:

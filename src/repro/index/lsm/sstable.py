@@ -10,9 +10,10 @@ from ...storage.pagefile import PageFile
 from ..filters import BloomFilter
 from ..runs import PersistedRun
 from .memtable import entry_bytes
+from ...types import Key
 
 #: an SSTable record: (key, seq, value)
-SSTableRecord = tuple[tuple, int, object]
+SSTableRecord = tuple[Key, int, object]
 
 
 class SSTable:
@@ -42,17 +43,17 @@ class SSTable:
         return self.run.size_bytes
 
     @property
-    def min_key(self) -> tuple | None:
+    def min_key(self) -> Key | None:
         return self.run.min_key
 
     @property
-    def max_key(self) -> tuple | None:
+    def max_key(self) -> Key | None:
         return self.run.max_key
 
     def may_contain(self, encoded_key: bytes) -> bool:
         return self.bloom.query(encoded_key)
 
-    def get(self, key: tuple) -> tuple[int, object] | None:
+    def get(self, key: Key) -> tuple[int, object] | None:
         """Newest (seq, value) for ``key`` within this component."""
         best: tuple[int, object] | None = None
         for _key, seq, value in self.run.search(key):
@@ -60,7 +61,7 @@ class SSTable:
                 best = (seq, value)
         return best
 
-    def scan(self, lo: tuple | None, hi: tuple | None, *,
+    def scan(self, lo: Key | None, hi: Key | None, *,
              lo_incl: bool = True,
              hi_incl: bool = True) -> Iterator[SSTableRecord]:
         yield from self.run.scan(lo, hi, lo_incl=lo_incl, hi_incl=hi_incl)

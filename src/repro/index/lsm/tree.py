@@ -19,13 +19,18 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 from ...buffer.pool import BufferPool
 from ...storage.keycodec import encode_key
 from ...storage.pagefile import PageFile
 from .memtable import TOMBSTONE, MemTable, entry_bytes
 from .sstable import SSTable, SSTableRecord
+from ...types import Key
+
+if TYPE_CHECKING:
+    from ...config import CostModel
+    from ...sim.clock import SimClock
 
 
 @dataclass
@@ -59,7 +64,8 @@ class LSMTree:
                  level_base_bytes: int = 256 * 8192,
                  size_ratio: int = 10,
                  bloom_fpr: float = 0.02,
-                 clock=None, cost=None) -> None:
+                 clock: SimClock | None = None,
+                 cost: CostModel | None = None) -> None:
         self.name = name
         self.file = file
         self.pool = pool
@@ -86,7 +92,7 @@ class LSMTree:
 
     # ------------------------------------------------------------------ DML
 
-    def put(self, key: tuple, value: object) -> None:
+    def put(self, key: Key, value: object) -> None:
         key = tuple(key)
         self._charge(comparisons=20)
         self._memtable.put(key, self._next_seq, value)
@@ -96,7 +102,7 @@ class LSMTree:
         if self._memtable.bytes_used >= self.memtable_bytes:
             self.flush_memtable()
 
-    def delete(self, key: tuple) -> None:
+    def delete(self, key: Key) -> None:
         key = tuple(key)
         self._charge(comparisons=20)
         self._memtable.put(key, self._next_seq, TOMBSTONE)
@@ -108,7 +114,7 @@ class LSMTree:
 
     # ----------------------------------------------------------------- reads
 
-    def get(self, key: tuple) -> object | None:
+    def get(self, key: Key) -> object | None:
         key = tuple(key)
         self.stats.gets += 1
         self._charge(comparisons=20)
@@ -141,11 +147,11 @@ class LSMTree:
                 return None if value is TOMBSTONE else value
         return None
 
-    def scan(self, start_key: tuple | None,
-             count: int) -> list[tuple[tuple, object]]:
+    def scan(self, start_key: Key | None,
+             count: int) -> list[tuple[Key, object]]:
         """Up to ``count`` live (key, value) pairs from ``start_key`` on."""
         self.stats.scans += 1
-        sources: list[Iterator[tuple[tuple, int, object]]] = [
+        sources: list[Iterator[tuple[Key, int, object]]] = [
             self._memtable.scan_from(start_key)]
         for sstable in self._l0:
             sources.append(sstable.scan(start_key, None))
@@ -156,8 +162,8 @@ class LSMTree:
         merged = heapq.merge(
             *[((key, -seq, value) for key, seq, value in src)
               for src in sources])
-        results: list[tuple[tuple, object]] = []
-        last_key: tuple | None = None
+        results: list[tuple[Key, object]] = []
+        last_key: Key | None = None
         pulled = 0
         for key, _negseq, value in merged:
             pulled += 1
@@ -252,7 +258,7 @@ class LSMTree:
                     for key, seq, value in sstable.iter_all_sequential())
                    for sstable in inputs]
         merged: list[SSTableRecord] = []
-        last_key: tuple | None = None
+        last_key: Key | None = None
         for key, negseq, value in heapq.merge(*streams):
             if key == last_key:
                 continue

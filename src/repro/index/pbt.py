@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from bisect import bisect_left, bisect_right, insort
 from dataclasses import dataclass
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 from ..buffer.partition_buffer import PartitionBuffer
 from ..buffer.pool import BufferPool
@@ -25,9 +25,14 @@ from .base import (ENTRY_OVERHEAD_BYTES, REF_BYTES, Index, IndexStats, Ref,
                    key_in_range)
 from .filters import BloomFilter
 from .runs import PersistedRun
+from ..types import Key
+
+if TYPE_CHECKING:
+    from ..config import CostModel
+    from ..sim.clock import SimClock
 
 
-def _entry_size(key: tuple) -> int:
+def _entry_size(key: Key) -> int:
     return encoded_size(key) + REF_BYTES + ENTRY_OVERHEAD_BYTES
 
 
@@ -36,7 +41,7 @@ class PBTPartition:
     """One immutable persisted PBT partition."""
 
     number: int
-    run: PersistedRun
+    run: PersistedRun[tuple[Key, int, Ref]]
     bloom: BloomFilter | None
 
 
@@ -46,7 +51,8 @@ class PartitionedBTree(Index):
     def __init__(self, name: str, file: PageFile, pool: BufferPool,
                  partition_buffer: PartitionBuffer, *,
                  use_bloom: bool = True, bloom_fpr: float = 0.02,
-                 clock=None, cost=None) -> None:
+                 clock: SimClock | None = None,
+                 cost: CostModel | None = None) -> None:
         self.name = name
         self._clock = clock
         self._compare_cost = cost.compare if cost is not None else 0.0
@@ -57,7 +63,7 @@ class PartitionedBTree(Index):
         self.bloom_fpr = bloom_fpr
         self.stats = IndexStats()
 
-        self._mem_entries: list[tuple[tuple, int, Ref]] = []  # (key, seq, ref)
+        self._mem_entries: list[tuple[Key, int, Ref]] = []  # (key, seq, ref)
         self._mem_bytes = 0
         self._mem_number = 0
         self._next_seq = 0
@@ -95,7 +101,7 @@ class PartitionedBTree(Index):
         if self._clock is not None:
             self._clock.advance(comparisons * self._compare_cost)
 
-    def insert_entry(self, key: tuple, ref: Ref) -> None:
+    def insert_entry(self, key: Key, ref: Ref) -> None:
         key = tuple(key)
         self._charge(20)
         insort(self._mem_entries, (key, self._next_seq, ref))
@@ -104,7 +110,7 @@ class PartitionedBTree(Index):
         self.stats.inserts += 1
         self.partition_buffer.maybe_evict()
 
-    def remove_entry(self, key: tuple, ref: Ref) -> bool:
+    def remove_entry(self, key: Key, ref: Ref) -> bool:
         """Index-level GC: only entries still in ``P_N`` can be removed;
         persisted partitions are immutable (their dead entries die at merge
         or are filtered by the executor's visibility check)."""
@@ -121,7 +127,7 @@ class PartitionedBTree(Index):
                 return True
         return False
 
-    def search(self, key: tuple) -> list[Ref]:
+    def search(self, key: Key) -> list[Ref]:
         """All candidate refs for ``key`` across every partition."""
         key = tuple(key)
         self.stats.searches += 1
@@ -142,12 +148,12 @@ class PartitionedBTree(Index):
         self.stats.entries_returned += len(refs)
         return refs
 
-    def range_scan(self, lo: tuple | None, hi: tuple | None,
+    def range_scan(self, lo: Key | None, hi: Key | None,
                    *, lo_incl: bool = True,
-                   hi_incl: bool = True) -> Iterator[tuple[tuple, Ref]]:
+                   hi_incl: bool = True) -> Iterator[tuple[Key, Ref]]:
         """Candidates in key order (merged across partitions)."""
         self.stats.scans += 1
-        results: list[tuple[tuple, Ref]] = []
+        results: list[tuple[Key, Ref]] = []
         for key, _seq, ref in self._mem_entries:
             if key_in_range(key, lo, hi, lo_incl, hi_incl):
                 results.append((key, ref))
@@ -177,7 +183,7 @@ class PartitionedBTree(Index):
     def persisted_partitions(self) -> list[PBTPartition]:
         return list(self._partitions)
 
-    def _mem_slice(self, key: tuple) -> list[tuple[tuple, int, Ref]]:
+    def _mem_slice(self, key: Key) -> list[tuple[Key, int, Ref]]:
         lo = bisect_left(self._mem_entries, (key,))
         hi = bisect_right(self._mem_entries, (key, self._next_seq + 1))
         return self._mem_entries[lo:hi]

@@ -21,17 +21,18 @@ paper's observation that the higher levels of the tree structure are
 from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
-from typing import Callable, Iterable, Iterator, TypeVar
+from typing import Callable, Generic, Iterable, Iterator, TypeVar
 
 from ..buffer.pool import BufferPool
 from ..errors import StorageError
 from ..storage.page import PAGE_HEADER_BYTES
 from ..storage.pagefile import PageFile
+from ..types import Key
 
 R = TypeVar("R")
 
 
-class RunPage:
+class RunPage(Generic[R]):
     """Leaf page of a persisted run: a dense, immutable record array.
 
     Keys are materialised alongside the records so point probes can binary
@@ -40,12 +41,12 @@ class RunPage:
 
     __slots__ = ("keys", "records")
 
-    def __init__(self, keys: list, records: list) -> None:
+    def __init__(self, keys: list[Key], records: list[R]) -> None:
         self.keys = keys
         self.records = records
 
 
-class PersistedRun:
+class PersistedRun(Generic[R]):
     """Immutable sorted run of records packed into leaf pages.
 
     ``records`` may be any iterable in run order; it is consumed in one
@@ -56,7 +57,7 @@ class PersistedRun:
 
     def __init__(self, file: PageFile, pool: BufferPool,
                  records: Iterable[R], *,
-                 key_of: Callable[[R], tuple],
+                 key_of: Callable[[R], Key],
                  size_of: Callable[[R], int],
                  fill_factor: float = 1.0) -> None:
         if not 0.0 < fill_factor <= 1.0:
@@ -65,18 +66,18 @@ class PersistedRun:
         self.pool = pool
         self.record_count = 0
         self.size_bytes = 0
-        self.min_key: tuple | None = None
-        self.max_key: tuple | None = None
-        self._fences: list[tuple] = []
+        self.min_key: Key | None = None
+        self.max_key: Key | None = None
+        self._fences: list[Key] = []
         self.page_nos: list[int] = []
 
         capacity = int((file.page_size - PAGE_HEADER_BYTES) * fill_factor)
         extent_pages = file.extent_pages
-        pending: list[RunPage] = []     # finished pages of the open extent
-        cur_keys: list[tuple] = []
+        pending: list[RunPage[R]] = []     # finished pages of the open extent
+        cur_keys: list[Key] = []
         cur_records: list[R] = []
         used = 0
-        last_key: tuple | None = None
+        last_key: Key | None = None
         for record in records:
             key = key_of(record)
             nbytes = size_of(record)
@@ -104,10 +105,10 @@ class PersistedRun:
 
     @classmethod
     def restore(cls, file: PageFile, pool: BufferPool, *,
-                page_nos: list[int], fences: list[tuple],
+                page_nos: list[int], fences: list[Key],
                 record_count: int, size_bytes: int,
-                min_key: tuple | None, max_key: tuple | None
-                ) -> "PersistedRun":
+                min_key: Key | None, max_key: Key | None
+                ) -> "PersistedRun[R]":
         """Re-attach a run to pages that already exist on the device.
 
         The crash-recovery path: all navigation metadata (fences, key range,
@@ -136,7 +137,7 @@ class PersistedRun:
     def page_count(self) -> int:
         return len(self.page_nos)
 
-    def overlaps(self, lo: tuple | None, hi: tuple | None) -> bool:
+    def overlaps(self, lo: Key | None, hi: Key | None) -> bool:
         """May any record key fall within [lo, hi]? (partition range keys)"""
         if self.min_key is None or self.max_key is None:
             return False
@@ -146,7 +147,7 @@ class PersistedRun:
             return False
         return True
 
-    def search(self, key: tuple) -> Iterator[R]:
+    def search(self, key: Key) -> Iterator[R]:
         """All records whose key equals ``key``, in run order."""
         if self.min_key is None or key < self.min_key or key > self.max_key:
             return
@@ -170,7 +171,7 @@ class PersistedRun:
             if hi < len(page.keys):
                 break     # matches ended within this page
 
-    def scan(self, lo: tuple | None, hi: tuple | None, *,
+    def scan(self, lo: Key | None, hi: Key | None, *,
              lo_incl: bool = True, hi_incl: bool = True) -> Iterator[R]:
         """Records with keys in the range, in run order.
 
@@ -252,7 +253,7 @@ class PersistedRun:
 
     # -------------------------------------------------------------- internal
 
-    def _load(self, page_idx: int) -> RunPage:
+    def _load(self, page_idx: int) -> RunPage[R]:
         page = self.pool.get(self.file, self.page_nos[page_idx])
         if not isinstance(page, RunPage):
             raise StorageError(

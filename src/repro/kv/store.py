@@ -65,7 +65,8 @@ class KVStore(ABC):
 
 
 def make_kv_store(kind: str, config: EngineConfig | None = None,
-                  profile: DeviceProfile = INTEL_DC_P3600, **options) -> KVStore:
+                  profile: DeviceProfile = INTEL_DC_P3600,
+                  **options: object) -> KVStore:
     """Factory: ``kind`` in {'btree', 'lsm', 'mvpbt'}."""
     from .btree_kv import BTreeKV
     from .lsm_kv import LSMKV

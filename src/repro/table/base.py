@@ -8,6 +8,7 @@ from typing import Iterator, Sequence
 
 from ..storage.recordid import RecordID
 from ..txn.transaction import Transaction
+from ..types import Key
 
 #: Accounted per-version header bytes (PostgreSQL's HeapTupleHeader is 23).
 VERSION_HEADER_BYTES = 24
@@ -41,7 +42,7 @@ class TupleVersion:
     """
 
     vid: int
-    data: tuple
+    data: Key
     ts_create: int
     ts_invalidate: int | None = None
     prev_rid: RecordID | None = None
@@ -56,12 +57,12 @@ class VersionStore(ABC):
     """Interface of a base table storing tuple-versions."""
 
     @abstractmethod
-    def insert(self, txn: Transaction, data: tuple) -> tuple[int, RecordID]:
+    def insert(self, txn: Transaction, data: Key) -> tuple[int, RecordID]:
         """Insert a new logical tuple; returns (vid, rid of initial version)."""
 
     @abstractmethod
     def update(self, txn: Transaction, rid: RecordID,
-               data: tuple) -> RecordID:
+               data: Key) -> RecordID:
         """Create a successor version of the version at ``rid``."""
 
     @abstractmethod
@@ -89,6 +90,6 @@ class VersionStore(ABC):
     def scan_versions(self) -> Iterator[tuple[RecordID, TupleVersion]]:
         """All stored versions (sequential scan, charges page I/O)."""
 
-    def scan_visible(self, txn: Transaction) -> Iterator[tuple[RecordID, tuple]]:
+    def scan_visible(self, txn: Transaction) -> Iterator[tuple[RecordID, Key]]:
         """Visible rows for ``txn`` via full scan (analytic table scans)."""
         raise NotImplementedError

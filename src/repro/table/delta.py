@@ -28,8 +28,10 @@ from ..errors import TupleNotFoundError, WriteConflictError
 from ..storage.page import SlottedPage
 from ..storage.pagefile import PageFile
 from ..storage.recordid import RecordID
+from ..txn.status import CommitLog
 from ..txn.transaction import Transaction
 from .base import TupleVersion, VersionStore, row_size
+from ..types import Key
 
 
 @dataclass(slots=True)
@@ -68,7 +70,7 @@ class DeltaTable(VersionStore):
 
     # ------------------------------------------------------------------- DML
 
-    def insert(self, txn: Transaction, data: tuple) -> tuple[int, RecordID]:
+    def insert(self, txn: Transaction, data: Key) -> tuple[int, RecordID]:
         txn.require_active()
         vid = self._next_vid
         self._next_vid += 1
@@ -78,7 +80,7 @@ class DeltaTable(VersionStore):
         txn.writes += 1
         return vid, rid
 
-    def update(self, txn: Transaction, rid: RecordID, data: tuple) -> RecordID:
+    def update(self, txn: Transaction, rid: RecordID, data: Key) -> RecordID:
         """In-place update; the displaced version becomes a delta record.
 
         The returned recordID equals ``rid`` — main rows never move, which
@@ -175,7 +177,7 @@ class DeltaTable(VersionStore):
                 if isinstance(payload, TupleVersion):
                     yield RecordID(page_no, slot), payload
 
-    def scan_visible(self, txn: Transaction) -> Iterator[tuple[RecordID, tuple]]:
+    def scan_visible(self, txn: Transaction) -> Iterator[tuple[RecordID, Key]]:
         for rid, _version in self.scan_versions():
             resolved = self.visible_version(txn, rid)
             if resolved is not None:
@@ -199,7 +201,8 @@ class DeltaTable(VersionStore):
             raise WriteConflictError(
                 f"tuple vid={current.vid}: updated by concurrent txn {ts}")
 
-    def _undo_aborted(self, current: TupleVersion, commit_log) -> None:
+    def _undo_aborted(self, current: TupleVersion,
+                      commit_log: CommitLog) -> None:
         """Roll an aborted in-place change back from the version pool.
 
         In-place main rows are the one design here that physically damages

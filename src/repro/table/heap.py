@@ -22,9 +22,11 @@ from ..errors import TupleNotFoundError, WriteConflictError
 from ..storage.page import SlottedPage
 from ..storage.pagefile import PageFile
 from ..storage.recordid import RecordID
+from ..txn.status import CommitLog
 from ..txn.transaction import Transaction
 from .base import TupleVersion, VersionStore
 from .visibility import version_visible_heap
+from ..types import Key
 
 
 class HeapTable(VersionStore):
@@ -43,7 +45,7 @@ class HeapTable(VersionStore):
 
     # ------------------------------------------------------------------- DML
 
-    def insert(self, txn: Transaction, data: tuple) -> tuple[int, RecordID]:
+    def insert(self, txn: Transaction, data: Key) -> tuple[int, RecordID]:
         txn.require_active()
         vid = self._next_vid
         self._next_vid += 1
@@ -53,7 +55,7 @@ class HeapTable(VersionStore):
         txn.writes += 1
         return vid, rid
 
-    def update(self, txn: Transaction, rid: RecordID, data: tuple,
+    def update(self, txn: Transaction, rid: RecordID, data: Key,
                allow_hot: bool = True) -> RecordID:
         """Create a successor version.
 
@@ -128,7 +130,7 @@ class HeapTable(VersionStore):
             for slot, payload in page.items():
                 yield RecordID(page_no, slot), payload  # type: ignore[misc]
 
-    def scan_visible(self, txn: Transaction) -> Iterator[tuple[RecordID, tuple]]:
+    def scan_visible(self, txn: Transaction) -> Iterator[tuple[RecordID, Key]]:
         commit_log = self._commit_log(txn)
         for rid, version in self.scan_versions():
             if version_visible_heap(version, txn.snapshot, commit_log):
@@ -157,7 +159,7 @@ class HeapTable(VersionStore):
         raise WriteConflictError(
             f"tuple vid={version.vid} already invalidated by txn {ts_inv}")
 
-    def _commit_log(self, txn: Transaction):
+    def _commit_log(self, txn: Transaction) -> CommitLog:
         return txn._manager.commit_log
 
     def _place(self, version: TupleVersion) -> RecordID:

@@ -27,6 +27,7 @@ from ..storage.pagefile import PageFile
 from ..storage.recordid import RecordID
 from ..txn.transaction import Transaction
 from .base import TupleVersion, VersionStore
+from ..types import Key
 
 
 class SIASTable(VersionStore):
@@ -54,7 +55,7 @@ class SIASTable(VersionStore):
 
     # ------------------------------------------------------------------- DML
 
-    def insert(self, txn: Transaction, data: tuple) -> tuple[int, RecordID]:
+    def insert(self, txn: Transaction, data: Key) -> tuple[int, RecordID]:
         txn.require_active()
         vid = self._next_vid
         self._next_vid += 1
@@ -65,7 +66,7 @@ class SIASTable(VersionStore):
         txn.writes += 1
         return vid, rid
 
-    def update(self, txn: Transaction, rid: RecordID, data: tuple) -> RecordID:
+    def update(self, txn: Transaction, rid: RecordID, data: Key) -> RecordID:
         txn.require_active()
         old = self.fetch(rid)
         self._check_updatable(txn, old, rid)
@@ -144,7 +145,7 @@ class SIASTable(VersionStore):
             for slot, payload in page.items():
                 yield RecordID(page_no, slot), payload  # type: ignore[misc]
 
-    def scan_visible(self, txn: Transaction) -> Iterator[tuple[RecordID, tuple]]:
+    def scan_visible(self, txn: Transaction) -> Iterator[tuple[RecordID, Key]]:
         for vid, entry_rid in list(self._entry.items()):
             resolved = self.visible_version(txn, entry_rid)
             if resolved is not None:

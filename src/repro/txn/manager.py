@@ -11,6 +11,7 @@ from __future__ import annotations
 from ..config import CostModel
 from ..errors import TransactionStateError
 from ..sim.clock import SimClock
+from ..types import TxnBody, TxnHook
 from .snapshot import Snapshot
 from .status import CommitLog, TxnStatus
 from .transaction import Transaction, TxnState
@@ -32,14 +33,14 @@ class TransactionManager:
         #: *before* the status flip — a crash inside a commit hook (WAL
         #: append) leaves the transaction uncommitted, which is exactly the
         #: not-yet-acknowledged semantics recovery assumes
-        self._commit_hooks: list = []
-        self._abort_hooks: list = []
+        self._commit_hooks: list[TxnHook] = []
+        self._abort_hooks: list[TxnHook] = []
 
-    def add_commit_hook(self, hook) -> None:
+    def add_commit_hook(self, hook: TxnHook) -> None:
         """Register ``hook(txn)`` to run at every commit, pre-status-flip."""
         self._commit_hooks.append(hook)
 
-    def add_abort_hook(self, hook) -> None:
+    def add_abort_hook(self, hook: TxnHook) -> None:
         self._abort_hooks.append(hook)
 
     # ------------------------------------------------------------- lifecycle
@@ -128,7 +129,7 @@ class TransactionManager:
             return self._next_txid
         return min(txn.snapshot.xmin for txn in self._active.values())
 
-    def active_snapshots(self) -> list:
+    def active_snapshots(self) -> list[Snapshot]:
         """Snapshots of all currently active transactions (interval GC)."""
         return [txn.snapshot for txn in self._active.values()]
 
@@ -137,7 +138,7 @@ class TransactionManager:
 
     # --------------------------------------------------------------- helpers
 
-    def run(self, fn) -> object:
+    def run(self, fn: TxnBody) -> object:
         """Run ``fn(txn)`` in a transaction; commit on success, abort on error."""
         txn = self.begin()
         try:

@@ -23,9 +23,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..engine.database import Database
+from ..errors import WorkloadError
 from ..index.base import TOP
 from ..txn.transaction import Transaction
 from .tpcc import TPCCConfig, TPCCRunner
+from ..types import Key
 
 
 @dataclass
@@ -59,7 +61,7 @@ class CHBenchmark:
                  index_kind: str = "mvpbt",
                  reference: str = "physical",
                  storage: str = "sias",
-                 index_options: dict | None = None) -> None:
+                 index_options: dict[str, object] | None = None) -> None:
         self.db = db
         self.tpcc = TPCCRunner(db, config, index_kind=index_kind,
                                reference=reference, storage=storage,
@@ -70,7 +72,7 @@ class CHBenchmark:
 
     # ------------------------------------------------------------- queries
 
-    def query_q1(self, txn: Transaction) -> list[tuple]:
+    def query_q1(self, txn: Transaction) -> list[Key]:
         """Q1-like: per-line-number sums over all order lines."""
         rows = self.db.range_select(txn, "idx_order_line", None, None)
         groups: dict[int, list[float]] = {}
@@ -116,15 +118,15 @@ class CHBenchmark:
                 count += 1
         return count
 
-    def query_top_customers(self, txn: Transaction, n: int = 10) -> list[tuple]:
+    def query_top_customers(self, txn: Transaction, n: int = 10) -> list[Key]:
         """Q18-like: the n customers with the highest balance."""
         rows = self.db.range_select(txn, "idx_customer", None, None)
         rows.sort(key=lambda r: -r[5])
         return [(r[0], r[1], r[2], r[5]) for r in rows[:n]]
 
-    def query_revenue_by_district(self, txn: Transaction) -> dict[tuple, float]:
+    def query_revenue_by_district(self, txn: Transaction) -> dict[Key, float]:
         """Q12-like: order-line revenue grouped by (warehouse, district)."""
-        revenue: dict[tuple, float] = {}
+        revenue: dict[Key, float] = {}
         for row in self.db.range_select(txn, "idx_order_line", None, None):
             key = (row[0], row[1])
             revenue[key] = revenue.get(key, 0.0) + row[7]
@@ -150,7 +152,7 @@ class CHBenchmark:
             return len(self.query_top_customers(txn))
         if name == "district_revenue":
             return len(self.query_revenue_by_district(txn))
-        raise ValueError(f"unknown CH query {name!r}")
+        raise WorkloadError(f"unknown CH query {name!r}")
 
     # ------------------------------------------------------------ mixed run
 

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from ..engine.database import Database
 from ..errors import ReproError, WorkloadError
 from ..index.base import TOP
+from ..txn.transaction import Transaction
 
 LAST_NAMES = ["BAR", "OUGHT", "ABLE", "PRI", "PRES",
               "ESE", "ANTI", "CALLY", "ATION", "EING"]
@@ -94,7 +95,7 @@ class TPCCRunner:
                  index_kind: str = "mvpbt",
                  reference: str = "physical",
                  storage: str = "sias",
-                 index_options: dict | None = None) -> None:
+                 index_options: dict[str, object] | None = None) -> None:
         self.db = db
         self.config = config if config is not None else TPCCConfig()
         self.index_kind = index_kind
@@ -271,7 +272,8 @@ class TPCCRunner:
         return (self._rng.randint(1, cfg.warehouses),
                 self._rng.randint(1, cfg.districts_per_warehouse))
 
-    def _pick_customer_key(self, txn, w: int, d: int) -> int:
+    def _pick_customer_key(self, txn: Transaction, w: int,
+                           d: int) -> int:
         """60% by last name (secondary index), 40% by id (TPC-C rule)."""
         cfg, rng = self.config, self._rng
         if rng.random() < 0.6:
@@ -283,7 +285,7 @@ class TPCCRunner:
                 return rows[len(rows) // 2][2]
         return rng.randint(1, cfg.customers_per_district)
 
-    def _tx_new_order(self, txn) -> None:
+    def _tx_new_order(self, txn: Transaction) -> None:
         cfg, rng, db = self.config, self._rng, self.db
         w, d = self._pick_wd()
         c = rng.randint(1, cfg.customers_per_district)
@@ -331,7 +333,7 @@ class TPCCRunner:
         if rollback:
             txn.abort()
 
-    def _tx_payment(self, txn) -> None:
+    def _tx_payment(self, txn: Transaction) -> None:
         rng, db = self._rng, self.db
         w, d = self._pick_wd()
         amount = round(rng.uniform(1.0, 5000.0), 2)
@@ -353,7 +355,7 @@ class TPCCRunner:
             "c_payment_cnt": hit.row[7] + 1})
         db.insert(txn, "history", (w, d, c, amount, db.clock.now))
 
-    def _tx_order_status(self, txn) -> None:
+    def _tx_order_status(self, txn: Transaction) -> None:
         db = self.db
         w, d = self._pick_wd()
         c = self._pick_customer_key(txn, w, d)
@@ -368,7 +370,7 @@ class TPCCRunner:
         db.range_select(txn, "idx_order_line", (w, d, o_id),
                         (w, d, o_id, TOP))
 
-    def _tx_delivery(self, txn) -> None:
+    def _tx_delivery(self, txn: Transaction) -> None:
         cfg, db = self.config, self.db
         w = self._rng.randint(1, cfg.warehouses)
         carrier = self._rng.randint(1, 10)
@@ -401,7 +403,7 @@ class TPCCRunner:
                     "c_balance": cust[0].row[5] + total,
                     "c_delivery_cnt": cust[0].row[8] + 1})
 
-    def _tx_stock_level(self, txn) -> None:
+    def _tx_stock_level(self, txn: Transaction) -> None:
         cfg, db = self.config, self.db
         w, d = self._pick_wd()
         threshold = self._rng.randint(10, 20)

@@ -23,7 +23,7 @@ extent appends, manifest flips, WAL appends and input-partition retirement.
 
 from __future__ import annotations
 
-from typing import NamedTuple
+from typing import Any, NamedTuple, TypeAlias
 
 from repro.config import EngineConfig
 from repro.engine.database import Database
@@ -59,10 +59,16 @@ def make_db(storage: str = "sias") -> Database:
 
 # --------------------------------------------------------------- workload
 
-#: one transaction: ("commit" | "abort", [ops]); ops are
+#: one workload operation:
 #: ("insert", id, val) / ("update", id, val) / ("move", id, new_id) /
 #: ("delete", id)
-SCRIPT: list[tuple[str, list[tuple]]] = [
+Op: TypeAlias = tuple[Any, ...]
+#: one transaction: ("commit" | "abort", [ops])
+Script: TypeAlias = "list[tuple[str, list[Op]]]"
+#: committed table state: id -> val
+OracleState: TypeAlias = "dict[int, str]"
+
+SCRIPT: Script = [
     ("commit", [("insert", i, f"a{i}") for i in range(0, 10)]),
     ("commit", [("insert", i, f"b{i}") for i in range(10, 15)]
      + [("update", 3, "b3u"), ("delete", 7)]),
@@ -84,7 +90,7 @@ SCRIPT: list[tuple[str, list[tuple]]] = [
 ]
 
 
-def apply_db_op(db: Database, txn: Transaction, op: tuple) -> None:
+def apply_db_op(db: Database, txn: Transaction, op: Op) -> None:
     kind = op[0]
     if kind == "insert":
         db.insert(txn, TABLE, (op[1], op[2]))
@@ -98,7 +104,7 @@ def apply_db_op(db: Database, txn: Transaction, op: tuple) -> None:
         raise ValueError(f"unknown op {op!r}")
 
 
-def apply_oracle_op(state: dict[int, str], op: tuple) -> None:
+def apply_oracle_op(state: OracleState, op: Op) -> None:
     kind = op[0]
     if kind == "insert":
         assert op[1] not in state, f"script bug: duplicate insert {op}"
@@ -118,17 +124,17 @@ class WorkloadRun(NamedTuple):
     """Everything the equivalence check needs about one (crashed) run."""
 
     db: Database
-    history: list[tuple[int, dict[int, str]]]  #: (txid, oracle state) commits
-    final: dict[int, str]                      #: state after last commit
+    history: list[tuple[int, OracleState]]  #: (txid, oracle state) commits
+    final: OracleState                      #: state after last commit
     crashed: bool
     #: txid whose commit() was interrupted by the crash (durability of its
     #: COMMIT marker is ambiguous), plus the oracle state if it committed
     inflight_txid: int | None
-    inflight_state: dict[int, str] | None
+    inflight_state: OracleState | None
 
 
 def run_workload(plan: FaultPlan | None = None,
-                 script: list[tuple[str, list[tuple]]] | None = None,
+                 script: Script | None = None,
                  storage: str = "sias") -> WorkloadRun:
     """Run the scripted workload, optionally under a fault plan.
 
@@ -138,8 +144,8 @@ def run_workload(plan: FaultPlan | None = None,
     db = make_db(storage)
     if plan is not None:
         db.device.set_fault_plan(plan)
-    live: dict[int, str] = {}
-    history: list[tuple[int, dict[int, str]]] = []
+    live: OracleState = {}
+    history: list[tuple[int, OracleState]] = []
     for outcome, ops in (script if script is not None else SCRIPT):
         txn = db.begin()
         pending = dict(live)
@@ -175,7 +181,7 @@ def horizon_txn(db: Database, horizon_txid: int) -> Transaction:
 
 
 def assert_state_equal(db: Database, horizon_txid: int,
-                       expect: dict[int, str], context: str = "") -> None:
+                       expect: OracleState, context: str = "") -> None:
     """The index answers exactly like the oracle at one snapshot horizon."""
     txn = horizon_txn(db, horizon_txid)
     for key in KEY_UNIVERSE:
@@ -237,6 +243,7 @@ def recover_and_check(run: WorkloadRun, context: str = "") -> Database:
         assert status in (TxnStatus.COMMITTED, TxnStatus.ABORTED), (
             f"{context}: in-flight txn {run.inflight_txid} undecided")
         if status is TxnStatus.COMMITTED:
+            assert run.inflight_state is not None
             final = run.inflight_state
     assert_state_equal(recovered, recovered.txn.next_txid - 1, final,
                        context=f"{context} final horizon")

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.buffer.pool import BufferPool
 from repro.config import EngineConfig
 from repro.core.records import MVPBTRecord, RecordType
 from repro.durability.manifest import (IndexManifest, ManifestState,

@@ -15,8 +15,6 @@ from repro.config import EngineConfig
 from repro.engine import Database
 from repro.errors import (DeviceError, ReproError, UniqueViolationError,
                           WriteConflictError)
-from repro.sim.clock import SimClock
-from repro.sim.device import SimulatedDevice
 from repro.sim.profiles import DeviceProfile, OpCost
 
 

@@ -1,6 +1,6 @@
 """Property tests: the key codec is a total order embedding."""
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.storage.keycodec import decode_key, encode_key, encoded_size

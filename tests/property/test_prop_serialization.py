@@ -14,7 +14,6 @@ from repro.core.serialization import (decode_leaf, decode_record, encode_leaf,
 from repro.errors import StorageError
 from repro.storage.recordid import RecordID
 
-import pytest
 
 U48 = st.integers(min_value=0, max_value=(1 << 48) - 1)
 KEYS = st.lists(st.one_of(st.integers(min_value=-(2 ** 40),

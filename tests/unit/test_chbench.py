@@ -4,6 +4,7 @@ import pytest
 
 from repro.config import EngineConfig
 from repro.engine import Database
+from repro.errors import WorkloadError
 from repro.workloads.chbench import CHBenchmark
 from repro.workloads.tpcc import TPCCConfig
 
@@ -58,7 +59,7 @@ class TestQueries:
         t = db.begin()
         for name in ch.QUERIES:
             assert ch.run_query(t, name) >= 0
-        with pytest.raises(ValueError):
+        with pytest.raises(WorkloadError):
             ch.run_query(t, "q99")
         t.commit()
 

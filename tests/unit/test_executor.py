@@ -1,6 +1,5 @@
 """Unit tests for the executor's two visibility paths."""
 
-import pytest
 
 from repro.config import EngineConfig
 from repro.engine import Database

@@ -2,10 +2,9 @@
 
 import random
 
-import pytest
 
 from repro.buffer.pool import BufferPool
-from repro.index.lsm.memtable import TOMBSTONE, MemTable, entry_bytes
+from repro.index.lsm.memtable import MemTable, entry_bytes
 from repro.index.lsm.tree import LSMTree
 from repro.sim.clock import SimClock
 from repro.sim.device import SimulatedDevice

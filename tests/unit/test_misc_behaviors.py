@@ -1,6 +1,5 @@
 """Unit tests for assorted behaviours not covered elsewhere."""
 
-import pytest
 
 from repro.buffer.partition_buffer import PartitionBuffer
 from repro.buffer.pool import BufferPool

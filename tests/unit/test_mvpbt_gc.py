@@ -162,7 +162,7 @@ class TestPhase3:
         t = mgr.begin()
         ix.update_key(t, (7,), (1,), RecordID(0, 1), RecordID(0, 0), vid=1)
         t.commit()
-        part = ix.evict_partition()
+        ix.evict_partition()
         reader = mgr.begin()
         assert [h.rid for h in ix.search(reader, (1,))] == [RecordID(0, 1)]
         assert ix.search(reader, (7,)) == []

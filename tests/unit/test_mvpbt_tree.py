@@ -5,7 +5,6 @@ import pytest
 from repro.buffer.partition_buffer import PartitionBuffer
 from repro.buffer.pool import BufferPool
 from repro.core.tree import MVPBT
-from repro.core.records import ReferenceMode
 from repro.errors import UniqueViolationError
 from repro.sim.clock import SimClock
 from repro.sim.device import SimulatedDevice

@@ -1,6 +1,5 @@
 """Unit tests for the index-only visibility check (Algorithm 3)."""
 
-import pytest
 
 from repro.core.records import MVPBTRecord, RecordType, ReferenceMode
 from repro.core.visibility import Visibility, VisibilityChecker

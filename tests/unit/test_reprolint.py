@@ -1,0 +1,566 @@
+"""Tests for the reprolint static-analysis engine (tools/reprolint).
+
+Each rule gets a bad fixture (must fire) and a good fixture (must stay
+silent); the suite also pins the suppression pragma semantics, the JSON
+output shape, the CLI exit codes — and that the real ``src/repro`` tree is
+clean under ``--strict``, which is the gate CI enforces.
+"""
+
+import json
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+
+from tools.reprolint import (ALL_RULES, Finding, Linter,  # noqa: E402
+                             Project, rule_by_id)
+from tools.reprolint.cli import main  # noqa: E402
+from tools.reprolint.engine import parse_suppressions  # noqa: E402
+
+SRC_REPRO = REPO_ROOT / "src" / "repro"
+
+
+def lint(source, rule_ids=("R1", "R2", "R3", "R4", "R5", "R6"), *,
+         path="pkg/module.py", strict=False):
+    """Lint one dedented snippet with a subset of rules."""
+    rules = [rule_by_id(rid)() for rid in rule_ids]
+    linter = Linter(rules, Project(), strict=strict)
+    return linter.lint_source(textwrap.dedent(source), path)
+
+
+def fired(findings, rule_id):
+    return [f for f in findings if f.rule == rule_id]
+
+
+# ----------------------------------------------------------- R1 determinism
+
+class TestR1Determinism:
+    def test_wall_clock_read_fires(self):
+        findings = lint("""
+            import time
+
+            def stamp() -> float:
+                return time.time()
+            """, ["R1"])
+        assert len(fired(findings, "R1")) == 1
+        assert "time.time" in findings[0].message
+
+    def test_aliased_import_is_resolved(self):
+        findings = lint("""
+            from time import time as now
+
+            def stamp() -> float:
+                return now()
+            """, ["R1"])
+        assert len(fired(findings, "R1")) == 1
+
+    def test_module_level_random_fires(self):
+        findings = lint("""
+            import random
+
+            def pick() -> float:
+                return random.random()
+            """, ["R1"])
+        assert len(fired(findings, "R1")) == 1
+        assert "unseeded" in findings[0].message
+
+    def test_system_random_fires(self):
+        findings = lint("""
+            import random
+
+            def gen() -> int:
+                return random.SystemRandom().randrange(10)
+            """, ["R1"])
+        assert len(fired(findings, "R1")) == 1
+
+    def test_os_urandom_and_uuid4_fire(self):
+        findings = lint("""
+            import os
+            import uuid
+
+            def token() -> bytes:
+                return os.urandom(8) + uuid.uuid4().bytes
+            """, ["R1"])
+        assert len(fired(findings, "R1")) == 2
+
+    def test_seeded_random_instance_is_clean(self):
+        findings = lint("""
+            import random
+
+            def make_rng(seed: int) -> random.Random:
+                return random.Random(seed)
+            """, ["R1"])
+        assert findings == []
+
+    def test_findings_carry_location_and_hint(self):
+        findings = lint("import time\nx = time.time()\n", ["R1"])
+        assert findings[0].line == 2
+        assert "SimClock" in findings[0].hint
+
+
+# -------------------------------------------------------- R2 exhaustiveness
+
+class TestR2RecordExhaustive:
+    def test_partial_chain_without_else_fires(self):
+        findings = lint("""
+            def dispatch(r):
+                if r.rtype is RecordType.REGULAR:
+                    return 1
+                elif r.rtype is RecordType.TOMBSTONE:
+                    return 2
+            """, ["R2"])
+        assert len(fired(findings, "R2")) == 1
+        missing = findings[0].message
+        assert "ANTI" in missing and "REPLACEMENT" in missing
+        assert "REGULAR_SET" in missing
+
+    def test_partial_chain_with_silent_else_fires(self):
+        findings = lint("""
+            def dispatch(r):
+                if r.rtype is RecordType.REGULAR:
+                    return 1
+                elif r.rtype is RecordType.ANTI:
+                    return 2
+                else:
+                    return 0
+            """, ["R2"])
+        assert len(fired(findings, "R2")) == 1
+
+    def test_partial_chain_with_raising_else_is_clean(self):
+        findings = lint("""
+            def dispatch(r):
+                if r.rtype is RecordType.REGULAR:
+                    return 1
+                elif r.rtype is RecordType.ANTI:
+                    return 2
+                else:
+                    raise StorageError(f"unhandled {r.rtype}")
+            """, ["R2"])
+        assert findings == []
+
+    def test_full_coverage_is_clean(self):
+        findings = lint("""
+            def dispatch(r):
+                if r.rtype is RecordType.REGULAR:
+                    return 1
+                elif r.rtype is RecordType.REPLACEMENT:
+                    return 2
+                elif r.rtype is RecordType.ANTI:
+                    return 3
+                elif r.rtype is RecordType.TOMBSTONE:
+                    return 4
+                elif r.rtype is RecordType.REGULAR_SET:
+                    return 5
+            """, ["R2"])
+        assert findings == []
+
+    def test_single_branch_filter_is_not_a_dispatch(self):
+        findings = lint("""
+            def only_matter(r):
+                if r.rtype is RecordType.REGULAR_SET:
+                    return r.set_entries
+                return []
+            """, ["R2"])
+        assert findings == []
+
+    def test_match_without_wildcard_fires(self):
+        findings = lint("""
+            def dispatch(r):
+                match r.rtype:
+                    case RecordType.REGULAR:
+                        return 1
+                    case RecordType.ANTI:
+                        return 2
+            """, ["R2"])
+        assert len(fired(findings, "R2")) == 1
+
+    def test_match_with_raising_wildcard_is_clean(self):
+        findings = lint("""
+            def dispatch(r):
+                match r.rtype:
+                    case RecordType.REGULAR:
+                        return 1
+                    case RecordType.ANTI:
+                        return 2
+                    case _:
+                        raise StorageError("unhandled record type")
+            """, ["R2"])
+        assert findings == []
+
+
+# --------------------------------------------------------- R3 immutability
+
+class TestR3Immutability:
+    def test_attribute_store_on_constructed_run_fires(self):
+        findings = lint("""
+            def rewrite(file, pool, records):
+                run = PersistedRun(file, pool, records)
+                run.page_nos = []
+                return run
+            """, ["R3"])
+        assert len(fired(findings, "R3")) == 1
+
+    def test_mutating_call_through_run_attribute_fires(self):
+        findings = lint("""
+            def patch(part, n):
+                part.run.page_nos.append(n)
+            """, ["R3"])
+        assert len(fired(findings, "R3")) == 1
+
+    def test_restore_binding_is_tracked(self):
+        findings = lint("""
+            def reattach(file, pool, meta):
+                run = PersistedRun.restore(file, pool, page_nos=meta.pages)
+                run.record_count = 0
+                return run
+            """, ["R3"])
+        assert len(fired(findings, "R3")) == 1
+
+    def test_lifecycle_method_is_clean(self):
+        findings = lint("""
+            def retire(file, pool, records):
+                run = PersistedRun(file, pool, records)
+                run.free()
+            """, ["R3"])
+        assert findings == []
+
+    def test_defining_module_is_exempt(self):
+        source = """
+            def rebuild(file, pool, records):
+                run = PersistedRun(file, pool, records)
+                run.page_nos = []
+            """
+        assert lint(source, ["R3"], path="src/repro/index/runs.py") == []
+        assert len(lint(source, ["R3"], path="src/repro/core/tree.py")) == 1
+
+
+# -------------------------------------------------------- R4 storage bypass
+
+class TestR4StorageBypass:
+    def test_builtin_open_fires(self):
+        findings = lint("""
+            def dump(path):
+                with open(path, "w") as fh:
+                    fh.write("x")
+            """, ["R4"])
+        assert len(fired(findings, "R4")) == 1
+        assert "DeviceStats" in findings[0].message
+
+    def test_os_read_and_mmap_fire(self):
+        findings = lint("""
+            import mmap
+            import os
+
+            def peek(fd):
+                os.read(fd, 16)
+                return mmap.mmap(fd, 4096)
+            """, ["R4"])
+        assert len(fired(findings, "R4")) == 2
+
+    def test_locally_defined_open_is_not_builtin(self):
+        findings = lint("""
+            def open(page_no):
+                return page_no
+
+            def use():
+                return open(3)
+            """, ["R4"])
+        assert findings == []
+
+    def test_suppression_with_justification(self):
+        findings = lint("""
+            def dump_report(path, text):
+                with open(path, "w") as fh:  # reprolint: disable=R4 -- host-side report emitter, not engine I/O
+                    fh.write(text)
+            """, ["R4"], strict=True)
+        assert findings == []
+
+
+# ------------------------------------------------------ R5 error discipline
+
+class TestR5ErrorDiscipline:
+    def test_raise_outside_hierarchy_fires(self):
+        findings = lint("""
+            def check(n):
+                if n < 0:
+                    raise ValueError("negative")
+            """, ["R5"])
+        assert len(fired(findings, "R5")) == 1
+        assert "ReproError" in findings[0].message
+
+    def test_repro_error_subclass_is_clean(self):
+        findings = lint("""
+            def check(n):
+                if n < 0:
+                    raise StorageError("negative")
+            """, ["R5"])
+        assert findings == []
+
+    def test_reraise_is_clean(self):
+        findings = lint("""
+            def forward():
+                try:
+                    work()
+                except StorageError as exc:
+                    log(exc)
+                    raise
+            """, ["R5"])
+        assert findings == []
+
+    def test_bare_except_fires_anywhere(self):
+        findings = lint("""
+            def swallow():
+                try:
+                    work()
+                except:
+                    pass
+            """, ["R5"])
+        assert len(fired(findings, "R5")) == 1
+
+    def test_swallowed_broad_except_in_durability_fires(self):
+        source = """
+            def recover_step():
+                try:
+                    replay()
+                except Exception:
+                    return None
+            """
+        bad = lint(source, ["R5"], path="src/repro/durability/recovery.py")
+        assert len(fired(bad, "R5")) == 1
+        # the same shape outside a durability path is tolerated
+        assert lint(source, ["R5"], path="src/repro/engine/database.py") == []
+
+    def test_broad_except_that_reraises_is_clean(self):
+        findings = lint("""
+            def recover_step():
+                try:
+                    replay()
+                except Exception as exc:
+                    cleanup()
+                    raise RecoveryError("replay failed") from exc
+            """, ["R5"], path="src/repro/durability/recovery.py")
+        assert findings == []
+
+
+# ----------------------------------------------------------------- R6 typing
+
+class TestR6Typing:
+    def test_unannotated_def_fires_per_gap(self):
+        findings = lint("""
+            def put(key, value):
+                return key
+            """, ["R6"])
+        messages = " / ".join(f.message for f in findings)
+        assert len(fired(findings, "R6")) == 3   # key, value, return
+        assert "'key'" in messages and "return" in messages
+
+    def test_bare_generic_annotation_fires(self):
+        findings = lint("""
+            def keys_of(batch: list) -> tuple:
+                return tuple(batch)
+            """, ["R6"])
+        assert len(fired(findings, "R6")) == 2
+        assert "bare generic" in findings[0].message
+
+    def test_nested_def_is_checked(self):
+        findings = lint("""
+            def outer() -> None:
+                def inner(x):
+                    return x
+            """, ["R6"])
+        assert len(fired(findings, "R6")) == 2   # inner's param + return
+
+    def test_self_and_cls_are_exempt(self):
+        findings = lint("""
+            class Store:
+                def get(self, key: int) -> int:
+                    return key
+
+                @classmethod
+                def build(cls) -> "Store":
+                    return cls()
+            """, ["R6"])
+        assert findings == []
+
+    def test_parameterised_generics_are_clean(self):
+        findings = lint("""
+            def group(rows: list[tuple[int, str]]) -> dict[int, str]:
+                return dict(rows)
+            """, ["R6"])
+        assert findings == []
+
+
+# ------------------------------------------------------ engine & suppressions
+
+class TestSuppressions:
+    def test_same_line_pragma_suppresses(self):
+        findings = lint("""
+            import time
+            x = time.time()  # reprolint: disable=R1 -- fixture
+            """, ["R1"])
+        assert findings == []
+
+    def test_disable_next_suppresses_following_line(self):
+        findings = lint("""
+            import time
+            # reprolint: disable-next=R1 -- fixture
+            x = time.time()
+            """, ["R1"])
+        assert findings == []
+
+    def test_slug_and_all_tokens_work(self):
+        base = "import time\nx = time.time()  # reprolint: disable={} -- f\n"
+        assert lint(base.format("determinism"), ["R1"]) == []
+        assert lint(base.format("all"), ["R1"]) == []
+
+    def test_wrong_rule_does_not_suppress(self):
+        findings = lint("""
+            import time
+            x = time.time()  # reprolint: disable=R4 -- wrong rule
+            """, ["R1", "R4"])
+        assert len(fired(findings, "R1")) == 1
+
+    def test_unknown_rule_token_is_s1(self):
+        findings = lint("""
+            x = 1  # reprolint: disable=R99 -- no such rule
+            """, ["R1"])
+        assert len(fired(findings, "S1")) == 1
+        assert "unknown rule" in findings[0].message
+
+    def test_missing_justification_is_s1_only_under_strict(self):
+        source = """
+            import time
+            x = time.time()  # reprolint: disable=R1
+            """
+        assert lint(source, ["R1"]) == []
+        strict = lint(source, ["R1"], strict=True)
+        assert len(fired(strict, "S1")) == 1
+        assert "justification" in strict[0].message
+
+    def test_suppressed_count_is_tracked(self):
+        linter = Linter([rule_by_id("R1")()], Project())
+        linter.lint_source(
+            "import time\nx = time.time()  # reprolint: disable=R1 -- f\n")
+        assert linter.suppressed_count == 1
+
+    def test_pragma_in_string_literal_is_ignored(self):
+        sups = parse_suppressions(
+            's = "# reprolint: disable=R1 -- not a pragma"\n')
+        assert sups == []
+
+
+class TestEngine:
+    def test_syntax_error_becomes_e0_finding(self):
+        findings = lint("def broken(:\n", ["R1"])
+        assert findings[0].rule == "E0"
+
+    def test_finding_to_dict_round_trips(self):
+        finding = lint("import time\nx = time.time()\n", ["R1"])[0]
+        data = finding.to_dict()
+        assert data["rule"] == "R1" and data["line"] == 2
+        assert Finding(**data) == finding
+
+    def test_project_load_parses_error_hierarchy(self):
+        project = Project.load(REPO_ROOT / "src")
+        assert "WorkloadError" in project.repro_errors
+        assert "ReproError" in project.repro_errors
+        assert "ValueError" not in project.repro_errors
+
+    def test_project_load_parses_record_types(self):
+        project = Project.load(REPO_ROOT / "src")
+        assert project.record_types == ("REGULAR", "REPLACEMENT", "ANTI",
+                                        "TOMBSTONE", "REGULAR_SET")
+
+    def test_all_rules_have_unique_ids(self):
+        ids = [rule.id for rule in ALL_RULES]
+        assert len(ids) == len(set(ids)) == 6
+
+
+# ----------------------------------------------------------------- CLI gate
+
+class TestCLI:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("def add(a: int, b: int) -> int:\n"
+                          "    return a + b\n")
+        assert main([str(target)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_bad_file_exits_one_per_rule(self, tmp_path, capsys):
+        bad = {
+            "R1": "import time\nx = time.time()\n",
+            "R2": ("def d(r):\n"
+                   "    if r.rtype is RecordType.REGULAR:\n"
+                   "        return 1\n"
+                   "    elif r.rtype is RecordType.ANTI:\n"
+                   "        return 2\n"),
+            "R3": ("def f(run):\n"
+                   "    run = PersistedRun(1, 2, 3)\n"
+                   "    run.page_nos = []\n"),
+            "R4": "fh = open('x')\n",
+            "R5": "raise ValueError('x')\n",
+            "R6": "def f(x):\n    return x\n",
+        }
+        for rule_id, source in bad.items():
+            target = tmp_path / f"bad_{rule_id.lower()}.py"
+            target.write_text(source)
+            code = main([str(target), "--strict", "--select", rule_id])
+            out = capsys.readouterr().out
+            assert code == 1, f"{rule_id} fixture did not gate"
+            assert rule_id in out
+
+    def test_json_output_shape(self, tmp_path, capsys):
+        target = tmp_path / "bad.py"
+        target.write_text("import time\nx = time.time()\n")
+        assert main([str(target), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["findings"] == 1
+        record = payload["findings"][0]
+        assert record["rule"] == "R1"
+        assert record["line"] == 2
+        assert set(record) == {"rule", "name", "path", "line", "col",
+                               "message", "hint"}
+
+    def test_missing_path_is_usage_error(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope.py")]) == 2
+        assert "no such path" in capsys.readouterr().err
+
+    def test_select_and_ignore_filter_rules(self, tmp_path, capsys):
+        target = tmp_path / "mixed.py"
+        target.write_text("import time\nx = time.time()\n"
+                          "def f(y):\n    return y\n")
+        assert main([str(target), "--select", "R6", "--ignore", "R6"]) == 2
+        capsys.readouterr()
+        assert main([str(target), "--select", "R1,R6"]) == 1
+        out = capsys.readouterr().out
+        assert "R1" in out and "R6" in out
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("R1", "R2", "R3", "R4", "R5", "R6"):
+            assert rule_id in out
+
+
+# ------------------------------------------------------------- the real tree
+
+class TestRealTree:
+    def test_src_repro_is_clean_under_strict(self, capsys):
+        """The CI gate: the shipped engine tree has zero findings."""
+        code = main([str(SRC_REPRO), "--strict"])
+        out = capsys.readouterr().out
+        assert code == 0, f"reprolint regressions:\n{out}"
+
+    def test_tools_tree_is_clean_for_invariant_rules(self, capsys):
+        """reprolint lints itself for everything but the typing proxy
+        (R6 asks for repro.types aliases that tools/ deliberately avoids
+        importing, staying dependency-free)."""
+        code = main([str(REPO_ROOT / "tools"), "--strict",
+                     "--ignore", "R6"])
+        out = capsys.readouterr().out
+        assert code == 0, f"reprolint self-lint regressions:\n{out}"

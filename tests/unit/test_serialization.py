@@ -100,6 +100,31 @@ class TestLeafRoundtrip:
         with pytest.raises(StorageError):
             decode_record(b"\xff\x00\x00\x01")
 
+    def test_truncated_key_reports_context(self):
+        """Regression: truncation used to raise a bare ValueError whose
+        context was swallowed by the generic corrupt-record wrapper."""
+        blob = encode_record(MVPBTRecord((7, "abc"), 1, 1,
+                                         RecordType.REGULAR, 2,
+                                         rid_new=RecordID(0, 0)))
+        with pytest.raises(StorageError, match="truncated key"):
+            decode_record(blob[:-1])
+
+    def test_truncated_payload_reports_context(self):
+        from repro.core.serialization import _U32
+        r = MVPBTRecord((1,), 1, 1, RecordType.REGULAR, 2,
+                        rid_new=RecordID(0, 0), payload="hello")
+        blob = encode_record(r)
+        needle = _U32.pack(5) + b"hello"
+        assert needle in blob
+        corrupt = blob.replace(needle, _U32.pack(500) + b"hello")
+        with pytest.raises(StorageError, match="truncated payload"):
+            decode_record(corrupt)
+
+    def test_corruption_is_catchable_as_repro_error(self):
+        from repro.errors import ReproError
+        with pytest.raises(ReproError):
+            decode_record(b"\xff\x00\x00\x01")
+
     def test_encoded_size_close_to_accounted(self):
         """The cost model's accounted sizes approximate the wire format."""
         from repro.core.records import ReferenceMode, record_size

@@ -97,7 +97,7 @@ class TestResolveSias:
         table = SIASTable("s", PageFile("s", _d, 8192, 8), pool)
         t = mgr.begin()
         vid, rid0 = table.insert(t, (1, "v0"))
-        rid1 = table.update(t, rid0, (1, "v1"))
+        table.update(t, rid0, (1, "v1"))
         t.commit()
         reader = mgr.begin()
         resolved = resolve_candidates_sias(reader, table, [rid0])

@@ -27,11 +27,10 @@ class TestVacuumHeap:
         t = mgr.begin()
         _, rid = table.insert(t, (1, "a"))
         t.commit()
-        last = rid
         for i in range(5):
             t = mgr.begin()
             resolved = table.visible_version(t, rid)
-            last = table.update(t, resolved[0], (1, f"v{i}"))
+            table.update(t, resolved[0], (1, f"v{i}"))
             t.commit()
         result = vacuum_heap(table, mgr)
         assert result.versions_removed == 5

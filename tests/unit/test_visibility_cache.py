@@ -7,7 +7,6 @@ commit-log watermark advances mid-operation (the memo may cache decisions
 precisely because, relative to a fixed snapshot, no answer can ever flip).
 """
 
-import pytest
 
 from repro.buffer.partition_buffer import PartitionBuffer
 from repro.buffer.pool import BufferPool

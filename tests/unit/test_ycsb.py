@@ -5,7 +5,7 @@ import pytest
 from repro.config import EngineConfig
 from repro.errors import WorkloadError
 from repro.kv import make_kv_store
-from repro.workloads.ycsb import (WORKLOAD_A, WORKLOAD_E, WORKLOADS,
+from repro.workloads.ycsb import (WORKLOAD_A, WORKLOADS,
                                   YCSBConfig, YCSBRunner, run_workload)
 
 CONFIG = EngineConfig(buffer_pool_pages=64,

@@ -1,0 +1,51 @@
+"""reprolint — AST-based engine-invariant checker for the MV-PBT repro.
+
+The test suite can only *sample* the engine's global invariants; reprolint
+checks them structurally, on every line, before a fault-injection sweep has
+to find the violation the hard way:
+
+=====  ==================  ====================================================
+rule   name                invariant
+=====  ==================  ====================================================
+R1     determinism         no wall-clock / unseeded randomness in engine code;
+                           simulated time comes from ``repro.sim.clock``
+R2     record-exhaustive   every if/elif or ``match`` dispatch on
+                           ``RecordType`` covers all members or ends in an
+                           explicit raise
+R3     immutability        persisted partitions/runs are never mutated outside
+                           their defining modules and builders
+R4     storage-bypass      no direct ``open()``/``os.*``/``mmap`` I/O — every
+                           byte flows through SimulatedDevice/PageFile so
+                           DeviceStats and the Fig. 8 cost model stay truthful
+R5     error-discipline    every ``raise`` constructs a ``ReproError``
+                           subclass; no bare/swallowed excepts in durability
+                           paths
+R6     typing              every def is fully annotated and no annotation
+                           uses a bare generic (``tuple``/``list``/...) — the
+                           locally-runnable proxy for the ``mypy --strict``
+                           CI gate
+=====  ==================  ====================================================
+
+Findings can be suppressed per line with a justified pragma::
+
+    x = time.time()  # reprolint: disable=R1 -- host wall-clock for report header
+
+``--strict`` additionally rejects suppressions without a justification.
+"""
+
+from __future__ import annotations
+
+from .engine import FileContext, Finding, Linter, Project, Rule
+from .rules import ALL_RULES, rule_by_id
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_RULES",
+    "FileContext",
+    "Finding",
+    "Linter",
+    "Project",
+    "Rule",
+    "rule_by_id",
+]

@@ -1,0 +1,340 @@
+"""reprolint core: findings, file context, suppressions, and the linter.
+
+The engine is deliberately self-contained (stdlib ``ast`` + ``tokenize``
+only) so the invariant gate runs in any environment the tests run in —
+no third-party analyzer needed for the repo-specific rules.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import tokenize
+from dataclasses import dataclass
+from io import StringIO
+from pathlib import Path
+from typing import Iterable, Iterator
+
+#: ``# reprolint: disable=R1,R2 -- justification`` (same line) or
+#: ``# reprolint: disable-next=R1 -- justification`` (next line)
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*(?P<kind>disable(?:-next)?)\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_,\s-]+?)\s*(?:--\s*(?P<why>.+?)\s*)?$")
+
+#: fallback ReproError hierarchy, used when no ``errors.py`` is in the scan
+#: (fixture snippets); the real run parses the hierarchy from source so new
+#: subclasses are picked up automatically
+_DEFAULT_ERRORS = frozenset({
+    "ReproError", "ConfigError", "StorageError", "PageOverflowError",
+    "PageNotFoundError", "SlotNotFoundError", "DeviceError",
+    "DeviceCrashError", "RecoveryError", "BufferError_", "KeyCodecError",
+    "TransactionError", "TransactionStateError", "WriteConflictError",
+    "TableError", "TupleNotFoundError", "IndexError_",
+    "UniqueViolationError", "CatalogError", "WorkloadError",
+})
+
+#: fallback RecordType members (paper §3.2/§4.1)
+_DEFAULT_RECORD_TYPES = (
+    "REGULAR", "REPLACEMENT", "ANTI", "TOMBSTONE", "REGULAR_SET")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str        #: rule id, e.g. ``"R1"`` (``"S1"`` for pragma hygiene)
+    name: str        #: rule slug, e.g. ``"determinism"``
+    path: str        #: file the finding is in
+    line: int        #: 1-based line
+    col: int         #: 0-based column
+    message: str     #: what is wrong
+    hint: str = ""   #: how to fix it
+
+    def format(self) -> str:
+        text = f"{self.path}:{self.line}:{self.col}: {self.rule} " \
+               f"[{self.name}] {self.message}"
+        if self.hint:
+            text += f" (hint: {self.hint})"
+        return text
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule, "name": self.name, "path": self.path,
+            "line": self.line, "col": self.col, "message": self.message,
+            "hint": self.hint,
+        }
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed ``# reprolint: disable[...]`` pragma."""
+
+    effective_line: int        #: line whose findings it suppresses
+    comment_line: int          #: line the pragma itself is on
+    rules: tuple[str, ...]     #: normalised rule tokens (ids/slugs/"all")
+    justification: str         #: text after ``--`` (may be empty)
+
+    def covers(self, finding: Finding) -> bool:
+        if finding.line != self.effective_line:
+            return False
+        for token in self.rules:
+            if token == "all" or token == finding.rule.lower() \
+                    or token == finding.name.lower():
+                return True
+        return False
+
+
+class Project:
+    """Cross-file knowledge the rules share: the ``ReproError`` hierarchy
+    and the ``RecordType`` member list, parsed from the scanned tree."""
+
+    def __init__(self, *, repro_errors: frozenset[str] = _DEFAULT_ERRORS,
+                 record_types: tuple[str, ...] = _DEFAULT_RECORD_TYPES
+                 ) -> None:
+        self.repro_errors = repro_errors
+        self.record_types = record_types
+
+    @classmethod
+    def load(cls, root: Path) -> "Project":
+        """Parse project knowledge from a source root (best effort: any
+        piece that cannot be found falls back to the built-in default)."""
+        errors = cls._load_errors(root)
+        record_types = cls._load_record_types(root)
+        return cls(repro_errors=errors or _DEFAULT_ERRORS,
+                   record_types=record_types or _DEFAULT_RECORD_TYPES)
+
+    @staticmethod
+    def _parse(path: Path) -> ast.Module | None:
+        try:
+            return ast.parse(path.read_text(encoding="utf-8"))
+        except (OSError, SyntaxError):
+            return None
+
+    @classmethod
+    def _load_errors(cls, root: Path) -> frozenset[str] | None:
+        for path in sorted(root.rglob("errors.py"),
+                           key=lambda p: len(p.parts)):
+            tree = cls._parse(path)
+            if tree is None:
+                continue
+            bases: dict[str, list[str]] = {}
+            for node in tree.body:
+                if isinstance(node, ast.ClassDef):
+                    bases[node.name] = [b.id for b in node.bases
+                                        if isinstance(b, ast.Name)]
+            if "ReproError" not in bases:
+                continue
+            known = {"ReproError"}
+            grew = True
+            while grew:
+                grew = False
+                for name, parents in bases.items():
+                    if name not in known and any(p in known for p in parents):
+                        known.add(name)
+                        grew = True
+            return frozenset(known)
+        return None
+
+    @classmethod
+    def _load_record_types(cls, root: Path) -> tuple[str, ...] | None:
+        for path in sorted(root.rglob("records.py"),
+                           key=lambda p: len(p.parts)):
+            tree = cls._parse(path)
+            if tree is None:
+                continue
+            for node in tree.body:
+                if isinstance(node, ast.ClassDef) \
+                        and node.name == "RecordType":
+                    members = [stmt.targets[0].id for stmt in node.body
+                               if isinstance(stmt, ast.Assign)
+                               and len(stmt.targets) == 1
+                               and isinstance(stmt.targets[0], ast.Name)]
+                    if members:
+                        return tuple(members)
+        return None
+
+
+class FileContext:
+    """Everything a rule needs about one source file."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module,
+                 project: Project) -> None:
+        self.path = path
+        #: posix-normalised path, what the module-scoping helpers match on
+        self.posix_path = path.replace("\\", "/")
+        self.source = source
+        self.tree = tree
+        self.project = project
+        #: local alias -> fully qualified imported name
+        #: (``import os`` -> {"os": "os"}; ``from time import time as t``
+        #: -> {"t": "time.time"})
+        self.imports: dict[str, str] = {}
+        self._collect_imports()
+
+    def _collect_imports(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    self.imports[local] = (alias.name if alias.asname
+                                           else alias.name.split(".")[0])
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:      # relative import: stays project-internal
+                    continue
+                module = node.module or ""
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self.imports[local] = f"{module}.{alias.name}"
+
+    def qualname(self, node: ast.expr) -> str | None:
+        """Resolve a Name/Attribute chain to a dotted name, translating the
+        root through this file's imports.  ``None`` for non-name shapes."""
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self.imports.get(node.id, node.id)
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+    def in_module(self, *suffixes: str) -> bool:
+        """Does this file's path end with any of the given posix suffixes?"""
+        return any(self.posix_path.endswith(suffix) for suffix in suffixes)
+
+
+class Rule:
+    """Base class: one invariant, one visitor pass, zero or more findings."""
+
+    id: str = ""
+    name: str = ""
+    description: str = ""
+    hint: str = ""
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: FileContext, node: ast.AST, message: str,
+                hint: str | None = None) -> Finding:
+        return Finding(rule=self.id, name=self.name, path=ctx.path,
+                       line=getattr(node, "lineno", 1),
+                       col=getattr(node, "col_offset", 0),
+                       message=message,
+                       hint=self.hint if hint is None else hint)
+
+
+def parse_suppressions(source: str) -> list[Suppression]:
+    """Extract ``# reprolint: disable[...]`` pragmas via the tokenizer (so
+    strings that merely *contain* pragma-looking text are never matched)."""
+    suppressions: list[Suppression] = []
+    try:
+        tokens = list(tokenize.generate_tokens(StringIO(source).readline))
+    except tokenize.TokenError:
+        return suppressions
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESS_RE.search(tok.string)
+        if match is None:
+            continue
+        line = tok.start[0]
+        effective = line + 1 if match.group("kind") == "disable-next" else line
+        rules = tuple(part.strip().lower()
+                      for part in match.group("rules").split(",")
+                      if part.strip())
+        suppressions.append(Suppression(
+            effective_line=effective, comment_line=line, rules=rules,
+            justification=(match.group("why") or "").strip()))
+    return suppressions
+
+
+class Linter:
+    """Run a rule set over files/sources; apply suppressions; count both."""
+
+    def __init__(self, rules: Iterable[Rule], project: Project | None = None,
+                 *, strict: bool = False) -> None:
+        self.rules = list(rules)
+        self.project = project if project is not None else Project()
+        self.strict = strict
+        self.files_checked = 0
+        self.suppressed_count = 0
+        self._known_tokens = {"all"}
+        for rule in self.rules:
+            self._known_tokens.add(rule.id.lower())
+            self._known_tokens.add(rule.name.lower())
+
+    # ------------------------------------------------------------------ API
+
+    def lint_source(self, source: str, path: str = "<source>"
+                    ) -> list[Finding]:
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as exc:
+            return [Finding(rule="E0", name="syntax", path=path,
+                            line=exc.lineno or 1, col=exc.offset or 0,
+                            message=f"cannot parse file: {exc.msg}")]
+        ctx = FileContext(path, source, tree, self.project)
+        raw: list[Finding] = []
+        for rule in self.rules:
+            raw.extend(rule.check(ctx))
+        suppressions = parse_suppressions(source)
+        findings = []
+        for finding in raw:
+            if any(s.covers(finding) for s in suppressions):
+                self.suppressed_count += 1
+                continue
+            findings.append(finding)
+        findings.extend(self._pragma_hygiene(path, suppressions))
+        findings.sort(key=lambda f: (f.line, f.col, f.rule))
+        return findings
+
+    def lint_file(self, path: Path) -> list[Finding]:
+        self.files_checked += 1
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            return [Finding(rule="E0", name="io", path=str(path), line=1,
+                            col=0, message=f"cannot read file: {exc}")]
+        return self.lint_source(source, str(path))
+
+    def lint_paths(self, paths: Iterable[Path]) -> list[Finding]:
+        findings: list[Finding] = []
+        for path in paths:
+            for file in sorted(iter_python_files(path)):
+                findings.extend(self.lint_file(file))
+        return findings
+
+    # ------------------------------------------------------------- internal
+
+    def _pragma_hygiene(self, path: str,
+                        suppressions: list[Suppression]) -> list[Finding]:
+        """S1 findings: unknown rule tokens always; missing justification
+        only under ``--strict`` (the repo convention requires one)."""
+        findings: list[Finding] = []
+        for sup in suppressions:
+            unknown = [t for t in sup.rules if t not in self._known_tokens]
+            if unknown:
+                findings.append(Finding(
+                    rule="S1", name="pragma", path=path,
+                    line=sup.comment_line, col=0,
+                    message=f"suppression names unknown rule(s): "
+                            f"{', '.join(unknown)}",
+                    hint="use a rule id (R1..) or slug from --list-rules"))
+            if self.strict and not sup.justification:
+                findings.append(Finding(
+                    rule="S1", name="pragma", path=path,
+                    line=sup.comment_line, col=0,
+                    message="suppression has no justification",
+                    hint="append ' -- <one-line reason>' to the pragma"))
+        return findings
+
+
+def iter_python_files(path: Path) -> Iterator[Path]:
+    if path.is_file():
+        if path.suffix == ".py":
+            yield path
+        return
+    for file in path.rglob("*.py"):
+        if "__pycache__" not in file.parts:
+            yield file

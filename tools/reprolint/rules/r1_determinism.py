@@ -1,0 +1,84 @@
+"""R1 — determinism: engine code must not consult wall-clock time or
+unseeded randomness.
+
+The whole simulation is deterministic: device latencies advance the shared
+:class:`repro.sim.clock.SimClock`, and every random stream is a seeded
+``random.Random`` instance owned by its workload.  A single ``time.time()``
+or module-level ``random.random()`` call silently breaks run-for-run
+reproducibility — benchmarks stop being comparable and the crash sweep
+stops being replayable.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import FileContext, Finding, Rule
+
+#: fully qualified callables that read the host clock or entropy pool
+_BANNED_CALLS = {
+    "time.time": "wall-clock read",
+    "time.time_ns": "wall-clock read",
+    "time.monotonic": "wall-clock read",
+    "time.monotonic_ns": "wall-clock read",
+    "time.perf_counter": "wall-clock read",
+    "time.perf_counter_ns": "wall-clock read",
+    "time.process_time": "wall-clock read",
+    "time.sleep": "wall-clock sleep",
+    "datetime.datetime.now": "wall-clock read",
+    "datetime.datetime.utcnow": "wall-clock read",
+    "datetime.datetime.today": "wall-clock read",
+    "datetime.date.today": "wall-clock read",
+    "os.urandom": "OS entropy",
+    "os.getrandom": "OS entropy",
+    "uuid.uuid1": "host-state-derived id",
+    "uuid.uuid4": "OS entropy",
+    "secrets.token_bytes": "OS entropy",
+    "secrets.token_hex": "OS entropy",
+    "secrets.randbits": "OS entropy",
+}
+
+#: ``random.<fn>()`` hits the shared module-level RNG, whose state any other
+#: import can perturb; only instantiating a seeded ``random.Random`` (or the
+#: stateless helpers below) is allowed
+_RANDOM_ALLOWED = {"Random", "SystemRandom"}  # SystemRandom caught separately
+
+
+class DeterminismRule(Rule):
+    id = "R1"
+    name = "determinism"
+    description = ("no wall-clock / unseeded randomness in engine code; "
+                   "simulated time comes from repro.sim.clock.SimClock")
+    hint = ("advance/read the shared SimClock (repro/sim/clock.py), or use "
+            "a seeded random.Random owned by the caller")
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qual = ctx.qualname(node.func)
+            if qual is None:
+                continue
+            reason = _BANNED_CALLS.get(qual)
+            if reason is not None:
+                findings.append(self.finding(
+                    ctx, node,
+                    f"nondeterministic call {qual}() ({reason}) in engine "
+                    f"code"))
+                continue
+            if qual == "random.SystemRandom" or qual.startswith(
+                    "random.SystemRandom."):
+                findings.append(self.finding(
+                    ctx, node,
+                    "random.SystemRandom draws OS entropy and can never be "
+                    "seeded"))
+                continue
+            parts = qual.split(".")
+            if len(parts) == 2 and parts[0] == "random" \
+                    and parts[1] not in _RANDOM_ALLOWED:
+                findings.append(self.finding(
+                    ctx, node,
+                    f"module-level random.{parts[1]}() uses the shared "
+                    f"unseeded RNG"))
+        return findings

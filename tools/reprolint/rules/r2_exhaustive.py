@@ -1,0 +1,153 @@
+"""R2 — record-exhaustive: dispatches on ``RecordType`` must be total.
+
+The four-plus-one record types (REGULAR / REPLACEMENT / ANTI / TOMBSTONE /
+REGULAR_SET, paper §3.2/§4.1 and §4.7) each carry different matter /
+anti-matter semantics.  A dispatch that silently falls through for a type
+it forgot — say, a merge added REGULAR_SET after the branch was written —
+corrupts visibility rather than failing.  Any if/elif chain or ``match``
+that dispatches on RecordType must therefore either name every member or
+end in a branch that explicitly raises.
+
+A lone ``if`` mentioning one member is a *filter*, not a dispatch, and is
+not checked; the rule fires once at least two branches of a chain (or two
+match cases) test RecordType members.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import FileContext, Finding, Rule
+
+
+def _members_in(node: ast.AST, ctx: FileContext,
+                members: frozenset[str]) -> set[str]:
+    """RecordType members referenced anywhere inside ``node``."""
+    found: set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute) and sub.attr in members:
+            base = ctx.qualname(sub.value)
+            if base is not None and base.split(".")[-1] == "RecordType":
+                found.add(sub.attr)
+    return found
+
+
+def _body_raises(body: list[ast.stmt]) -> bool:
+    """Does the branch body (not counting nested defs) contain a raise?"""
+    for stmt in body:
+        for sub in ast.walk(stmt):
+            if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                ast.Lambda)):
+                continue
+            if isinstance(sub, ast.Raise):
+                return True
+            # ``assert False/0, ...`` is an accepted unreachable marker
+            if isinstance(sub, ast.Assert) \
+                    and isinstance(sub.test, ast.Constant) \
+                    and not sub.test.value:
+                return True
+    return False
+
+
+class RecordExhaustiveRule(Rule):
+    id = "R2"
+    name = "record-exhaustive"
+    description = ("if/elif and match dispatches on RecordType must cover "
+                   "every member or end in an explicit raise")
+    hint = ("handle the missing record type(s), or add a final else/case _ "
+            "that raises — silent fall-through corrupts visibility")
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        findings: list[Finding] = []
+        members = frozenset(ctx.project.record_types)
+        elif_ifs: set[int] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.If) and len(node.orelse) == 1 \
+                    and isinstance(node.orelse[0], ast.If):
+                elif_ifs.add(id(node.orelse[0]))
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.If) and id(node) not in elif_ifs:
+                findings.extend(self._check_chain(ctx, node, members))
+            elif isinstance(node, ast.Match):
+                findings.extend(self._check_match(ctx, node, members))
+        return findings
+
+    # ------------------------------------------------------------- if/elif
+
+    def _check_chain(self, ctx: FileContext, node: ast.If,
+                     members: frozenset[str]) -> list[Finding]:
+        covered: set[str] = set()
+        dispatch_branches = 0
+        current: ast.stmt = node
+        final_else: list[ast.stmt] = []
+        while isinstance(current, ast.If):
+            tested = _members_in(current.test, ctx, members)
+            if tested:
+                dispatch_branches += 1
+                covered |= tested
+            if len(current.orelse) == 1 \
+                    and isinstance(current.orelse[0], ast.If):
+                current = current.orelse[0]
+            else:
+                final_else = current.orelse
+                break
+        if dispatch_branches < 2:
+            return []       # a filter, not a dispatch
+        missing = members - covered
+        if not missing:
+            return []
+        if not final_else:
+            return [self.finding(
+                ctx, node,
+                f"non-exhaustive RecordType dispatch: "
+                f"{', '.join(sorted(missing))} fall(s) through silently "
+                f"(no else branch)")]
+        if not _body_raises(final_else):
+            return [self.finding(
+                ctx, node,
+                f"RecordType dispatch does not cover "
+                f"{', '.join(sorted(missing))} and its else branch does "
+                f"not raise")]
+        return []
+
+    # --------------------------------------------------------------- match
+
+    def _check_match(self, ctx: FileContext, node: ast.Match,
+                     members: frozenset[str]) -> list[Finding]:
+        covered: set[str] = set()
+        dispatch_cases = 0
+        wildcard: ast.match_case | None = None
+        for case in node.cases:
+            if self._is_wildcard(case.pattern) and case.guard is None:
+                wildcard = case
+                continue
+            tested = _members_in(case.pattern, ctx, members)
+            if case.guard is not None:
+                tested |= _members_in(case.guard, ctx, members)
+            if tested:
+                dispatch_cases += 1
+                if case.guard is None:
+                    covered |= tested   # guarded cases may not match: they
+                                        # never count toward coverage
+        if dispatch_cases < 2:
+            return []
+        missing = members - covered
+        if not missing:
+            return []
+        if wildcard is None:
+            return [self.finding(
+                ctx, node,
+                f"non-exhaustive RecordType match: "
+                f"{', '.join(sorted(missing))} fall(s) through silently "
+                f"(no case _)")]
+        if not _body_raises(wildcard.body):
+            return [self.finding(
+                ctx, node,
+                f"RecordType match does not cover "
+                f"{', '.join(sorted(missing))} and its case _ does not "
+                f"raise")]
+        return []
+
+    @staticmethod
+    def _is_wildcard(pattern: ast.pattern) -> bool:
+        return isinstance(pattern, ast.MatchAs) and pattern.pattern is None

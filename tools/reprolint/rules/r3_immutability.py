@@ -1,0 +1,166 @@
+"""R3 — immutability: persisted partitions and runs are written once.
+
+A :class:`~repro.index.runs.PersistedRun` / ``PersistedPartition`` is the
+durable unit the manifest points at: recovery re-attaches it purely from
+metadata, scans share its pages through the buffer pool, and the crash
+sweep assumes its bytes never change after install.  Any in-place mutation
+outside the defining modules (and the eviction/recovery builders) silently
+diverges memory from storage — exactly the corruption a fault sweep then
+mis-attributes to the write path.
+
+Detection is intentionally structural (no type inference):
+
+* attribute stores / ``del`` / subscript stores on a local variable bound
+  to a ``PersistedRun(...)``, ``PersistedRun.restore(...)`` or
+  ``PersistedPartition(...)`` call in the same function;
+* the same through the conventional ``<obj>.run`` attribute chain (a
+  ``PersistedPartition``'s run) — e.g. ``part.run.page_nos = []``;
+* mutating-method calls (``append``/``extend``/``clear``/...) on
+  *attributes of* such objects — e.g. ``part.run.page_nos.append(n)``.
+
+Lifecycle methods of the objects themselves (``run.free()``) are part of
+the owning module's public API and are not flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import FileContext, Finding, Rule
+
+#: classes whose instances are write-once after construction
+_OWNER_CLASSES = frozenset({"PersistedRun", "PersistedPartition"})
+
+#: modules allowed to construct/mutate them: definers and builders
+_ALLOWED_MODULES = (
+    "repro/index/runs.py",        # PersistedRun definition
+    "repro/core/partition.py",    # PersistedPartition definition
+    "repro/core/eviction.py",     # build_partition / PartitionMetaBuilder
+    "repro/durability/recovery.py",  # restore_partition (re-attach)
+)
+
+#: container methods that mutate their receiver in place
+_MUTATORS = frozenset({
+    "append", "extend", "insert", "pop", "remove", "clear", "sort",
+    "reverse", "update", "add", "discard", "setdefault", "popitem",
+    "appendleft", "popleft",
+})
+
+
+def _constructed_names(func: ast.AST) -> set[str]:
+    """Local names bound to an owner-class constructor (or ``.restore``)."""
+    tracked: set[str] = set()
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Assign) or not isinstance(node.value,
+                                                              ast.Call):
+            continue
+        callee = node.value.func
+        name = None
+        if isinstance(callee, ast.Name):
+            name = callee.id
+        elif isinstance(callee, ast.Attribute) \
+                and isinstance(callee.value, ast.Name):
+            # PersistedRun.restore(...)
+            name = callee.value.id
+        if name not in _OWNER_CLASSES:
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                tracked.add(target.id)
+    return tracked
+
+
+def _chain(expr: ast.expr) -> tuple[ast.expr, list[str]]:
+    """Peel Attribute/Subscript wrappers; returns (root, attrs outside-in)."""
+    attrs: list[str] = []
+    while True:
+        if isinstance(expr, ast.Attribute):
+            attrs.append(expr.attr)
+            expr = expr.value
+        elif isinstance(expr, ast.Subscript):
+            expr = expr.value
+        else:
+            return expr, attrs
+
+
+class ImmutabilityRule(Rule):
+    id = "R3"
+    name = "immutability"
+    description = ("no attribute stores or container mutations on "
+                   "PersistedRun/PersistedPartition objects outside their "
+                   "defining modules and builders")
+    hint = ("build a new partition through build_partition()/PersistedRun "
+            "instead of mutating an installed one — recovery and the "
+            "manifest assume persisted state never changes in place")
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        if ctx.in_module(*_ALLOWED_MODULES):
+            return []
+        findings: list[Finding] = []
+        scopes: list[ast.AST] = [ctx.tree]
+        scopes += [n for n in ast.walk(ctx.tree)
+                   if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))]
+        for scope in scopes:
+            tracked = _constructed_names(scope)
+            body = scope.body if isinstance(
+                scope, (ast.FunctionDef, ast.AsyncFunctionDef,
+                        ast.Module)) else []
+            for stmt in body:
+                for node in ast.walk(stmt):
+                    if isinstance(node, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef)) \
+                            and node is not stmt:
+                        continue   # inner scopes get their own pass
+                    findings.extend(self._check_node(ctx, node, tracked))
+        # de-duplicate: module pass and function passes can both visit a node
+        unique = {(f.line, f.col, f.message): f for f in findings}
+        return list(unique.values())
+
+    # ------------------------------------------------------------- internal
+
+    def _check_node(self, ctx: FileContext, node: ast.AST,
+                    tracked: set[str]) -> list[Finding]:
+        findings: list[Finding] = []
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.Delete)):
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target] if isinstance(node, ast.AugAssign)
+                       else node.targets)
+            for target in targets:
+                if not isinstance(target, (ast.Attribute, ast.Subscript)):
+                    continue
+                owner = target.value if isinstance(target, (ast.Attribute,
+                                                            ast.Subscript)) \
+                    else target
+                why = self._owner_reason(owner, tracked)
+                if why is not None:
+                    verb = ("del" if isinstance(node, ast.Delete)
+                            else "store to")
+                    findings.append(self.finding(
+                        ctx, node,
+                        f"{verb} {ast.unparse(target)} mutates {why} "
+                        f"outside its defining module"))
+        elif isinstance(node, ast.Call) \
+                and isinstance(node.func, ast.Attribute) \
+                and node.func.attr in _MUTATORS:
+            receiver = node.func.value
+            # only attributes *of* an owned object are immutable state;
+            # a tracked name's own method calls are its public API
+            if isinstance(receiver, (ast.Attribute, ast.Subscript)):
+                why = self._owner_reason(receiver, tracked)
+                if why is not None:
+                    findings.append(self.finding(
+                        ctx, node,
+                        f"{ast.unparse(node.func)}() mutates {why} "
+                        f"outside its defining module"))
+        return findings
+
+    @staticmethod
+    def _owner_reason(expr: ast.expr, tracked: set[str]) -> str | None:
+        """Is ``expr`` (the object whose attribute is being touched) a
+        persisted-run/partition?  Returns a description or None."""
+        root, attrs = _chain(expr)
+        if isinstance(root, ast.Name) and root.id in tracked:
+            return f"a {root.id!r} persisted run/partition"
+        if "run" in attrs:
+            return "a persisted run (via the '.run' attribute)"
+        return None

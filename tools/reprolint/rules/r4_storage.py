@@ -1,0 +1,90 @@
+"""R4 — storage-bypass: all engine I/O flows through the simulated device.
+
+Every read and write in the engine is charged to the Fig. 8 device cost
+model via :class:`~repro.sim.device.SimulatedDevice` (and the page
+abstraction on top, :class:`~repro.storage.pagefile.PageFile`).  Direct
+host I/O — ``open()``, ``os.read``, ``mmap`` — would move bytes the
+DeviceStats counters never see, so every benchmark derived from them
+(Fig. 8, 12c, 12d, write amplification) would silently under-count.
+Host-side tooling that legitimately writes files (report emitters, trace
+dumps) must say so with a justified pragma.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import FileContext, Finding, Rule
+
+#: fully qualified callables that perform host I/O
+_BANNED_CALLS = {
+    "open": "direct file open",
+    "io.open": "direct file open",
+    "io.FileIO": "direct file open",
+    "os.open": "direct fd open",
+    "os.fdopen": "direct fd open",
+    "os.read": "direct fd read",
+    "os.write": "direct fd write",
+    "os.pread": "direct fd read",
+    "os.pwrite": "direct fd write",
+    "os.sendfile": "direct fd copy",
+    "os.truncate": "direct file mutation",
+    "os.ftruncate": "direct file mutation",
+    "mmap.mmap": "memory-mapped host I/O",
+    "pathlib.Path.open": "direct file open",
+    "shutil.copyfile": "host file copy",
+    "shutil.copy": "host file copy",
+}
+
+#: method names that smell like host I/O when called on a pathlib.Path-ish
+#: receiver; matched only for receivers we can resolve to ``pathlib``
+_PATH_METHODS = frozenset({
+    "open", "read_bytes", "read_text", "write_bytes", "write_text",
+    "unlink", "touch",
+})
+
+
+class StorageBypassRule(Rule):
+    id = "R4"
+    name = "storage-bypass"
+    description = ("no direct open()/os.*/mmap I/O in engine code — every "
+                   "byte goes through SimulatedDevice/PageFile so "
+                   "DeviceStats and the Fig. 8 cost model stay truthful")
+    hint = ("allocate/read/write through PageFile (repro/storage/"
+            "pagefile.py) or SimulatedDevice; host-side tooling needs a "
+            "justified '# reprolint: disable=R4 -- ...' pragma")
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        findings: list[Finding] = []
+        shadowed_open = self._open_is_shadowed(ctx)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qual = ctx.qualname(node.func)
+            if qual is None:
+                continue
+            if qual == "open" and shadowed_open:
+                continue
+            reason = _BANNED_CALLS.get(qual)
+            if reason is None and "." in qual:
+                root, _, method = qual.rpartition(".")
+                if method in _PATH_METHODS and root.startswith("pathlib"):
+                    reason = "pathlib host I/O"
+            if reason is not None:
+                findings.append(self.finding(
+                    ctx, node,
+                    f"{qual}() bypasses the simulated device ({reason}): "
+                    f"DeviceStats will not account this I/O"))
+        return findings
+
+    @staticmethod
+    def _open_is_shadowed(ctx: FileContext) -> bool:
+        """True when the module defines or imports its own ``open``."""
+        imported = ctx.imports.get("open")
+        if imported is not None and imported not in ("open", "io.open"):
+            return True
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                    and node.name == "open":
+                return True
+        return False

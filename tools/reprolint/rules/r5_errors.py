@@ -1,0 +1,110 @@
+"""R5 — error-discipline: raises stay inside the ``ReproError`` hierarchy
+and durability paths never swallow exceptions.
+
+Callers catch :class:`repro.errors.ReproError`; a stray ``ValueError``
+escapes every such handler (PR 3 found exactly this in the key codec).
+Conversely, a ``try/except`` that silently eats an exception inside the
+durability code can turn a real torn write into "recovery succeeded".
+
+Checks:
+
+* ``raise SomeName(...)`` where ``SomeName`` is a known exception that is
+  *not* a ReproError subclass (``NotImplementedError`` for abstract
+  interfaces is allowed; re-raising a caught object — ``raise exc`` — is
+  allowed; the hierarchy is parsed from ``errors.py`` so new subclasses are
+  picked up automatically);
+* bare ``except:`` anywhere;
+* in durability-critical modules (``durability/``, ``storage/``), an
+  ``except Exception``/``BaseException`` handler whose body cannot re-raise
+  (no ``raise`` statement at all) — it swallows crashes wholesale.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import FileContext, Finding, Rule
+
+#: modules where a swallowed broad exception can mask a corruption
+_DURABILITY_PATHS = ("repro/durability/", "repro/storage/")
+
+#: raising these is always fine: abstract methods, generator protocol
+_ALWAYS_ALLOWED = frozenset({
+    "NotImplementedError", "StopIteration", "StopAsyncIteration",
+    "GeneratorExit", "KeyboardInterrupt", "SystemExit",
+})
+
+
+class ErrorDisciplineRule(Rule):
+    id = "R5"
+    name = "error-discipline"
+    description = ("every raise constructs a ReproError subclass; no bare "
+                   "or swallowed excepts in durability paths")
+    hint = ("raise a repro.errors.ReproError subclass (add one if no "
+            "existing class fits) so callers can catch the library base "
+            "class")
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        findings: list[Finding] = []
+        errors = ctx.project.repro_errors
+        in_durability = any(part in ctx.posix_path
+                            for part in _DURABILITY_PATHS)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Raise):
+                findings.extend(self._check_raise(ctx, node, errors))
+            elif isinstance(node, ast.ExceptHandler):
+                findings.extend(self._check_handler(ctx, node,
+                                                    in_durability))
+        return findings
+
+    # ------------------------------------------------------------- internal
+
+    def _check_raise(self, ctx: FileContext, node: ast.Raise,
+                     errors: frozenset[str]) -> list[Finding]:
+        exc = node.exc
+        if exc is None:
+            return []                       # bare re-raise
+        if isinstance(exc, ast.Name):
+            return []                       # re-raising a caught object
+        if not isinstance(exc, ast.Call):
+            return []                       # dynamic shape: out of scope
+        callee = exc.func
+        if not isinstance(callee, ast.Name):
+            return []                       # attribute/dynamic: out of scope
+        name = callee.id
+        if name in errors or name in _ALWAYS_ALLOWED:
+            return []
+        local = ctx.imports.get(name, name)
+        if local.split(".")[-1] in errors:
+            return []
+        return [self.finding(
+            ctx, node,
+            f"raise {name}(...) escapes the ReproError hierarchy — "
+            f"callers catching ReproError will not see it")]
+
+    def _check_handler(self, ctx: FileContext, node: ast.ExceptHandler,
+                       in_durability: bool) -> list[Finding]:
+        if node.type is None:
+            return [self.finding(
+                ctx, node,
+                "bare 'except:' catches SystemExit/KeyboardInterrupt and "
+                "hides real failures",
+                hint="catch the narrowest exception that the body handles")]
+        if not in_durability:
+            return []
+        broad = any(
+            isinstance(name, ast.Name) and name.id in ("Exception",
+                                                       "BaseException")
+            for name in (node.type.elts if isinstance(node.type, ast.Tuple)
+                         else [node.type]))
+        if not broad:
+            return []
+        if any(isinstance(sub, ast.Raise) for stmt in node.body
+               for sub in ast.walk(stmt)):
+            return []
+        return [self.finding(
+            ctx, node,
+            "broad except swallows exceptions in a durability path — a "
+            "torn write would be silently reported as success",
+            hint="catch specific ReproError subclasses, or re-raise after "
+                 "cleanup")]

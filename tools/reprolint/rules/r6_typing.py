@@ -1,0 +1,116 @@
+"""R6 — typing: complete annotations, no bare generics.
+
+The ``mypy --strict`` gate runs in CI (mypy is not vendored into the
+runtime image); R6 is the locally-runnable structural proxy that keeps the
+tree from drifting between CI runs.  It enforces the two strictness
+properties that are checkable without type inference:
+
+* every ``def`` (including nested ones — mypy's ``disallow_untyped_defs``
+  applies to them too) annotates its return type and every parameter
+  except ``self``/``cls``;
+* no annotation uses a bare generic (``tuple``, ``list``, ``dict``, ...)
+  — mypy strict's ``disallow_any_generics``.  Use the aliases from
+  ``repro.types`` (``Key``, ``SortKey``, ...) or spell the parameters.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import FileContext, Finding, Rule
+
+#: names that are generic and therefore meaningless without parameters
+_BARE_GENERICS = frozenset({
+    "tuple", "list", "dict", "set", "frozenset", "type",
+    "Tuple", "List", "Dict", "Set", "FrozenSet", "Type",
+    "Callable", "Iterator", "Iterable", "Sequence", "Mapping",
+    "MutableMapping", "Generator", "AsyncIterator", "Awaitable",
+    "Coroutine", "Counter", "Deque", "DefaultDict", "OrderedDict",
+})
+
+
+def _first_arg_is_self_or_cls(args: ast.arguments) -> bool:
+    ordered = args.posonlyargs + args.args
+    return bool(ordered) and ordered[0].arg in ("self", "cls")
+
+
+class TypingRule(Rule):
+    id = "R6"
+    name = "typing"
+    description = ("every def fully annotated (params + return), no bare "
+                   "generic annotations — local proxy for mypy --strict")
+    hint = ("annotate the signature; for heterogeneous key tuples use "
+            "repro.types.Key instead of bare 'tuple'")
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                findings.extend(self._check_def(ctx, node))
+            elif isinstance(node, ast.AnnAssign):
+                findings.extend(self._check_annotation(
+                    ctx, node.annotation, f"annotation of "
+                    f"{ast.unparse(node.target)}"))
+            elif isinstance(node, ast.arg) and node.annotation is not None:
+                findings.extend(self._check_annotation(
+                    ctx, node.annotation, f"annotation of parameter "
+                    f"{node.arg!r}"))
+        return findings
+
+    # ------------------------------------------------------------- internal
+
+    def _check_def(self, ctx: FileContext,
+                   node: ast.FunctionDef | ast.AsyncFunctionDef
+                   ) -> list[Finding]:
+        findings: list[Finding] = []
+        args = node.args
+        ordered = args.posonlyargs + args.args + args.kwonlyargs
+        skip_first = _first_arg_is_self_or_cls(args)
+        for idx, arg in enumerate(ordered):
+            if skip_first and idx == 0:
+                continue
+            if arg.annotation is None:
+                findings.append(self.finding(
+                    ctx, arg,
+                    f"parameter {arg.arg!r} of {node.name}() is not "
+                    f"annotated"))
+        for star in (args.vararg, args.kwarg):
+            if star is not None and star.annotation is None:
+                findings.append(self.finding(
+                    ctx, star,
+                    f"parameter *{star.arg!r} of {node.name}() is not "
+                    f"annotated"))
+        if node.returns is None:
+            findings.append(self.finding(
+                ctx, node,
+                f"{node.name}() has no return annotation"))
+        else:
+            findings.extend(self._check_annotation(
+                ctx, node.returns, f"return annotation of {node.name}()"))
+        return findings
+
+    def _check_annotation(self, ctx: FileContext, annotation: ast.expr,
+                          where: str) -> list[Finding]:
+        findings: list[Finding] = []
+        subscript_values: set[int] = set()
+        for node in ast.walk(annotation):
+            if isinstance(node, ast.Subscript):
+                subscript_values.add(id(node.value))
+        for node in ast.walk(annotation):
+            bare: str | None = None
+            if isinstance(node, ast.Name) and node.id in _BARE_GENERICS \
+                    and id(node) not in subscript_values:
+                bare = node.id
+            elif isinstance(node, ast.Attribute) \
+                    and node.attr in _BARE_GENERICS \
+                    and id(node) not in subscript_values:
+                qual = ctx.qualname(node)
+                if qual is not None and qual.split(".")[0] in (
+                        "typing", "collections", "t"):
+                    bare = qual
+            if bare is not None:
+                findings.append(self.finding(
+                    ctx, node,
+                    f"bare generic {bare!r} in {where} "
+                    f"(implicitly Any-parameterised)"))
+        return findings
