@@ -8,10 +8,12 @@ how long the simulation took to execute and are not the reproduction result.
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.config import EngineConfig
 from repro.engine import Database
+from repro.obs import ObsConfig
 
 if TYPE_CHECKING:
     from repro.workloads.tpcc import TPCCConfig
@@ -65,3 +67,25 @@ def tpcc_scale(warehouses: int = 2, seed: int = 7,
 
 def make_database(config: EngineConfig | None = None) -> Database:
     return Database(config if config is not None else small_engine())
+
+
+def obs_engine(**overrides: Any) -> EngineConfig:
+    """Benchmark engine config with the observability layer switched on."""
+    overrides.setdefault("obs", ObsConfig(enabled=True))
+    return small_engine(**overrides)
+
+
+def dump_obs_artifacts(db: Database, out_base: Path | str) -> list[Path]:
+    """Write ``<base>.metrics.json`` and ``<base>.trace.jsonl`` next to a
+    benchmark report.  Returns the paths written (empty when the database
+    runs without observability)."""
+    if db.obs is None:
+        return []
+    base = Path(out_base)
+    base.parent.mkdir(parents=True, exist_ok=True)
+    metrics = base.with_suffix(base.suffix + ".metrics.json")
+    trace = base.with_suffix(base.suffix + ".trace.jsonl")
+    db.metrics_snapshot()  # sync derived gauges before export
+    metrics.write_text(db.obs.export_metrics_json())
+    trace.write_text(db.obs.export_trace_jsonl())
+    return [metrics, trace]

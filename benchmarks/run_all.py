@@ -463,6 +463,62 @@ def bench_figures() -> dict:
     return out
 
 
+def bench_obs(out_base: Path, records: int = 1_200,
+              evict_every: int = 300) -> dict:
+    """Observability section: a multi-partition workload run twice — obs
+    off and obs on — reporting the enabled range-scan profile, the
+    registry invariant check, and the informational enabled/disabled
+    wall-clock overhead.  Dumps ``<out>.metrics.json`` /
+    ``<out>.trace.jsonl`` artifacts next to the report."""
+    from common import dump_obs_artifacts, obs_engine, small_engine
+    from repro.engine import Database
+    from repro.obs import check_invariants
+
+    def run(config) -> tuple[Database, float]:
+        db = Database(config)
+        db.create_table("t", [("k", "int"), ("v", "int")], storage="sias")
+        db.create_index("ix", "t", ["k"], kind="mvpbt")
+        t0 = time.perf_counter()
+        txn = db.begin()
+        for i in range(records):
+            db.insert(txn, "t", (i, i * 3))
+            if (i + 1) % evict_every == 0:
+                txn.commit()
+                db.catalog.index("ix").mvpbt.evict_partition()
+                txn = db.begin()
+        txn.commit()
+        txn = db.begin()
+        db.range_select(txn, "ix", (0,), (records,))
+        txn.commit()
+        return db, time.perf_counter() - t0
+
+    print("[obs] disabled baseline…")
+    _, off_seconds = run(small_engine())
+    print("[obs] enabled run + profile…")
+    db, on_seconds = run(obs_engine())
+    txn = db.begin()
+    profile = db.explain_scan(txn, "ix", (0,), (records,))
+    txn.commit()
+    problems = check_invariants(db)
+    artifacts = dump_obs_artifacts(db, out_base)
+    out = {
+        "records": records,
+        "scan_profile": profile,
+        "invariant_problems": problems,
+        "artifacts": [str(p) for p in artifacts],
+        "wall_seconds_disabled": round(off_seconds, 4),
+        "wall_seconds_enabled": round(on_seconds, 4),
+        "enabled_overhead_ratio": round(on_seconds / off_seconds, 3)
+        if off_seconds else None,
+    }
+    print(f"[obs] partitions consulted "
+          f"{profile['partitions']['consulted']}/"
+          f"{profile['partitions']['total']}, invariants "
+          f"{'OK' if not problems else problems}, enabled overhead "
+          f"{out['enabled_overhead_ratio']}x (informational)")
+    return out
+
+
 def main() -> None:
     global SCAN_RECORDS, SCAN_PARTITION_EVERY
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -492,6 +548,7 @@ def main() -> None:
         "scan_pipeline": bench_scan_pipeline(),
         "write_path": bench_write_path(write_records, write_partitions,
                                        write_repeat),
+        "obs": bench_obs(Path(args.out)),
     }
     if not args.skip_figures:
         report["figures"] = bench_figures()

@@ -18,6 +18,7 @@ from .policy import LRUPolicy, ReplacementPolicy
 
 if TYPE_CHECKING:
     from ..config import CostModel
+    from ..obs.core import Observability
     from ..sim.clock import SimClock
 
 
@@ -51,7 +52,8 @@ class BufferPool:
     def __init__(self, capacity_pages: int,
                  policy: ReplacementPolicy | None = None,
                  clock: "SimClock | None" = None,
-                 cost: "CostModel | None" = None) -> None:
+                 cost: "CostModel | None" = None,
+                 obs: "Observability | None" = None) -> None:
         self.capacity_pages = capacity_pages
         self._policy = policy if policy is not None else LRUPolicy()
         self._clock = clock
@@ -62,6 +64,16 @@ class BufferPool:
         self.stats_by_file: dict[int, FileBufferStats] = {}
         self.evictions = 0
         self.dirty_writebacks = 0
+        # instruments are bound once here; the hot paths pay one
+        # `is not None` test plus an integer increment when enabled
+        self._obs = obs
+        if obs is not None:
+            registry = obs.registry
+            self._m_lookups = registry.counter("buffer.pool.lookups")
+            self._m_hits = registry.counter("buffer.pool.hits")
+            self._m_misses = registry.counter("buffer.pool.misses")
+            self._m_evictions = registry.counter("buffer.pool.evictions")
+            self._m_writebacks = registry.counter("buffer.pool.writebacks")
 
     # ------------------------------------------------------------------ reads
 
@@ -71,10 +83,17 @@ class BufferPool:
         stats = self._file_stats(file)
         stats.requests += 1
         self._charge_cpu()
+        obs = self._obs
+        if obs is not None:
+            self._m_lookups.inc()
         if key in self._frames:
             stats.hits += 1
+            if obs is not None:
+                self._m_hits.inc()
             self._policy.touch(key)
             return self._frames[key]
+        if obs is not None:
+            self._m_misses.inc()
         payload = file.read_page(page_no)
         self._admit(file, key, payload)
         return payload
@@ -90,10 +109,17 @@ class BufferPool:
         stats = self._file_stats(file)
         stats.requests += 1
         self._charge_cpu()
+        obs = self._obs
+        if obs is not None:
+            self._m_lookups.inc()
         if key in self._frames:
             stats.hits += 1
+            if obs is not None:
+                self._m_hits.inc()
             self._policy.touch(key)
             return self._frames[key]
+        if obs is not None:
+            self._m_misses.inc()
         if file.has_contents(page_no):
             payload = file.read_page(page_no)
         else:
@@ -203,6 +229,8 @@ class BufferPool:
                 self._writeback(victim)
             self._frames.pop(victim, None)
             self.evictions += 1
+            if self._obs is not None:
+                self._m_evictions.inc()
         self._frames[key] = payload
         self._policy.admit(key)
 
@@ -214,4 +242,6 @@ class BufferPool:
             if isinstance(payload, SlottedPage):
                 payload.dirty = False
             self.dirty_writebacks += 1
+            if self._obs is not None:
+                self._m_writebacks.inc()
         self._dirty.discard(key)

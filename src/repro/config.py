@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from .errors import ConfigError
+from .obs.config import ObsConfig
 
 #: Default page size in bytes (PostgreSQL-style 8 KiB pages).
 PAGE_SIZE = 8192
@@ -60,6 +61,9 @@ class EngineConfig:
     durability: bool = False
     #: pages per manifest superblock slot (two slots are preallocated).
     manifest_slot_pages: int = 8
+    #: observability: metrics registry + structured tracing (off by
+    #: default; see DESIGN.md §13).
+    obs: ObsConfig = field(default_factory=ObsConfig)
 
     def __post_init__(self) -> None:
         if self.page_size < 512:

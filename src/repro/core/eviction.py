@@ -36,6 +36,7 @@ from typing import TYPE_CHECKING, Iterable, Iterator
 
 from ..index.filters import BloomFilter, PrefixBloomFilter, digest
 from ..index.runs import PersistedRun
+from ..obs.core import span_or_null
 from ..storage.keycodec import encode_key, encode_key_with_prefix
 from .gc import gc_victim_seqs
 from .partition import MemoryPartition, PersistedPartition
@@ -52,37 +53,58 @@ def evict_partition(tree: "MVPBT") -> PersistedPartition | None:
     if mem.record_count == 0:
         return None
 
-    clock = tree.manager.clock
-    cost = tree.manager.cost
-    if clock is not None:
-        # the cooperative eviction scan over all leaves
-        clock.advance(cost.page_cpu * mem.leaf_count
-                      + cost.compare * mem.record_count)
-    tree.stats.bytes_ingested += mem.bytes_used
+    obs = tree._obs
+    with span_or_null(obs, "mvpbt.evict", index=tree.name,
+                      partition=mem.number,
+                      records_in=mem.record_count) as span:
+        purged0 = tree.gc_stats.purged_eviction
+        clock = tree.manager.clock
+        cost = tree.manager.cost
+        if clock is not None:
+            # the cooperative eviction scan over all leaves
+            clock.advance(cost.page_cpu * mem.leaf_count
+                          + cost.compare * mem.record_count)
+        tree.stats.bytes_ingested += mem.bytes_used
 
-    stream: Iterable[MVPBTRecord] = mem.iter_records()
-    if tree.enable_gc:
-        drop = gc_victim_seqs(mem.iter_records(),
-                              tree.manager.active_snapshots(),
-                              tree.manager.commit_log, tree.mode,
-                              tree.gc_stats)
-        if drop:
-            stream = (r for r in mem.iter_records() if r.seq not in drop)
+        stream: Iterable[MVPBTRecord] = mem.iter_records()
+        if tree.enable_gc:
+            drop = gc_victim_seqs(mem.iter_records(),
+                                  tree.manager.active_snapshots(),
+                                  tree.manager.commit_log, tree.mode,
+                                  tree.gc_stats)
+            if drop:
+                stream = (r for r in mem.iter_records()
+                          if r.seq not in drop)
 
-    partition = build_partition(tree, stream, mem.number)
+        partition = build_partition(tree, stream, mem.number)
 
-    # start the successor partition once the build drained the frozen P_N
-    # (concurrent reads in a real system keep using the frozen partition;
-    # single-threaded here)
-    tree._mem = MemoryPartition(mem.number + 1, tree.mode,
-                                tree.file.page_size)
-    tree.stats.evictions += 1
-    if partition is not None:
-        tree._persisted.append(partition)
-    if tree._durability is not None:
-        # the partition extents are fully written: flip the manifest, then
-        # advance the WAL floor past the records it now covers
-        tree._durability.on_eviction(tree)
+        # start the successor partition once the build drained the frozen
+        # P_N (concurrent reads in a real system keep using the frozen
+        # partition; single-threaded here)
+        tree._mem = MemoryPartition(mem.number + 1, tree.mode,
+                                    tree.file.page_size)
+        tree.stats.evictions += 1
+        if partition is not None:
+            tree._persisted.append(partition)
+        if tree._durability is not None:
+            # the partition extents are fully written: flip the manifest,
+            # then advance the WAL floor past the records it now covers
+            tree._durability.on_eviction(tree)
+        if obs is not None:
+            registry = obs.registry
+            registry.counter("mvpbt.evict.count").inc()
+            purged = tree.gc_stats.purged_eviction - purged0
+            if purged:
+                registry.counter("mvpbt.gc.purged_eviction").inc(purged)
+            pages = partition.run.page_count if partition is not None else 0
+            nbytes = partition.run.size_bytes if partition is not None else 0
+            if partition is not None:
+                registry.counter("mvpbt.evict.pages_written").inc(pages)
+                registry.counter("mvpbt.evict.bytes_written").inc(nbytes)
+            span.set(
+                records_out=(partition.record_count
+                             if partition is not None else 0),
+                pages=pages, bytes=nbytes)
     return partition
 
 

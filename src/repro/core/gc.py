@@ -29,12 +29,15 @@ this partition vanish entirely.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 from ..txn.snapshot import Snapshot
 from ..txn.status import CommitLog
 from .partition import MemLeaf, MemoryPartition
 from .records import MVPBTRecord, RecordType, ReferenceMode, record_size
+
+if TYPE_CHECKING:
+    from ..obs.core import Observability
 
 
 @dataclass
@@ -125,7 +128,8 @@ def reduce_chain(chain: list[MVPBTRecord],
 def purge_leaf(partition: MemoryPartition, leaf: MemLeaf,
                mode: ReferenceMode, stats: GCStats,
                active_snapshots: list[Snapshot],
-               commit_log: CommitLog) -> int:
+               commit_log: CommitLog,
+               obs: "Observability | None" = None) -> int:
     """Phase 2: reduce the chains flagged on this leaf; reclaim their space.
 
     Returns the number of records removed.
@@ -147,6 +151,9 @@ def purge_leaf(partition: MemoryPartition, leaf: MemLeaf,
         if dropped_all:
             stats.chains_dropped += 1
     leaf.has_garbage = any(r.is_gc for r in leaf.records)
+    if removed and obs is not None:
+        obs.registry.counter("mvpbt.gc.purged_page_level").inc(removed)
+        obs.tracer.emit("mvpbt.gc.purge_leaf", removed=removed)
     return removed
 
 

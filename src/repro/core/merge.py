@@ -34,6 +34,7 @@ from itertools import chain
 from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 from ..errors import IndexError_
+from ..obs.core import span_or_null
 from ..storage.recordid import RecordID
 from ..txn.transaction import Transaction
 from .eviction import build_partition
@@ -130,53 +131,74 @@ def merge_partitions(tree: "MVPBT", count: int | None = None, *,
         return None
     inputs = persisted[start:start + count]
 
-    clock = tree.manager.clock
-    if clock is not None:
-        total = sum(p.record_count for p in inputs)
-        clock.advance(tree.manager.cost.compare * total)
+    obs = tree._obs
+    with span_or_null(obs, "mvpbt.merge", index=tree.name,
+                      inputs=count, start=start) as span:
+        purged0 = tree.gc_stats.purged_eviction
+        clock = tree.manager.clock
+        if clock is not None:
+            total = sum(p.record_count for p in inputs)
+            clock.advance(tree.manager.cost.compare * total)
 
-    # Pass 1 (GC decision): read every input run once — the single charged
-    # sequential read — pinning each run's records in a per-run ref list
-    # (the GC chain grouping already holds one reference per record, so
-    # pinning adds no asymptotic memory), then compute the cross-partition
-    # victim set; kept records are re-linked in place.  Pass 2 (build)
-    # k-way merges the pinned survivors: one device read total.  With GC
-    # off, nothing needs a decision pass and the build lazily consumes the
-    # charged read directly through heapq.merge in bounded memory.
-    if tree.enable_gc:
-        pinned: list[Sequence[MVPBTRecord]] = [
-            list(p.run.iter_all_sequential()) for p in inputs]
-        drop = gc_victim_seqs(chain.from_iterable(pinned),
-                              tree.manager.active_snapshots(),
-                              tree.manager.commit_log, tree.mode,
-                              tree.gc_stats)
-        if drop:
-            for i, recs in enumerate(pinned):  # in place: old pin freed per run
-                pinned[i] = [r for r in recs if r.seq not in drop]
-        merged_stream: Iterable[MVPBTRecord] = _merge_pinned_runs(pinned)
-        del pinned  # the galloping merge owns (and incrementally frees) the pins
-    else:
-        # global §4.3 order: each run is already sorted on sort_key(), so
-        # a lazy k-way merge restores the processing order without
-        # materialising or re-sorting the combined record set
-        merged_stream = heapq.merge(
-            *(p.run.iter_all_sequential() for p in inputs),
-            key=MVPBTRecord.sort_key)
+        # Pass 1 (GC decision): read every input run once — the single
+        # charged sequential read — pinning each run's records in a per-run
+        # ref list (the GC chain grouping already holds one reference per
+        # record, so pinning adds no asymptotic memory), then compute the
+        # cross-partition victim set; kept records are re-linked in place.
+        # Pass 2 (build) k-way merges the pinned survivors: one device read
+        # total.  With GC off, nothing needs a decision pass and the build
+        # lazily consumes the charged read directly through heapq.merge in
+        # bounded memory.
+        if tree.enable_gc:
+            pinned: list[Sequence[MVPBTRecord]] = [
+                list(p.run.iter_all_sequential()) for p in inputs]
+            drop = gc_victim_seqs(chain.from_iterable(pinned),
+                                  tree.manager.active_snapshots(),
+                                  tree.manager.commit_log, tree.mode,
+                                  tree.gc_stats)
+            if drop:
+                for i, recs in enumerate(pinned):  # old pin freed per run
+                    pinned[i] = [r for r in recs if r.seq not in drop]
+            merged_stream: Iterable[MVPBTRecord] = _merge_pinned_runs(pinned)
+            del pinned  # the galloping merge owns (and frees) the pins
+        else:
+            # global §4.3 order: each run is already sorted on sort_key(),
+            # so a lazy k-way merge restores the processing order without
+            # materialising or re-sorting the combined record set
+            merged_stream = heapq.merge(
+                *(p.run.iter_all_sequential() for p in inputs),
+                key=MVPBTRecord.sort_key)
 
-    merged = build_partition(tree, merged_stream,
-                             inputs[-1].number)  # newest merged slot
+        merged = build_partition(tree, merged_stream,
+                                 inputs[-1].number)  # newest merged slot
 
-    # install-before-retire: publish the merged partition (and flip the
-    # manifest) *before* freeing the input extents, so a crash between the
-    # two steps leaves either the complete old or the complete new set
-    del persisted[start:start + count]
-    if merged is not None:
-        persisted.insert(start, merged)
-    tree.stats.merges += 1
-    if tree._durability is not None:
-        tree._durability.on_reorg(tree)
-    for partition in inputs:
-        partition.run.free()
+        # install-before-retire: publish the merged partition (and flip the
+        # manifest) *before* freeing the input extents, so a crash between
+        # the two steps leaves either the complete old or the complete new
+        # set
+        del persisted[start:start + count]
+        if merged is not None:
+            persisted.insert(start, merged)
+        tree.stats.merges += 1
+        if tree._durability is not None:
+            tree._durability.on_reorg(tree)
+        for partition in inputs:
+            partition.run.free()
+        if obs is not None:
+            registry = obs.registry
+            registry.counter("mvpbt.merge.count").inc()
+            purged = tree.gc_stats.purged_eviction - purged0
+            if purged:
+                registry.counter("mvpbt.gc.purged_eviction").inc(purged)
+            pages = merged.run.page_count if merged is not None else 0
+            nbytes = merged.size_bytes if merged is not None else 0
+            if merged is not None:
+                registry.counter("mvpbt.merge.pages_written").inc(pages)
+                registry.counter("mvpbt.merge.bytes_written").inc(nbytes)
+            span.set(
+                records_out=(merged.record_count
+                             if merged is not None else 0),
+                pages=pages, bytes=nbytes)
     return merged
 
 
@@ -201,26 +223,33 @@ def bulk_load(tree: "MVPBT", txn: Transaction,
     if not entries:
         return None
 
-    records = []
-    for idx, (key, rid, vid) in enumerate(entries):
-        payload = payloads[idx] if payloads is not None else None
-        records.append(MVPBTRecord(tuple(key), txn.id, tree._seq(),
-                                   RecordType.REGULAR, vid, rid_new=rid,
-                                   payload=payload))
-    records.sort(key=MVPBTRecord.sort_key)
+    obs = tree._obs
+    with span_or_null(obs, "mvpbt.bulk_load", index=tree.name,
+                      entries=len(entries)) as span:
+        records = []
+        for idx, (key, rid, vid) in enumerate(entries):
+            payload = payloads[idx] if payloads is not None else None
+            records.append(MVPBTRecord(tuple(key), txn.id, tree._seq(),
+                                       RecordType.REGULAR, vid, rid_new=rid,
+                                       payload=payload))
+        records.sort(key=MVPBTRecord.sort_key)
 
-    clock = tree.manager.clock
-    if clock is not None:
-        clock.advance(tree.manager.cost.compare * len(records))
-    tree.stats.bytes_ingested += sum(
-        record_size(r, tree.mode) for r in records)
+        clock = tree.manager.clock
+        if clock is not None:
+            clock.advance(tree.manager.cost.compare * len(records))
+        tree.stats.bytes_ingested += sum(
+            record_size(r, tree.mode) for r in records)
 
-    partition = build_partition(tree, records, tree._mem.number)
-    assert partition is not None  # entries is non-empty and GC never runs
-    tree._persisted.append(partition)
-    tree._mem.number += 1
-    tree.stats.inserts += len(entries)
-    tree.stats.bulk_loads += 1
-    if tree._durability is not None:
-        tree._durability.on_reorg(tree)
+        partition = build_partition(tree, records, tree._mem.number)
+        assert partition is not None  # entries non-empty and GC never runs
+        tree._persisted.append(partition)
+        tree._mem.number += 1
+        tree.stats.inserts += len(entries)
+        tree.stats.bulk_loads += 1
+        if tree._durability is not None:
+            tree._durability.on_reorg(tree)
+        if obs is not None:
+            obs.registry.counter("mvpbt.bulk_load.count").inc()
+            span.set(pages=partition.run.page_count,
+                     bytes=partition.size_bytes)
     return partition

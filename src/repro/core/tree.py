@@ -49,6 +49,7 @@ from .visibility import Visibility, VisibilityChecker
 if TYPE_CHECKING:
     from ..durability.controller import DurabilityController
     from ..durability.manifest import IndexManifest
+    from ..obs.core import Observability
 
 #: one cursor merge item: ``(key, -partition_no, -ts, -seq, record, leaf)``
 #: — the 4-prefix orders the k-way merge, ``leaf`` is None for persisted
@@ -133,7 +134,8 @@ class MVPBT:
                  reconcile: bool | None = None,
                  first_hit_only: bool = False,
                  max_partitions: int | None = None,
-                 merge_fanout: int = 4) -> None:
+                 merge_fanout: int = 4,
+                 obs: "Observability | None" = None) -> None:
         self.name = name
         self.file = file
         self.pool = pool
@@ -169,6 +171,16 @@ class MVPBT:
 
         self.stats = MVPBTStats()
         self.gc_stats = GCStats()
+        # observability: instruments bound once; hot paths pay a single
+        # `is not None` test when disabled (DESIGN.md §13)
+        self._obs = obs
+        if obs is not None:
+            from ..obs.registry import COUNT_BUCKETS
+            registry = obs.registry
+            self._m_searches = registry.counter("mvpbt.search.count")
+            self._m_scans = registry.counter("mvpbt.scan.count")
+            self._m_scan_hits = registry.histogram("mvpbt.scan.hits",
+                                                   COUNT_BUCKETS)
         self._next_seq = 0
         self._mem = MemoryPartition(0, mode, file.page_size)
         self._persisted: list[PersistedPartition] = []
@@ -296,6 +308,8 @@ class MVPBT:
         """
         key = tuple(key)
         self.stats.searches += 1
+        if self._obs is not None:
+            self._m_searches.inc()
         if not self.index_only_visibility:
             return self._candidates_point(key)
 
@@ -360,13 +374,20 @@ class MVPBT:
         (like any unlatched database cursor).
         """
         self.stats.scans += 1
+        obs = self._obs
+        if obs is not None:
+            self._m_scans.inc()
         if not self.index_only_visibility:
-            yield from self._candidates_range(lo, hi, lo_incl, hi_incl)
+            raw_hits = self._candidates_range(lo, hi, lo_incl, hi_incl)
+            if obs is not None:
+                self._m_scan_hits.observe(len(raw_hits))
+            yield from raw_hits
             return
 
         checker = self._checker(txn)
         check = checker.check
         stats = self.stats
+        hits_before = stats.hits_returned
         visible = Visibility.VISIBLE
         try:
             # inlined _classify: this loop touches every candidate record of
@@ -395,6 +416,8 @@ class MVPBT:
         finally:
             # runs on exhaustion *and* on early close (GeneratorExit)
             stats.records_checked += checker.records_processed
+            if obs is not None:
+                self._m_scan_hits.observe(stats.hits_returned - hits_before)
 
     def range_scan(self, txn: Transaction, lo: Key | None,
                    hi: Key | None, *, lo_incl: bool = True,
@@ -419,6 +442,9 @@ class MVPBT:
         """
         if limit <= 0:
             self.stats.scans += 1
+            if self._obs is not None:
+                self._m_scans.inc()
+                self._m_scan_hits.observe(0)
             return []
         return list(islice(self.cursor(txn, lo, hi, lo_incl=lo_incl),
                            limit))
@@ -671,7 +697,7 @@ class MVPBT:
         if self.enable_gc and leaf.has_garbage:
             purge_leaf(self._mem, leaf, self.mode, self.gc_stats,
                        self.manager.active_snapshots(),
-                       self.manager.commit_log)
+                       self.manager.commit_log, obs=self._obs)
         self.partition_buffer.maybe_evict()
 
     def _checker(self, txn: Transaction) -> VisibilityChecker:

@@ -34,6 +34,7 @@ from .wal import WriteAheadLog
 if TYPE_CHECKING:
     from ..core.partition import PersistedPartition
     from ..core.tree import MVPBT
+    from ..obs.core import Observability
     from ..txn.manager import TransactionManager
     from ..txn.transaction import Transaction
 
@@ -62,12 +63,20 @@ class DurabilityController:
     manifest."""
 
     def __init__(self, manifest: ManifestStore, wal: WriteAheadLog,
-                 manager: "TransactionManager") -> None:
+                 manager: "TransactionManager",
+                 obs: "Observability | None" = None) -> None:
         self.manifest = manifest
         self.wal = wal
         self.manager = manager
         self._trees: dict[str, "MVPBT"] = {}
         self._floors: dict[str, int] = {}
+        self._obs = obs
+        if obs is not None:
+            registry = obs.registry
+            self._m_wal_appends = registry.counter("wal.appends")
+            self._m_wal_entries = registry.counter("wal.entries")
+            self._m_wal_pages_freed = registry.counter("wal.pages_freed")
+            self._m_manifest_flips = registry.counter("manifest.flips")
         manager.add_commit_hook(self._on_commit)
         manager.add_abort_hook(self._on_abort)
         manifest.preallocate()
@@ -99,6 +108,11 @@ class DurabilityController:
         # transactions (base-table only, or records already evicted) must
         # survive a restart too
         self.wal.log(records, commit_txid=txn.id)
+        if self._obs is not None:
+            self._m_wal_appends.inc()
+            self._m_wal_entries.inc(len(records) + 1)
+            self._obs.tracer.emit("wal.append", txid=txn.id,
+                                  entries=len(records) + 1)
 
     def _on_abort(self, txn: "Transaction") -> None:
         for tree in self._trees.values():
@@ -108,7 +122,15 @@ class DurabilityController:
                     records: Iterable[MVPBTRecord]) -> None:
         """Immediately log already-decided records (CREATE INDEX build path:
         their timestamps are historical, no commit will follow)."""
-        self.wal.log([(tree.name, record) for record in records])
+        entries = [(tree.name, record) for record in records]
+        if not entries:
+            return
+        self.wal.log(entries)
+        if self._obs is not None:
+            self._m_wal_appends.inc()
+            self._m_wal_entries.inc(len(entries))
+            self._obs.tracer.emit("wal.append", txid=None,
+                                  entries=len(entries))
 
     # ------------------------------------------------------- reorganisations
 
@@ -116,6 +138,7 @@ class DurabilityController:
         """``P_N`` just became a persisted partition: flip and truncate."""
         self._floors[tree.name] = self.wal.end_lsn
         self.manifest.write(self.snapshot_state())
+        self._note_flip()
         # the evicted records live in the partition now; replaying them
         # from the WAL as well would duplicate them
         tree.clear_wal_pending()
@@ -128,6 +151,7 @@ class DurabilityController:
         written and *before* retired input extents are freed.
         """
         self.manifest.write(self.snapshot_state())
+        self._note_flip()
         self._truncate()
 
     def snapshot_state(self) -> ManifestState:
@@ -145,9 +169,18 @@ class DurabilityController:
                 partitions=[partition_meta(p) for p in tree._persisted])
         return state
 
+    def _note_flip(self) -> None:
+        if self._obs is not None:
+            self._m_manifest_flips.inc()
+            self._obs.tracer.emit("manifest.flip",
+                                  epoch=self.manifest.epoch)
+
     def _truncate(self) -> None:
         if self._floors:
-            self.wal.truncate_below(min(self._floors.values()))
+            freed = self.wal.truncate_below(min(self._floors.values()))
+            if freed and self._obs is not None:
+                self._m_wal_pages_freed.inc(freed)
+                self._obs.tracer.emit("wal.truncate", pages_freed=freed)
 
     def __repr__(self) -> str:
         return (f"DurabilityController(trees={sorted(self._trees)}, "

@@ -20,9 +20,11 @@ from ..durability.controller import DurabilityController
 from ..durability.manifest import ManifestStore
 from ..durability.recovery import read_durable_state
 from ..durability.wal import WriteAheadLog
-from ..errors import CatalogError, RecoveryError
+from ..errors import CatalogError, ConfigError, RecoveryError
 from ..index.btree.tree import BPlusTree
 from ..index.pbt import PartitionedBTree
+from ..obs.core import Observability, span_or_null
+from ..obs.profile import profile_query
 from ..sim.clock import SimClock
 from ..sim.device import SimulatedDevice
 from ..sim.profiles import INTEL_DC_P3600, DeviceProfile
@@ -68,12 +70,20 @@ class Database:
         self.config = config if config is not None else EngineConfig()
         self.clock = SimClock()
         self.trace = IOTrace()
+        #: None when observability is disabled — every instrumented call
+        #: site guards on that, keeping the disabled overhead a pointer test
+        self.obs: Observability | None = None
+        if self.config.obs.enabled:
+            self.obs = Observability(self.config.obs, self.clock)
+            self.obs.attach_io_trace(self.trace)
         self.device = SimulatedDevice(profile, self.clock, self.trace)
         self.pool = BufferPool(self.config.buffer_pool_pages,
-                               clock=self.clock, cost=self.config.cost)
+                               clock=self.clock, cost=self.config.cost,
+                               obs=self.obs)
         self.partition_buffer = PartitionBuffer(
             self.config.partition_buffer_bytes)
-        self.txn = TransactionManager(self.clock, self.config.cost)
+        self.txn = TransactionManager(self.clock, self.config.cost,
+                                      obs=self.obs)
         self.catalog = Catalog()
         self.executor = Executor(self)
         self.manifest_file: PageFile | None = None
@@ -89,7 +99,7 @@ class Database:
             self.durability = DurabilityController(
                 ManifestStore(self.manifest_file,
                               self.config.manifest_slot_pages),
-                WriteAheadLog(self.wal_file), self.txn)
+                WriteAheadLog(self.wal_file), self.txn, obs=self.obs)
 
     # -------------------------------------------------------------------- DDL
 
@@ -147,6 +157,7 @@ class Database:
                 unique=unique, mode=mode,
                 bloom_fpr=self.config.bloom_fpr,
                 prefix_bloom_fpr=self.config.prefix_bloom_fpr,
+                obs=self.obs,
                 **options)  # type: ignore[arg-type]
             if self.durability is not None:
                 # register before the build pass so its records are logged
@@ -489,11 +500,15 @@ class Database:
         db.config = crashed.config
         db.clock = crashed.clock
         db.trace = crashed.trace
+        # the registry and tracer survive the restart with the clock: the
+        # metrics of the crashed run and the recovery replay land in one
+        # continuous stream (the crash did not reset simulated time either)
+        db.obs = crashed.obs
         db.device = crashed.device
         db.pool = crashed.pool
         db.partition_buffer = PartitionBuffer(
             db.config.partition_buffer_bytes)
-        db.txn = TransactionManager(db.clock, db.config.cost)
+        db.txn = TransactionManager(db.clock, db.config.cost, obs=db.obs)
         db.catalog = crashed.catalog
         db.executor = Executor(db)
         db.manifest_file = crashed.manifest_file
@@ -504,30 +519,82 @@ class Database:
                 ix.mvpbt.file for ix in mvpbt_infos]:
             db.pool.drop_file(file)
 
-        durable = read_durable_state(db.manifest_file, db.wal_file,
-                                     db.config.manifest_slot_pages)
-        # the txid allocator is host-recovered alongside the tables (a txn
-        # that crashed before its first WAL append is invisible to the
-        # durable state, and its id must never be reused); commit status
-        # authority stays with the durable state — a txn without a durable
-        # COMMIT marker or manifest commit bit recovers as aborted
-        # everywhere, tables included
-        db.txn.restore(max(durable.next_txid, crashed.txn.next_txid),
-                       durable.committed)
-        db.durability = DurabilityController(durable.store, durable.wal,
-                                             db.txn)
+        with span_or_null(db.obs, "recovery.replay") as span:
+            durable = read_durable_state(db.manifest_file, db.wal_file,
+                                         db.config.manifest_slot_pages)
+            # the txid allocator is host-recovered alongside the tables (a
+            # txn that crashed before its first WAL append is invisible to
+            # the durable state, and its id must never be reused); commit
+            # status authority stays with the durable state — a txn without
+            # a durable COMMIT marker or manifest commit bit recovers as
+            # aborted everywhere, tables included
+            db.txn.restore(max(durable.next_txid, crashed.txn.next_txid),
+                           durable.committed)
+            db.durability = DurabilityController(durable.store, durable.wal,
+                                                 db.txn, obs=db.obs)
 
-        state_indexes = (durable.state.indexes
-                         if durable.state is not None else {})
-        for info in mvpbt_infos:
-            old = info.mvpbt
-            info.index = MVPBT.recover(
-                old.name, old.file, db.pool, db.partition_buffer, db.txn,
-                index_state=state_indexes.get(old.name),
-                wal_records=durable.records.get(old.name),
-                durability=db.durability,
-                **_tree_options(old))
+            state_indexes = (durable.state.indexes
+                             if durable.state is not None else {})
+            for info in mvpbt_infos:
+                old = info.mvpbt
+                info.index = MVPBT.recover(
+                    old.name, old.file, db.pool, db.partition_buffer,
+                    db.txn,
+                    index_state=state_indexes.get(old.name),
+                    wal_records=durable.records.get(old.name),
+                    durability=db.durability,
+                    obs=db.obs,
+                    **_tree_options(old))
+            if db.obs is not None:
+                replayed = sum(len(records)
+                               for records in durable.records.values())
+                registry = db.obs.registry
+                registry.counter("recovery.replays").inc()
+                registry.counter("recovery.wal_records_replayed").inc(
+                    replayed)
+                span.set(indexes=len(mvpbt_infos), wal_records=replayed)
         return db
+
+    # -------------------------------------------------------- observability
+
+    def explain_lookup(self, txn: Transaction, index_name: str,
+                       key: Key) -> JSONDict:
+        """Run a point lookup and return its query profile (partitions
+        consulted, filter skips, buffer traffic, simulated I/O cost).
+
+        Requires observability (``config.obs.enabled``)."""
+        self._require_obs()
+        return profile_query(self, txn, index_name, key=key)
+
+    def explain_scan(self, txn: Transaction, index_name: str,
+                     lo: Key | None, hi: Key | None, *,
+                     lo_incl: bool = True,
+                     hi_incl: bool = True) -> JSONDict:
+        """Run a range scan and return its query profile."""
+        self._require_obs()
+        return profile_query(self, txn, index_name, lo=lo, hi=hi,
+                             lo_incl=lo_incl, hi_incl=hi_incl)
+
+    def metrics_snapshot(self) -> JSONDict:
+        """Export the metrics registry, with derived gauges synced first."""
+        obs = self._require_obs()
+        registry = obs.registry
+        pool_total = self.pool.total_stats()
+        registry.gauge("buffer.pool.hit_rate").set(pool_total.hit_rate)
+        registry.gauge("buffer.pool.resident_pages").set(
+            self.pool.resident_pages)
+        registry.gauge("sim.clock.seconds").set(self.clock.now)
+        registry.gauge("mvpbt.partitions").set(sum(
+            ix.mvpbt.partition_count for ix in self.catalog.indexes
+            if ix.is_mvpbt))
+        return registry.export()
+
+    def _require_obs(self) -> Observability:
+        if self.obs is None:
+            raise ConfigError(
+                "observability is disabled; construct the Database with "
+                "EngineConfig(obs=ObsConfig(enabled=True))")
+        return self.obs
 
     def stats(self) -> JSONDict:
         """One experiment-reporting snapshot of the whole instance."""

@@ -97,3 +97,8 @@ class CatalogError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload driver was misconfigured or hit an internal inconsistency."""
+
+
+class ObsError(ReproError):
+    """Observability-layer misuse: instrument kind mismatch, crossing
+    trace spans, or exporting from a disabled subsystem."""

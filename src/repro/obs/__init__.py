@@ -1,0 +1,19 @@
+"""Zero-dependency observability: metrics, tracing, query profiles.
+
+See DESIGN.md §13 for the metric/event catalogue and how to read a trace.
+"""
+
+from __future__ import annotations
+
+from .config import ObsConfig
+from .core import Observability, span_or_null
+from .invariants import check_invariants
+from .profile import profile_query
+from .registry import (COUNT_BUCKETS, LATENCY_BUCKETS_US, Counter, Gauge,
+                       Histogram, MetricsRegistry)
+from .tracing import NULL_SPAN, Tracer, TraceSpan
+
+__all__ = ["ObsConfig", "Observability", "span_or_null",
+           "check_invariants", "profile_query", "MetricsRegistry",
+           "Counter", "Gauge", "Histogram", "LATENCY_BUCKETS_US",
+           "COUNT_BUCKETS", "Tracer", "TraceSpan", "NULL_SPAN"]

@@ -1,0 +1,36 @@
+"""Observability configuration.
+
+One :class:`ObsConfig` rides inside :class:`repro.config.EngineConfig` and
+gates every instrument in the engine.  Observability is **off by default**:
+with ``enabled=False`` the :class:`~repro.engine.database.Database` never
+constructs an :class:`~repro.obs.core.Observability` facade, every
+instrumented hot path reduces to one ``is not None`` test, and benchmark
+headline numbers must stay within noise of an uninstrumented build
+(DESIGN.md §13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """Tunables of the observability subsystem."""
+
+    #: master switch: when False nothing is instrumented at all.
+    enabled: bool = False
+    #: record metrics (counters / gauges / histograms).
+    metrics: bool = True
+    #: record structured trace events (spans + point events).
+    tracing: bool = True
+    #: trace ring-buffer capacity, in events; the oldest events are
+    #: dropped first (deterministically) once the buffer is full.
+    trace_capacity: int = 65536
+
+    def __post_init__(self) -> None:
+        if self.trace_capacity < 1:
+            raise ConfigError(
+                f"trace_capacity must be >= 1: {self.trace_capacity}")

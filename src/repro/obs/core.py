@@ -1,0 +1,91 @@
+"""The observability facade.
+
+One :class:`Observability` per database instance bundles the metrics
+registry and the tracer around the shared simulated clock.  Engine
+components receive it (or ``None``) at construction: when the facade is
+absent every instrumented hot path is a single ``is not None`` test, which
+is how the <3% disabled-overhead budget is met (DESIGN.md §13).
+
+The facade also bridges the existing blktrace-style
+:class:`~repro.sim.trace.IOTrace` into the event stream: a listener
+registered on the I/O trace mirrors every device request as a ``device.io``
+point event and keeps ``device.*`` byte counters exactly in sync with
+:class:`~repro.sim.device.DeviceStats` — an invariant the integration tests
+assert.
+"""
+
+from __future__ import annotations
+
+from ..sim.clock import SimClock
+from ..sim.trace import IOTrace
+from ..types import JSONDict
+from .config import ObsConfig
+from .registry import MetricsRegistry
+from .tracing import NULL_SPAN, Tracer, TraceSpan
+
+
+class Observability:
+    """Registry + tracer bundle shared by one engine instance."""
+
+    __slots__ = ("config", "clock", "registry", "tracer")
+
+    def __init__(self, config: ObsConfig, clock: SimClock) -> None:
+        self.config = config
+        self.clock = clock
+        self.registry = MetricsRegistry(enabled=config.metrics)
+        self.tracer = Tracer(clock, capacity=config.trace_capacity,
+                             enabled=config.tracing)
+
+    # ------------------------------------------------------------- device I/O
+
+    def attach_io_trace(self, trace: IOTrace) -> None:
+        """Mirror every device request into metrics and trace events.
+
+        The listener fires for *all* requests regardless of the I/O
+        trace's own capture flag, so ``device.bytes_read`` /
+        ``device.bytes_written`` always equal the device's own
+        :class:`~repro.sim.device.DeviceStats`.
+        """
+        reads = self.registry.counter("device.reads")
+        writes = self.registry.counter("device.writes")
+        bytes_read = self.registry.counter("device.bytes_read")
+        bytes_written = self.registry.counter("device.bytes_written")
+        tracer = self.tracer
+
+        def _listener(time: float, lba: int, nbytes: int,
+                      kind: str) -> None:
+            if kind == "W":
+                writes.inc()
+                bytes_written.inc(nbytes)
+            else:
+                reads.inc()
+                bytes_read.inc(nbytes)
+            tracer.emit("device.io", kind=kind, lba=lba, nbytes=nbytes)
+
+        trace.add_listener(_listener)
+
+    # ---------------------------------------------------------------- exports
+
+    def export_metrics(self) -> JSONDict:
+        return self.registry.export()
+
+    def export_metrics_json(self) -> str:
+        return self.registry.to_json()
+
+    def export_trace_jsonl(self) -> str:
+        return self.tracer.export_jsonl()
+
+
+def span_or_null(obs: Observability | None, name: str,
+                 **attrs: object) -> TraceSpan:
+    """A span on ``obs``'s tracer, or the shared no-op span.
+
+    The instrumentation idiom for rare, strictly nested operations::
+
+        with span_or_null(tree._obs, "mvpbt.evict", index=tree.name) as sp:
+            ...
+            sp.set(records_out=n)
+    """
+    if obs is None:
+        return NULL_SPAN
+    return obs.tracer.span(name, **attrs)

@@ -1,0 +1,225 @@
+"""Metrics registry: named counters, gauges and fixed-bucket histograms.
+
+Instruments live in one :class:`MetricsRegistry` per database instance and
+carry hierarchical dotted names (``mvpbt.evict.pages_written``,
+``txn.commit.latency_us``, ``buffer.pool.hit_rate``).  Hot paths request
+their instruments once at construction time and keep bound references, so
+recording is one attribute increment — no per-operation name lookup.
+
+When the registry is disabled every request returns a shared no-op stub
+(:data:`NULL_COUNTER` / :data:`NULL_GAUGE` / :data:`NULL_HISTOGRAM`), so
+instrumented code needs no second flag check.
+
+Exports are deterministic: the simulation is seeded and clocked by
+:class:`~repro.sim.clock.SimClock`, so two identical runs must produce
+byte-identical :meth:`MetricsRegistry.to_json` output — the property the
+golden-trace suite locks down.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+
+from ..errors import ObsError
+from ..types import JSONDict
+
+#: default buckets for microsecond latency histograms (1 us .. 100 ms).
+LATENCY_BUCKETS_US: tuple[float, ...] = (
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0,
+    1000.0, 2000.0, 5000.0, 10000.0, 20000.0, 50000.0, 100000.0)
+
+#: default buckets for per-operation cardinalities (rows, records, pages).
+COUNT_BUCKETS: tuple[float, ...] = (
+    0.0, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0,
+    1000.0, 2000.0, 5000.0, 10000.0)
+
+_NAME_CHARS = frozenset("abcdefghijklmnopqrstuvwxyz0123456789_")
+
+
+def _validate_name(name: str) -> None:
+    segments = name.split(".")
+    if not segments or not all(
+            seg and set(seg) <= _NAME_CHARS for seg in segments):
+        raise ObsError(
+            f"bad metric name {name!r}: use lowercase dotted segments "
+            f"([a-z0-9_], e.g. 'mvpbt.evict.pages_written')")
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A point-in-time float, overwritten on every :meth:`set`."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed-bucket histogram: ``counts[i]`` tallies observations with
+    ``value <= bounds[i]``; the final bucket is the overflow."""
+
+    __slots__ = ("name", "bounds", "counts", "count", "total")
+
+    def __init__(self, name: str, bounds: tuple[float, ...]) -> None:
+        if any(b >= c for b, c in zip(bounds, bounds[1:])):
+            raise ObsError(
+                f"histogram {name!r}: bounds must strictly increase")
+        self.name = name
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.counts[bisect_left(self.bounds, value)] += 1
+
+
+class NullCounter(Counter):
+    """Shared no-op counter returned by a disabled registry."""
+
+    __slots__ = ()
+
+    def inc(self, n: int = 1) -> None:
+        return None
+
+
+class NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        return None
+
+
+class NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        return None
+
+
+NULL_COUNTER = NullCounter("null")
+NULL_GAUGE = NullGauge("null")
+NULL_HISTOGRAM = NullHistogram("null", ())
+
+Instrument = Counter | Gauge | Histogram
+
+
+class MetricsRegistry:
+    """Name → instrument map with deterministic JSON export."""
+
+    __slots__ = ("enabled", "_instruments")
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._instruments: dict[str, Instrument] = {}
+
+    # -------------------------------------------------------------- creation
+
+    # reprolint: disable-next=R6 -- obs Counter, not collections.Counter
+    def counter(self, name: str) -> Counter:
+        if not self.enabled:
+            return NULL_COUNTER
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if not isinstance(existing, Counter):
+                raise ObsError(self._kind_clash(name, existing, "Counter"))
+            return existing
+        _validate_name(name)
+        inst = Counter(name)
+        self._instruments[name] = inst
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        if not self.enabled:
+            return NULL_GAUGE
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if not isinstance(existing, Gauge):
+                raise ObsError(self._kind_clash(name, existing, "Gauge"))
+            return existing
+        _validate_name(name)
+        inst = Gauge(name)
+        self._instruments[name] = inst
+        return inst
+
+    def histogram(self, name: str,
+                  bounds: tuple[float, ...] = LATENCY_BUCKETS_US
+                  ) -> Histogram:
+        if not self.enabled:
+            return NULL_HISTOGRAM
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if not isinstance(existing, Histogram):
+                raise ObsError(self._kind_clash(name, existing, "Histogram"))
+            if existing.bounds != bounds:
+                raise ObsError(
+                    f"histogram {name!r} re-requested with different bounds")
+            return existing
+        _validate_name(name)
+        inst = Histogram(name, bounds)
+        self._instruments[name] = inst
+        return inst
+
+    @staticmethod
+    def _kind_clash(name: str, existing: Instrument, wanted: str) -> str:
+        return (f"instrument {name!r} already registered as "
+                f"{type(existing).__name__}, not {wanted}")
+
+    # ------------------------------------------------------------ inspection
+
+    def get(self, name: str) -> Instrument | None:
+        """The registered instrument, or None if nothing recorded it yet."""
+        return self._instruments.get(name)
+
+    def counter_value(self, name: str) -> int:
+        """Value of a counter, 0 when it was never created."""
+        inst = self._instruments.get(name)
+        if inst is None:
+            return 0
+        if not isinstance(inst, Counter):
+            raise ObsError(f"instrument {name!r} is not a counter")
+        return inst.value
+
+    def export(self) -> JSONDict:
+        """JSON-shaped snapshot of every instrument, grouped by kind."""
+        counters: dict[str, int] = {}
+        gauges: dict[str, float] = {}
+        histograms: dict[str, JSONDict] = {}
+        for name, inst in self._instruments.items():
+            if isinstance(inst, Histogram):
+                histograms[name] = {
+                    "bounds": list(inst.bounds),
+                    "counts": list(inst.counts),
+                    "count": inst.count,
+                    "total": inst.total,
+                }
+            elif isinstance(inst, Counter):
+                counters[name] = inst.value
+            else:
+                gauges[name] = inst.value
+        return {"counters": counters, "gauges": gauges,
+                "histograms": histograms}
+
+    def to_json(self) -> str:
+        """Byte-stable export (sorted keys) for golden comparisons."""
+        return json.dumps(self.export(), sort_keys=True, indent=2) + "\n"

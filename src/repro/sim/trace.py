@@ -9,9 +9,12 @@ the simulated device: (simulated time, LBA, sectors, R/W).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator
+from typing import Callable, Iterable, Iterator
 
 SECTOR_BYTES = 512
+
+#: listener signature: (time, lba, nbytes, kind) per device request.
+TraceListener = Callable[[float, int, int, str], None]
 
 
 @dataclass(frozen=True)
@@ -38,6 +41,13 @@ class IOTrace:
     def __init__(self) -> None:
         self._entries: list[TraceEntry] = []
         self._enabled = False
+        self._listeners: list[TraceListener] = []
+
+    def add_listener(self, listener: TraceListener) -> None:
+        """Call ``listener(time, lba, nbytes, kind)`` for **every** device
+        request, independent of the capture flag (the observability layer
+        bridges device I/O into its event stream through this hook)."""
+        self._listeners.append(listener)
 
     def enable(self) -> None:
         self._enabled = True
@@ -50,6 +60,8 @@ class IOTrace:
         return self._enabled
 
     def record(self, time: float, lba: int, nbytes: int, kind: str) -> None:
+        for listener in self._listeners:
+            listener(time, lba, nbytes, kind)
         if not self._enabled:
             return
         sectors = max(1, nbytes // SECTOR_BYTES)

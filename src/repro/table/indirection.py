@@ -48,8 +48,11 @@ class IndirectionLayer:
         return self._map.get(vid)
 
     def remove(self, vid: int) -> None:
+        """Drop a garbage-collected VID; a map write like :meth:`set`,
+        charged the same CPU cost."""
         self._map.pop(vid, None)
         self.updates += 1
+        self._charge()
 
     def __contains__(self, vid: int) -> bool:
         return vid in self._map

@@ -8,6 +8,8 @@ transaction and may be purged.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from ..config import CostModel
 from ..errors import TransactionStateError
 from ..sim.clock import SimClock
@@ -16,12 +18,16 @@ from .snapshot import Snapshot
 from .status import CommitLog, TxnStatus
 from .transaction import Transaction, TxnState
 
+if TYPE_CHECKING:
+    from ..obs.core import Observability
+
 
 class TransactionManager:
     """Hands out monotonically increasing transaction ids and snapshots."""
 
     def __init__(self, clock: SimClock | None = None,
-                 cost: CostModel | None = None) -> None:
+                 cost: CostModel | None = None,
+                 obs: "Observability | None" = None) -> None:
         self.clock = clock
         self.cost = cost if cost is not None else CostModel()
         self.commit_log = CommitLog()
@@ -29,6 +35,17 @@ class TransactionManager:
         self._active: dict[int, Transaction] = {}
         self.committed_count = 0
         self.aborted_count = 0
+        self._obs = obs
+        if obs is not None:
+            from ..obs.registry import LATENCY_BUCKETS_US
+            registry = obs.registry
+            self._m_begins = registry.counter("txn.begin.count")
+            self._m_commits = registry.counter("txn.commit.count")
+            self._m_aborts = registry.counter("txn.abort.count")
+            self._m_commit_latency = registry.histogram(
+                "txn.commit.latency_us", LATENCY_BUCKETS_US)
+            #: clock reading at begin, for the commit-latency histogram
+            self._begin_at: dict[int, float] = {}
         #: durability hooks, run while the transaction is still ACTIVE and
         #: *before* the status flip — a crash inside a commit hook (WAL
         #: append) leaves the transaction uncommitted, which is exactly the
@@ -55,6 +72,11 @@ class TransactionManager:
         txn = Transaction(txid, snapshot, self)
         self._active[txid] = txn
         self._charge_overhead()
+        if self._obs is not None:
+            self._m_begins.inc()
+            if self.clock is not None:
+                self._begin_at[txid] = self.clock.now
+            self._obs.tracer.emit("txn.begin", txid=txid)
         return txn
 
     def commit(self, txn: Transaction) -> None:
@@ -66,6 +88,14 @@ class TransactionManager:
         self._finish(txn, TxnState.COMMITTED)
         self.commit_log.set_committed(txn.id)
         self.committed_count += 1
+        if self._obs is not None:
+            self._m_commits.inc()
+            started = self._begin_at.pop(txn.id, None)
+            elapsed = (self.clock.now - started
+                       if self.clock is not None and started is not None
+                       else 0.0)
+            self._m_commit_latency.observe(elapsed * 1e6)
+            self._obs.tracer.emit("txn.commit", txid=txn.id)
 
     def abort(self, txn: Transaction) -> None:
         if txn.state is not TxnState.ACTIVE:
@@ -76,6 +106,10 @@ class TransactionManager:
         self._finish(txn, TxnState.ABORTED)
         self.commit_log.set_aborted(txn.id)
         self.aborted_count += 1
+        if self._obs is not None:
+            self._m_aborts.inc()
+            self._begin_at.pop(txn.id, None)
+            self._obs.tracer.emit("txn.abort", txid=txn.id)
 
     def _finish(self, txn: Transaction, state: TxnState) -> None:
         if txn.state is not TxnState.ACTIVE:
@@ -98,6 +132,8 @@ class TransactionManager:
         self._next_txid = max(next_txid, 1)
         self.commit_log.restore(self._next_txid, committed)
         self.committed_count = len(committed)
+        if self._obs is not None:
+            self._begin_at.clear()
 
     # ------------------------------------------------------------ inspection
 

@@ -40,8 +40,9 @@ INDEX = "ix"
 TABLE = "t"
 
 
-def make_db(storage: str = "sias") -> Database:
+def make_db(storage: str = "sias", obs: bool = False) -> Database:
     """A durable database small enough to evict and merge constantly."""
+    from repro.obs import ObsConfig
     config = EngineConfig(
         durability=True,
         page_size=512,                   # small pages: real WAL page turnover
@@ -49,6 +50,7 @@ def make_db(storage: str = "sias") -> Database:
         partition_buffer_bytes=768,      # ~25 records per P_N
         buffer_pool_pages=64,
         manifest_slot_pages=6,
+        obs=ObsConfig(enabled=obs),
     )
     db = Database(config)
     db.create_table(TABLE, [("id", "int"), ("val", "str")], storage=storage)
@@ -135,13 +137,13 @@ class WorkloadRun(NamedTuple):
 
 def run_workload(plan: FaultPlan | None = None,
                  script: Script | None = None,
-                 storage: str = "sias") -> WorkloadRun:
+                 storage: str = "sias", obs: bool = False) -> WorkloadRun:
     """Run the scripted workload, optionally under a fault plan.
 
     Never lets a :class:`DeviceCrashError` escape: a crashed run is
     returned for recovery, a clean run for baseline measurements.
     """
-    db = make_db(storage)
+    db = make_db(storage, obs=obs)
     if plan is not None:
         db.device.set_fault_plan(plan)
     live: OracleState = {}
@@ -255,3 +257,19 @@ def clean_io_count(storage: str = "sias") -> int:
     run = run_workload(storage=storage)
     assert not run.crashed
     return run.db.device.io_count
+
+
+def dump_obs_artifacts(db: Database, out_base: str) -> list[str]:
+    """Write the crashed-or-recovered run's metrics/trace next to the
+    sweep output (``<base>.metrics.json`` / ``<base>.trace.jsonl``).
+
+    Host-side debugging aid — the engine itself never touches the real
+    filesystem (reprolint R4)."""
+    if db.obs is None:
+        return []
+    paths = [f"{out_base}.metrics.json", f"{out_base}.trace.jsonl"]
+    with open(paths[0], "w") as fh:
+        fh.write(db.obs.export_metrics_json())
+    with open(paths[1], "w") as fh:
+        fh.write(db.obs.export_trace_jsonl())
+    return paths

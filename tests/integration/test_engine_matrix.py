@@ -1,13 +1,18 @@
 """Integration: the paper's Figure 2/10 scenario on every engine combination.
 
 Every storage kind x index kind x reference mode must produce identical
-query answers; only the costs differ.
+query answers; only the costs differ.  Every combination runs with the
+observability layer enabled and ends with a registry-vs-engine invariant
+check (``check_invariants``), so the matrix doubles as an accounting
+cross-check: the obs counters must agree exactly with the engine's own
+statistics on every path the matrix exercises.
 """
 
 import pytest
 
 from repro.config import EngineConfig
 from repro.engine import Database
+from repro.obs import ObsConfig, check_invariants
 
 COMBINATIONS = [
     (storage, kind, ref)
@@ -17,10 +22,23 @@ COMBINATIONS = [
 ]
 
 
+def assert_metrics_consistent(db):
+    problems = check_invariants(db)
+    assert problems == []
+    cv = db.obs.registry.counter_value
+    device = db.device.stats
+    assert cv("device.bytes_read") == device.bytes_read
+    assert cv("device.bytes_written") == device.bytes_written
+    pool = db.pool.total_stats()
+    assert (cv("buffer.pool.hits") + cv("buffer.pool.misses")
+            == cv("buffer.pool.lookups") == pool.requests)
+
+
 @pytest.mark.parametrize("storage,kind,ref", COMBINATIONS)
 class TestFigure10Matrix:
     def _db(self, storage, kind, ref):
-        db = Database(EngineConfig(buffer_pool_pages=128))
+        db = Database(EngineConfig(buffer_pool_pages=128,
+                                   obs=ObsConfig(enabled=True)))
         db.create_table("r", [("a", "int"), ("z", "str")], storage=storage)
         db.create_index("idx_a", "r", ["a"], kind=kind, reference=ref)
         return db
@@ -51,6 +69,7 @@ class TestFigure10Matrix:
         fresh = db.begin()
         assert db.count_range(fresh, "idx_a", None, (10,)) == 0
         fresh.commit()
+        assert_metrics_consistent(db)
 
     def test_bulk_consistency_with_oracle(self, storage, kind, ref):
         db = self._db(storage, kind, ref)
@@ -82,3 +101,4 @@ class TestFigure10Matrix:
         all_rows = sorted(db.range_select(reader, "idx_a", None, None))
         assert all_rows == sorted((k, v) for k, v in oracle.items())
         reader.commit()
+        assert_metrics_consistent(db)

@@ -58,3 +58,19 @@ class TestIndirection:
         layer.resolve(1)
         layer.try_resolve(2)
         assert layer.resolutions == 2
+
+    def test_remove_charges_cpu_like_set(self):
+        clock = SimClock()
+        cost = CostModel()
+        layer = IndirectionLayer(clock, cost)
+        layer.set(1, RecordID(0, 0))
+        before = clock.now
+        layer.remove(1)
+        assert clock.now == pytest.approx(before + cost.indirection_lookup)
+        assert layer.updates == 2
+
+    def test_remove_unknown_vid_still_counts_as_update(self):
+        layer = IndirectionLayer()
+        layer.remove(99)  # vacuum may race an already-dropped chain
+        assert layer.updates == 1
+        assert len(layer) == 0

@@ -1,0 +1,339 @@
+"""Unit tests for the observability layer: metrics registry, tracer,
+query profiles, registry-engine invariants, disabled-mode behaviour."""
+
+import json
+
+import pytest
+
+from repro.config import EngineConfig
+from repro.engine.database import Database
+from repro.errors import ConfigError, ObsError
+from repro.obs import (COUNT_BUCKETS, LATENCY_BUCKETS_US, MetricsRegistry,
+                       ObsConfig, Observability, Tracer, check_invariants)
+from repro.obs.registry import (NULL_COUNTER, NULL_GAUGE, NULL_HISTOGRAM,
+                                Counter, Gauge, Histogram)
+from repro.obs.tracing import NULL_SPAN
+from repro.sim.clock import SimClock
+
+
+def obs_db(**overrides):
+    overrides.setdefault("buffer_pool_pages", 64)
+    overrides.setdefault("partition_buffer_bytes", 2048)
+    overrides.setdefault("obs", ObsConfig(enabled=True))
+    db = Database(EngineConfig(**overrides))
+    db.create_table("t", [("k", "int"), ("v", "int")], storage="sias")
+    db.create_index("ix", "t", ["k"], kind="mvpbt")
+    return db
+
+
+def load_rows(db, n=120, evict_every=None):
+    txn = db.begin()
+    for i in range(n):
+        db.insert(txn, "t", (i, i * 2))
+        if evict_every and (i + 1) % evict_every == 0:
+            txn.commit()
+            db.catalog.index("ix").mvpbt.evict_partition()
+            txn = db.begin()
+    txn.commit()
+
+
+# ------------------------------------------------------------------ registry
+
+
+class TestRegistry:
+    def test_counter_gauge_histogram_roundtrip(self):
+        reg = MetricsRegistry()
+        c = reg.counter("a.b.count")
+        c.inc()
+        c.inc(4)
+        assert reg.counter_value("a.b.count") == 5
+        g = reg.gauge("a.b.rate")
+        g.set(0.5)
+        h = reg.histogram("a.b.latency_us", LATENCY_BUCKETS_US)
+        h.observe(3.0)
+        h.observe(250.0)
+        exported = reg.export()
+        assert exported["counters"]["a.b.count"] == 5
+        assert exported["gauges"]["a.b.rate"] == 0.5
+        hist = exported["histograms"]["a.b.latency_us"]
+        assert hist["count"] == 2
+        assert hist["total"] == 253.0
+        assert sum(hist["counts"]) == 2
+
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x.y") is reg.counter("x.y")
+        assert reg.histogram("x.h", COUNT_BUCKETS) is reg.histogram(
+            "x.h", COUNT_BUCKETS)
+
+    def test_kind_clash_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x.y")
+        with pytest.raises(ObsError):
+            reg.gauge("x.y")
+        with pytest.raises(ObsError):
+            reg.histogram("x.y", COUNT_BUCKETS)
+
+    def test_histogram_bounds_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.histogram("x.h", (1.0, 2.0))
+        with pytest.raises(ObsError):
+            reg.histogram("x.h", (1.0, 3.0))
+
+    def test_bad_names_rejected(self):
+        reg = MetricsRegistry()
+        for bad in ("", "UpperCase", "a..b", "a.b-c", ".a", "a."):
+            with pytest.raises(ObsError):
+                reg.counter(bad)
+
+    def test_histogram_bucket_boundaries(self):
+        h = Histogram("h", (1.0, 10.0))
+        for value in (0.5, 1.0, 5.0, 10.0, 11.0):
+            h.observe(value)
+        # value <= bound lands in that bucket; beyond the last = overflow
+        assert h.counts == [2, 2, 1]
+
+    def test_histogram_nonincreasing_bounds_raise(self):
+        with pytest.raises(ObsError):
+            Histogram("h", (1.0, 1.0))
+
+    def test_disabled_registry_returns_null_stubs(self):
+        reg = MetricsRegistry(enabled=False)
+        assert reg.counter("a.b") is NULL_COUNTER
+        assert reg.gauge("a.b") is NULL_GAUGE
+        assert reg.histogram("a.b", COUNT_BUCKETS) is NULL_HISTOGRAM
+        NULL_COUNTER.inc(5)
+        NULL_GAUGE.set(1.0)
+        NULL_HISTOGRAM.observe(1.0)
+        assert NULL_COUNTER.value == 0
+        assert NULL_HISTOGRAM.count == 0
+        assert reg.export() == {"counters": {}, "gauges": {},
+                                "histograms": {}}
+
+    def test_null_stubs_are_instances_of_their_kind(self):
+        assert isinstance(NULL_COUNTER, Counter)
+        assert isinstance(NULL_GAUGE, Gauge)
+        assert isinstance(NULL_HISTOGRAM, Histogram)
+
+    def test_to_json_is_sorted_and_stable(self):
+        reg = MetricsRegistry()
+        reg.counter("z.last").inc()
+        reg.counter("a.first").inc(2)
+        text = reg.to_json()
+        assert text.index('"a.first"') < text.index('"z.last"')
+        assert json.loads(text)["counters"] == {"a.first": 2, "z.last": 1}
+
+
+# -------------------------------------------------------------------- tracer
+
+
+class TestTracer:
+    def make(self, capacity=16):
+        return Tracer(SimClock(), capacity=capacity)
+
+    def test_span_emits_begin_end_with_duration(self):
+        clock = SimClock()
+        tracer = Tracer(clock)
+        with tracer.span("op", index="ix") as span:
+            clock.advance(1.5)
+            span.set(rows=3)
+        begin, end = tracer.events()
+        assert begin["kind"] == "B" and begin["attrs"] == {"index": "ix"}
+        assert end["kind"] == "E" and end["attrs"] == {"rows": 3}
+        assert end["dur"] == pytest.approx(1.5)
+        assert begin["span"] == end["span"]
+
+    def test_nesting_depth(self):
+        tracer = self.make()
+        with tracer.span("outer"):
+            tracer.emit("point")
+            with tracer.span("inner"):
+                pass
+        depths = [(e["name"], e["kind"], e["depth"])
+                  for e in tracer.events()]
+        assert depths == [("outer", "B", 1), ("point", "P", 1),
+                          ("inner", "B", 2), ("inner", "E", 2),
+                          ("outer", "E", 1)]
+
+    def test_crossing_span_ends_raise(self):
+        tracer = self.make()
+        a = tracer.span("a")
+        b = tracer.span("b")
+        a.__enter__()
+        b.__enter__()
+        with pytest.raises(ObsError):
+            a.__exit__(None, None, None)
+
+    def test_error_exit_flags_end_event(self):
+        tracer = self.make()
+        with pytest.raises(ValueError):
+            with tracer.span("op"):
+                raise ValueError("boom")
+        end = tracer.events()[-1]
+        assert end["kind"] == "E" and end["attrs"] == {"error": True}
+        assert tracer.open_spans == 0
+
+    def test_ring_buffer_drops_oldest(self):
+        tracer = self.make(capacity=4)
+        for i in range(10):
+            tracer.emit("e", i=i)
+        events = tracer.events()
+        assert len(events) == 4
+        assert tracer.dropped == 6
+        assert [e["attrs"]["i"] for e in events] == [6, 7, 8, 9]
+
+    def test_disabled_tracer_is_inert(self):
+        tracer = Tracer(SimClock(), enabled=False)
+        assert tracer.span("op") is NULL_SPAN
+        with tracer.span("op") as span:
+            span.set(x=1)
+        tracer.emit("p")
+        assert tracer.events() == []
+
+    def test_export_jsonl_one_sorted_line_per_event(self):
+        tracer = self.make()
+        tracer.emit("b", z=1, a=2)
+        lines = tracer.export_jsonl().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["attrs"] == {"a": 2, "z": 1}
+        assert lines[0].index('"a"') < lines[0].index('"z"')
+
+    def test_clear_keeps_counters_running(self):
+        tracer = self.make()
+        tracer.emit("a")
+        tracer.clear()
+        tracer.emit("b")
+        assert [e["name"] for e in tracer.events()] == ["b"]
+        assert tracer.events()[0]["i"] == 1  # sequence not reset
+
+
+# -------------------------------------------------------------------- config
+
+
+class TestObsConfig:
+    def test_defaults_off(self):
+        config = EngineConfig()
+        assert config.obs.enabled is False
+        assert Database(config).obs is None
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ConfigError):
+            ObsConfig(trace_capacity=0)
+
+    def test_metrics_only_mode(self):
+        obs = Observability(ObsConfig(enabled=True, tracing=False),
+                            SimClock())
+        assert obs.tracer.span("x") is NULL_SPAN
+        obs.registry.counter("a.b").inc()
+        assert obs.registry.counter_value("a.b") == 1
+
+
+# ------------------------------------------------------------------ profiles
+
+
+class TestProfiles:
+    def test_lookup_profile(self):
+        db = obs_db()
+        load_rows(db, 60, evict_every=20)
+        txn = db.begin()
+        profile = db.explain_lookup(txn, "ix", (7,))
+        txn.commit()
+        assert profile["op"] == "lookup"
+        assert profile["rows"] == 1
+        assert profile["partitions"]["total"] == 4
+        skipped = (profile["partitions"]["skipped_bloom"]
+                   + profile["partitions"]["skipped_mints"]
+                   + profile["partitions"]["skipped_range"])
+        assert profile["partitions"]["consulted"] == 4 - skipped
+        # key 7 lives in exactly one partition: bloom must rule some out
+        assert skipped > 0
+        assert profile["visibility"]["visible"] >= 1
+
+    def test_scan_profile_covers_all_partitions(self):
+        db = obs_db()
+        load_rows(db, 60, evict_every=20)
+        txn = db.begin()
+        profile = db.explain_scan(txn, "ix", (0,), (60,))
+        txn.commit()
+        assert profile["op"] == "range_scan"
+        assert profile["rows"] == 60
+        assert profile["partitions"]["consulted"] == 4
+        assert profile["visibility"]["checked"] >= 60
+        assert profile["sim_seconds"] > 0
+        assert profile["buffer"]["pages_pinned"] > 0
+
+    def test_profile_emits_trace_event(self):
+        db = obs_db()
+        load_rows(db, 10)
+        txn = db.begin()
+        db.explain_lookup(txn, "ix", (1,))
+        txn.commit()
+        names = [e["name"] for e in db.obs.tracer.events()]
+        assert "query.profile" in names
+
+    def test_explain_requires_obs(self):
+        db = Database(EngineConfig())
+        db.create_table("t", [("k", "int")], storage="sias")
+        db.create_index("ix", "t", ["k"], kind="mvpbt")
+        txn = db.begin()
+        with pytest.raises(ConfigError):
+            db.explain_lookup(txn, "ix", (1,))
+        with pytest.raises(ConfigError):
+            db.metrics_snapshot()
+        txn.commit()
+
+
+# ---------------------------------------------------------------- invariants
+
+
+class TestInvariants:
+    def test_clean_workload_has_no_violations(self):
+        db = obs_db()
+        load_rows(db, 150, evict_every=40)
+        txn = db.begin()
+        db.range_select(txn, "ix", None, None)
+        db.select(txn, "ix", (3,))
+        txn.commit()
+        assert check_invariants(db) == []
+
+    def test_disabled_db_reports_why(self):
+        db = Database(EngineConfig())
+        problems = check_invariants(db)
+        assert problems and "disabled" in problems[0]
+
+    def test_tampering_is_detected(self):
+        db = obs_db()
+        load_rows(db, 20)
+        db.obs.registry.counter("txn.commit.count").inc(5)
+        assert any("txn.commit.count" in p for p in check_invariants(db))
+
+    def test_metrics_snapshot_syncs_gauges(self):
+        db = obs_db()
+        load_rows(db, 50, evict_every=20)
+        snap = db.metrics_snapshot()
+        assert snap["gauges"]["mvpbt.partitions"] == float(
+            db.catalog.index("ix").mvpbt.partition_count)
+        assert snap["gauges"]["sim.clock.seconds"] == db.clock.now
+        assert 0.0 <= snap["gauges"]["buffer.pool.hit_rate"] <= 1.0
+
+
+# ------------------------------------------------------------ device mirror
+
+
+class TestDeviceMirror:
+    def test_device_counters_match_device_stats(self):
+        db = obs_db()
+        load_rows(db, 100, evict_every=25)
+        stats = db.device.stats
+        cv = db.obs.registry.counter_value
+        assert cv("device.bytes_written") == stats.bytes_written
+        assert cv("device.bytes_read") == stats.bytes_read
+        assert cv("device.reads") == stats.seq_reads + stats.rand_reads
+        assert cv("device.writes") == stats.seq_writes + stats.rand_writes
+
+    def test_mirror_independent_of_iotrace_capture_flag(self):
+        db = obs_db()
+        assert not db.trace.enabled  # capture off, listener still fires
+        load_rows(db, 60, evict_every=20)
+        assert db.obs.registry.counter_value("device.writes") > 0
+        assert len(db.trace) == 0

@@ -1,0 +1,138 @@
+"""Golden-trace determinism suite.
+
+The simulation is fully deterministic (seeded RNGs, simulated clock), so
+identical workloads must produce **byte-identical** metrics and trace
+exports — including when one of the runs crosses a crash/recovery cycle.
+Any nondeterminism smuggled into the engine (wall-clock reads, iteration
+over unordered sets, id reuse) breaks these tests immediately.
+"""
+
+import pytest
+
+from repro.config import EngineConfig
+from repro.engine.database import Database
+from repro.obs import ObsConfig
+
+pytestmark = pytest.mark.obs
+
+
+def make_db(durability=False):
+    config = EngineConfig(
+        buffer_pool_pages=48,
+        partition_buffer_bytes=1024,
+        durability=durability,
+        page_size=512,
+        extent_pages=8,
+        manifest_slot_pages=6,
+        obs=ObsConfig(enabled=True),
+    )
+    db = Database(config)
+    db.create_table("t", [("k", "int"), ("v", "str")], storage="sias")
+    db.create_index("ix", "t", ["k"], kind="mvpbt",
+                    max_partitions=3, merge_fanout=2)
+    return db
+
+
+def run_workload(db, phase=0):
+    """Deterministic mixed workload: inserts, updates, deletes, aborts,
+    scans — enough volume to cross evictions and a tiered merge."""
+    base = phase * 100
+    txn = db.begin()
+    for i in range(40):
+        db.insert(txn, "t", (base + i, f"v{base + i}"))
+    txn.commit()
+
+    txn = db.begin()
+    for i in range(0, 20, 2):
+        db.update_by_key(txn, "ix", (base + i,), {"v": f"u{base + i}"})
+    db.delete_by_key(txn, "ix", (base + 7,))
+    txn.commit()
+
+    txn = db.begin()  # aborted work must also trace deterministically
+    db.insert(txn, "t", (base + 90, "junk"))
+    txn.abort()
+
+    txn = db.begin()
+    for i in range(40, 70):
+        db.insert(txn, "t", (base + i, f"w{base + i}"))
+    txn.commit()
+
+    txn = db.begin()
+    db.range_select(txn, "ix", (base,), (base + 70,))
+    db.select(txn, "ix", (base + 3,))
+    db.explain_scan(txn, "ix", (base,), (base + 70,))
+    txn.commit()
+
+
+def exports(db):
+    return db.metrics_snapshot(), db.obs.export_metrics_json(), \
+        db.obs.export_trace_jsonl()
+
+
+class TestGoldenIdentity:
+    def test_two_runs_are_byte_identical(self):
+        results = []
+        for _ in range(2):
+            db = make_db()
+            run_workload(db)
+            results.append(exports(db))
+        assert results[0][1] == results[1][1]  # metrics JSON
+        assert results[0][2] == results[1][2]  # trace JSONL
+
+    def test_trace_export_nonempty_and_line_structured(self):
+        db = make_db()
+        run_workload(db)
+        lines = db.obs.export_trace_jsonl().splitlines()
+        assert len(lines) > 20
+        names = {__import__("json").loads(line)["name"] for line in lines}
+        assert {"txn.begin", "txn.commit", "txn.abort", "mvpbt.evict",
+                "device.io", "query.profile"} <= names
+
+    def test_durable_runs_are_byte_identical(self):
+        results = []
+        for _ in range(2):
+            db = make_db(durability=True)
+            run_workload(db)
+            results.append(exports(db))
+        assert results[0][1] == results[1][1]
+        assert results[0][2] == results[1][2]
+
+    def test_identity_across_clean_recovery(self):
+        """Crash-free recover() mid-workload changes nothing the second,
+        uninterrupted run doesn't also record — the obs stream carries
+        across the restart, and its recovery.replay events are themselves
+        deterministic."""
+        results = []
+        for _ in range(2):
+            db = make_db(durability=True)
+            run_workload(db, phase=0)
+            db = Database.recover(db)
+            run_workload(db, phase=1)
+            results.append(exports(db))
+        assert results[0][1] == results[1][1]
+        assert results[0][2] == results[1][2]
+
+    def test_recovery_events_present(self):
+        db = make_db(durability=True)
+        run_workload(db)
+        db = Database.recover(db)
+        names = [e["name"] for e in db.obs.tracer.events()]
+        assert "recovery.replay" in names
+        assert db.obs.registry.counter_value("recovery.replays") == 1
+        assert db.obs.tracer.open_spans == 0
+
+    def test_recovered_run_differs_from_straight_run(self):
+        """Sanity guard on the golden methodology: the recovery cycle DOES
+        leave a mark (replay span, extra device reads), so byte-identity
+        across recovery is only achieved by recovered-vs-recovered."""
+        straight = make_db(durability=True)
+        run_workload(straight, phase=0)
+        run_workload(straight, phase=1)
+
+        recovered = make_db(durability=True)
+        run_workload(recovered, phase=0)
+        recovered = Database.recover(recovered)
+        run_workload(recovered, phase=1)
+
+        assert (straight.obs.export_trace_jsonl()
+                != recovered.obs.export_trace_jsonl())

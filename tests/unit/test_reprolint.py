@@ -25,7 +25,7 @@ from tools.reprolint.engine import parse_suppressions  # noqa: E402
 SRC_REPRO = REPO_ROOT / "src" / "repro"
 
 
-def lint(source, rule_ids=("R1", "R2", "R3", "R4", "R5", "R6"), *,
+def lint(source, rule_ids=("R1", "R2", "R3", "R4", "R5", "R6", "R7"), *,
          path="pkg/module.py", strict=False):
     """Lint one dedented snippet with a subset of rules."""
     rules = [rule_by_id(rid)() for rid in rule_ids]
@@ -395,6 +395,90 @@ class TestR6Typing:
         assert findings == []
 
 
+# -------------------------------------------------- R7 time discipline
+
+class TestR7TimeDiscipline:
+    def test_time_import_fires_even_unused(self):
+        findings = lint("""
+            import time
+
+            def noop() -> None:
+                return None
+            """, ["R7"])
+        assert len(fired(findings, "R7")) == 1
+        assert "SimClock" in findings[0].message
+
+    def test_datetime_from_import_fires(self):
+        findings = lint("""
+            from datetime import datetime
+
+            def label() -> str:
+                return "x"
+            """, ["R7"])
+        assert len(fired(findings, "R7")) == 1
+        assert "datetime" in findings[0].message
+
+    def test_dotted_submodule_import_fires(self):
+        findings = lint("import datetime.timezone\n", ["R7"])
+        assert len(fired(findings, "R7")) == 1
+
+    def test_dunder_import_dodge_fires(self):
+        findings = lint('x = __import__("time").time()\n', ["R7"])
+        assert len(fired(findings, "R7")) == 1
+        assert "dynamic import" in findings[0].message
+
+    def test_dunder_import_of_allowed_module_is_clean(self):
+        findings = lint('mod = __import__("json")\n', ["R7"])
+        assert findings == []
+
+    def test_private_tracer_construction_fires(self):
+        findings = lint("""
+            from repro.obs.tracing import Tracer
+
+            def make(clock):
+                return Tracer(clock)
+            """, ["R7"], path="src/repro/core/tree.py")
+        assert len(fired(findings, "R7")) == 1
+        assert "Observability facade" in findings[0].message
+
+    def test_relative_import_construction_fires(self):
+        # FileContext.imports cannot resolve relative imports, so the
+        # rule must catch the bare class name too
+        findings = lint("""
+            from ..obs.registry import MetricsRegistry
+
+            def make():
+                return MetricsRegistry()
+            """, ["R7"], path="src/repro/core/tree.py")
+        assert len(fired(findings, "R7")) == 1
+
+    def test_obs_package_may_construct_instruments(self):
+        findings = lint("""
+            from .tracing import Tracer
+
+            def make(clock):
+                return Tracer(clock)
+            """, ["R7"], path="src/repro/obs/core.py")
+        assert findings == []
+
+    def test_unrelated_class_sharing_name_is_clean(self):
+        findings = lint("""
+            from wiretap.trace import Tracer
+
+            def make():
+                return Tracer()
+            """, ["R7"], path="src/repro/core/tree.py")
+        assert findings == []
+
+    def test_using_the_facade_is_clean(self):
+        findings = lint("""
+            def record(obs) -> None:
+                obs.registry.counter("mvpbt.evict.count").inc()
+                obs.tracer.emit("mvpbt.gc.purge_leaf", removed=3)
+            """, ["R7"])
+        assert findings == []
+
+
 # ------------------------------------------------------ engine & suppressions
 
 class TestSuppressions:
@@ -478,7 +562,7 @@ class TestEngine:
 
     def test_all_rules_have_unique_ids(self):
         ids = [rule.id for rule in ALL_RULES]
-        assert len(ids) == len(set(ids)) == 6
+        assert len(ids) == len(set(ids)) == 7
 
 
 # ----------------------------------------------------------------- CLI gate
@@ -505,6 +589,8 @@ class TestCLI:
             "R4": "fh = open('x')\n",
             "R5": "raise ValueError('x')\n",
             "R6": "def f(x):\n    return x\n",
+            "R7": "from repro.obs.tracing import Tracer\n"
+                  "t = Tracer(None)\n",
         }
         for rule_id, source in bad.items():
             target = tmp_path / f"bad_{rule_id.lower()}.py"
@@ -517,7 +603,8 @@ class TestCLI:
     def test_json_output_shape(self, tmp_path, capsys):
         target = tmp_path / "bad.py"
         target.write_text("import time\nx = time.time()\n")
-        assert main([str(target), "--format", "json"]) == 1
+        assert main([str(target), "--format", "json",
+                     "--select", "R1"]) == 1
         payload = json.loads(capsys.readouterr().out)
         assert payload["summary"]["findings"] == 1
         record = payload["findings"][0]
@@ -543,7 +630,7 @@ class TestCLI:
     def test_list_rules(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("R1", "R2", "R3", "R4", "R5", "R6"):
+        for rule_id in ("R1", "R2", "R3", "R4", "R5", "R6", "R7"):
             assert rule_id in out
 
 

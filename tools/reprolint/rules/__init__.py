@@ -15,6 +15,7 @@ from .r3_immutability import ImmutabilityRule
 from .r4_storage import StorageBypassRule
 from .r5_errors import ErrorDisciplineRule
 from .r6_typing import TypingRule
+from .r7_time import TimeDisciplineRule
 
 ALL_RULES: tuple[type[Rule], ...] = (
     DeterminismRule,
@@ -23,6 +24,7 @@ ALL_RULES: tuple[type[Rule], ...] = (
     StorageBypassRule,
     ErrorDisciplineRule,
     TypingRule,
+    TimeDisciplineRule,
 )
 
 
@@ -36,4 +38,4 @@ def rule_by_id(token: str) -> type[Rule]:
 
 __all__ = ["ALL_RULES", "rule_by_id", "DeterminismRule",
            "RecordExhaustiveRule", "ImmutabilityRule", "StorageBypassRule",
-           "ErrorDisciplineRule", "TypingRule"]
+           "ErrorDisciplineRule", "TypingRule", "TimeDisciplineRule"]

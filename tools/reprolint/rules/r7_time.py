@@ -1,0 +1,112 @@
+"""R7 — time discipline: engine time flows through the observability
+layer's SimClock-backed API.
+
+R1 already bans *calling* wall-clock functions; R7 closes the remaining
+holes so that every duration or timestamp an engine module records is
+simulated time:
+
+* importing ``time`` or ``datetime`` at all (including from-imports) is
+  rejected in engine code — there is no legitimate engine use, and an
+  unused import is one refactor away from a nondeterministic call;
+* constructing :class:`repro.obs.tracing.Tracer` or
+  :class:`repro.obs.registry.MetricsRegistry` directly outside
+  ``repro/obs/`` is rejected — instruments must come from the database's
+  :class:`~repro.obs.core.Observability` facade, whose tracer is bound to
+  the shared :class:`~repro.sim.clock.SimClock`.  A privately built
+  tracer would stamp events with a *different* clock, and its metrics
+  would never appear in exports or invariant checks.
+
+The observability package itself and the simulation layer are the
+implementation of the sanctioned API, so ``repro/obs/`` and
+``repro/sim/`` are exempt from the construction ban (but not from the
+import ban — SimClock is a pure counter and needs no ``time``).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import FileContext, Finding, Rule
+
+#: module roots whose import alone is banned in engine code
+_BANNED_MODULES = ("time", "datetime")
+
+#: class names that only repro/obs/ may construct directly
+_OBS_CLASS_NAMES = frozenset({"Tracer", "MetricsRegistry"})
+
+
+class TimeDisciplineRule(Rule):
+    id = "R7"
+    name = "time-discipline"
+    description = ("engine code records time only through the obs layer's "
+                   "SimClock-backed API: no time/datetime imports, no "
+                   "Tracer/MetricsRegistry construction outside repro/obs/")
+    hint = ("use the Observability facade (db.obs) for spans and metrics, "
+            "or the shared SimClock for durations; host-side tooling needs "
+            "a justified '# reprolint: disable=R7 -- ...' pragma")
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in _BANNED_MODULES:
+                        findings.append(self.finding(
+                            ctx, node,
+                            f"import of {alias.name!r} in engine code — "
+                            f"record time through the SimClock-backed obs "
+                            f"API instead"))
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:
+                    continue  # relative import: stays project-internal
+                root = (node.module or "").split(".")[0]
+                if root in _BANNED_MODULES:
+                    findings.append(self.finding(
+                        ctx, node,
+                        f"from-import of {node.module!r} in engine code — "
+                        f"record time through the SimClock-backed obs API "
+                        f"instead"))
+            elif isinstance(node, ast.Call):
+                findings.extend(self._check_dynamic_import(ctx, node))
+                findings.extend(self._check_construction(ctx, node))
+        return findings
+
+    def _check_dynamic_import(self, ctx: FileContext,
+                              node: ast.Call) -> list[Finding]:
+        # __import__("time") dodges the static import ban above
+        if ctx.qualname(node.func) != "__import__" or not node.args:
+            return []
+        first = node.args[0]
+        if not isinstance(first, ast.Constant) or \
+                not isinstance(first.value, str):
+            return []
+        root = first.value.split(".")[0]
+        if root not in _BANNED_MODULES:
+            return []
+        return [self.finding(
+            ctx, node,
+            f"dynamic import of {first.value!r} in engine code — "
+            f"record time through the SimClock-backed obs API instead")]
+
+    def _check_construction(self, ctx: FileContext,
+                            node: ast.Call) -> list[Finding]:
+        if "repro/obs/" in ctx.posix_path or "repro/sim/" in ctx.posix_path:
+            return []
+        qual = ctx.qualname(node.func)
+        if qual is None:
+            return []
+        last = qual.rsplit(".", 1)[-1]
+        if last not in _OBS_CLASS_NAMES:
+            return []
+        # Flag the bare name (bound by a relative import, which
+        # FileContext.imports cannot resolve) and any absolute path into
+        # repro.obs; an unrelated class that merely shares the name would
+        # be qualified under some other package and is left alone.
+        if qual != last and not qual.startswith("repro.obs"):
+            return []
+        return [self.finding(
+            ctx, node,
+            f"direct {last}() construction outside repro/obs/ — "
+            f"instruments must come from the Observability facade so "
+            f"they share the simulated clock and appear in exports")]
