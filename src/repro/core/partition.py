@@ -17,7 +17,7 @@ from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
 from typing import Iterator
 
-from ..index.filters import BloomFilter, PrefixBloomFilter
+from ..index.filters import BloomFilter, PrefixBloomFilter, ZoneMap
 from ..index.runs import PersistedRun
 from ..storage.page import PAGE_HEADER_BYTES
 from ..txn.snapshot import Snapshot
@@ -199,6 +199,44 @@ class MemoryPartition:
                     return
                 yield leaf, record
 
+    def scan_slices(self, lo: Key | None, hi: Key | None, *,
+                    lo_incl: bool = True,
+                    hi_incl: bool = True) -> Iterator[tuple[MemLeaf, int, int]]:
+        """The same range as :meth:`scan`, as per-leaf ``(leaf, pos, end)``
+        slices instead of per-record yields.
+
+        The batch scan pipeline's view of ``P_N``: one bisect pair per leaf
+        replaces a per-record upper-bound comparison, and the caller merges
+        whole slices against persisted pages.  Borrows the leaf lists like
+        :meth:`scan` — consume before further inserts/GC.
+        """
+        if lo is None:
+            start, probe = 0, None
+        else:
+            probe = (lo,) if lo_incl else (lo, _AFTER_KEY)
+            start = max(0, bisect_right(self._fences, probe) - 1)
+        # (hi, inf) sorts after every record of key hi, a bare (hi,) before
+        # them all — the two exclusive upper probes of the §4.3 sort order
+        hi_probe = ((hi, _AFTER_KEY) if hi_incl else (hi,)) \
+            if hi is not None else None
+        for leaf_idx in range(start, len(self._leaves)):
+            leaf = self._leaves[leaf_idx]
+            skeys = leaf.sort_keys
+            if probe is not None:
+                pos = bisect_left(skeys, probe)
+                if pos == len(skeys):
+                    continue    # whole leaf below the range (start leaf is
+                                # chosen one early); keep probing
+                probe = None
+            else:
+                pos = 0
+            end = (len(skeys) if hi_probe is None
+                   else bisect_left(skeys, hi_probe))
+            if pos < end:
+                yield leaf, pos, end
+            if end < len(skeys):
+                return          # range ended inside this leaf
+
     def iter_records(self) -> Iterator[MVPBTRecord]:
         for leaf in self._leaves:
             yield from leaf.records
@@ -229,6 +267,9 @@ class PersistedPartition:
     prefix_bloom: PrefixBloomFilter | None
     min_ts: int
     max_ts: int
+    #: per-page pruning metadata (None on partitions built/restored before
+    #: zone maps existed — batch scans then treat every page as impure)
+    zone_map: ZoneMap | None = None
 
     @property
     def record_count(self) -> int:

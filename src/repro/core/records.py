@@ -143,6 +143,26 @@ def payload_bytes(payload: object) -> int:
     return 16
 
 
+def record_ts_bounds(record: MVPBTRecord) -> tuple[int, int]:
+    """Timestamp bounds ``(min_ts, max_ts)`` a record contributes to zone
+    metadata.
+
+    A REGULAR_SET record spans the timestamps of its reconciled entries —
+    its own ``ts`` is the newest of them, but a snapshot older than the
+    newest entry may still see an older one, so the set's full spread
+    counts toward the page's window.
+    """
+    lo = hi = record.ts
+    if record.rtype is RecordType.REGULAR_SET:
+        for entry in record.set_entries:
+            entry_ts = entry[2]
+            if entry_ts < lo:
+                lo = entry_ts
+            elif entry_ts > hi:
+                hi = entry_ts
+    return lo, hi
+
+
 def record_size(record: MVPBTRecord, mode: ReferenceMode) -> int:
     """Accounted on-page byte size of a record.
 

@@ -27,6 +27,7 @@ executor must resolve against the base table.
 from __future__ import annotations
 
 import heapq
+from bisect import bisect_left, bisect_right
 from itertools import islice
 from typing import (TYPE_CHECKING, Any, Iterator, NamedTuple, Sequence,
                     TypeAlias)
@@ -38,7 +39,9 @@ from ..index.filters import PrefixBloomFilter
 from ..storage.keycodec import encode_key
 from ..storage.pagefile import PageFile
 from ..storage.recordid import RecordID
+from ..table.visibility import all_visible_before
 from ..txn.manager import TransactionManager
+from ..txn.snapshot import Snapshot
 from ..txn.transaction import Transaction
 from ..types import JSONDict, Key
 from .gc import GCStats, purge_leaf
@@ -57,6 +60,18 @@ if TYPE_CHECKING:
 _MergeItem: TypeAlias = \
     "tuple[Key, int, int, int, MVPBTRecord, MemLeaf | None]"
 
+#: one batch-scan segment: ``(keys, records, pos, end, leaf, rows)`` — a
+#: contiguous already-sorted slice ``[pos, end)`` of one partition (a whole
+#: persisted leaf page or one ``P_N`` leaf).  ``keys`` aligns with
+#: ``records``; ``rows`` is non-None for a zone-pure persisted page whose
+#: every timestamp lies below the snapshot's committed-visible watermark —
+#: it holds the page's pre-materialised :class:`SearchHit` rows (cached on
+#: the :class:`RunPage` for its buffer residency), so visibility degrades
+#: to an anti-matter probe over ready-made rows, or a bare list slice
+_Batch: TypeAlias = (
+    "tuple[list[Key], list[MVPBTRecord], int, int, MemLeaf | None,"
+    " list[SearchHit] | None]")
+
 
 class SearchHit(NamedTuple):
     """One visible index entry returned by an index-only search/scan.
@@ -73,6 +88,20 @@ class SearchHit(NamedTuple):
     payload: object
 
 
+def _hit_rows(records: list[MVPBTRecord]) -> list[SearchHit]:
+    """Project a zone-pure page's record array into its SearchHit rows.
+
+    Cached on the :class:`RunPage` (see ``RunPage.rows``): built once per
+    page residency, reused by every fast-path scan over the page.  Only
+    pure pages are ever projected, so every record maps to exactly one
+    row.  ``_make`` is ``classmethod(tuple.__new__)`` — the whole build
+    stays in C apart from the attribute reads.
+    """
+    make = SearchHit._make
+    return [make((r.key, r.rid_new, r.vid, r.ts, r.payload))
+            for r in records]
+
+
 class MVPBTStats:
     """Operation counters of one MV-PBT."""
 
@@ -81,7 +110,9 @@ class MVPBTStats:
                  "partitions_skipped_bloom", "partitions_skipped_mints",
                  "partitions_skipped_range", "evictions", "unique_checks",
                  "unique_fast_negatives", "merges", "bulk_loads",
-                 "bytes_ingested", "bytes_written")
+                 "bytes_ingested", "bytes_written", "pages_batch_decoded",
+                 "pages_skipped_zonemap", "pages_skipped_mints",
+                 "zero_copy_bytes")
 
     def __init__(self) -> None:
         self.inserts = 0
@@ -106,6 +137,14 @@ class MVPBTStats:
         #: physical bytes written by partition builds (eviction + merge
         #: rewrites + bulk loads)
         self.bytes_written = 0
+        #: leaf pages fed whole to the batch scan pipeline
+        self.pages_batch_decoded = 0
+        #: leaf pages skipped by zone-map key bounds (fence keys)
+        self.pages_skipped_zonemap = 0
+        #: leaf pages skipped by zone-map min-timestamp gating
+        self.pages_skipped_mints = 0
+        #: accounted payload bytes served by reference (no per-record copy)
+        self.zero_copy_bytes = 0
 
     @property
     def write_amplification(self) -> float:
@@ -131,6 +170,7 @@ class MVPBT:
                  prefix_bloom_fpr: float = 0.10,
                  enable_gc: bool = True,
                  index_only_visibility: bool = True,
+                 batch_scan: bool = True,
                  reconcile: bool | None = None,
                  first_hit_only: bool = False,
                  max_partitions: int | None = None,
@@ -150,6 +190,10 @@ class MVPBT:
         self.prefix_bloom_fpr = prefix_bloom_fpr
         self.enable_gc = enable_gc
         self.index_only_visibility = index_only_visibility
+        #: page-at-a-time scan pipeline (batch decode + batch visibility +
+        #: zone-map pruning); False falls back to the per-record merge —
+        #: the equivalence oracle of the property tests
+        self.batch_scan = batch_scan
         #: trigger an on-line merge step when the persisted-partition count
         #: exceeds this (the paper's "system-transaction merge steps");
         #: None = off
@@ -181,6 +225,17 @@ class MVPBT:
             self._m_scans = registry.counter("mvpbt.scan.count")
             self._m_scan_hits = registry.histogram("mvpbt.scan.hits",
                                                    COUNT_BUCKETS)
+            self._m_pages_decoded = registry.counter(
+                "mvpbt.scan.pages_batch_decoded")
+            self._m_zero_copy = registry.counter(
+                "mvpbt.scan.zero_copy_bytes")
+            self._m_pages_zone = registry.counter(
+                "mvpbt.scan.pages_skipped_zone_map")
+            self._m_pages_mints = registry.counter(
+                "mvpbt.scan.pages_skipped_min_ts")
+            self._m_prune_bloom = registry.counter("mvpbt.prune.bloom")
+            self._m_prune_zone = registry.counter("mvpbt.prune.zone_map")
+            self._m_prune_mints = registry.counter("mvpbt.prune.min_ts")
         self._next_seq = 0
         self._mem = MemoryPartition(0, mode, file.page_size)
         self._persisted: list[PersistedPartition] = []
@@ -323,17 +378,24 @@ class MVPBT:
                 break
 
         if not (stop_early and hits):
+            obs = self._obs
             encoded = encode_key(key) if self.use_bloom else b""
             for part in reversed(self._persisted):
                 if not part.possibly_visible_to(txn.snapshot):
                     self.stats.partitions_skipped_mints += 1
+                    if obs is not None:
+                        self._m_prune_mints.inc()
                     continue
                 if not part.overlaps(key, key):
                     self.stats.partitions_skipped_range += 1
+                    if obs is not None:
+                        self._m_prune_zone.inc()
                     continue
                 if self.use_bloom and part.bloom is not None:
                     if not part.bloom.query(encoded):
                         self.stats.partitions_skipped_bloom += 1
+                        if obs is not None:
+                            self._m_prune_bloom.inc()
                         continue
                     matched = False
                     for record in part.search(key):
@@ -385,34 +447,16 @@ class MVPBT:
             return
 
         checker = self._checker(txn)
-        check = checker.check
         stats = self.stats
         hits_before = stats.hits_returned
-        visible = Visibility.VISIBLE
         try:
-            # inlined _classify: this loop touches every candidate record of
-            # the range and dominates scan wall-clock
-            for item in self._merged_records(txn, lo, hi, lo_incl, hi_incl):
-                # item = (key, -pno, -ts, -seq, record, leaf-or-None)
-                record = item[4]
-                if record.rtype is RecordType.REGULAR_SET:
-                    key = record.key
-                    payload = record.payload
-                    for vid, rid, ts, _seq in \
-                            checker.visible_set_entries(record):
-                        stats.hits_returned += 1
-                        yield SearchHit(key, rid, vid, ts, payload)
-                    continue
-                vis = check(record)
-                if vis is visible:
-                    stats.hits_returned += 1
-                    yield SearchHit(record.key, record.rid_new, record.vid,
-                                    record.ts, record.payload)
-                elif vis is Visibility.GARBAGE and item[5] is not None:
-                    if not record.is_gc:
-                        record.mark_gc()
-                        self.gc_stats.flagged += 1
-                    item[5].has_garbage = True
+            if self.batch_scan:
+                for chunk in self._scan_hit_batches(txn, checker, lo, hi,
+                                                    lo_incl, hi_incl):
+                    yield from chunk
+            else:
+                yield from self._scan_records(txn, checker, lo, hi,
+                                              lo_incl, hi_incl)
         finally:
             # runs on exhaustion *and* on early close (GeneratorExit)
             stats.records_checked += checker.records_processed
@@ -424,11 +468,32 @@ class MVPBT:
                    hi_incl: bool = True) -> list[SearchHit]:
         """Index-only range scan (Algorithm 2): visible entries, key order.
 
-        Thin wrapper draining :meth:`cursor`; the hits arrive already in
-        key order, so no collect-then-sort pass is needed.
+        On the batch pipeline the result list is assembled chunk-wise
+        (one C-level ``extend`` per emitted page slice) instead of pulling
+        hits one by one through the cursor generator; otherwise a thin
+        wrapper draining :meth:`cursor`.  The hits arrive already in key
+        order, so no collect-then-sort pass is needed.
         """
-        return list(self.cursor(txn, lo, hi, lo_incl=lo_incl,
-                                hi_incl=hi_incl))
+        if not (self.batch_scan and self.index_only_visibility):
+            return list(self.cursor(txn, lo, hi, lo_incl=lo_incl,
+                                    hi_incl=hi_incl))
+        self.stats.scans += 1
+        obs = self._obs
+        if obs is not None:
+            self._m_scans.inc()
+        checker = self._checker(txn)
+        stats = self.stats
+        hits_before = stats.hits_returned
+        hits: list[SearchHit] = []
+        try:
+            for chunk in self._scan_hit_batches(txn, checker, lo, hi,
+                                                lo_incl, hi_incl):
+                hits += chunk
+        finally:
+            stats.records_checked += checker.records_processed
+            if obs is not None:
+                self._m_scan_hits.observe(stats.hits_returned - hits_before)
+        return hits
 
     def scan_limit(self, txn: Transaction, lo: Key | None, limit: int,
                    hi: Key | None = None, *,
@@ -463,6 +528,7 @@ class MVPBT:
         """
         sources: list[Iterator[_MergeItem]] = []
         mem_pno = self._mem.number
+        obs = self._obs
 
         def mem_source(neg: int = -mem_pno) -> Iterator[_MergeItem]:
             for leaf, record in self._mem.scan(lo, hi, lo_incl=lo_incl,
@@ -474,9 +540,13 @@ class MVPBT:
         for part in self._persisted:
             if not part.possibly_visible_to(txn.snapshot):
                 self.stats.partitions_skipped_mints += 1
+                if obs is not None:
+                    self._m_prune_mints.inc()
                 continue
             if not part.overlaps(lo, hi):
                 self.stats.partitions_skipped_range += 1
+                if obs is not None:
+                    self._m_prune_zone.inc()
                 continue
             gate: PrefixBloomFilter | None = None
             if self.use_prefix_bloom and part.prefix_bloom is not None:
@@ -484,6 +554,8 @@ class MVPBT:
                 if prefix is not None:
                     if not part.prefix_bloom.query_prefix(prefix):
                         self.stats.partitions_skipped_bloom += 1
+                        if obs is not None:
+                            self._m_prune_bloom.inc()
                         continue
                     gate = part.prefix_bloom
 
@@ -507,6 +579,307 @@ class MVPBT:
         if len(sources) == 1:
             return sources[0]
         return heapq.merge(*sources)
+
+    # ------------------------------------------------- batch scan pipeline
+
+    def _scan_records(self, txn: Transaction, checker: VisibilityChecker,
+                      lo: Key | None, hi: Key | None, lo_incl: bool,
+                      hi_incl: bool) -> Iterator[SearchHit]:
+        """Per-record scan path (``batch_scan=False``): the k-way record
+        merge fed one record at a time through the visibility check — the
+        reference semantics the batch pipeline must reproduce exactly."""
+        stats = self.stats
+        check = checker.check
+        visible = Visibility.VISIBLE
+        # inlined _classify: this loop touches every candidate record of
+        # the range and dominates scan wall-clock
+        for item in self._merged_records(txn, lo, hi, lo_incl, hi_incl):
+            # item = (key, -pno, -ts, -seq, record, leaf-or-None)
+            record = item[4]
+            if record.rtype is RecordType.REGULAR_SET:
+                key = record.key
+                payload = record.payload
+                for vid, rid, ts, _seq in \
+                        checker.visible_set_entries(record):
+                    stats.hits_returned += 1
+                    yield SearchHit(key, rid, vid, ts, payload)
+                continue
+            vis = check(record)
+            if vis is visible:
+                stats.hits_returned += 1
+                yield SearchHit(record.key, record.rid_new, record.vid,
+                                record.ts, record.payload)
+            elif vis is Visibility.GARBAGE and item[5] is not None:
+                if not record.is_gc:
+                    record.mark_gc()
+                    self.gc_stats.flagged += 1
+                item[5].has_garbage = True
+
+    def _scan_hit_batches(self, txn: Transaction,
+                          checker: VisibilityChecker,
+                          lo: Key | None, hi: Key | None, lo_incl: bool,
+                          hi_incl: bool) -> Iterator[list[SearchHit]]:
+        """Page-at-a-time scan: merge whole sorted *segments* and emit hits
+        in chunks.
+
+        Sources yield :data:`_Batch` segments (persisted leaf pages, ``P_N``
+        leaf slices).  A three-entry heap of ``(head key, -pno)`` pairs
+        orders the segments; each step cuts the winning segment at the
+        runner-up's head key with one bisect and classifies the whole cut
+        slice in a tight loop — per merged record the per-record path's
+        heap traffic and generator resumptions collapse into ~one list
+        append.  Emission order is *identical* to the per-record merge:
+        within one key all records of a newer partition precede every older
+        partition's, so cutting at ``bisect_right`` for the higher-priority
+        segment (``bisect_left`` otherwise) preserves the §4.3 global order
+        the §4.4 anti-matter cascade requires.
+        """
+        stats = self.stats
+        obs = self._obs
+        snapshot = txn.snapshot
+        watermark = all_visible_before(snapshot, self.manager.commit_log)
+        gens: list[Iterator[_Batch]] = [
+            self._mem_batches(lo, hi, lo_incl, hi_incl)]
+        negs: list[int] = [-self._mem.number]
+        for part in self._persisted:
+            if not part.possibly_visible_to(snapshot):
+                stats.partitions_skipped_mints += 1
+                if obs is not None:
+                    self._m_prune_mints.inc()
+                continue
+            if not part.overlaps(lo, hi):
+                stats.partitions_skipped_range += 1
+                if obs is not None:
+                    self._m_prune_zone.inc()
+                continue
+            gate: PrefixBloomFilter | None = None
+            if self.use_prefix_bloom and part.prefix_bloom is not None:
+                prefix = part.prefix_bloom.applicable(lo, hi)
+                if prefix is not None:
+                    if not part.prefix_bloom.query_prefix(prefix):
+                        stats.partitions_skipped_bloom += 1
+                        if obs is not None:
+                            self._m_prune_bloom.inc()
+                        continue
+                    gate = part.prefix_bloom
+            gens.append(self._part_batches(part, lo, hi, lo_incl, hi_incl,
+                                           watermark, snapshot, gate))
+            negs.append(-part.number)
+
+        emit = self._emit_batch
+        current: dict[int, _Batch] = {}
+        heap: list[tuple[Key, int, int]] = []
+        for sid, gen in enumerate(gens):
+            first = next(gen, None)
+            if first is not None:
+                current[sid] = first
+                heap.append((first[0][first[2]], negs[sid], sid))
+        heapq.heapify(heap)
+
+        while heap:
+            if len(heap) == 1:
+                # lone survivor: drain it segment-wise, no more cutting
+                sid = heap[0][2]
+                gen = gens[sid]
+                batch: _Batch | None = current[sid]
+                while batch is not None:
+                    _keys, records, pos, end, leaf, rows = batch
+                    chunk = emit(checker, records, pos, end, leaf, rows)
+                    if chunk:
+                        stats.hits_returned += len(chunk)
+                        yield chunk
+                    batch = next(gen, None)
+                return
+            _head, neg, sid = heapq.heappop(heap)
+            keys, records, pos, end, leaf, rows = current[sid]
+            bound_key, bound_neg, _sid = heap[0]
+            # the popped head is the minimum, so at key == bound_key the
+            # smaller neg (newer partition) owns the whole key group
+            if neg < bound_neg:
+                cut = bisect_right(keys, bound_key, pos, end)
+            else:
+                cut = bisect_left(keys, bound_key, pos, end)
+            chunk = emit(checker, records, pos, cut, leaf, rows)
+            if chunk:
+                stats.hits_returned += len(chunk)
+                yield chunk
+            if cut < end:
+                current[sid] = (keys, records, cut, end, leaf, rows)
+                heapq.heappush(heap, (keys[cut], neg, sid))
+            else:
+                nxt = next(gens[sid], None)
+                if nxt is None:
+                    del current[sid]
+                else:
+                    current[sid] = nxt
+                    heapq.heappush(heap, (nxt[0][nxt[2]], neg, sid))
+
+    def _mem_batches(self, lo: Key | None, hi: Key | None, lo_incl: bool,
+                     hi_incl: bool) -> Iterator[_Batch]:
+        """``P_N`` as batch segments: one per leaf in range, never fast
+        (records are mutable and phase-1 GC flagging needs the leaf)."""
+        for leaf, pos, end in self._mem.scan_slices(lo, hi, lo_incl=lo_incl,
+                                                    hi_incl=hi_incl):
+            records = leaf.records[pos:end]
+            keys = [r.key for r in records]
+            yield (keys, records, 0, len(records), leaf, None)
+
+    def _part_batches(self, part: PersistedPartition, lo: Key | None,
+                      hi: Key | None, lo_incl: bool, hi_incl: bool,
+                      watermark: int, snapshot: Snapshot,
+                      gate: PrefixBloomFilter | None) -> Iterator[_Batch]:
+        """One persisted partition as batch segments: whole leaf pages,
+        zone-map gated.
+
+        Fence keys bound the page walk on both ends (key pruning) and the
+        zone map's per-page min-timestamp window drops pages no record of
+        which the snapshot can see — sound because an invisible record
+        never registers anti-matter (the visibility check rejects it
+        *before* registration), so skipping it wholesale changes nothing
+        downstream.  Pages marked pure whose ``max_ts`` lies below the
+        committed-visible watermark flow on as fast segments carrying the
+        page's cached :class:`SearchHit` rows.
+        """
+        stats = self.stats
+        obs = self._obs
+        run = part.run
+        zone = part.zone_map
+        fences = run.fence_keys
+        npages = run.page_count
+        xmax = snapshot.xmax
+        owner = snapshot.owner
+        if lo is not None:
+            if lo_incl:
+                start = max(0, bisect_left(fences, lo) - 1)
+            else:
+                start = max(0, bisect_right(fences, lo) - 1)
+        else:
+            start = 0
+        if start:
+            stats.pages_skipped_zonemap += start
+            if obs is not None:
+                self._m_pages_zone.inc(start)
+        matched = False
+        lo_probe = lo
+        for idx in range(start, npages):
+            fence = fences[idx]
+            if hi is not None and (fence > hi
+                                   or (not hi_incl and fence == hi)):
+                rest = npages - idx
+                stats.pages_skipped_zonemap += rest
+                if obs is not None:
+                    self._m_pages_zone.inc(rest)
+                break
+            if zone is not None and not zone.page_possibly_visible(
+                    idx, xmax, owner):
+                stats.pages_skipped_mints += 1
+                if obs is not None:
+                    self._m_pages_mints.inc()
+                continue
+            page = run.load_page(idx)
+            keys = page.keys
+            nkeys = len(keys)
+            stats.pages_batch_decoded += 1
+            nbytes = zone.page_bytes[idx] if zone is not None else 0
+            stats.zero_copy_bytes += nbytes
+            if obs is not None:
+                self._m_pages_decoded.inc()
+                if nbytes:
+                    self._m_zero_copy.inc(nbytes)
+            if lo_probe is not None:
+                pos = (bisect_left(keys, lo_probe) if lo_incl
+                       else bisect_right(keys, lo_probe))
+                if pos == nkeys:
+                    continue    # whole page below the range (duplicate-key
+                                # fence edge); keep probing the next page
+                lo_probe = None
+            else:
+                pos = 0
+            end = nkeys
+            done = False
+            if hi is not None:
+                last = keys[-1]
+                if last > hi or (not hi_incl and last == hi):
+                    end = (bisect_right(keys, hi) if hi_incl
+                           else bisect_left(keys, hi))
+                    done = True
+            if pos < end:
+                rows = None
+                if (zone is not None and zone.page_pure[idx] != 0
+                        and zone.page_max_ts[idx] < watermark):
+                    rows = page.rows(_hit_rows)
+                matched = True
+                yield (keys, page.records, pos, end, None, rows)
+            if done:
+                rest = npages - idx - 1
+                if rest:
+                    stats.pages_skipped_zonemap += rest
+                    if obs is not None:
+                        self._m_pages_zone.inc(rest)
+                break
+        # adaptivity feedback fires only when the source is drained; an
+        # abandoned cursor reports nothing (no false "miss")
+        if gate is not None:
+            gate.report_pass_outcome(matched)
+
+    def _emit_batch(self, checker: VisibilityChecker,
+                    records: list[MVPBTRecord], pos: int, end: int,
+                    leaf: MemLeaf | None,
+                    rows: list[SearchHit] | None) -> list[SearchHit]:
+        """Classify one contiguous segment slice; returns its visible hits.
+
+        Fast slices (``rows`` non-None) hold only committed-visible plain
+        REGULAR records (zone purity + the watermark precondition), so
+        batch visibility reduces to one anti-matter probe per ready-made
+        row — or, with an empty anti-matter map, to one list slice of the
+        page's cached rows: no per-record work at all.  The simulated
+        clock is charged the same per-record visibility cost in one
+        batched advance, and the processed-records accounting stays
+        identical to the per-record path.
+        """
+        n = end - pos
+        if n <= 0:
+            return []
+        hits: list[SearchHit] = []
+        if rows is not None:
+            if checker._clock is not None:
+                checker._clock.advance(checker._cost.visibility_step * n)
+            checker.records_processed += n
+            anti = checker._anti
+            if not anti:
+                return rows[pos:end]
+            logical = self.mode is ReferenceMode.LOGICAL
+            probe = anti.get
+            append = hits.append
+            for idx in range(pos, end):
+                r = records[idx]
+                a = probe(r.vid if logical else r.rid_new)
+                if a is None or (r.ts, r.seq) >= a:
+                    append(rows[idx])
+            return hits
+        check = checker.check
+        visible = Visibility.VISIBLE
+        garbage = Visibility.GARBAGE
+        for idx in range(pos, end):
+            record = records[idx]
+            if record.rtype is RecordType.REGULAR_SET:
+                key = record.key
+                payload = record.payload
+                for vid, rid, ts, _seq in \
+                        checker.visible_set_entries(record):
+                    hits.append(SearchHit(key, rid, vid, ts, payload))
+                continue
+            vis = check(record)
+            if vis is visible:
+                hits.append(SearchHit(record.key, record.rid_new,
+                                      record.vid, record.ts,
+                                      record.payload))
+            elif vis is garbage and leaf is not None:
+                if not record.is_gc:
+                    record.mark_gc()
+                    self.gc_stats.flagged += 1
+                leaf.has_garbage = True
+        return hits
 
     # ----------------------------------------------------- partition buffer
 
@@ -581,6 +954,8 @@ class MVPBT:
             "bloom_bytes": p.bloom.size_bytes if p.bloom else 0,
             "prefix_bloom_bytes": (p.prefix_bloom.size_bytes
                                    if p.prefix_bloom else 0),
+            "zone_map_bytes": (p.zone_map.size_bytes
+                               if p.zone_map is not None else 0),
         } for p in self._persisted]
         return {
             "name": self.name,
@@ -595,6 +970,13 @@ class MVPBT:
             "persisted_partitions": partitions,
             "evictions": self.stats.evictions,
             "merges": self.stats.merges,
+            "read_path": {
+                "batch_scan": self.batch_scan,
+                "pages_batch_decoded": self.stats.pages_batch_decoded,
+                "pages_skipped_zonemap": self.stats.pages_skipped_zonemap,
+                "pages_skipped_mints": self.stats.pages_skipped_mints,
+                "zero_copy_bytes": self.stats.zero_copy_bytes,
+            },
             "write_path": {
                 "bytes_ingested": self.stats.bytes_ingested,
                 "bytes_written": self.stats.bytes_written,
@@ -731,6 +1113,7 @@ class MVPBT:
 
     def _candidates_point(self, key: Key) -> list[SearchHit]:
         hits: list[SearchHit] = []
+        obs = self._obs
         for _leaf, record in self._mem.search(key):
             self._raw_hits(record, hits)
         encoded = encode_key(key) if self.use_bloom else b""
@@ -739,10 +1122,14 @@ class MVPBT:
             # path has no snapshot, so min-timestamp gating never applies
             if not part.overlaps(key, key):
                 self.stats.partitions_skipped_range += 1
+                if obs is not None:
+                    self._m_prune_zone.inc()
                 continue
             if self.use_bloom and part.bloom is not None:
                 if not part.bloom.query(encoded):
                     self.stats.partitions_skipped_bloom += 1
+                    if obs is not None:
+                        self._m_prune_bloom.inc()
                     continue
                 matched = False
                 for record in part.search(key):
@@ -764,6 +1151,8 @@ class MVPBT:
         for part in reversed(self._persisted):
             if not part.overlaps(lo, hi):
                 self.stats.partitions_skipped_range += 1
+                if self._obs is not None:
+                    self._m_prune_zone.inc()
                 continue
             for record in part.scan(lo, hi, lo_incl=lo_incl, hi_incl=hi_incl):
                 self._raw_hits(record, hits)

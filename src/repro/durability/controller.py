@@ -55,7 +55,9 @@ def partition_meta(partition: "PersistedPartition") -> PartitionMeta:
         bloom_state=(partition.bloom.to_state()
                      if partition.bloom is not None else None),
         prefix_state=(partition.prefix_bloom.to_state()
-                      if partition.prefix_bloom is not None else None))
+                      if partition.prefix_bloom is not None else None),
+        zone_state=(partition.zone_map.to_state()
+                    if partition.zone_map is not None else None))
 
 
 class DurabilityController:

@@ -27,7 +27,7 @@ import struct
 import zlib
 from dataclasses import dataclass, field
 
-from ..errors import RecoveryError, StorageError
+from ..errors import KeyCodecError, RecoveryError, StorageError
 from ..storage.keycodec import decode_key, encode_key
 from ..storage.pagefile import PageFile
 from ..types import Key
@@ -56,6 +56,9 @@ class PartitionMeta:
     max_key: Key | None
     bloom_state: tuple[int, int, int, bytes] | None = None
     prefix_state: tuple[int, tuple[int, int, int, bytes]] | None = None
+    #: per-page zone map (min ts, max ts, purity, bytes) — None on
+    #: manifests written before zone maps existed
+    zone_state: tuple[list[int], list[int], bytes, list[int]] | None = None
 
 
 @dataclass
@@ -128,6 +131,48 @@ def _unpack_bloom(data: bytes, pos: int
     return (nbits, nhashes, items, bytes(data[pos:pos + blen])), pos + blen
 
 
+def _pack_zone(state: tuple[list[int], list[int], bytes, list[int]] | None
+               ) -> bytes:
+    if state is None:
+        return _U8.pack(0)
+    min_ts, max_ts, pure, nbytes = state
+    out = bytearray(_U8.pack(1))
+    out += _U32.pack(len(min_ts))
+    for lo, hi in zip(min_ts, max_ts):
+        out += _U64.pack(lo)
+        out += _U64.pack(hi)
+    out += bytes(pure)
+    for used in nbytes:
+        out += _U32.pack(used)
+    return bytes(out)
+
+
+def _unpack_zone(data: bytes, pos: int
+                 ) -> tuple[tuple[list[int], list[int], bytes,
+                                  list[int]] | None, int]:
+    present = data[pos]
+    pos += 1
+    if not present:
+        return None, pos
+    (count,) = _U32.unpack_from(data, pos)
+    pos += 4
+    min_ts: list[int] = []
+    max_ts: list[int] = []
+    for _ in range(count):
+        (lo,) = _U64.unpack_from(data, pos)
+        (hi,) = _U64.unpack_from(data, pos + 8)
+        min_ts.append(lo)
+        max_ts.append(hi)
+        pos += 16
+    pure = bytes(data[pos:pos + count])
+    if len(pure) != count:
+        raise StorageError("truncated zone-map purity bytes")
+    pos += count
+    nbytes = [_U32.unpack_from(data, pos + 4 * i)[0] for i in range(count)]
+    pos += 4 * count
+    return (min_ts, max_ts, pure, nbytes), pos
+
+
 def encode_state(state: ManifestState) -> bytes:
     out = bytearray(MAGIC)
     out += _U64.pack(state.txid_watermark)
@@ -165,6 +210,7 @@ def encode_state(state: ManifestState) -> bytes:
                 prefix_columns, bloom_state = part.prefix_state
                 out += _U8.pack(prefix_columns)
                 out += _pack_bloom(bloom_state)
+            out += _pack_zone(part.zone_state)
     return bytes(out)
 
 
@@ -227,13 +273,15 @@ def decode_state(data: bytes) -> ManifestState:
                     prefix_bloom, pos = _unpack_bloom(data, pos)
                     if prefix_bloom is not None:
                         prefix_state = (prefix_columns, prefix_bloom)
+                zone_state, pos = _unpack_zone(data, pos)
                 ix.partitions.append(PartitionMeta(
                     number, record_count, size_bytes, min_ts, max_ts,
                     page_nos, fences, min_key, max_key,
-                    bloom_state, prefix_state))
+                    bloom_state, prefix_state, zone_state))
             state.indexes[name] = ix
         return state
-    except (struct.error, IndexError, ValueError, StorageError) as exc:
+    except (struct.error, IndexError, ValueError, StorageError,
+            KeyCodecError) as exc:
         raise RecoveryError(f"undecodable manifest body: {exc}") from exc
 
 

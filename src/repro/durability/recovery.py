@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, NamedTuple
 
 from ..core.records import MVPBTRecord
-from ..index.filters import BloomFilter, PrefixBloomFilter
+from ..index.filters import BloomFilter, PrefixBloomFilter, ZoneMap
 from ..index.runs import PersistedRun
 from ..storage.pagefile import PageFile
 from .manifest import ManifestState, ManifestStore, PartitionMeta
@@ -101,4 +101,6 @@ def restore_partition(meta: PartitionMeta, file: PageFile,
         number=meta.number, run=run,
         bloom=restore_bloom(meta.bloom_state),
         prefix_bloom=restore_prefix_bloom(meta.prefix_state),
-        min_ts=meta.min_ts, max_ts=meta.max_ts)
+        min_ts=meta.min_ts, max_ts=meta.max_ts,
+        zone_map=(ZoneMap.from_state(*meta.zone_state)
+                  if meta.zone_state is not None else None))

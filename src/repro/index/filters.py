@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import math
 import zlib
+from array import array
 from dataclasses import dataclass
 
 from ..errors import ConfigError
@@ -236,3 +237,103 @@ class PrefixBloomFilter:
         obj.prefix_columns = prefix_columns
         obj._bloom = BloomFilter.from_state(*bloom_state)
         return obj
+
+
+class ZoneMap:
+    """Per-page pruning metadata of one persisted partition.
+
+    The range-scan counterpart of the bloom filters above: where blooms gate
+    *point* probes by key membership, the zone map gates *range* scans by
+    page-level min/max **timestamp** bounds (fence keys already order the
+    pages by key; the run keeps those).  For every page it records
+
+    * ``min_ts`` / ``max_ts`` — timestamp bounds over the page's records
+      (REGULAR_SET-aware: the spread of a set record's entries counts),
+    * ``pure``  — 1 iff every record is plain visible matter (REGULAR,
+      no flags); only pure pages are eligible for batch visibility,
+    * ``nbytes`` — encoded payload bytes (zero-copy accounting).
+
+    Deliberately dumb data over ``array`` columns with an int-only API: this
+    module must not import :mod:`repro.core.records` (the package init pulls
+    the tree, which pulls this module back).
+    """
+
+    __slots__ = ("page_min_ts", "page_max_ts", "page_pure", "page_bytes")
+
+    def __init__(self, page_min_ts: "array[int]", page_max_ts: "array[int]",
+                 page_pure: bytearray, page_bytes: "array[int]") -> None:
+        if not (len(page_min_ts) == len(page_max_ts) == len(page_pure)
+                == len(page_bytes)):
+            raise ConfigError(
+                f"zone map column lengths disagree: "
+                f"{len(page_min_ts)}/{len(page_max_ts)}/"
+                f"{len(page_pure)}/{len(page_bytes)}")
+        self.page_min_ts = page_min_ts
+        self.page_max_ts = page_max_ts
+        self.page_pure = page_pure
+        self.page_bytes = page_bytes
+
+    def __len__(self) -> int:
+        return len(self.page_min_ts)
+
+    def page_possibly_visible(self, idx: int, xmax: int, owner: int) -> bool:
+        """May page ``idx`` hold a record some snapshot-``xmax`` scan sees?
+
+        Mirrors ``PersistedPartition.possibly_visible_to`` at page grain:
+        a page whose every timestamp is at/after the snapshot's exclusive
+        horizon contributes nothing — *unless* the owner itself wrote into
+        the page's window (own writes are always visible).
+        """
+        min_ts = self.page_min_ts[idx]
+        return min_ts < xmax or min_ts <= owner <= self.page_max_ts[idx]
+
+    @property
+    def size_bytes(self) -> int:
+        return (self.page_min_ts.itemsize * len(self.page_min_ts)
+                + self.page_max_ts.itemsize * len(self.page_max_ts)
+                + len(self.page_pure)
+                + self.page_bytes.itemsize * len(self.page_bytes))
+
+    # --------------------------------------------------------- serialisation
+
+    def to_state(self) -> tuple[list[int], list[int], bytes, list[int]]:
+        """Durable state: ``(min_ts, max_ts, purity bytes, page bytes)``."""
+        return (list(self.page_min_ts), list(self.page_max_ts),
+                bytes(self.page_pure), list(self.page_bytes))
+
+    @classmethod
+    def from_state(cls, min_ts: list[int], max_ts: list[int],
+                   pure: bytes, nbytes: list[int]) -> "ZoneMap":
+        return cls(array("q", min_ts), array("q", max_ts),
+                   bytearray(pure), array("Q", nbytes))
+
+    def __repr__(self) -> str:
+        return (f"ZoneMap(pages={len(self)}, "
+                f"pure={sum(self.page_pure)}, bytes={self.size_bytes})")
+
+
+class ZoneMapBuilder:
+    """Streaming :class:`ZoneMap` accumulator (one ``add_page`` per seal).
+
+    Fed by the run packer's page hook while records stream past, exactly
+    like the digest replay of the bloom builders — no second pass over the
+    partition's records.
+    """
+
+    __slots__ = ("_min_ts", "_max_ts", "_pure", "_bytes")
+
+    def __init__(self) -> None:
+        self._min_ts = array("q")
+        self._max_ts = array("q")
+        self._pure = bytearray()
+        self._bytes = array("Q")
+
+    def add_page(self, min_ts: int, max_ts: int, pure: bool,
+                 nbytes: int) -> None:
+        self._min_ts.append(min_ts)
+        self._max_ts.append(max_ts)
+        self._pure.append(1 if pure else 0)
+        self._bytes.append(nbytes)
+
+    def build(self) -> ZoneMap:
+        return ZoneMap(self._min_ts, self._max_ts, self._pure, self._bytes)

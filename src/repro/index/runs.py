@@ -21,7 +21,7 @@ paper's observation that the higher levels of the tree structure are
 from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
-from typing import Callable, Generic, Iterable, Iterator, TypeVar
+from typing import Any, Callable, Generic, Iterable, Iterator, TypeVar
 
 from ..buffer.pool import BufferPool
 from ..errors import StorageError
@@ -39,11 +39,27 @@ class RunPage(Generic[R]):
     search without re-deriving keys on every access.
     """
 
-    __slots__ = ("keys", "records")
+    __slots__ = ("keys", "records", "_rows")
 
     def __init__(self, keys: list[Key], records: list[R]) -> None:
         self.keys = keys
         self.records = records
+        self._rows: list[Any] | None = None
+
+    def rows(self, make: Callable[[list[R]], list[Any]]) -> list[Any]:
+        """Derived row cache, built once per page residency.
+
+        The caller's ``make`` projects the (immutable) record array into
+        whatever row representation its scan emits; the result is memoised
+        for the lifetime of the buffered page, so repeated scans serve the
+        projection by slicing instead of rebuilding it per record.  The
+        page's immutability contract makes the cache sound: records never
+        change after publication, so neither does the projection.
+        """
+        rows = self._rows
+        if rows is None:
+            rows = self._rows = make(self.records)
+        return rows
 
 
 class PersistedRun(Generic[R]):
@@ -59,7 +75,9 @@ class PersistedRun(Generic[R]):
                  records: Iterable[R], *,
                  key_of: Callable[[R], Key],
                  size_of: Callable[[R], int],
-                 fill_factor: float = 1.0) -> None:
+                 fill_factor: float = 1.0,
+                 page_hook: Callable[[list[Key], list[R], int], None]
+                 | None = None) -> None:
         if not 0.0 < fill_factor <= 1.0:
             raise StorageError(f"bad fill factor: {fill_factor}")
         self.file = file
@@ -84,6 +102,8 @@ class PersistedRun(Generic[R]):
             if cur_records and used + nbytes > capacity:
                 pending.append(RunPage(cur_keys, cur_records))
                 self._fences.append(cur_keys[0])
+                if page_hook is not None:
+                    page_hook(cur_keys, cur_records, used)
                 if len(pending) >= extent_pages:
                     self.page_nos += file.append_extents(pending)
                     pending = []
@@ -100,6 +120,8 @@ class PersistedRun(Generic[R]):
         if cur_records:
             pending.append(RunPage(cur_keys, cur_records))
             self._fences.append(cur_keys[0])
+            if page_hook is not None:
+                page_hook(cur_keys, cur_records, used)
         if pending:
             self.page_nos += file.append_extents(pending)
 
@@ -250,6 +272,15 @@ class PersistedRun(Generic[R]):
             self.file.free_page(page_no)
         self.page_nos = []
         self._fences = []
+
+    @property
+    def fence_keys(self) -> list[Key]:
+        """First key of each leaf page (read-only view for pruning)."""
+        return self._fences
+
+    def load_page(self, page_idx: int) -> RunPage[R]:
+        """Leaf ``page_idx`` through the buffer pool (batch scan path)."""
+        return self._load(page_idx)
 
     # -------------------------------------------------------------- internal
 

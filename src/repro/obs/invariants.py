@@ -92,6 +92,35 @@ def check_invariants(db: "Database") -> list[str]:
         expect("mvpbt.gc.purged_page_level",
                cv("mvpbt.gc.purged_page_level"),
                sum(t.gc_stats.purged_page_level for t in trees))
+        expect("mvpbt.scan.pages_batch_decoded",
+               cv("mvpbt.scan.pages_batch_decoded"),
+               sum(t.stats.pages_batch_decoded for t in trees))
+        expect("mvpbt.scan.zero_copy_bytes",
+               cv("mvpbt.scan.zero_copy_bytes"),
+               sum(t.stats.zero_copy_bytes for t in trees))
+        expect("mvpbt.scan.pages_skipped_zone_map",
+               cv("mvpbt.scan.pages_skipped_zone_map"),
+               sum(t.stats.pages_skipped_zonemap for t in trees))
+        expect("mvpbt.scan.pages_skipped_min_ts",
+               cv("mvpbt.scan.pages_skipped_min_ts"),
+               sum(t.stats.pages_skipped_mints for t in trees))
+        # every partition-prune decision carries exactly one reason, so
+        # the per-reason counters must reproduce the engine's skip stats
+        # and their sum must equal the total partitions skipped
+        prune_bloom = cv("mvpbt.prune.bloom")
+        prune_zone = cv("mvpbt.prune.zone_map")
+        prune_mints = cv("mvpbt.prune.min_ts")
+        expect("mvpbt.prune.bloom", prune_bloom,
+               sum(t.stats.partitions_skipped_bloom for t in trees))
+        expect("mvpbt.prune.zone_map", prune_zone,
+               sum(t.stats.partitions_skipped_range for t in trees))
+        expect("mvpbt.prune.min_ts", prune_mints,
+               sum(t.stats.partitions_skipped_mints for t in trees))
+        expect("mvpbt.prune.* sum (== partitions skipped)",
+               prune_bloom + prune_zone + prune_mints,
+               sum(t.stats.partitions_skipped_bloom
+                   + t.stats.partitions_skipped_range
+                   + t.stats.partitions_skipped_mints for t in trees))
         scan_hits = reg.get("mvpbt.scan.hits")
         if isinstance(scan_hits, Histogram):
             expect("mvpbt.scan.hits.count (== scan counter)",

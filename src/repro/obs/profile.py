@@ -40,6 +40,10 @@ def _tree_snapshot(tree: "MVPBT") -> dict[str, int]:
         "skipped_bloom": stats.partitions_skipped_bloom,
         "skipped_mints": stats.partitions_skipped_mints,
         "skipped_range": stats.partitions_skipped_range,
+        "pages_batch_decoded": stats.pages_batch_decoded,
+        "pages_skipped_zonemap": stats.pages_skipped_zonemap,
+        "pages_skipped_mints": stats.pages_skipped_mints,
+        "zero_copy_bytes": stats.zero_copy_bytes,
         "flagged": tree.gc_stats.flagged,
     }
 
@@ -112,12 +116,24 @@ def profile_query(db: "Database", txn: "Transaction", index_name: str, *,
             "skipped_bloom": delta["skipped_bloom"],
             "skipped_mints": delta["skipped_mints"],
             "skipped_range": delta["skipped_range"],
+            "prune_reasons": {
+                "bloom": delta["skipped_bloom"],
+                "zone-map": delta["skipped_range"],
+                "min-ts": delta["skipped_mints"],
+            },
         }
         profile["visibility"] = {
             "checked": delta["records_checked"],
             "visible": visible,
             "invisible": invisible,
             "garbage_flagged": flagged,
+        }
+        profile["scan_pipeline"] = {
+            "batch_scan": tree.batch_scan,
+            "pages_batch_decoded": delta["pages_batch_decoded"],
+            "pages_skipped_zonemap": delta["pages_skipped_zonemap"],
+            "pages_skipped_mints": delta["pages_skipped_mints"],
+            "zero_copy_bytes": delta["zero_copy_bytes"],
         }
 
     if db.obs is not None:

@@ -136,3 +136,28 @@ class TestGoldenIdentity:
 
         assert (straight.obs.export_trace_jsonl()
                 != recovered.obs.export_trace_jsonl())
+
+
+class TestBatchScanInstruments:
+    def test_scan_pipeline_counters_exported_and_deterministic(self):
+        """The batched-scan instruments (page decodes, zero-copy bytes,
+        per-reason prune counters) are part of the golden metrics stream:
+        present after a scanning workload and byte-identical across runs
+        and across a recovery cycle."""
+        snapshots = []
+        for _ in range(2):
+            db = make_db(durability=True)
+            run_workload(db, phase=0)
+            db = Database.recover(db)
+            run_workload(db, phase=1)
+            snap = db.metrics_snapshot()
+            snapshots.append(snap)
+        counters = snapshots[0]["counters"]
+        assert counters["mvpbt.scan.pages_batch_decoded"] > 0
+        assert counters["mvpbt.scan.zero_copy_bytes"] > 0
+        for name in ("mvpbt.prune.bloom", "mvpbt.prune.zone_map",
+                     "mvpbt.prune.min_ts",
+                     "mvpbt.scan.pages_skipped_zone_map",
+                     "mvpbt.scan.pages_skipped_min_ts"):
+            assert name in counters, name
+        assert snapshots[0] == snapshots[1]

@@ -238,6 +238,42 @@ class TestR3Immutability:
         assert lint(source, ["R3"], path="src/repro/index/runs.py") == []
         assert len(lint(source, ["R3"], path="src/repro/core/tree.py")) == 1
 
+    def test_decoded_batch_mutation_fires(self):
+        findings = lint("""
+            def tamper(blob):
+                batch = decode_leaf_batch(blob)
+                batch.ts[0] = 0
+                batch.rtypes = b""
+            """, ["R3"])
+        assert len(fired(findings, "R3")) == 2
+
+    def test_loaded_page_mutation_fires(self):
+        findings = lint("""
+            def tamper(run, idx):
+                page = run.load_page(idx)
+                page.records.append(None)
+            """, ["R3"])
+        assert len(fired(findings, "R3")) == 1
+
+    def test_batch_read_access_is_clean(self):
+        findings = lint("""
+            def read(blob):
+                batch = decode_leaf_batch(blob)
+                return batch.keys(), batch.payload_view(0)
+            """, ["R3"])
+        assert findings == []
+
+    def test_serialization_module_is_exempt(self):
+        source = """
+            def build(records):
+                batch = decode_leaf_batch(encode_leaf_batch(records))
+                batch.count = 0
+            """
+        assert lint(source, ["R3"],
+                    path="src/repro/core/serialization.py") == []
+        assert len(lint(source, ["R3"],
+                        path="src/repro/core/tree.py")) == 1
+
 
 # -------------------------------------------------------- R4 storage bypass
 

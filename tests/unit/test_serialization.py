@@ -3,8 +3,9 @@
 import pytest
 
 from repro.core.records import MVPBTRecord, RecordType
-from repro.core.serialization import (decode_leaf, decode_record,
-                                      encode_leaf, encode_record)
+from repro.core.serialization import (decode_leaf, decode_leaf_batch,
+                                      decode_record, encode_leaf,
+                                      encode_leaf_batch, encode_record)
 from repro.errors import StorageError
 from repro.storage.recordid import RecordID
 
@@ -133,3 +134,93 @@ class TestLeafRoundtrip:
         wire = len(encode_record(r))
         accounted = record_size(r, ReferenceMode.PHYSICAL)
         assert abs(wire - accounted) <= 16
+
+
+class TestLeafBatchV2:
+    """The v2 columnar batch codec (batched scan pipeline wire format)."""
+
+    def _records(self, n=20):
+        return [
+            MVPBTRecord((f"user{i:04d}", i), 10 + i, i, RecordType.REGULAR,
+                        i + 1, rid_new=RecordID(1, i), payload=f"v{i}")
+            for i in range(n)
+        ]
+
+    def test_roundtrip_matches_v1(self):
+        records = self._records()
+        records.append(MVPBTRecord(
+            ("user9998",), 99, 99, RecordType.REGULAR_SET, -1,
+            set_entries=[(1, RecordID(2, 3), 77, 5),
+                         (2, RecordID(4, 5), 78, 6)]))
+        records.append(MVPBTRecord(
+            ("user9999",), 50, 51, RecordType.TOMBSTONE, 9, flags=1,
+            rid_old=RecordID(7, 8)))
+        batch = decode_leaf_batch(encode_leaf_batch(records, partition_no=3))
+        assert batch.to_records() == records
+        assert batch.to_records() == decode_leaf(
+            encode_leaf(records, partition_no=3))
+
+    def test_shared_prefix_nonzero_on_sequential_keys(self):
+        records = self._records()
+        batch = decode_leaf_batch(encode_leaf_batch(records))
+        assert len(batch.prefix) > 0
+        # prefix compression must make the v2 image smaller than v1
+        assert len(encode_leaf_batch(records)) < len(encode_leaf(records))
+
+    def test_prefix_correct_on_unsorted_keys(self):
+        """The prefix is the common prefix of ALL keys, not just
+        first/last — unsorted input must not corrupt middle keys."""
+        records = [
+            MVPBTRecord(("aaa",), 1, 0, RecordType.REGULAR, 1,
+                        rid_new=RecordID(0, 0)),
+            MVPBTRecord(("zzz",), 2, 1, RecordType.REGULAR, 2,
+                        rid_new=RecordID(0, 1)),
+            MVPBTRecord(("aab",), 3, 2, RecordType.REGULAR, 3,
+                        rid_new=RecordID(0, 2)),
+        ]
+        batch = decode_leaf_batch(encode_leaf_batch(records))
+        assert batch.to_records() == records
+
+    def test_payload_view_is_zero_copy(self):
+        records = self._records(4)
+        blob = encode_leaf_batch(records)
+        batch = decode_leaf_batch(blob)
+        view = batch.payload_view(2)
+        assert isinstance(view, memoryview)
+        assert bytes(view) == b"v2"
+        # the view aliases the encoded image, not a copy
+        base = memoryview(blob)
+        assert view.obj is base.obj
+
+    def test_payload_view_absent_is_none(self):
+        record = MVPBTRecord((1,), 2, 3, RecordType.ANTI, 4,
+                             rid_old=RecordID(0, 0))
+        batch = decode_leaf_batch(encode_leaf_batch([record]))
+        assert batch.payload_view(0) is None
+
+    def test_empty_batch(self):
+        batch = decode_leaf_batch(encode_leaf_batch([]))
+        assert len(batch) == 0
+        assert batch.to_records() == []
+
+    def test_keys_column(self):
+        records = self._records(8)
+        batch = decode_leaf_batch(encode_leaf_batch(records))
+        assert batch.keys() == [r.key for r in records]
+
+    def test_bad_version_raises(self):
+        blob = bytearray(encode_leaf_batch(self._records(2)))
+        blob[0] = 9
+        with pytest.raises(StorageError):
+            decode_leaf_batch(bytes(blob))
+
+    def test_truncated_raises_typed(self):
+        blob = encode_leaf_batch(self._records(6))
+        with pytest.raises(StorageError):
+            decode_leaf_batch(blob[:len(blob) // 2])
+
+    def test_decode_accepts_memoryview(self):
+        records = self._records(3)
+        blob = encode_leaf_batch(records)
+        batch = decode_leaf_batch(memoryview(blob))
+        assert batch.to_records() == records

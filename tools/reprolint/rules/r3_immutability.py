@@ -13,6 +13,11 @@ Detection is intentionally structural (no type inference):
 * attribute stores / ``del`` / subscript stores on a local variable bound
   to a ``PersistedRun(...)``, ``PersistedRun.restore(...)`` or
   ``PersistedPartition(...)`` call in the same function;
+* the same for the batch scan pipeline's published page units: a
+  ``RunPage(...)``, ``LeafBatch(...)`` or ``decode_leaf_batch(...)`` /
+  ``<run>.load_page(...)`` result is shared through the buffer pool and
+  zero-copy slices after publication — mutating one corrupts every
+  concurrent reader;
 * the same through the conventional ``<obj>.run`` attribute chain (a
   ``PersistedPartition``'s run) — e.g. ``part.run.page_nos = []``;
 * mutating-method calls (``append``/``extend``/``clear``/...) on
@@ -29,13 +34,18 @@ import ast
 from ..engine import FileContext, Finding, Rule
 
 #: classes whose instances are write-once after construction
-_OWNER_CLASSES = frozenset({"PersistedRun", "PersistedPartition"})
+_OWNER_CLASSES = frozenset({"PersistedRun", "PersistedPartition",
+                            "RunPage", "LeafBatch"})
+
+#: factory functions/methods whose result is a published page batch
+_BATCH_FACTORIES = frozenset({"decode_leaf_batch", "load_page"})
 
 #: modules allowed to construct/mutate them: definers and builders
 _ALLOWED_MODULES = (
-    "repro/index/runs.py",        # PersistedRun definition
+    "repro/index/runs.py",        # PersistedRun/RunPage definition
     "repro/core/partition.py",    # PersistedPartition definition
     "repro/core/eviction.py",     # build_partition / PartitionMetaBuilder
+    "repro/core/serialization.py",   # LeafBatch definition / decoder
     "repro/durability/recovery.py",  # restore_partition (re-attach)
 )
 
@@ -48,21 +58,24 @@ _MUTATORS = frozenset({
 
 
 def _constructed_names(func: ast.AST) -> set[str]:
-    """Local names bound to an owner-class constructor (or ``.restore``)."""
+    """Local names bound to an owner-class constructor, ``.restore`` or a
+    page-batch factory (``decode_leaf_batch`` / ``<run>.load_page``)."""
     tracked: set[str] = set()
     for node in ast.walk(func):
         if not isinstance(node, ast.Assign) or not isinstance(node.value,
                                                               ast.Call):
             continue
         callee = node.value.func
-        name = None
+        owned = False
         if isinstance(callee, ast.Name):
-            name = callee.id
-        elif isinstance(callee, ast.Attribute) \
-                and isinstance(callee.value, ast.Name):
-            # PersistedRun.restore(...)
-            name = callee.value.id
-        if name not in _OWNER_CLASSES:
+            owned = (callee.id in _OWNER_CLASSES
+                     or callee.id in _BATCH_FACTORIES)
+        elif isinstance(callee, ast.Attribute):
+            # PersistedRun.restore(...) / <run>.load_page(...)
+            owned = (callee.attr in _BATCH_FACTORIES
+                     or (isinstance(callee.value, ast.Name)
+                         and callee.value.id in _OWNER_CLASSES))
+        if not owned:
             continue
         for target in node.targets:
             if isinstance(target, ast.Name):
@@ -87,7 +100,8 @@ class ImmutabilityRule(Rule):
     id = "R3"
     name = "immutability"
     description = ("no attribute stores or container mutations on "
-                   "PersistedRun/PersistedPartition objects outside their "
+                   "PersistedRun/PersistedPartition objects or published "
+                   "page batches (RunPage/LeafBatch) outside their "
                    "defining modules and builders")
     hint = ("build a new partition through build_partition()/PersistedRun "
             "instead of mutating an installed one — recovery and the "
