@@ -1,11 +1,17 @@
-"""Non-gating perf smoke: compare a fresh scan run against the pinned
-baseline.
+"""Non-gating perf smoke: compare fresh runs against the pinned baseline.
 
-Rebuilds the ``run_all.py`` scan workload (full size by default so the
-numbers are comparable), measures batched ``range_scan`` throughput, and
-fails loudly — exit 1 — when hits/sec regresses more than
-``--threshold`` (default 20%) below the ``range_scan.hits_per_sec``
-recorded in the checked-in baseline report (``BENCH_PR6.json``).
+Two checks, both loud (non-zero exit) on regression:
+
+* **scan** — rebuilds the ``run_all.py`` scan workload (full size by
+  default so the numbers are comparable), measures batched ``range_scan``
+  throughput, and fails when hits/sec regresses more than ``--threshold``
+  (default 20%) below the ``range_scan.hits_per_sec`` recorded in the
+  checked-in baseline report (``BENCH_PR7.json``);
+* **group commit** — runs the 16-session OLTP serving cell against the
+  single-session cell and fails when the simulated-time commit throughput
+  speedup drops below ``--min-speedup`` (default 2x).  A healthy group
+  committer batches ~8+ commits per WAL fsync, so anything under 2x means
+  grouping has effectively stopped working.
 
 CI runs this with ``continue-on-error`` — a regression turns the step red
 without blocking the build, because shared-runner wall clock is noisy.
@@ -14,6 +20,7 @@ Usage::
 
     PYTHONPATH=src python benchmarks/perf_smoke.py [--baseline BENCH.json]
                                                    [--threshold 0.20]
+                                                   [--min-speedup 2.0]
                                                    [--quick]
 """
 
@@ -31,18 +38,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 import run_all
 
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--baseline", default=str(
-        Path(__file__).resolve().parent.parent / "BENCH_PR6.json"))
-    parser.add_argument("--threshold", type=float, default=0.20,
-                        help="tolerated fractional hits/sec regression")
-    parser.add_argument("--quick", action="store_true",
-                        help="shrink the workload (numbers NOT comparable "
-                             "to the full-size baseline; scales the "
-                             "baseline by the hit-count ratio)")
-    args = parser.parse_args()
-
+def check_scan(args) -> int:
     baseline_path = Path(args.baseline)
     if not baseline_path.exists():
         print(f"[perf-smoke] no baseline at {baseline_path}; nothing to "
@@ -51,10 +47,6 @@ def main() -> int:
     baseline = json.loads(baseline_path.read_text())
     base_scan = baseline["scan_pipeline"]["range_scan"]
     base_rate = base_scan["hits_per_sec"]
-
-    if args.quick:
-        run_all.SCAN_RECORDS = 8_000
-        run_all.SCAN_PARTITION_EVERY = 2_000
 
     print(f"[perf-smoke] building {run_all.SCAN_RECORDS}-record tree…")
     mgr, tree = run_all.build_scan_tree()
@@ -77,6 +69,56 @@ def main() -> int:
               f"re-pinning", file=sys.stderr)
         return 1
     return 0
+
+
+def check_group_commit(args) -> int:
+    """16-session serving vs single-session: grouping must still pay.
+
+    Simulated-time throughput, so the check is immune to runner noise —
+    it regresses only if commits actually stop batching (more fsyncs per
+    commit), not if the wall clock wobbles.
+    """
+    commits, rows = (10, 200) if args.quick else (40, 800)
+    print(f"[perf-smoke] group commit: 1 vs 16 sessions "
+          f"({commits} commits/session)…")
+    out = run_all.bench_concurrency((1, 16), commits, rows)
+    speedup = out["speedup_16x_vs_1"]
+    cell16 = out["oltp"][-1]
+    verdict = "PASS" if speedup >= args.min_speedup else "FAIL"
+    print(f"[perf-smoke] group commit: 16-session sim throughput "
+          f"{speedup}x single-session "
+          f"({cell16['fsyncs_per_commit']} fsyncs/commit, mean group "
+          f"{cell16['group_commit']['mean_group_size']:.1f}; floor "
+          f"{args.min_speedup}x) -> {verdict}")
+    if speedup < args.min_speedup:
+        print(f"[perf-smoke] REGRESSION: group commit no longer batches — "
+              f"16 concurrent sessions commit only {speedup}x faster than "
+              f"one (simulated time); check the leader window logic",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", default=str(
+        Path(__file__).resolve().parent.parent / "BENCH_PR7.json"))
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="tolerated fractional hits/sec regression")
+    parser.add_argument("--min-speedup", type=float, default=2.0,
+                        help="required 16-session vs 1-session group-"
+                             "commit throughput ratio (simulated time)")
+    parser.add_argument("--quick", action="store_true",
+                        help="shrink the workload (numbers NOT comparable "
+                             "to the full-size baseline; scales the "
+                             "baseline by the hit-count ratio)")
+    args = parser.parse_args()
+
+    if args.quick:
+        run_all.SCAN_RECORDS = 8_000
+        run_all.SCAN_PARTITION_EVERY = 2_000
+
+    return check_scan(args) | check_group_commit(args)
 
 
 if __name__ == "__main__":

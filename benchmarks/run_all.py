@@ -9,13 +9,17 @@ microbenchmark — ingest throughput,
 eviction and merge wall time, peak allocation during merge and write
 amplification, each compared against an in-file reimplementation of the
 pre-streaming (materialise-and-sort) pipeline as the recorded baseline —
-and (c) scaled-down versions of the fig12/fig14/fig15 figure benchmarks,
-then writes everything to ``BENCH_PR2.json`` so future PRs have a perf
-trajectory to compare against.
+(c) a multi-session serving benchmark — commits/s (simulated time,
+primary, plus wall clock) and p99 commit latency at 1/4/16/64 concurrent
+sessions, OLTP-only and mixed HTAP, with fsyncs-per-commit and the WAL
+group-commit batching stats — and (d) scaled-down versions of the
+fig12/fig14/fig15 figure benchmarks, then writes everything to
+``BENCH_PR7.json`` so future PRs have a perf trajectory to compare
+against.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/run_all.py [--out BENCH_PR6.json]
+    PYTHONPATH=src python benchmarks/run_all.py [--out BENCH_PR7.json]
                                                 [--skip-figures] [--quick]
 
 ``--quick`` shrinks both microbenchmarks to a seconds-long smoke run (used
@@ -62,6 +66,10 @@ SCAN_REPEAT = 3
 
 WRITE_RECORDS = 100_000
 WRITE_PARTITIONS = 8
+
+SERVE_SESSION_COUNTS = (1, 4, 16, 64)
+SERVE_COMMITS_PER_SESSION = 60
+SERVE_BASE_ROWS = 2_000
 
 
 def build_scan_tree():
@@ -564,11 +572,143 @@ def bench_obs(out_base: Path, records: int = 1_200,
     return out
 
 
+# --------------------------------------------------------- multi-session
+
+def _percentile(sorted_vals: list, q: float):
+    return sorted_vals[min(len(sorted_vals) - 1,
+                           int(q * len(sorted_vals)))]
+
+
+def bench_concurrency(session_counts=SERVE_SESSION_COUNTS,
+                      commits_per_session: int = SERVE_COMMITS_PER_SESSION,
+                      base_rows: int = SERVE_BASE_ROWS) -> dict:
+    """Concurrent serving: commits/s and p99 commit latency vs session
+    count, OLTP-only and mixed HTAP.
+
+    Throughput is reported against **simulated** time (the engine's cost
+    model: fewer WAL fsyncs = less simulated time per commit — the thing
+    group commit exists to buy) and, informationally, wall clock.  Each
+    cell gets a fresh durable database preloaded with ``base_rows`` rows;
+    writers insert into disjoint key ranges; mixed HTAP dedicates a
+    quarter of the sessions to repeated sliced analytical scans of the
+    base table (at one session the writer interleaves its own scans).
+    """
+    from repro.config import EngineConfig
+    from repro.engine import Database
+    from repro.serve import ServeConfig, SessionExecutor
+
+    def fresh_server(n: int):
+        db = Database(EngineConfig(durability=True))
+        db.create_table("t", [("k", "int"), ("v", "str")])
+        db.create_index("ix", "t", ["k"], kind="mvpbt",
+                        index_only_visibility=True)
+        server = db.serve(ServeConfig(
+            max_sessions=n + 1,
+            group_size_target=min(8, n),
+            group_window_s=0.004 if n > 1 else 0.0))
+        with server.session() as s:
+            s.begin()
+            for i in range(base_rows):
+                s.insert("t", (i, f"b{i}"))
+            s.commit()
+        return db, server
+
+    def run_cell(n: int, mixed: bool) -> dict:
+        db, server = fresh_server(n)
+        scanners = n // 4 if mixed else 0
+        writers = n - scanners
+        interleave = mixed and scanners == 0   # single-session HTAP
+        latencies: list[list] = [[] for _ in range(writers)]
+
+        def writer_for(slot: int):
+            def client(session):
+                base = 1_000_000 + slot * 10_000
+                lat = latencies[slot]
+                for i in range(commits_per_session):
+                    session.begin()
+                    session.insert("t", (base + i, "w"))
+                    lat.append(session.commit())
+                    if interleave and i % 10 == 9:
+                        session.begin()
+                        for _ in session.batch_scan("ix", (0,),
+                                                    (base_rows - 1,)):
+                            pass
+                        session.abort()
+            return client
+
+        def scan_client(session):
+            rows = 0
+            for _ in range(3):
+                session.begin()
+                rows += sum(1 for _ in session.batch_scan(
+                    "ix", (0,), (base_rows - 1,)))
+                session.abort()
+            return rows
+
+        clients = ([writer_for(i) for i in range(writers)]
+                   + [scan_client] * scanners)
+        appends0 = db.durability.wal.appends
+        sim0 = db.clock.now
+        wall0 = time.perf_counter()
+        SessionExecutor(server, workers=n).run(clients)
+        wall = time.perf_counter() - wall0
+        sim = db.clock.now - sim0
+        fsyncs = db.durability.wal.appends - appends0
+        lats = sorted(x for slot in latencies for x in slot)
+        commits = len(lats)
+        group = server.committer.stats.as_dict()
+        sched = server.scheduler.stats()
+        server.close()
+        return {
+            "sessions": n,
+            "writers": writers,
+            "scanners": scanners,
+            "commits": commits,
+            "sim_seconds": round(sim, 6),
+            "commits_per_sim_sec": round(commits / sim, 1),
+            "wall_seconds": round(wall, 4),
+            "commits_per_wall_sec": round(commits / wall),
+            "fsyncs": fsyncs,
+            "fsyncs_per_commit": round(fsyncs / commits, 4),
+            "p50_commit_latency_us": round(_percentile(lats, 0.50) * 1e6, 1),
+            "p99_commit_latency_us": round(_percentile(lats, 0.99) * 1e6, 1),
+            "group_commit": group,
+            "max_scheduler_wait_ticks": max(
+                ks["max_wait_ticks"] for ks in sched.values()),
+        }
+
+    out: dict = {
+        "commits_per_session": commits_per_session,
+        "base_rows": base_rows,
+    }
+    for label, mixed in (("oltp", False), ("mixed_htap", True)):
+        cells = out[label] = []
+        for n in session_counts:
+            print(f"[serve] {label}: {n} session(s)…")
+            cell = run_cell(n, mixed)
+            cells.append(cell)
+            print(f"[serve] {label} n={n}: "
+                  f"{cell['commits_per_sim_sec']} commits/sim-s "
+                  f"({cell['commits_per_wall_sec']}/wall-s), "
+                  f"p99 {cell['p99_commit_latency_us']}us, "
+                  f"{cell['fsyncs_per_commit']} fsyncs/commit, "
+                  f"mean group {cell['group_commit']['mean_group_size']}")
+
+    by_n = {c["sessions"]: c for c in out["oltp"]}
+    if 1 in by_n and 16 in by_n:
+        out["speedup_16x_vs_1"] = round(
+            by_n[16]["commits_per_sim_sec"]
+            / by_n[1]["commits_per_sim_sec"], 3)
+        print(f"[serve] 16-session OLTP sim throughput is "
+              f"{out['speedup_16x_vs_1']}x single-session")
+    return out
+
+
 def main() -> None:
     global SCAN_RECORDS, SCAN_PARTITION_EVERY
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default=str(
-        Path(__file__).resolve().parent.parent / "BENCH_PR6.json"))
+        Path(__file__).resolve().parent.parent / "BENCH_PR7.json"))
     parser.add_argument("--skip-figures", action="store_true",
                         help="only run the scan/write microbenchmarks")
     parser.add_argument("--quick", action="store_true",
@@ -577,10 +717,13 @@ def main() -> None:
 
     write_records, write_partitions, write_repeat = (
         WRITE_RECORDS, WRITE_PARTITIONS, 3)
+    serve_counts, serve_commits, serve_rows = (
+        SERVE_SESSION_COUNTS, SERVE_COMMITS_PER_SESSION, SERVE_BASE_ROWS)
     if args.quick:
         SCAN_RECORDS = 8_000
         SCAN_PARTITION_EVERY = 2_000
         write_records, write_partitions, write_repeat = 8_000, 4, 1
+        serve_counts, serve_commits, serve_rows = (1, 4, 16), 15, 300
 
     started = time.time()
     report = {
@@ -594,6 +737,8 @@ def main() -> None:
         "write_path": bench_write_path(write_records, write_partitions,
                                        write_repeat),
         "obs": bench_obs(Path(args.out)),
+        "concurrency": bench_concurrency(serve_counts, serve_commits,
+                                         serve_rows),
     }
     if not args.skip_figures:
         report["figures"] = bench_figures()

@@ -51,7 +51,18 @@ class Visibility(Enum):
 
 
 class VisibilityChecker:
-    """Stateful per-operation visibility check."""
+    """Stateful per-operation visibility check.
+
+    Thread confinement (DESIGN.md §15.2): a checker is created per
+    search/scan operation and must stay private to the thread running that
+    operation — the ``sees_ts`` memo and anti-matter map are mutated
+    without synchronization.  The serve layer guarantees this by running
+    every operation (hence every checker lifetime) inside one engine slot
+    of the fair scheduler; per-session slices re-create their checker, so
+    no checker ever crosses a slot boundary.  The commit log it reads is
+    safe to probe lock-free (monotone, decided-once — see
+    :mod:`repro.txn.status`).
+    """
 
     __slots__ = ("snapshot", "commit_log", "mode", "cutoff",
                  "active_snapshots", "_anti", "_sees_memo", "_clock",

@@ -102,10 +102,7 @@ class DurabilityController:
     # ------------------------------------------------------------- txn hooks
 
     def _on_commit(self, txn: "Transaction") -> None:
-        records: list[tuple[str, MVPBTRecord]] = []
-        for tree in self._trees.values():
-            for record in tree.drain_wal_pending(txn.id):
-                records.append((tree.name, record))
+        records = self.drain_commit_records(txn)
         # marker written for EVERY commit: outcomes of record-less
         # transactions (base-table only, or records already evicted) must
         # survive a restart too
@@ -115,6 +112,48 @@ class DurabilityController:
             self._m_wal_entries.inc(len(records) + 1)
             self._obs.tracer.emit("wal.append", txid=txn.id,
                                   entries=len(records) + 1)
+
+    def drain_commit_records(
+            self, txn: "Transaction") -> list[tuple[str, MVPBTRecord]]:
+        """Take one committing transaction's pending records off every
+        registered tree (the commit hook's drain phase, exposed so the
+        serve layer's group-commit leader can batch several transactions'
+        drains into a single WAL append).
+
+        Must run while the transaction is still ACTIVE and the caller
+        holds the engine slot — tree state is engine-lock-confined.
+        """
+        records: list[tuple[str, MVPBTRecord]] = []
+        for tree in self._trees.values():
+            for record in tree.drain_wal_pending(txn.id):
+                records.append((tree.name, record))
+        return records
+
+    def append_group(
+            self,
+            batch: "list[tuple[Transaction, list[tuple[str, MVPBTRecord]]]]",
+    ) -> None:
+        """Make a whole commit group durable in one WAL append (one fsync).
+
+        ``batch`` pairs each committing transaction with the records its
+        drain returned, in group order.  Each transaction's records
+        precede its COMMIT marker and LSNs are contiguous across the
+        batch, so the torn-write recovery invariant is per transaction
+        (see :meth:`~repro.durability.wal.WriteAheadLog.log_group`).  The
+        caller flips commit statuses only after this returns — a crash
+        anywhere inside leaves every transaction of the group
+        unacknowledged, and recovery commits exactly the durable-marker
+        prefix.
+        """
+        self.wal.log_group(
+            [(records, txn.id) for txn, records in batch])
+        if self._obs is not None:
+            entries = sum(len(records) + 1 for _txn, records in batch)
+            self._m_wal_appends.inc()
+            self._m_wal_entries.inc(entries)
+            self._obs.tracer.emit(
+                "wal.append_group", txids=[t.id for t, _r in batch],
+                entries=entries)
 
     def _on_abort(self, txn: "Transaction") -> None:
         for tree in self._trees.values():

@@ -129,6 +129,9 @@ class WriteAheadLog:
         self.entries_appended = 0
         self.pages_written = 0
         self.pages_freed = 0
+        #: durable append calls — the simulated fsync count.  Group commit
+        #: divides this by the mean group size (fsyncs/commit < 1)
+        self.appends = 0
 
     # ---------------------------------------------------------------- append
 
@@ -142,15 +145,37 @@ class WriteAheadLog:
         prefix — replay's contiguous-LSN rule keeps exactly that prefix,
         and the missing COMMIT marker keeps the transaction invisible.
         """
+        self.log_group([(records, commit_txid)])
+
+    def log_group(self,
+                  groups: Iterable[tuple[Iterable[tuple[str, MVPBTRecord]],
+                                         int | None]]) -> None:
+        """Append several transactions' entries in **one** durable write.
+
+        ``groups`` is a sequence of ``(records, commit_txid)`` pairs — one
+        per committing transaction, in group order.  Each transaction's
+        RECORD entries immediately precede its COMMIT marker, and LSNs run
+        contiguously across the whole batch, so a torn group write
+        persists an entry *prefix*: every transaction of the group either
+        has its complete record set plus marker durable, or is missing its
+        marker and recovers as aborted.  No half-transaction can become
+        visible, and the committed subset is always a prefix of the group
+        (the group-commit recovery invariant, DESIGN.md §15.4).
+
+        One call is one simulated fsync regardless of how many
+        transactions it covers — the entire point of group commit.
+        """
         blobs: list[bytes] = []
-        for name, record in records:
-            blobs.append(encode_record_entry(self.end_lsn + len(blobs),
-                                             name, record))
-        if commit_txid is not None:
-            blobs.append(encode_commit_entry(self.end_lsn + len(blobs),
-                                             commit_txid))
+        for records, commit_txid in groups:
+            for name, record in records:
+                blobs.append(encode_record_entry(self.end_lsn + len(blobs),
+                                                 name, record))
+            if commit_txid is not None:
+                blobs.append(encode_commit_entry(self.end_lsn + len(blobs),
+                                                 commit_txid))
         if not blobs:
             return
+        self.appends += 1
 
         capacity = self.file.page_size
         touched: list[tuple[int, bytearray]] = []

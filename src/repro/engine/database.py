@@ -9,7 +9,7 @@ are selected per table/index, exactly the configurations the paper compares.
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 from ..buffer.partition_buffer import PartitionBuffer
 from ..buffer.pool import BufferPool
@@ -44,6 +44,10 @@ from .catalog import Catalog, IndexInfo, TableInfo
 from .executor import Executor, RowHit
 from .schema import Schema
 from ..types import JSONDict, Key, TxnBody
+
+if TYPE_CHECKING:
+    from ..serve.config import ServeConfig
+    from ..serve.server import Server
 
 
 def _tree_options(tree: MVPBT) -> dict[str, Any]:
@@ -258,6 +262,18 @@ class Database:
         if isinstance(store, SIASTable):
             for vid, rid in store.chain_entries():
                 table_info.indirection.set(vid, rid)
+
+    # --------------------------------------------------------------- serving
+
+    def serve(self, config: "ServeConfig | None" = None) -> "Server":
+        """Open a multi-session :class:`~repro.serve.server.Server` over
+        this instance (``config``: a :class:`~repro.serve.ServeConfig`).
+
+        The engine core stays single-caller; the server's fair scheduler
+        confines all engine entry to one thread at a time (DESIGN.md §15).
+        """
+        from ..serve.server import Server
+        return Server(self, config)
 
     # ----------------------------------------------------------- transactions
 

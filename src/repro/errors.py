@@ -102,3 +102,14 @@ class WorkloadError(ReproError):
 class ObsError(ReproError):
     """Observability-layer misuse: instrument kind mismatch, crossing
     trace spans, or exporting from a disabled subsystem."""
+
+
+class ConcurrencyError(ReproError):
+    """Serve-layer synchronization misuse: out-of-order lock acquisition,
+    releasing an engine slot the thread does not hold, or driving a
+    closed scheduler/committer."""
+
+
+class SessionError(ReproError):
+    """Session-layer misuse: operating on a closed session, nesting
+    transactions on one session, or exceeding the server's session cap."""

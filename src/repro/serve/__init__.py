@@ -1,0 +1,50 @@
+"""Concurrent multi-session serving (DESIGN.md §15).
+
+The engine core is deliberately single-caller: trees, buffer pool,
+simulated device and clock are not internally thread-safe.  This package
+adds the concurrency layer on top:
+
+- :mod:`~repro.serve.scheduler` — a FIFO *engine slot* (ticket lock)
+  confining all engine state to one thread at a time, with per-kind
+  fairness accounting;
+- :mod:`~repro.serve.session` — per-client :class:`Session` handles;
+  analytical scans release the slot between slices so short transactions
+  interleave with long scans (the HTAP serving story);
+- :mod:`~repro.serve.group_commit` — leader/follower WAL group commit:
+  concurrently committing sessions share one multi-record WAL append
+  (one simulated fsync per *group*);
+- :mod:`~repro.serve.locks` — the ascending-rank lock-ordering
+  discipline, enforced at runtime;
+- :mod:`~repro.serve.executor` — a thread pool driving client workloads
+  for benchmarks and stress tests.
+
+Raw threading primitives are confined to this package and the two
+synchronized transaction components (``txn/manager.py``,
+``txn/status.py``) — pinned by reprolint rule R8.
+"""
+
+from .config import ServeConfig
+from .executor import SessionExecutor
+from .group_commit import GroupCommitStats, GroupCommitter
+from .locks import (RANK_ENGINE, RANK_GROUP_QUEUE, RANK_TXN_COMMITLOG,
+                    RANK_TXN_MANAGER, OrderedLock, held_ranks)
+from .scheduler import FairScheduler, KindStats
+from .server import Server
+from .session import Session
+
+__all__ = [
+    "FairScheduler",
+    "GroupCommitStats",
+    "GroupCommitter",
+    "KindStats",
+    "OrderedLock",
+    "RANK_ENGINE",
+    "RANK_GROUP_QUEUE",
+    "RANK_TXN_COMMITLOG",
+    "RANK_TXN_MANAGER",
+    "Server",
+    "ServeConfig",
+    "Session",
+    "SessionExecutor",
+    "held_ranks",
+]

@@ -1,0 +1,48 @@
+"""Serve-layer configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Knobs of the multi-session serving layer.
+
+    The defaults are chosen so that a single-session server behaves
+    byte-identically to driving the :class:`~repro.engine.database.Database`
+    directly (group commit degenerates to one-transaction groups, the
+    scheduler to an uncontended mutex) — the golden-trace determinism
+    suite relies on that.
+    """
+
+    #: hard cap on concurrently open sessions
+    max_sessions: int = 64
+    #: visible hits per analytical scan slice; between slices the session
+    #: releases the engine slot so short transactions can interleave
+    scan_slice_rows: int = 256
+    #: batch concurrently-committing sessions into one WAL append
+    group_commit: bool = True
+    #: group formation target: with at least this many commits queued the
+    #: leader stops waiting for stragglers and appends immediately.
+    #: 0 = never wait (pure natural batching via engine-slot contention)
+    group_size_target: int = 0
+    #: longest wall-clock wait (seconds) for the group to reach the
+    #: target; only meaningful with ``group_size_target > 0``
+    group_window_s: float = 0.0
+    #: verify the ascending-rank lock order at runtime (cheap; tests and
+    #: the stress lane keep it on)
+    ordering_checks: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_sessions < 1:
+            raise ConfigError(
+                f"max_sessions must be >= 1, got {self.max_sessions}")
+        if self.scan_slice_rows < 1:
+            raise ConfigError(
+                f"scan_slice_rows must be >= 1, got {self.scan_slice_rows}")
+        if self.group_size_target < 0 or self.group_window_s < 0:
+            raise ConfigError(
+                "group_size_target and group_window_s must be >= 0")

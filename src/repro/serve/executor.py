@@ -1,0 +1,78 @@
+"""SessionExecutor: a thread pool driving client workloads concurrently.
+
+Benchmarks and stress tests describe each client as a callable taking a
+:class:`~repro.serve.session.Session`; the executor runs ``workers``
+OS threads, each pulling clients off a shared work queue, opening a fresh
+session per client, and recording the client's return value.  The point
+is *real* thread interleaving: every engine entry contends for the fair
+scheduler's slot exactly as concurrent clients would.
+
+Error policy: the first client exception aborts that client's session,
+is recorded, and — after all threads join — re-raised to the caller
+(remaining queued clients still run; an executor is a measurement
+harness, not a transaction boundary).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Callable, Sequence
+
+from ..errors import ConfigError
+from .server import Server
+
+#: a client workload: runs against one fresh session, returns its result
+Client = Callable[..., Any]
+
+
+class SessionExecutor:
+    """Runs client callables over a server with a fixed thread pool."""
+
+    def __init__(self, server: Server, workers: int = 4) -> None:
+        if workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {workers}")
+        self.server = server
+        self.workers = workers
+
+    def run(self, clients: Sequence[Client]) -> list[Any]:
+        """Run every client; returns their results in submission order.
+
+        Each client gets a fresh session (closed afterwards even on
+        error).  Re-raises the first client exception after all workers
+        have joined.
+        """
+        if not clients:
+            return []
+        queue: deque[tuple[int, Client]] = deque(enumerate(clients))
+        queue_lock = threading.Lock()
+        results: list[Any] = [None] * len(clients)
+        errors: list[tuple[int, BaseException]] = []
+
+        def worker() -> None:
+            while True:
+                with queue_lock:
+                    if not queue:
+                        return
+                    index, client = queue.popleft()
+                try:
+                    with self.server.session() as session:
+                        results[index] = client(session)
+                except BaseException as exc:  # noqa: BLE001 — reported below
+                    with queue_lock:
+                        errors.append((index, exc))
+
+        threads = [threading.Thread(target=worker,
+                                    name=f"serve-worker-{i}", daemon=True)
+                   for i in range(min(self.workers, len(clients)))]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            errors.sort(key=lambda pair: pair[0])
+            raise errors[0][1]
+        return results
+
+    def __repr__(self) -> str:
+        return f"SessionExecutor(workers={self.workers})"

@@ -1,0 +1,147 @@
+"""Lock-ordering discipline for the serve layer (DESIGN.md §15.2).
+
+Every lock in the concurrent engine has a documented **rank**; a thread
+may only acquire a lock whose rank is *strictly greater* than the highest
+rank it already holds (re-entrant re-acquisition of the same lock is
+allowed).  Because every thread acquires in ascending rank order, no
+cyclic wait can form — the classic total-order deadlock-freedom argument.
+
+The ranks::
+
+    10  ENGINE        the fair scheduler's engine slot: all engine state
+                      (trees, buffer pool, device, clock, tracer) is
+                      confined to the slot holder
+    20  TXN_MANAGER   TransactionManager._lock (txid allocator,
+                      active-transaction set)
+    30  TXN_COMMITLOG CommitLog._lock (status array mutations)
+    40  GROUP_QUEUE   GroupCommitter's queue mutex/condition
+
+Two rules fall out of the table:
+
+* the group-commit **leader** must release GROUP_QUEUE before requesting
+  the engine slot for its batched append (40 → 10 would invert the
+  order); it re-takes the queue mutex *inside* the slot to drain — 10 →
+  40 ascends and is legal;
+* engine code may call into the transaction components while holding the
+  slot (10 → 20 → 30 ascends), but the components must never call back
+  into code that takes the slot.
+
+:class:`OrderedLock` enforces the rule at runtime via a thread-local held-
+rank stack and raises :class:`~repro.errors.ConcurrencyError` on a
+violation.  The check is a few dict-free list operations per acquisition
+— cheap enough to stay on in production; tests rely on it to pin the
+ordering rules.  The engine slot itself is managed by the fair scheduler,
+which marks slot ownership through :func:`note_acquired` /
+:func:`note_released` so slot holders participate in the same ordering
+checks without a second mutex.
+"""
+
+from __future__ import annotations
+
+import threading
+from types import TracebackType
+
+from ..errors import ConcurrencyError
+
+#: the documented ranks (see module docstring / DESIGN.md §15.2)
+RANK_ENGINE = 10
+RANK_TXN_MANAGER = 20
+RANK_TXN_COMMITLOG = 30
+RANK_GROUP_QUEUE = 40
+
+_held = threading.local()
+
+
+def _stack() -> list[tuple[int, str]]:
+    stack = getattr(_held, "stack", None)
+    if stack is None:
+        stack = []
+        _held.stack = stack
+    return stack
+
+
+def note_acquired(rank: int, name: str) -> None:
+    """Record that the current thread now holds lock ``name`` at ``rank``.
+
+    Raises :class:`ConcurrencyError` when the acquisition would violate
+    the ascending-rank order.
+    """
+    stack = _stack()
+    if stack and rank <= stack[-1][0]:
+        held = ", ".join(f"{n}({r})" for r, n in stack)
+        raise ConcurrencyError(
+            f"lock order violation: acquiring {name}({rank}) while "
+            f"holding [{held}] — locks must be taken in ascending rank "
+            f"(DESIGN.md §15.2)")
+    stack.append((rank, name))
+
+
+def note_released(rank: int, name: str) -> None:
+    """Record that the current thread released lock ``name``."""
+    stack = _stack()
+    if not stack or stack[-1] != (rank, name):
+        held = ", ".join(f"{n}({r})" for r, n in stack)
+        raise ConcurrencyError(
+            f"lock release out of order: releasing {name}({rank}) with "
+            f"held stack [{held}]")
+    stack.pop()
+
+
+def held_ranks() -> list[tuple[int, str]]:
+    """The current thread's held (rank, name) stack — for diagnostics."""
+    return list(_stack())
+
+
+class OrderedLock:
+    """A mutex that participates in the global rank order.
+
+    Non-re-entrant by design (the serve layer never needs a re-entrant
+    ordered lock; re-entrancy would weaken the release bookkeeping).  Use
+    as a context manager::
+
+        queue_lock = OrderedLock("serve.group_queue", RANK_GROUP_QUEUE)
+        with queue_lock:
+            ...
+    """
+
+    __slots__ = ("name", "rank", "_lock")
+
+    def __init__(self, name: str, rank: int) -> None:
+        self.name = name
+        self.rank = rank
+        self._lock = threading.Lock()
+
+    def acquire(self) -> None:
+        note_acquired(self.rank, self.name)
+        try:
+            self._lock.acquire()
+        except BaseException:
+            note_released(self.rank, self.name)
+            raise
+
+    def release(self) -> None:
+        self._lock.release()
+        note_released(self.rank, self.name)
+
+    def __enter__(self) -> "OrderedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, exc_type: type[BaseException] | None,
+                 exc: BaseException | None,
+                 tb: TracebackType | None) -> None:
+        self.release()
+
+    def condition(self) -> threading.Condition:
+        """A condition variable bound to this lock's raw mutex.
+
+        ``Condition.wait`` releases the *raw* mutex only, so the ordering
+        bookkeeping still counts the lock as held while waiting — which
+        is exactly right: a waiter resumes holding the lock, and any lock
+        it would acquire while "waiting" would genuinely nest inside this
+        one.
+        """
+        return threading.Condition(self._lock)
+
+    def __repr__(self) -> str:
+        return f"OrderedLock({self.name!r}, rank={self.rank})"

@@ -1,0 +1,152 @@
+"""The serving facade: one engine, many sessions (DESIGN.md §15).
+
+A :class:`Server` wraps one :class:`~repro.engine.database.Database` with
+the three serve-layer components:
+
+* the :class:`~repro.serve.scheduler.FairScheduler` — a FIFO engine slot
+  confining all engine state to one thread at a time;
+* the :class:`~repro.serve.group_commit.GroupCommitter` — leader/follower
+  WAL group commit (present only when the database is durable and
+  ``ServeConfig.group_commit`` is on);
+* the session registry — up to ``max_sessions`` concurrently open
+  :class:`~repro.serve.session.Session` handles.
+
+With one session and default knobs the served engine is byte-identical to
+driving the database directly: the scheduler degenerates to an
+uncontended mutex and every commit group has size one, appending exactly
+the records a direct ``txn.commit()`` would (the golden-trace determinism
+suite pins this).
+"""
+
+from __future__ import annotations
+
+import threading
+from types import TracebackType
+from typing import TYPE_CHECKING
+
+from ..errors import SessionError
+from ..obs.registry import LATENCY_BUCKETS_US
+from .config import ServeConfig
+from .group_commit import GroupCommitter
+from .scheduler import FairScheduler
+from .session import Session
+
+if TYPE_CHECKING:
+    from ..engine.database import Database
+    from ..types import JSONDict
+
+
+class Server:
+    """Multiplexes concurrent client sessions over one database."""
+
+    def __init__(self, db: "Database",
+                 config: ServeConfig | None = None) -> None:
+        self.db = db
+        self.config = config if config is not None else ServeConfig()
+        self.scheduler = FairScheduler(
+            ordering_checks=self.config.ordering_checks)
+        self.committer: GroupCommitter | None = None
+        if db.durability is not None and self.config.group_commit:
+            self.committer = GroupCommitter(db.durability, db.txn,
+                                            self.scheduler, self.config,
+                                            obs=db.obs)
+        # registry lock: leaf lock, never held while acquiring any other
+        self._registry_lock = threading.Lock()
+        self._sessions: dict[int, Session] = {}
+        self._next_sid = 1
+        self._closed = False
+        self._obs = db.obs
+        if self._obs is not None:
+            registry = self._obs.registry
+            self._m_opened = registry.counter("serve.sessions.opened")
+            self._m_closed = registry.counter("serve.sessions.closed")
+            self._g_active = registry.gauge("serve.sessions.active")
+            self._m_slices = registry.counter("serve.scan.slices")
+            self._m_commit_latency = registry.histogram(
+                "serve.commit.latency_us", LATENCY_BUCKETS_US)
+
+    # -------------------------------------------------------------- sessions
+
+    def session(self) -> Session:
+        """Open a new session handle (close it, or use ``with``)."""
+        with self._registry_lock:
+            if self._closed:
+                raise SessionError("server is closed")
+            if len(self._sessions) >= self.config.max_sessions:
+                raise SessionError(
+                    f"session cap reached ({self.config.max_sessions}); "
+                    f"close a session first")
+            sid = self._next_sid
+            self._next_sid += 1
+            session = Session(self, sid)
+            self._sessions[sid] = session
+        if self._obs is not None:
+            self._m_opened.inc()
+            self._g_active.set(self.active_sessions)
+        return session
+
+    def _discard(self, session: Session) -> None:
+        with self._registry_lock:
+            self._sessions.pop(session.id, None)
+        if self._obs is not None:
+            self._m_closed.inc()
+            self._g_active.set(self.active_sessions)
+
+    @property
+    def active_sessions(self) -> int:
+        with self._registry_lock:
+            return len(self._sessions)
+
+    # ----------------------------------------------------------- obs plumbing
+
+    def note_commit_latency(self, latency_s: float) -> None:
+        if self._obs is not None:
+            self._m_commit_latency.observe(latency_s * 1e6)
+
+    def note_scan_slice(self) -> None:
+        if self._obs is not None:
+            self._m_slices.inc()
+
+    # ------------------------------------------------------------- inspection
+
+    def stats(self) -> "JSONDict":
+        """Serving-layer snapshot: scheduler fairness, group-commit shape."""
+        out: "JSONDict" = {
+            "active_sessions": self.active_sessions,
+            "scheduler": {
+                "ticks": self.scheduler.ticks,
+                "kinds": self.scheduler.stats(),
+            },
+        }
+        if self.committer is not None:
+            out["group_commit"] = self.committer.stats.as_dict()
+        if self.db.durability is not None:
+            out["wal_appends"] = self.db.durability.wal.appends
+        return out
+
+    # ------------------------------------------------------------- lifecycle
+
+    def close(self) -> None:
+        """Abort open sessions, stop the committer and the scheduler."""
+        with self._registry_lock:
+            if self._closed:
+                return
+            self._closed = True
+            sessions = list(self._sessions.values())
+        for session in sessions:
+            session.close()
+        if self.committer is not None:
+            self.committer.close()
+        self.scheduler.close()
+
+    def __enter__(self) -> "Server":
+        return self
+
+    def __exit__(self, exc_type: type[BaseException] | None,
+                 exc: BaseException | None,
+                 tb: TracebackType | None) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (f"Server(sessions={self.active_sessions}, "
+                f"group_commit={self.committer is not None})")

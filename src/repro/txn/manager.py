@@ -4,9 +4,31 @@ Implements snapshot isolation.  The *cutoff* transaction id (paper §4.6 —
 "lowest active transaction timestamp") drives garbage collection: any version
 superseded before the cutoff is invisible to every active and future
 transaction and may be purged.
+
+Thread safety (DESIGN.md §15.2): the manager is one of the explicitly
+synchronized transaction components behind the serve layer.  Its mutable
+state — the txid allocator, the active-transaction set and the commit/abort
+counters — is guarded by one re-entrant mutex (rank TXN_MANAGER in the
+serve lock order, acquired before the commit log's internal mutex and
+after the engine slot).  Commit is split in two phases so WAL group commit
+can interpose between them:
+
+* the **hook phase** (:meth:`commit`) runs the registered durability hooks
+  while the transaction is still ACTIVE — single-caller path, one WAL
+  append per commit;
+* the **flip phase** (:meth:`finish_commit`) removes the transaction from
+  the active set and publishes COMMITTED in the commit log.  The serve
+  layer's group-commit leader calls it directly for every transaction of a
+  group *after* the one batched WAL append made the whole group durable.
+
+A transaction is only ever driven by one session thread; the mutex
+serializes *different* transactions' lifecycle transitions against each
+other and against snapshot capture in :meth:`begin`.
 """
 
 from __future__ import annotations
+
+import threading
 
 from typing import TYPE_CHECKING
 
@@ -31,6 +53,9 @@ class TransactionManager:
         self.clock = clock
         self.cost = cost if cost is not None else CostModel()
         self.commit_log = CommitLog()
+        #: rank TXN_MANAGER (§15.2); re-entrant so a hook running under
+        #: :meth:`run` may inspect the manager without self-deadlocking
+        self._lock = threading.RLock()
         self._next_txid = 1
         self._active: dict[int, Transaction] = {}
         self.committed_count = 0
@@ -63,14 +88,16 @@ class TransactionManager:
     # ------------------------------------------------------------- lifecycle
 
     def begin(self) -> Transaction:
-        txid = self._next_txid
-        self._next_txid += 1
-        active_ids = frozenset(self._active)
-        xmin = min(active_ids) if active_ids else txid
-        snapshot = Snapshot(owner=txid, xmax=txid, active=active_ids, xmin=xmin)
-        self.commit_log.register(txid)
-        txn = Transaction(txid, snapshot, self)
-        self._active[txid] = txn
+        with self._lock:
+            txid = self._next_txid
+            self._next_txid += 1
+            active_ids = frozenset(self._active)
+            xmin = min(active_ids) if active_ids else txid
+            snapshot = Snapshot(owner=txid, xmax=txid, active=active_ids,
+                                xmin=xmin)
+            self.commit_log.register(txid)
+            txn = Transaction(txid, snapshot, self)
+            self._active[txid] = txn
         self._charge_overhead()
         if self._obs is not None:
             self._m_begins.inc()
@@ -80,14 +107,34 @@ class TransactionManager:
         return txn
 
     def commit(self, txn: Transaction) -> None:
+        """Single-caller commit: durability hooks, then the status flip.
+
+        The hooks run while the transaction is still ACTIVE and *before*
+        the flip — a crash inside a hook (WAL append) leaves the
+        transaction uncommitted.  The serve layer's group commit replaces
+        the hook phase with one batched WAL append and then calls
+        :meth:`finish_commit` per transaction.
+        """
         if txn.state is not TxnState.ACTIVE:
             raise TransactionStateError(
                 f"transaction {txn.id} already {txn.state.value}")
         for hook in self._commit_hooks:
             hook(txn)
+        self.finish_commit(txn)
+
+    def finish_commit(self, txn: Transaction) -> None:
+        """Publish a durably-logged transaction as COMMITTED (flip phase).
+
+        Callers must have made the commit durable first (either via the
+        registered hooks or via one group WAL append covering it); this
+        method only removes the transaction from the active set and flips
+        its commit-log status — after it returns, every *new* snapshot
+        sees the transaction's effects.
+        """
         self._finish(txn, TxnState.COMMITTED)
         self.commit_log.set_committed(txn.id)
-        self.committed_count += 1
+        with self._lock:
+            self.committed_count += 1
         if self._obs is not None:
             self._m_commits.inc()
             started = self._begin_at.pop(txn.id, None)
@@ -105,18 +152,20 @@ class TransactionManager:
             hook(txn)
         self._finish(txn, TxnState.ABORTED)
         self.commit_log.set_aborted(txn.id)
-        self.aborted_count += 1
+        with self._lock:
+            self.aborted_count += 1
         if self._obs is not None:
             self._m_aborts.inc()
             self._begin_at.pop(txn.id, None)
             self._obs.tracer.emit("txn.abort", txid=txn.id)
 
     def _finish(self, txn: Transaction, state: TxnState) -> None:
-        if txn.state is not TxnState.ACTIVE:
-            raise TransactionStateError(
-                f"transaction {txn.id} already {txn.state.value}")
-        txn.state = state
-        del self._active[txn.id]
+        with self._lock:
+            if txn.state is not TxnState.ACTIVE:
+                raise TransactionStateError(
+                    f"transaction {txn.id} already {txn.state.value}")
+            txn.state = state
+            del self._active[txn.id]
         self._charge_overhead()
 
     def restore(self, next_txid: int, committed: set[int]) -> None:
@@ -126,14 +175,16 @@ class TransactionManager:
         anywhere durable; ``committed`` lists the durably-committed ids.
         All other below-``next_txid`` ids become aborted.
         """
-        if self._active:
-            raise TransactionStateError(
-                f"cannot restore with {len(self._active)} active transactions")
-        self._next_txid = max(next_txid, 1)
-        self.commit_log.restore(self._next_txid, committed)
-        self.committed_count = len(committed)
-        if self._obs is not None:
-            self._begin_at.clear()
+        with self._lock:
+            if self._active:
+                raise TransactionStateError(
+                    f"cannot restore with {len(self._active)} active "
+                    f"transactions")
+            self._next_txid = max(next_txid, 1)
+            self.commit_log.restore(self._next_txid, committed)
+            self.committed_count = len(committed)
+            if self._obs is not None:
+                self._begin_at.clear()
 
     # ------------------------------------------------------------ inspection
 
@@ -152,7 +203,8 @@ class TransactionManager:
 
     @property
     def active_transactions(self) -> list[Transaction]:
-        return list(self._active.values())
+        with self._lock:
+            return list(self._active.values())
 
     def cutoff_txid(self) -> int:
         """Oldest snapshot horizon any active transaction can see below.
@@ -161,13 +213,15 @@ class TransactionManager:
         to all current and future snapshots and can be garbage collected.
         With no active transactions the cutoff is the next transaction id.
         """
-        if not self._active:
-            return self._next_txid
-        return min(txn.snapshot.xmin for txn in self._active.values())
+        with self._lock:
+            if not self._active:
+                return self._next_txid
+            return min(txn.snapshot.xmin for txn in self._active.values())
 
     def active_snapshots(self) -> list[Snapshot]:
         """Snapshots of all currently active transactions (interval GC)."""
-        return [txn.snapshot for txn in self._active.values()]
+        with self._lock:
+            return [txn.snapshot for txn in self._active.values()]
 
     def status_of(self, txid: int) -> TxnStatus:
         return self.commit_log.status(txid)

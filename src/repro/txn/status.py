@@ -11,9 +11,31 @@ maintains a *decided watermark*: every id below :attr:`CommitLog.watermark`
 is decided (committed or aborted) and its status can never change again —
 callers may therefore cache visibility decisions for those ids for as long
 as they like.
+
+Thread safety (DESIGN.md §15.2): the log is one of the explicitly
+synchronized transaction components behind the serve layer.  All
+**mutations** (register / set_committed / set_aborted / restore) take the
+internal mutex.  **Reads stay lock-free** and are safe by construction:
+
+* a status byte transitions ``IN_PROGRESS → COMMITTED|ABORTED`` exactly
+  once and never changes again, so a racing reader sees either the old or
+  the new value — both of which are answers the caller could have observed
+  under any serialization (an in-progress answer is always the
+  conservative "invisible");
+* ``watermark`` and ``committed_floor`` are plain ints that only ever
+  advance; a stale read is merely conservative (fewer cacheable ids,
+  page-level batch visibility falls back to per-record checks);
+* the byte array only grows (``_ensure`` extends, never shrinks), and a
+  CPython ``bytearray`` index read is atomic with respect to a concurrent
+  ``extend``.
+
+``restore`` is the one non-monotone mutation; it is a recovery entry point
+and documented single-threaded (no sessions exist during recovery).
 """
 
 from __future__ import annotations
+
+import threading
 
 from enum import Enum
 
@@ -42,7 +64,7 @@ class CommitLog:
     """
 
     __slots__ = ("_status", "_known", "_watermark", "_committed_floor",
-                 "_aborted_ids")
+                 "_aborted_ids", "_lock")
 
     def __init__(self) -> None:
         self._status = bytearray(1)      # index 0 unused; txids start at 1
@@ -52,6 +74,9 @@ class CommitLog:
         #: all ids ever aborted — the durability manifest persists this set
         #: (compact pg_xact model: aborts are rare, commits are the default)
         self._aborted_ids: set[int] = set()
+        #: guards mutations; reads are lock-free (see module docstring).
+        #: Rank TXN_COMMITLOG in the serve layer's lock order (§15.2)
+        self._lock = threading.Lock()
 
     @property
     def committed_floor(self) -> int:
@@ -101,52 +126,62 @@ class CommitLog:
         self._committed_floor = mark
 
     def register(self, txid: int) -> None:
-        self._ensure(txid)
-        self._status[txid] = _IN_PROGRESS
-        self._known.add(txid)
+        with self._lock:
+            self._ensure(txid)
+            self._status[txid] = _IN_PROGRESS
+            self._known.add(txid)
 
     def set_committed(self, txid: int) -> None:
-        self._ensure(txid)
-        self._status[txid] = _COMMITTED
-        self._known.add(txid)
-        if txid == self._watermark:
-            self._advance_watermark()
-        if txid == self._committed_floor:
-            self._advance_committed_floor()
+        with self._lock:
+            self._ensure(txid)
+            self._status[txid] = _COMMITTED
+            self._known.add(txid)
+            if txid == self._watermark:
+                self._advance_watermark()
+            if txid == self._committed_floor:
+                self._advance_committed_floor()
 
     def set_aborted(self, txid: int) -> None:
-        self._ensure(txid)
-        self._status[txid] = _ABORTED
-        self._known.add(txid)
-        self._aborted_ids.add(txid)
-        if txid == self._watermark:
-            self._advance_watermark()
+        with self._lock:
+            self._ensure(txid)
+            self._status[txid] = _ABORTED
+            self._known.add(txid)
+            self._aborted_ids.add(txid)
+            if txid == self._watermark:
+                self._advance_watermark()
 
     @property
     def aborted_ids(self) -> set[int]:
         """Every txid ever recorded as aborted (manifest flip input)."""
-        return set(self._aborted_ids)
+        with self._lock:
+            return set(self._aborted_ids)
 
     def restore(self, next_txid: int, committed: set[int]) -> None:
         """Recovery bulk-load: every id below ``next_txid`` is decided.
 
         Ids in ``committed`` become COMMITTED, all others ABORTED — a
         transaction without a durable commit record was never acknowledged.
+        Recovery runs before any session exists, so unlike the other
+        mutations this one may replace state wholesale.
         """
-        size = max(next_txid, 1)
-        self._status = bytearray(size)
-        self._known = set()
-        self._aborted_ids = set()
-        for txid in range(1, size):
-            if txid in committed:
-                self._status[txid] = _COMMITTED
-            else:
-                self._status[txid] = _ABORTED
-                self._aborted_ids.add(txid)
-            self._known.add(txid)
-        self._watermark = size
-        self._committed_floor = 1
-        self._advance_committed_floor()
+        with self._lock:
+            size = max(next_txid, 1)
+            status = bytearray(size)
+            known: set[int] = set()
+            aborted: set[int] = set()
+            for txid in range(1, size):
+                if txid in committed:
+                    status[txid] = _COMMITTED
+                else:
+                    status[txid] = _ABORTED
+                    aborted.add(txid)
+                known.add(txid)
+            self._status = status
+            self._known = known
+            self._aborted_ids = aborted
+            self._watermark = size
+            self._committed_floor = 1
+            self._advance_committed_floor()
 
     def status(self, txid: int) -> TxnStatus:
         if 0 <= txid < len(self._status):

@@ -1,0 +1,182 @@
+"""Crash coverage for WAL group commit (DESIGN.md §15.4).
+
+A group append writes several transactions' records plus their COMMIT
+markers in ONE multi-record WAL write.  The recovery invariant under a
+crash anywhere inside that append:
+
+* **prefix** — the set of transactions that recover as committed is a
+  contiguous *prefix* of the group order (markers are appended in order
+  with contiguous LSNs, and replay stops at the first gap or corruption);
+* **per-transaction atomicity** — each transaction is all-or-nothing:
+  every record of a marker-durable transaction is replayed (records
+  precede the marker), and no record of a markerless transaction becomes
+  visible (it recovers as aborted);
+* **no acknowledgement was lied about** — the leader flips commit status
+  only after the append returns, so every transaction of a crashed group
+  was still unacknowledged; recovery may commit any prefix, including
+  the empty one.
+
+The sweep is single-threaded and deterministic: it builds the same group
+scenario for every crash point, drains the transactions exactly as the
+serve layer's leader would, and calls
+:meth:`~repro.durability.controller.DurabilityController.append_group`
+directly under a :class:`FaultPlan` — the thread interleaving of the real
+leader cannot change what lands on the device, because the append is one
+engine-slot-confined call.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.database import Database
+from repro.errors import DeviceCrashError
+from repro.sim.device import FaultPlan
+from repro.txn.status import TxnStatus
+
+from .harness import (INDEX, OracleState, apply_db_op, apply_oracle_op,
+                      assert_state_equal, make_db)
+
+pytestmark = pytest.mark.crash
+
+#: the group: three transactions, drained and appended as one WAL write.
+#: They run concurrently (interleaved snapshots), so each touches only
+#: base-state or its own keys — classic disjoint OLTP writers.
+GROUP_SPECS = [
+    [("insert", 20 + i, f"g{i}") for i in range(5)],
+    [("update", 3, "g3u"), ("insert", 30, "g30"), ("delete", 7)],
+    [("insert", 40 + i, f"h{i}") for i in range(8)]
+    + [("update", 5, "h5u")],
+]
+
+BASE_OPS = [("insert", i, f"a{i}") for i in range(10)]
+
+
+class GroupScenario:
+    """One deterministic build of base state + an undecided commit group."""
+
+    def __init__(self) -> None:
+        self.db = make_db()
+        base: OracleState = {}
+        txn = self.db.begin()
+        for op in BASE_OPS:
+            apply_db_op(self.db, txn, op)
+            apply_oracle_op(base, op)
+        txn.commit()
+        self.base_txid = txn.id
+
+        self.txns = []
+        #: oracle state after committing the first i group members
+        self.states: list[OracleState] = [dict(base)]
+        for spec in GROUP_SPECS:
+            member = self.db.begin()
+            state = dict(self.states[-1])
+            for op in spec:
+                apply_db_op(self.db, member, op)
+                apply_oracle_op(state, op)
+            self.txns.append(member)
+            self.states.append(state)
+        # the leader's drain phase (engine-slot work, no I/O)
+        self.batch = [
+            (t, self.db.durability.drain_commit_records(t))
+            for t in self.txns]
+
+    def append(self) -> None:
+        """The leader's group append plus the per-member status flips."""
+        self.db.durability.append_group(self.batch)
+        for t in self.txns:
+            self.db.txn.finish_commit(t)
+
+
+def _span() -> tuple[int, int]:
+    """(I/Os before the append, I/Os of the append) on a clean run."""
+    scenario = GroupScenario()
+    before = scenario.db.device.io_count
+    scenario.append()
+    return before, scenario.db.device.io_count - before
+
+
+def _recover_and_check(scenario: GroupScenario, context: str) -> None:
+    recovered = Database.recover(scenario.db)
+
+    statuses = [recovered.txn.status_of(t.id) for t in scenario.txns]
+    for status, t in zip(statuses, scenario.txns):
+        assert status in (TxnStatus.COMMITTED, TxnStatus.ABORTED), (
+            f"{context}: group member {t.id} recovered undecided")
+    committed = [s is TxnStatus.COMMITTED for s in statuses]
+    prefix_len = sum(committed)
+    assert committed == [True] * prefix_len + [False] * (
+        len(committed) - prefix_len), (
+        f"{context}: durable commits {committed} are not a prefix of the "
+        f"group order — torn group write broke marker ordering")
+
+    # per-transaction atomicity: the state is exactly the oracle after the
+    # durable prefix — all of every committed member, none of the rest
+    assert_state_equal(recovered, recovered.txn.next_txid - 1,
+                       scenario.states[prefix_len],
+                       context=f"{context} prefix={prefix_len}")
+    # and the pre-group base state is still intact at its own horizon
+    assert_state_equal(recovered, scenario.base_txid, scenario.states[0],
+                       context=f"{context} base horizon")
+
+
+def test_clean_group_append_commits_everything() -> None:
+    scenario = GroupScenario()
+    before = scenario.db.device.io_count
+    scenario.append()
+    # the whole group cost exactly ONE WAL append (the fsync saving)
+    assert scenario.db.durability.wal.appends == 2  # base commit + group
+    assert scenario.db.device.io_count > before
+    txn = scenario.db.begin()
+    got = sorted(scenario.db.range_select(txn, INDEX, None, None))
+    assert got == sorted(scenario.states[-1].items())
+    txn.abort()
+    # a clean restart also replays the full group
+    _recover_and_check(scenario, "clean append")
+
+
+@pytest.mark.parametrize("mode", ("clean", "torn", "partial_extent"))
+def test_group_append_crash_sweep(mode: str, run_crash_sweep: bool) -> None:
+    """Kill the device at every I/O inside the group append; each crash
+    must recover to a per-transaction-atomic prefix of the group."""
+    before, span = _span()
+    assert span >= 2, "group append must issue multiple I/Os to sweep"
+    points = (range(span) if run_crash_sweep
+              else sorted({0, 1, span // 2, span - 1}))
+    outcomes = set()
+    for k in points:
+        scenario = GroupScenario()
+        assert scenario.db.device.io_count == before, (
+            "scenario build is nondeterministic; sweep domain invalid")
+        scenario.db.device.set_fault_plan(
+            FaultPlan(fail_at=before + k, mode=mode))
+        with pytest.raises(DeviceCrashError):
+            scenario.append()
+        # no member may have been acknowledged before the crash
+        assert all(scenario.db.txn.status_of(t.id) is TxnStatus.IN_PROGRESS
+                   for t in scenario.txns), (
+            f"k={k}: status flipped before the group append returned")
+        _recover_and_check(scenario, f"mode={mode} k={k}")
+        recovered_committed = sum(
+            1 for t in scenario.txns
+            if scenario.db.txn.status_of(t.id) is TxnStatus.COMMITTED)
+        outcomes.add(recovered_committed)
+    # the sweep must actually exercise divergent outcomes: at least one
+    # crash losing the whole group, and (in the sector-persisting modes)
+    # ideally a proper partial prefix
+    assert 0 in outcomes, "no crash point lost the whole group"
+
+
+def test_torn_tail_write_cannot_commit_partial_transaction() -> None:
+    """The torn-write edge: kill the very last I/O of the append with a
+    persisted sector prefix.  Whatever prefix survives, recovery must
+    never expose a transaction whose marker did not make it."""
+    before, span = _span()
+    for fraction in (0.25, 0.5, 0.9):
+        scenario = GroupScenario()
+        scenario.db.device.set_fault_plan(
+            FaultPlan(fail_at=before + span - 1, mode="torn",
+                      fraction=fraction))
+        with pytest.raises(DeviceCrashError):
+            scenario.append()
+        _recover_and_check(scenario, f"torn tail fraction={fraction}")

@@ -515,6 +515,67 @@ class TestR7TimeDiscipline:
         assert findings == []
 
 
+class TestR8ConcurrencyConfinement:
+    def test_threading_import_fires_even_unused(self):
+        findings = lint("""
+            import threading
+
+            def noop() -> None:
+                return None
+            """, ["R8"], path="src/repro/core/tree.py")
+        assert len(fired(findings, "R8")) == 1
+        assert "single-caller" in findings[0].message
+
+    def test_from_import_of_lock_fires(self):
+        findings = lint("""
+            from threading import Lock
+
+            guard = Lock()
+            """, ["R8"], path="src/repro/buffer/pool.py")
+        assert len(fired(findings, "R8")) == 1
+
+    def test_queue_and_concurrent_futures_fire(self):
+        findings = lint("""
+            import queue
+            import concurrent.futures
+            """, ["R8"], path="src/repro/engine/database.py")
+        assert len(fired(findings, "R8")) == 2
+
+    def test_dunder_import_dodge_fires(self):
+        findings = lint('mod = __import__("threading")\n', ["R8"],
+                        path="src/repro/core/partition.py")
+        assert len(fired(findings, "R8")) == 1
+        assert "dynamic import" in findings[0].message
+
+    def test_dunder_import_of_allowed_module_is_clean(self):
+        findings = lint('mod = __import__("json")\n', ["R8"],
+                        path="src/repro/core/partition.py")
+        assert findings == []
+
+    def test_serve_package_is_allowlisted(self):
+        findings = lint("""
+            import threading
+            from queue import Queue
+            """, ["R8"], path="src/repro/serve/scheduler.py")
+        assert findings == []
+
+    def test_synchronized_txn_components_are_allowlisted(self):
+        for path in ("src/repro/txn/manager.py", "src/repro/txn/status.py"):
+            findings = lint("import threading\n", ["R8"], path=path)
+            assert findings == [], path
+
+    def test_other_txn_modules_are_not_allowlisted(self):
+        findings = lint("import threading\n", ["R8"],
+                        path="src/repro/txn/transaction.py")
+        assert len(fired(findings, "R8")) == 1
+
+    def test_relative_import_is_ignored(self):
+        # `from . import something` has no absolute module root to ban
+        findings = lint("from . import helpers\n", ["R8"],
+                        path="src/repro/core/tree.py")
+        assert findings == []
+
+
 # ------------------------------------------------------ engine & suppressions
 
 class TestSuppressions:
@@ -598,7 +659,7 @@ class TestEngine:
 
     def test_all_rules_have_unique_ids(self):
         ids = [rule.id for rule in ALL_RULES]
-        assert len(ids) == len(set(ids)) == 7
+        assert len(ids) == len(set(ids)) == 8
 
 
 # ----------------------------------------------------------------- CLI gate

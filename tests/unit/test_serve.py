@@ -1,0 +1,365 @@
+"""Functional tests for the multi-session serving layer.
+
+Everything here is single-threaded (or trivially threaded through the
+SessionExecutor): the layer's *behavioral* contract — session lifecycle,
+served results identical to direct Database use, snapshot-exact sliced
+scans, group-commit equivalence and durability — must hold without any
+real concurrency.  The interleaving-under-contention properties live in
+``test_serve_stress.py`` / ``test_serve_fairness.py``."""
+
+import pytest
+
+from repro.config import EngineConfig
+from repro.engine.database import Database
+from repro.errors import (ConcurrencyError, ConfigError, SessionError,
+                          TransactionStateError)
+from repro.serve import ServeConfig, SessionExecutor
+
+
+def make_db(durability: bool = True, **kwargs) -> Database:
+    db = Database(EngineConfig(durability=durability, **kwargs))
+    db.create_table("t", [("k", "int"), ("v", "str")])
+    db.create_index("ix", "t", ["k"], kind="mvpbt",
+                    index_only_visibility=True)
+    return db
+
+
+class TestServeConfig:
+    def test_defaults_validate(self):
+        config = ServeConfig()
+        assert config.group_commit is True
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_sessions": 0},
+        {"scan_slice_rows": 0},
+        {"group_size_target": -1},
+        {"group_window_s": -0.5},
+    ])
+    def test_bad_values_raise(self, kwargs):
+        with pytest.raises(ConfigError):
+            ServeConfig(**kwargs)
+
+
+class TestSessionLifecycle:
+    def test_begin_commit_roundtrip(self):
+        db = make_db()
+        with db.serve() as server:
+            with server.session() as s:
+                txid = s.begin()
+                assert txid >= 1 and s.in_txn
+                s.insert("t", (1, "a"))
+                latency = s.commit()
+                assert latency >= 0.0 and not s.in_txn
+                assert s.commits == 1
+
+    def test_nested_begin_raises(self):
+        db = make_db()
+        with db.serve() as server, server.session() as s:
+            s.begin()
+            with pytest.raises(SessionError, match="still open"):
+                s.begin()
+
+    def test_op_without_txn_raises(self):
+        db = make_db()
+        with db.serve() as server, server.session() as s:
+            with pytest.raises(TransactionStateError, match="no open"):
+                s.insert("t", (1, "a"))
+
+    def test_closed_session_raises(self):
+        db = make_db()
+        with db.serve() as server:
+            s = server.session()
+            s.close()
+            with pytest.raises(SessionError, match="closed"):
+                s.begin()
+
+    def test_close_aborts_open_txn(self):
+        db = make_db()
+        with db.serve() as server:
+            with server.session() as s:
+                s.begin()
+                s.insert("t", (1, "a"))
+            # context exit closed the session -> abort
+            with server.session() as reader:
+                reader.begin()
+                assert reader.select("ix", (1,)) == []
+        # the writer's implicit abort plus the reader's (its txn was
+        # still open when its context closed)
+        assert db.txn.aborted_count == 2
+
+    def test_session_cap(self):
+        db = make_db()
+        with db.serve(ServeConfig(max_sessions=2)) as server:
+            a, b = server.session(), server.session()
+            with pytest.raises(SessionError, match="cap"):
+                server.session()
+            a.close()
+            c = server.session()  # freed slot is reusable
+            b.close()
+            c.close()
+
+    def test_server_close_is_idempotent_and_refuses_sessions(self):
+        db = make_db()
+        server = db.serve()
+        server.close()
+        server.close()
+        with pytest.raises(SessionError, match="closed"):
+            server.session()
+        with pytest.raises(ConcurrencyError):
+            server.scheduler.acquire("oltp")
+
+    def test_run_commits_on_success_and_aborts_on_error(self):
+        db = make_db()
+        with db.serve() as server, server.session() as s:
+            s.run(lambda sess: sess.insert("t", (1, "a")))
+            with pytest.raises(ValueError):
+                s.run(lambda sess: (_ for _ in ()).throw(ValueError("x")))
+            s.begin()
+            assert s.select("ix", (1,)) == [(1, "a")]
+            s.abort()
+        assert db.txn.committed_count == 1
+        assert db.txn.aborted_count == 2  # run()'s abort + the explicit one
+
+
+class TestServedEquivalence:
+    """A served single session answers exactly like direct Database use."""
+
+    def test_dml_and_reads_match_direct_use(self):
+        direct = make_db()
+        txn = direct.begin()
+        for i in range(20):
+            direct.insert(txn, "t", (i, f"v{i}"))
+        direct.update_by_key(txn, "ix", (3,), {"v": "v3u"})
+        direct.delete_by_key(txn, "ix", (7,))
+        txn.commit()
+        reader = direct.begin()
+        want_all = direct.range_select(reader, "ix", None, None)
+        want_point = direct.select(reader, "ix", (3,))
+        reader.abort()
+
+        served = make_db()
+        with served.serve() as server, server.session() as s:
+            s.begin()
+            for i in range(20):
+                s.insert("t", (i, f"v{i}"))
+            s.update_by_key("ix", (3,), {"v": "v3u"})
+            s.delete_by_key("ix", (7,))
+            s.commit()
+            s.begin()
+            assert s.range_select("ix", None, None) == want_all
+            assert s.select("ix", (3,)) == want_point
+            assert s.select_hits("ix", (3,))[0].row == want_point[0]
+            assert s.count_range("ix", None, None) == len(want_all)
+            s.abort()
+
+    def test_single_session_group_commit_appends_like_direct(self):
+        """Group commit with one session = one append per commit, same as
+        the direct hook path (byte-level equivalence is pinned by the obs
+        golden-trace suite; this pins the append/fsync count)."""
+        db = make_db()
+        with db.serve() as server, server.session() as s:
+            for i in range(3):
+                s.begin()
+                s.insert("t", (i, "x"))
+                s.commit()
+        assert db.durability.wal.appends == 3
+        assert server.committer.stats.as_dict()["mean_group_size"] == 1.0
+
+
+class TestBatchScan:
+    def test_slices_concatenate_to_monolithic_scan(self):
+        db = make_db()
+        with db.serve(ServeConfig(scan_slice_rows=7)) as server:
+            with server.session() as s:
+                s.begin()
+                for i in range(100):
+                    s.insert("t", (i, f"v{i}"))
+                s.commit()
+                s.begin()
+                want = s.range_select("ix", (10,), (90,))
+                got = list(s.batch_scan("ix", (10,), (90,)))
+                assert got == want and len(got) == 81
+                # many slices actually happened
+                assert server.scheduler.stats()["scan"]["grants"] > 10
+                s.abort()
+
+    def test_duplicate_run_larger_than_slice_is_not_split(self):
+        db = Database(EngineConfig(durability=True))
+        db.create_table("t", [("k", "int"), ("v", "str")])
+        db.create_index("ix", "t", ["k"], kind="mvpbt",
+                        index_only_visibility=True)  # non-unique
+        with db.serve(ServeConfig(scan_slice_rows=3)) as server:
+            with server.session() as s:
+                s.begin()
+                for i in range(10):
+                    s.insert("t", (5, f"dup{i}"))   # one key, 10 rows
+                for i in range(4):
+                    s.insert("t", (9, f"tail{i}"))
+                s.commit()
+                s.begin()
+                rows = list(s.batch_scan("ix", None, None))
+                assert len(rows) == 14
+                assert [k for k, _v in rows] == [5] * 10 + [9] * 4
+                s.abort()
+
+    def test_scan_is_snapshot_exact_across_interleaved_commits(self):
+        """Rows committed *between slices* by another session stay
+        invisible — the mid-scan snapshot never wavers."""
+        db = make_db()
+        with db.serve(ServeConfig(scan_slice_rows=5)) as server:
+            writer, scanner = server.session(), server.session()
+            writer.begin()
+            for i in range(0, 40, 2):
+                writer.insert("t", (i, "base"))
+            writer.commit()
+
+            scanner.begin()
+            scan = scanner.batch_scan("ix", None, None)
+            seen = [next(scan) for _ in range(8)]  # partway through
+            writer.begin()
+            for i in range(1, 40, 2):              # interleave odd keys
+                writer.insert("t", (i, "mid-scan"))
+            writer.commit()
+            seen.extend(scan)
+            scanner.abort()
+            assert [k for k, _v in seen] == list(range(0, 40, 2))
+
+            # a *new* snapshot sees all 40
+            scanner.begin()
+            assert scanner.count_range("ix", None, None) == 40
+            scanner.abort()
+            writer.close()
+            scanner.close()
+
+    def test_version_oblivious_index_falls_back(self):
+        db = Database(EngineConfig(durability=False))
+        db.create_table("t", [("k", "int"), ("v", "str")])
+        db.create_index("bx", "t", ["k"], kind="btree")
+        with db.serve() as server, server.session() as s:
+            s.begin()
+            for i in range(10):
+                s.insert("t", (i, f"v{i}"))
+            s.commit()
+            s.begin()
+            rows = list(s.batch_scan("bx", (2,), (5,)))
+            assert [k for k, _v in rows] == [2, 3, 4, 5]
+            s.abort()
+
+
+class TestGroupCommitDurability:
+    def test_served_commits_survive_recovery(self):
+        db = make_db()
+        with db.serve() as server, server.session() as s:
+            for i in range(5):
+                s.begin()
+                s.insert("t", (i, f"v{i}"))
+                s.commit()
+            s.begin()
+            s.insert("t", (99, "lost"))   # never committed
+            s.abort()
+        recovered = Database.recover(db)
+        txn = recovered.begin()
+        got = recovered.range_select(txn, "ix", None, None)
+        assert got == [(i, f"v{i}") for i in range(5)]
+        txn.abort()
+
+    def test_group_commit_disabled_uses_hook_path(self):
+        db = make_db()
+        with db.serve(ServeConfig(group_commit=False)) as server:
+            assert server.committer is None
+            with server.session() as s:
+                s.begin()
+                s.insert("t", (1, "a"))
+                s.commit()
+        assert db.durability.wal.appends == 1
+        assert db.txn.committed_count == 1
+
+    def test_no_durability_means_no_committer(self):
+        db = make_db(durability=False)
+        with db.serve() as server:
+            assert server.committer is None
+            with server.session() as s:
+                s.begin()
+                s.insert("t", (1, "a"))
+                s.commit()
+        assert db.txn.committed_count == 1
+
+
+class TestSessionExecutor:
+    def test_results_in_submission_order(self):
+        db = make_db()
+        with db.serve() as server:
+            def client_for(i):
+                def client(session):
+                    session.begin()
+                    session.insert("t", (i, f"c{i}"))
+                    session.commit()
+                    return i
+                return client
+            results = SessionExecutor(server, workers=4).run(
+                [client_for(i) for i in range(12)])
+            assert results == list(range(12))
+            with server.session() as s:
+                s.begin()
+                assert s.count_range("ix", None, None) == 12
+                s.abort()
+
+    def test_first_error_propagates_after_join(self):
+        db = make_db()
+        with db.serve() as server:
+            def good(session):
+                session.begin()
+                session.insert("t", (1000, "ok"))
+                session.commit()
+                return "ok"
+
+            def bad(session):
+                raise RuntimeError("client exploded")
+
+            with pytest.raises(RuntimeError, match="exploded"):
+                SessionExecutor(server, workers=2).run([good, bad, good])
+            assert server.active_sessions == 0  # all sessions closed
+
+    def test_zero_workers_rejected(self):
+        db = make_db()
+        with db.serve() as server:
+            with pytest.raises(ConfigError):
+                SessionExecutor(server, workers=0)
+
+
+class TestServerStats:
+    def test_stats_shape(self):
+        db = make_db()
+        with db.serve() as server, server.session() as s:
+            s.begin()
+            s.insert("t", (1, "a"))
+            s.commit()
+            stats = server.stats()
+            assert stats["active_sessions"] == 1
+            assert stats["scheduler"]["ticks"] > 0
+            assert "oltp" in stats["scheduler"]["kinds"]
+            assert stats["group_commit"]["commits"] == 1
+            assert stats["wal_appends"] == 1
+
+    def test_serve_metrics_exported(self):
+        from repro.obs import ObsConfig
+        db = Database(EngineConfig(durability=True,
+                                   obs=ObsConfig(enabled=True)))
+        db.create_table("t", [("k", "int"), ("v", "str")])
+        db.create_index("ix", "t", ["k"], kind="mvpbt",
+                        index_only_visibility=True)
+        with db.serve(ServeConfig(scan_slice_rows=4)) as server:
+            with server.session() as s:
+                s.begin()
+                for i in range(20):
+                    s.insert("t", (i, "x"))
+                s.commit()
+                s.begin()
+                list(s.batch_scan("ix", None, None))
+                s.abort()
+        metrics = db.obs.registry.export()
+        assert metrics["counters"]["serve.sessions.opened"] == 1
+        assert metrics["counters"]["serve.commit.groups"] == 1
+        assert metrics["counters"]["serve.scan.slices"] >= 5
+        assert metrics["histograms"]["serve.commit.latency_us"]["count"] == 1
+        assert metrics["histograms"]["serve.commit.group_size"]["total"] == 1

@@ -16,6 +16,7 @@ from .r4_storage import StorageBypassRule
 from .r5_errors import ErrorDisciplineRule
 from .r6_typing import TypingRule
 from .r7_time import TimeDisciplineRule
+from .r8_concurrency import ConcurrencyConfinementRule
 
 ALL_RULES: tuple[type[Rule], ...] = (
     DeterminismRule,
@@ -25,6 +26,7 @@ ALL_RULES: tuple[type[Rule], ...] = (
     ErrorDisciplineRule,
     TypingRule,
     TimeDisciplineRule,
+    ConcurrencyConfinementRule,
 )
 
 
@@ -38,4 +40,5 @@ def rule_by_id(token: str) -> type[Rule]:
 
 __all__ = ["ALL_RULES", "rule_by_id", "DeterminismRule",
            "RecordExhaustiveRule", "ImmutabilityRule", "StorageBypassRule",
-           "ErrorDisciplineRule", "TypingRule", "TimeDisciplineRule"]
+           "ErrorDisciplineRule", "TypingRule", "TimeDisciplineRule",
+           "ConcurrencyConfinementRule"]

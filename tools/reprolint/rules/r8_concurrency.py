@@ -1,0 +1,97 @@
+"""R8 — concurrency confinement: raw threading primitives live only in
+the serve layer and the two synchronized transaction components.
+
+The engine core is single-caller by design: trees, buffer pool, simulated
+device and clock are confined to the serve layer's engine slot, and their
+determinism arguments (golden traces, crash-sweep oracles) assume no
+hidden concurrency.  A stray ``threading.Lock`` in a core module either
+papers over a confinement bug or silently creates one — the fix is to
+route the shared state through ``repro/serve/`` (slot confinement, the
+ordered-lock discipline of DESIGN.md §15.2) or, for transaction state,
+through the two components that are explicitly synchronized and
+documented as such (``txn/manager.py``, ``txn/status.py``).
+
+The rule bans importing ``threading``, ``_thread``, ``queue``,
+``concurrent`` or ``multiprocessing`` — statically or via
+``__import__`` — everywhere else under ``repro/``.  Like R7, the import
+alone is banned: an unused import is one refactor away from an
+unsynchronized critical section.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import FileContext, Finding, Rule
+
+#: module roots whose import is confined to the allowlist
+_BANNED_MODULES = ("threading", "_thread", "queue", "concurrent",
+                   "multiprocessing")
+
+#: path fragments allowed to use raw threading primitives (DESIGN.md §15.2)
+_ALLOWED_FRAGMENTS = (
+    "repro/serve/",
+    "repro/txn/manager.py",
+    "repro/txn/status.py",
+)
+
+
+class ConcurrencyConfinementRule(Rule):
+    id = "R8"
+    name = "concurrency-confinement"
+    description = ("raw threading primitives (threading/_thread/queue/"
+                   "concurrent/multiprocessing) are confined to repro/serve/ "
+                   "and the synchronized txn components "
+                   "(txn/manager.py, txn/status.py)")
+    hint = ("confine shared state to the serve layer's engine slot or one "
+            "of the synchronized txn components; genuinely new "
+            "synchronized components need a justified "
+            "'# reprolint: disable=R8 -- ...' pragma plus a DESIGN.md "
+            "§15.2 rank entry")
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        if any(fragment in ctx.posix_path
+               for fragment in _ALLOWED_FRAGMENTS):
+            return []
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in _BANNED_MODULES:
+                        findings.append(self.finding(
+                            ctx, node,
+                            f"import of {alias.name!r} outside the "
+                            f"concurrency allowlist — the engine core is "
+                            f"single-caller (DESIGN.md §15)"))
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:
+                    continue  # relative import: stays project-internal
+                root = (node.module or "").split(".")[0]
+                if root in _BANNED_MODULES:
+                    findings.append(self.finding(
+                        ctx, node,
+                        f"from-import of {node.module!r} outside the "
+                        f"concurrency allowlist — the engine core is "
+                        f"single-caller (DESIGN.md §15)"))
+            elif isinstance(node, ast.Call):
+                findings.extend(self._check_dynamic_import(ctx, node))
+        return findings
+
+    def _check_dynamic_import(self, ctx: FileContext,
+                              node: ast.Call) -> list[Finding]:
+        # __import__("threading") dodges the static import ban above
+        if ctx.qualname(node.func) != "__import__" or not node.args:
+            return []
+        first = node.args[0]
+        if not isinstance(first, ast.Constant) or \
+                not isinstance(first.value, str):
+            return []
+        root = first.value.split(".")[0]
+        if root not in _BANNED_MODULES:
+            return []
+        return [self.finding(
+            ctx, node,
+            f"dynamic import of {first.value!r} outside the concurrency "
+            f"allowlist — the engine core is single-caller "
+            f"(DESIGN.md §15)")]
