@@ -1,17 +1,21 @@
 """Non-gating perf smoke: compare fresh runs against the pinned baseline.
 
-Two checks, both loud (non-zero exit) on regression:
+Three checks, all loud (non-zero exit) on regression:
 
 * **scan** — rebuilds the ``run_all.py`` scan workload (full size by
   default so the numbers are comparable), measures batched ``range_scan``
   throughput, and fails when hits/sec regresses more than ``--threshold``
   (default 20%) below the ``range_scan.hits_per_sec`` recorded in the
-  checked-in baseline report (``BENCH_PR7.json``);
+  checked-in baseline report (``BENCH_PR8.json``);
 * **group commit** — runs the 16-session OLTP serving cell against the
   single-session cell and fails when the simulated-time commit throughput
   speedup drops below ``--min-speedup`` (default 2x).  A healthy group
   committer batches ~8+ commits per WAL fsync, so anything under 2x means
-  grouping has effectively stopped working.
+  grouping has effectively stopped working;
+* **sharding** — a 4-shard scatter-gather full scan must finish in well
+  under half the single-node simulated time (``--min-shard-speedup``,
+  default 2x): shards own independent clocks/devices and progress in
+  parallel, so losing the speedup means the router began serializing.
 
 CI runs this with ``continue-on-error`` — a regression turns the step red
 without blocking the build, because shared-runner wall clock is noisy.
@@ -99,15 +103,44 @@ def check_group_commit(args) -> int:
     return 0
 
 
+def check_sharding(args) -> int:
+    """4-shard scatter-gather scan vs single-node: scale-out must pay.
+
+    Simulated time again: every shard owns its own device and clock and
+    the router reports max-over-shards, so a 4-shard full scan should
+    take well under half the single-node sim time.  Falling below 2x
+    means the router has started serializing shard I/O (or the ownership
+    filter/merge grew a per-row sim cost) — a real architecture
+    regression, not runner noise.
+    """
+    rows, commits = (800, 20) if args.quick else (3_000, 60)
+    print(f"[perf-smoke] sharding: 1 vs 4 shards ({rows} rows)…")
+    out = run_all.bench_sharding((4,), rows, commits)
+    speedup = out["sharded"][0]["scan_sim_speedup_vs_single"]
+    verdict = "PASS" if speedup >= args.min_shard_speedup else "FAIL"
+    print(f"[perf-smoke] sharding: 4-shard scan sim speedup {speedup}x "
+          f"vs single-node (floor {args.min_shard_speedup}x) -> {verdict}")
+    if speedup < args.min_shard_speedup:
+        print(f"[perf-smoke] REGRESSION: 4-shard scatter-gather scan is "
+              f"only {speedup}x single-node in simulated time; shards "
+              f"should progress in parallel — check the router's merge "
+              f"and per-shard clock accounting", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", default=str(
-        Path(__file__).resolve().parent.parent / "BENCH_PR7.json"))
+        Path(__file__).resolve().parent.parent / "BENCH_PR8.json"))
     parser.add_argument("--threshold", type=float, default=0.20,
                         help="tolerated fractional hits/sec regression")
     parser.add_argument("--min-speedup", type=float, default=2.0,
                         help="required 16-session vs 1-session group-"
                              "commit throughput ratio (simulated time)")
+    parser.add_argument("--min-shard-speedup", type=float, default=2.0,
+                        help="required 4-shard vs single-node range-scan "
+                             "sim-time speedup")
     parser.add_argument("--quick", action="store_true",
                         help="shrink the workload (numbers NOT comparable "
                              "to the full-size baseline; scales the "
@@ -118,7 +151,8 @@ def main() -> int:
         run_all.SCAN_RECORDS = 8_000
         run_all.SCAN_PARTITION_EVERY = 2_000
 
-    return check_scan(args) | check_group_commit(args)
+    return (check_scan(args) | check_group_commit(args)
+            | check_sharding(args))
 
 
 if __name__ == "__main__":

@@ -12,14 +12,16 @@ pre-streaming (materialise-and-sort) pipeline as the recorded baseline —
 (c) a multi-session serving benchmark — commits/s (simulated time,
 primary, plus wall clock) and p99 commit latency at 1/4/16/64 concurrent
 sessions, OLTP-only and mixed HTAP, with fsyncs-per-commit and the WAL
-group-commit batching stats — and (d) scaled-down versions of the
-fig12/fig14/fig15 figure benchmarks, then writes everything to
-``BENCH_PR7.json`` so future PRs have a perf trajectory to compare
-against.
+group-commit batching stats — (d) a horizontal-sharding benchmark —
+range-scan and OLTP commit throughput (simulated time) at 1/2/4/8 hash
+shards against a single-node baseline, with the cross-shard 2PC commit
+premium — and (e) scaled-down versions of the fig12/fig14/fig15 figure
+benchmarks, then writes everything to ``BENCH_PR8.json`` so future PRs
+have a perf trajectory to compare against.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/run_all.py [--out BENCH_PR7.json]
+    PYTHONPATH=src python benchmarks/run_all.py [--out BENCH_PR8.json]
                                                 [--skip-figures] [--quick]
 
 ``--quick`` shrinks both microbenchmarks to a seconds-long smoke run (used
@@ -70,6 +72,10 @@ WRITE_PARTITIONS = 8
 SERVE_SESSION_COUNTS = (1, 4, 16, 64)
 SERVE_COMMITS_PER_SESSION = 60
 SERVE_BASE_ROWS = 2_000
+
+SHARD_COUNTS = (1, 2, 4, 8)
+SHARD_ROWS = 6_000
+SHARD_COMMITS = 240
 
 
 def build_scan_tree():
@@ -704,11 +710,124 @@ def bench_concurrency(session_counts=SERVE_SESSION_COUNTS,
     return out
 
 
+def bench_sharding(shard_counts=SHARD_COUNTS, rows: int = SHARD_ROWS,
+                   commits: int = SHARD_COMMITS) -> dict:
+    """Horizontal scale-out: range-scan and OLTP commit throughput at
+    1/2/4/8 hash shards against a single-node ``Database`` baseline.
+
+    Throughput is simulated-time (primary) plus wall clock.  Each shard
+    owns an independent device *and clock* and the router reports
+    max-over-shards simulated time — shards progress in parallel, so a
+    scatter-gather scan of N shards should approach N-fold sim-time
+    speedup while the Python-side merge keeps wall time roughly flat.
+    Three OLTP shapes per cell: single-row transactions (fan to ONE
+    shard, plain one-fsync commits), two-row transactions (routinely
+    cross-shard: PREPARE per shard + coordinator decision + commit
+    markers — the 2PC premium, reported as sim-us per commit) and the
+    full scan.
+    """
+    from repro.config import EngineConfig
+    from repro.engine import Database
+    from repro.shard import ShardConfig, ShardedDatabase
+
+    config = EngineConfig(durability=True)
+
+    def preload(db, begin, insert, commit):
+        txn = begin()
+        for i in range(rows):
+            insert(txn, "t", (i, f"b{i}"))
+            if i % 500 == 499:
+                commit(txn)
+                txn = begin()
+        commit(txn)
+
+    def measure(label, sim_now, begin, insert, update, scan, abort):
+        cell: dict = {}
+        # full scatter-gather scan, hot (one warm-up, then timed)
+        for timed_run in (False, True):
+            txn = begin()
+            sim0, wall0 = sim_now(), time.perf_counter()
+            n = len(scan(txn))
+            sim, wall = sim_now() - sim0, time.perf_counter() - wall0
+            abort(txn)
+            if timed_run:
+                cell["scan"] = {
+                    "rows": n,
+                    "sim_seconds": round(sim, 6),
+                    "rows_per_sim_sec": round(n / sim) if sim else None,
+                    "wall_seconds": round(wall, 4),
+                }
+        # single-row commits (point routing: one owner shard)
+        sim0, wall0 = sim_now(), time.perf_counter()
+        for i in range(commits):
+            txn = begin()
+            insert(txn, "t", (1_000_000 + i, "w"))
+            txn.commit()
+        sim, wall = sim_now() - sim0, time.perf_counter() - wall0
+        cell["oltp_single_row"] = {
+            "commits": commits,
+            "commits_per_sim_sec": round(commits / sim, 1),
+            "sim_us_per_commit": round(sim / commits * 1e6, 1),
+            "wall_seconds": round(wall, 4),
+        }
+        # two-row commits (routinely cross-shard -> the 2PC premium)
+        sim0 = sim_now()
+        for i in range(commits):
+            txn = begin()
+            insert(txn, "t", (2_000_000 + 2 * i, "x"))
+            insert(txn, "t", (2_000_000 + 2 * i + 1, "y"))
+            txn.commit()
+        sim = sim_now() - sim0
+        cell["oltp_two_row"] = {
+            "commits": commits,
+            "commits_per_sim_sec": round(commits / sim, 1),
+            "sim_us_per_commit": round(sim / commits * 1e6, 1),
+        }
+        one = cell["oltp_single_row"]["commits_per_sim_sec"]
+        two = cell["oltp_two_row"]["commits_per_sim_sec"]
+        print(f"[shard] {label}: scan {cell['scan']['rows_per_sim_sec']} "
+              f"rows/sim-s, 1-row {one} commits/sim-s, "
+              f"2-row {two} commits/sim-s")
+        return cell
+
+    out: dict = {"rows": rows, "commits": commits}
+
+    db = Database(config)
+    db.create_table("t", [("k", "int"), ("v", "str")], "sias")
+    db.create_index("ix", "t", ["k"], kind="mvpbt")
+    preload(db, db.begin, db.insert, lambda t: t.commit())
+    out["single_node"] = measure(
+        "single-node", lambda: db.clock.now, db.begin, db.insert,
+        db.update_by_key,
+        lambda t: db.range_select(t, "ix", None, None),
+        lambda t: t.abort())
+
+    out["sharded"] = []
+    for n in shard_counts:
+        sdb = ShardedDatabase(config, ShardConfig(shards=n))
+        sdb.create_table("t", [("k", "int"), ("v", "str")], "sias")
+        sdb.create_index("ix", "t", ["k"], kind="mvpbt")
+        preload(sdb, sdb.begin, sdb.insert, lambda t: t.commit())
+        cell = measure(
+            f"{n} shard(s)", lambda: sdb.sim_now, sdb.begin, sdb.insert,
+            sdb.update_by_key,
+            lambda t: sdb.range_select(t, "ix", None, None),
+            lambda t: t.abort())
+        cell["shards"] = n
+        cell["scan_sim_speedup_vs_single"] = round(
+            out["single_node"]["scan"]["sim_seconds"]
+            / cell["scan"]["sim_seconds"], 3)
+        out["sharded"].append(cell)
+        print(f"[shard] {n} shard(s): scan sim speedup "
+              f"{cell['scan_sim_speedup_vs_single']}x vs single-node")
+    return out
+
+
 def main() -> None:
     global SCAN_RECORDS, SCAN_PARTITION_EVERY
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default=str(
-        Path(__file__).resolve().parent.parent / "BENCH_PR7.json"))
+        Path(__file__).resolve().parent.parent / "BENCH_PR8.json"))
     parser.add_argument("--skip-figures", action="store_true",
                         help="only run the scan/write microbenchmarks")
     parser.add_argument("--quick", action="store_true",
@@ -719,11 +838,14 @@ def main() -> None:
         WRITE_RECORDS, WRITE_PARTITIONS, 3)
     serve_counts, serve_commits, serve_rows = (
         SERVE_SESSION_COUNTS, SERVE_COMMITS_PER_SESSION, SERVE_BASE_ROWS)
+    shard_counts, shard_rows, shard_commits = (
+        SHARD_COUNTS, SHARD_ROWS, SHARD_COMMITS)
     if args.quick:
         SCAN_RECORDS = 8_000
         SCAN_PARTITION_EVERY = 2_000
         write_records, write_partitions, write_repeat = 8_000, 4, 1
         serve_counts, serve_commits, serve_rows = (1, 4, 16), 15, 300
+        shard_counts, shard_rows, shard_commits = (1, 4), 1_200, 40
 
     started = time.time()
     report = {
@@ -739,6 +861,8 @@ def main() -> None:
         "obs": bench_obs(Path(args.out)),
         "concurrency": bench_concurrency(serve_counts, serve_commits,
                                          serve_rows),
+        "sharding": bench_sharding(shard_counts, shard_rows,
+                                   shard_commits),
     }
     if not args.skip_figures:
         report["figures"] = bench_figures()

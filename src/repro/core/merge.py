@@ -39,7 +39,7 @@ from ..storage.recordid import RecordID
 from ..txn.transaction import Transaction
 from .eviction import build_partition
 from .gc import gc_victim_seqs
-from .partition import PersistedPartition
+from .partition import MemoryPartition, PersistedPartition
 from .records import MVPBTRecord, RecordType, record_size
 from ..types import Key
 
@@ -200,6 +200,50 @@ def merge_partitions(tree: "MVPBT", count: int | None = None, *,
                              if merged is not None else 0),
                 pages=pages, bytes=nbytes)
     return merged
+
+
+def rebuild_contents(tree: "MVPBT", records: list[MVPBTRecord]) -> None:
+    """Replace the tree's entire record set in one atomic eviction-style
+    step (the shard-rebalancing primitive, DESIGN.md §16.4).
+
+    ``records`` — any mix of kept and newly adopted records — is sorted on
+    the §4.3 key and fed through the shared single-pass builder into ONE
+    new persisted partition, bypassing ``P_N``.  The flip is
+    eviction-style (WAL floor to ``end_lsn`` + manifest install + WAL
+    truncate): after it, the manifest alone describes the new layout and
+    no WAL record of the old layout replays.  Old partitions are freed
+    only after the flip (install-before-retire), so a crash at any I/O
+    recovers either the complete old or the complete new tree — never a
+    mix, and never a duplicate.
+    """
+    if tree.has_pending_writes():
+        raise IndexError_(
+            f"{tree.name}: rebuild requires no pending transactional "
+            f"writes (quiesce writers first)")
+    records = sorted(records, key=MVPBTRecord.sort_key)
+    clock = tree.manager.clock
+    if clock is not None:
+        clock.advance(tree.manager.cost.compare * len(records))
+
+    obs = tree._obs
+    with span_or_null(obs, "mvpbt.rebuild", index=tree.name,
+                      records=len(records)) as span:
+        old = list(tree._persisted)
+        partition = build_partition(tree, records, tree._mem.number)
+        tree._persisted[:] = [partition] if partition is not None else []
+        tree._mem = MemoryPartition(tree._mem.number + 1, tree.mode,
+                                    tree.file.page_size)
+        max_seq = max((r.seq for r in records), default=-1)
+        if max_seq >= tree._next_seq:
+            tree._next_seq = max_seq + 1
+        if tree._durability is not None:
+            tree._durability.on_eviction(tree)
+        for part in old:
+            part.run.free()
+        if obs is not None:
+            obs.registry.counter("mvpbt.rebuild.count").inc()
+            span.set(records_out=(partition.record_count
+                                  if partition is not None else 0))
 
 
 def bulk_load(tree: "MVPBT", txn: Transaction,

@@ -923,7 +923,29 @@ class MVPBT:
         from .merge import bulk_load
         return bulk_load(self, txn, entries, payloads)
 
+    def rebuild_contents(self, records: "list[MVPBTRecord]") -> None:
+        """Atomically replace the tree's whole record set (shard
+        rebalancing, DESIGN.md §16.4)."""
+        from .merge import rebuild_contents
+        rebuild_contents(self, records)
+
     # ------------------------------------------------------------ inspection
+
+    def iter_all_records(self) -> Iterator[MVPBTRecord]:
+        """Every record of the tree — persisted partitions oldest-first,
+        then ``P_N`` — with no visibility filtering or reconciliation.
+
+        A reorganisation primitive (shard rebalancing classifies every
+        record by owner); not a query path.
+        """
+        for part in self._persisted:
+            yield from part.run.iter_all_sequential()
+        yield from self._mem.iter_records()
+
+    def has_pending_writes(self) -> bool:
+        """Any committed-but-unflushed per-transaction WAL buffers?
+        Reorganisations that rewrite the whole tree require none."""
+        return any(self._wal_pending.values())
 
     @property
     def partition_count(self) -> int:

@@ -155,6 +155,36 @@ class DurabilityController:
                 "wal.append_group", txids=[t.id for t, _r in batch],
                 entries=entries)
 
+    # ----------------------------------------------------- sharded 2PC hooks
+
+    def append_prepare(self, txn: "Transaction") -> int:
+        """Drain one transaction's pending records and append them with a
+        PREPARE marker in one durable write (shard-commit phase one,
+        DESIGN.md §16.3).  Returns the number of records drained.
+
+        The transaction stays ACTIVE and undecided: recovery treats a
+        PREPARE without a commit decision (local marker or coordinator
+        decision) as aborted.
+        """
+        records = self.drain_commit_records(txn)
+        self.wal.log_prepare(records, txn.id)
+        if self._obs is not None:
+            self._m_wal_appends.inc()
+            self._m_wal_entries.inc(len(records) + 1)
+            self._obs.tracer.emit("wal.prepare", txid=txn.id,
+                                  entries=len(records) + 1)
+        return len(records)
+
+    def append_commit_marker(self, txid: int) -> None:
+        """Append a bare COMMIT marker (shard-commit phase two: the
+        coordinator already decided; this makes the decision locally
+        durable so later recoveries need not consult the coordinator)."""
+        self.wal.log([], commit_txid=txid)
+        if self._obs is not None:
+            self._m_wal_appends.inc()
+            self._m_wal_entries.inc(1)
+            self._obs.tracer.emit("wal.commit_marker", txid=txid)
+
     def _on_abort(self, txn: "Transaction") -> None:
         for tree in self._trees.values():
             tree.drain_wal_pending(txn.id)

@@ -17,7 +17,7 @@ from ..index.filters import BloomFilter, PrefixBloomFilter, ZoneMap
 from ..index.runs import PersistedRun
 from ..storage.pagefile import PageFile
 from .manifest import ManifestState, ManifestStore, PartitionMeta
-from .wal import KIND_COMMIT, KIND_RECORD, WriteAheadLog
+from .wal import KIND_COMMIT, KIND_PREPARE, KIND_RECORD, WriteAheadLog
 
 if TYPE_CHECKING:
     from ..buffer.pool import BufferPool
@@ -33,6 +33,9 @@ class DurableState(NamedTuple):
     committed: set[int]                  #: all durably-committed txids
     records: dict[str, list[MVPBTRecord]]  #: per-index P_N replay sets
     next_txid: int                       #: safe next transaction id
+    #: txids with a durable PREPARE but no local COMMIT — a sharded commit
+    #: whose decision lives (if anywhere) in the coordinator's log
+    prepared: set[int]
 
 
 def read_durable_state(manifest_file: PageFile, wal_file: PageFile,
@@ -52,11 +55,16 @@ def read_durable_state(manifest_file: PageFile, wal_file: PageFile,
     floors = ({name: ix.wal_floor for name, ix in state.indexes.items()}
               if state is not None else {})
     committed: set[int] = set()
+    prepared: set[int] = set()
     records: dict[str, list[MVPBTRecord]] = {}
     max_record_ts = 0
     for entry in entries:
         if entry.kind == KIND_COMMIT:
             committed.add(entry.txid)
+        elif entry.kind == KIND_PREPARE:
+            # durable but undecided: records replay (visibility is gated
+            # by commit status), the outcome comes from the coordinator
+            prepared.add(entry.txid)
         elif entry.kind == KIND_RECORD:
             record = entry.record
             if record.ts > max_record_ts:
@@ -74,9 +82,11 @@ def read_durable_state(manifest_file: PageFile, wal_file: PageFile,
     next_txid = max(
         state.txid_watermark if state is not None else 1,
         max(committed, default=0) + 1,
+        max(prepared, default=0) + 1,
         max_record_ts + 1,
         1)
-    return DurableState(store, state, wal, committed, records, next_txid)
+    return DurableState(store, state, wal, committed, records, next_txid,
+                        prepared)
 
 
 def restore_bloom(state: tuple[int, int, int, bytes] | None

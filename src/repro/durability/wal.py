@@ -12,7 +12,7 @@ own LSN and CRC32::
 
     u16  payload length
     u64  LSN            (1-based, monotonically increasing)
-    u8   kind           (0 = RECORD, 1 = COMMIT)
+    u8   kind           (0 = RECORD, 1 = COMMIT, 2 = PREPARE, 3 = NOTE)
     ...  payload
     u32  CRC32 over (length .. payload)
 
@@ -20,6 +20,14 @@ RECORD payload: u16 index-name length + name + one MV-PBT record in the
 :mod:`repro.core.serialization` wire format.  COMMIT payload: u64 txid.
 A COMMIT marker is appended for *every* commit (even record-less ones), so
 transaction outcomes survive a restart.
+
+Two marker kinds serve the sharding layer (DESIGN.md §16): a PREPARE
+marker (u64 txid, like COMMIT) makes one shard's slice of a cross-shard
+transaction durable *without* deciding it — the decision lives in the
+coordinator's log — and a NOTE entry carries an opaque payload (the
+coordinator's durable shard-layout snapshots).  Single-node recovery
+treats a prepared-but-undecided transaction exactly like a missing
+COMMIT marker: aborted.
 
 Replay scans the log file's pages in page-number order (sequential reads),
 parses each page's entries, orders them by LSN and keeps the single
@@ -40,6 +48,8 @@ from ..storage.pagefile import PageFile
 
 KIND_RECORD = 0
 KIND_COMMIT = 1
+KIND_PREPARE = 2
+KIND_NOTE = 3
 
 _HEAD = struct.Struct("<HQB")   # payload length, lsn, kind
 _CRC = struct.Struct("<I")
@@ -52,9 +62,10 @@ class WALEntry(NamedTuple):
 
     lsn: int
     kind: int
-    txid: int                    #: commit marker's transaction (COMMIT only)
+    txid: int                    #: marker's transaction (COMMIT/PREPARE)
     index_name: str              #: owning index (RECORD only)
     record: MVPBTRecord | None   #: logged mutation (RECORD only)
+    note: bytes = b""            #: opaque payload (NOTE only)
 
 
 def _encode_entry(lsn: int, kind: int, payload: bytes) -> bytes:
@@ -71,6 +82,14 @@ def encode_record_entry(lsn: int, index_name: str,
 
 def encode_commit_entry(lsn: int, txid: int) -> bytes:
     return _encode_entry(lsn, KIND_COMMIT, _U64.pack(txid))
+
+
+def encode_prepare_entry(lsn: int, txid: int) -> bytes:
+    return _encode_entry(lsn, KIND_PREPARE, _U64.pack(txid))
+
+
+def encode_note_entry(lsn: int, payload: bytes) -> bytes:
+    return _encode_entry(lsn, KIND_NOTE, payload)
 
 
 def parse_entries(data: bytes) -> list[WALEntry]:
@@ -92,9 +111,11 @@ def parse_entries(data: bytes) -> list[WALEntry]:
             break
         payload = data[pos + _HEAD.size:end - _CRC.size]
         try:
-            if kind == KIND_COMMIT:
+            if kind in (KIND_COMMIT, KIND_PREPARE):
                 (txid,) = _U64.unpack_from(payload, 0)
                 entries.append(WALEntry(lsn, kind, txid, "", None))
+            elif kind == KIND_NOTE:
+                entries.append(WALEntry(lsn, kind, 0, "", None, payload))
             elif kind == KIND_RECORD:
                 (name_len,) = _U16.unpack_from(payload, 0)
                 name = payload[2:2 + name_len].decode("utf-8")
@@ -173,6 +194,30 @@ class WriteAheadLog:
             if commit_txid is not None:
                 blobs.append(encode_commit_entry(self.end_lsn + len(blobs),
                                                  commit_txid))
+        self._append_blobs(blobs)
+
+    def log_prepare(self, records: Iterable[tuple[str, MVPBTRecord]],
+                    txid: int) -> None:
+        """Append RECORD entries plus a PREPARE marker in one durable write.
+
+        The shard-commit first phase (DESIGN.md §16.3): the transaction's
+        slice on this shard becomes durable, but remains *undecided* — a
+        recovery that finds the PREPARE without a matching COMMIT (here or
+        in the coordinator's decision log) aborts the transaction.
+        """
+        blobs: list[bytes] = []
+        for name, record in records:
+            blobs.append(encode_record_entry(self.end_lsn + len(blobs),
+                                             name, record))
+        blobs.append(encode_prepare_entry(self.end_lsn + len(blobs), txid))
+        self._append_blobs(blobs)
+
+    def log_note(self, payload: bytes) -> None:
+        """Append one opaque NOTE entry durably (coordinator layout log)."""
+        self._append_blobs([encode_note_entry(self.end_lsn, payload)])
+
+    def _append_blobs(self, blobs: list[bytes]) -> None:
+        """Pack encoded entries into tail pages and write them durably."""
         if not blobs:
             return
         self.appends += 1

@@ -70,9 +70,13 @@ class Database:
     """One simulated DBMS instance."""
 
     def __init__(self, config: EngineConfig | None = None,
-                 profile: DeviceProfile = INTEL_DC_P3600) -> None:
+                 profile: DeviceProfile = INTEL_DC_P3600, *,
+                 clock: SimClock | None = None) -> None:
         self.config = config if config is not None else EngineConfig()
-        self.clock = SimClock()
+        #: injectable so multi-instance topologies (repro.shard) choose
+        #: their time model: independent clocks model shards progressing
+        #: in parallel, a shared clock serializes them on one timeline
+        self.clock = clock if clock is not None else SimClock()
         self.trace = IOTrace()
         #: None when observability is disabled — every instrumented call
         #: site guards on that, keeping the disabled overhead a pointer test
@@ -494,8 +498,18 @@ class Database:
     # -------------------------------------------------------------- recovery
 
     @classmethod
-    def recover(cls, crashed: "Database") -> "Database":
+    def recover(cls, crashed: "Database", *,
+                extra_committed: frozenset[int] | set[int] = frozenset(),
+                txid_floor: int = 0) -> "Database":
         """Restart after a crash (injected or clean) on the same device.
+
+        ``extra_committed`` / ``txid_floor`` are the sharded-recovery hooks
+        (DESIGN.md §16.5): the router passes the union of every shard's
+        durable commits plus the coordinator's decision log, so a
+        cross-shard transaction that reached its COMMIT decision recovers
+        as committed on *every* shard — including shards whose own commit
+        marker was lost to the crash — and the restored allocator clears
+        every globally-issued id.
 
         The host-DBMS side of the simulation (base tables, catalog,
         version-oblivious indexes) is assumed recovered by the host's own
@@ -544,8 +558,9 @@ class Database:
             # status authority stays with the durable state — a txn without
             # a durable COMMIT marker or manifest commit bit recovers as
             # aborted everywhere, tables included
-            db.txn.restore(max(durable.next_txid, crashed.txn.next_txid),
-                           durable.committed)
+            db.txn.restore(max(durable.next_txid, crashed.txn.next_txid,
+                               txid_floor),
+                           durable.committed | set(extra_committed))
             db.durability = DurabilityController(durable.store, durable.wal,
                                                  db.txn, obs=db.obs)
 

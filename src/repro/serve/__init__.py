@@ -31,6 +31,7 @@ from .locks import (RANK_ENGINE, RANK_GROUP_QUEUE, RANK_TXN_COMMITLOG,
 from .scheduler import FairScheduler, KindStats
 from .server import Server
 from .session import Session
+from .shard_server import ShardServer, ShardSession
 
 __all__ = [
     "FairScheduler",
@@ -46,5 +47,7 @@ __all__ = [
     "ServeConfig",
     "Session",
     "SessionExecutor",
+    "ShardServer",
+    "ShardSession",
     "held_ranks",
 ]

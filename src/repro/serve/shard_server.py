@@ -1,0 +1,462 @@
+"""Concurrent serving over a sharded router (DESIGN.md §16.6).
+
+A :class:`ShardServer` multiplexes client sessions over one
+:class:`~repro.shard.router.ShardedDatabase` the same way
+:class:`~repro.serve.server.Server` serves a single engine: a
+:class:`~repro.serve.scheduler.FairScheduler` FIFO slot confines router +
+coordinator + every shard to one thread at a time, sessions are cheap
+registry entries, and long analytical scans release the slot between
+slices.
+
+There is no :class:`~repro.serve.group_commit.GroupCommitter` here: the
+router's own commit protocol already decides how many WAL appends a
+commit costs (one on the touched shard, or the 2PC marker flow), and
+batching across *different shards'* WALs would couple devices the
+sharding exists to decouple.
+
+:meth:`ShardSession.batch_scan` is the scatter-gather analogue of the
+single-node sliced scan: each slice pulls a bounded run of index-only
+hits from EVERY shard's cursor under one scheduler slot, k-way-merges
+them on the encoded index key, and emits only keys strictly below the
+merge boundary — the smallest upper bound every shard's unpulled tail is
+known to lie above — so the concatenation of slices equals one
+monolithic snapshot scan: no duplicates, no skips, regardless of
+interleaved commits, evictions or rebalance residue (the ownership
+filter runs on every fetched row).
+"""
+
+from __future__ import annotations
+
+import threading
+from itertools import islice
+from types import TracebackType
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Sequence
+
+from ..errors import SessionError, TransactionStateError
+from ..obs.registry import LATENCY_BUCKETS_US
+from ..storage.keycodec import encode_key
+from ..storage.recordid import RecordID
+from ..types import JSONDict, Key
+from .config import ServeConfig
+from .scheduler import FairScheduler
+
+if TYPE_CHECKING:
+    from ..core.tree import SearchHit
+    from ..shard.router import ShardedDatabase
+    from ..shard.txn import ShardTransaction
+
+
+class ShardServer:
+    """Multiplexes concurrent client sessions over a sharded router."""
+
+    def __init__(self, router: "ShardedDatabase",
+                 config: ServeConfig | None = None) -> None:
+        self.router = router
+        self.config = config if config is not None else ServeConfig()
+        self.scheduler = FairScheduler(
+            ordering_checks=self.config.ordering_checks)
+        # registry lock: leaf lock, never held while acquiring any other
+        self._registry_lock = threading.Lock()
+        self._sessions: dict[int, ShardSession] = {}
+        self._next_sid = 1
+        self._closed = False
+        self._obs = router.obs
+        if self._obs is not None:
+            registry = self._obs.registry
+            self._m_opened = registry.counter("serve.sessions.opened")
+            self._m_closed = registry.counter("serve.sessions.closed")
+            self._g_active = registry.gauge("serve.sessions.active")
+            self._m_slices = registry.counter("serve.scan.slices")
+            self._m_commit_latency = registry.histogram(
+                "serve.commit.latency_us", LATENCY_BUCKETS_US)
+
+    # -------------------------------------------------------------- sessions
+
+    def session(self) -> "ShardSession":
+        """Open a new session handle (close it, or use ``with``)."""
+        with self._registry_lock:
+            if self._closed:
+                raise SessionError("server is closed")
+            if len(self._sessions) >= self.config.max_sessions:
+                raise SessionError(
+                    f"session cap reached ({self.config.max_sessions}); "
+                    f"close a session first")
+            sid = self._next_sid
+            self._next_sid += 1
+            session = ShardSession(self, sid)
+            self._sessions[sid] = session
+        if self._obs is not None:
+            self._m_opened.inc()
+            self._g_active.set(self.active_sessions)
+        return session
+
+    def _discard(self, session: "ShardSession") -> None:
+        with self._registry_lock:
+            self._sessions.pop(session.id, None)
+        if self._obs is not None:
+            self._m_closed.inc()
+            self._g_active.set(self.active_sessions)
+
+    @property
+    def active_sessions(self) -> int:
+        with self._registry_lock:
+            return len(self._sessions)
+
+    # ---------------------------------------------------------- obs plumbing
+
+    def note_commit_latency(self, latency_s: float) -> None:
+        if self._obs is not None:
+            self._m_commit_latency.observe(latency_s * 1e6)
+
+    def note_scan_slice(self) -> None:
+        if self._obs is not None:
+            self._m_slices.inc()
+
+    # ------------------------------------------------------------ inspection
+
+    def stats(self) -> JSONDict:
+        """Serving-layer snapshot: scheduler fairness + router shape."""
+        return {
+            "active_sessions": self.active_sessions,
+            "shards": len(self.router.shards),
+            "scheduler": {
+                "ticks": self.scheduler.ticks,
+                "kinds": self.scheduler.stats(),
+            },
+            "coordinator_next_txid": self.router.coordinator.next_txid,
+        }
+
+    # ------------------------------------------------------------- lifecycle
+
+    def close(self) -> None:
+        """Abort open sessions and stop the scheduler."""
+        with self._registry_lock:
+            if self._closed:
+                return
+            self._closed = True
+            sessions = list(self._sessions.values())
+        for session in sessions:
+            session.close()
+        self.scheduler.close()
+
+    def __enter__(self) -> "ShardServer":
+        return self
+
+    def __exit__(self, exc_type: type[BaseException] | None,
+                 exc: BaseException | None,
+                 tb: TracebackType | None) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (f"ShardServer(sessions={self.active_sessions}, "
+                f"shards={len(self.router.shards)})")
+
+
+class ShardSession:
+    """One client's handle onto the served router (single-threaded)."""
+
+    def __init__(self, server: ShardServer, sid: int) -> None:
+        self._server = server
+        self._router = server.router
+        self.id = sid
+        self._txn: "ShardTransaction | None" = None
+        self._closed = False
+        self._busy_by: int | None = None
+        #: commits acknowledged through this session
+        self.commits = 0
+        #: simulated seconds the last commit spent inside the slot
+        self.last_commit_latency_s = 0.0
+
+    # ------------------------------------------------------------- lifecycle
+
+    def begin(self) -> int:
+        """Open a global transaction; returns its txid."""
+        with self._guard():
+            if self._txn is not None:
+                raise SessionError(
+                    f"session {self.id}: transaction {self._txn.id} is "
+                    f"still open (no nested transactions)")
+            with self._server.scheduler.slot("oltp"):
+                self._txn = self._router.begin()
+            return self._txn.id
+
+    def commit(self) -> float:
+        """Commit; returns the simulated latency in seconds (the router's
+        max-over-shards clock delta across the commit protocol)."""
+        with self._guard():
+            txn = self._require_txn()
+            server = self._server
+            with server.scheduler.slot("oltp"):
+                t0 = self._router.sim_now
+                self._router.commit(txn)
+                latency = self._router.sim_now - t0
+            self._txn = None
+            self.commits += 1
+            self.last_commit_latency_s = latency
+            server.note_commit_latency(latency)
+            return latency
+
+    def abort(self) -> None:
+        with self._guard():
+            txn = self._require_txn()
+            with self._server.scheduler.slot("oltp"):
+                self._router.abort(txn)
+            self._txn = None
+
+    def run(self, fn: Callable[["ShardSession"], Any],
+            retries: int = 3) -> Any:
+        """Run ``fn(self)`` in a transaction; commit on success, abort on
+        error, first-updater-wins retry on write conflicts."""
+        from ..errors import WriteConflictError
+        attempt = 0
+        while True:
+            self.begin()
+            try:
+                result = fn(self)
+            except WriteConflictError:
+                if self._txn is not None:
+                    self.abort()
+                attempt += 1
+                if attempt > retries:
+                    raise
+                continue
+            except BaseException:
+                if self._txn is not None:
+                    self.abort()
+                raise
+            if self._txn is not None:
+                self.commit()
+            return result
+
+    @property
+    def in_txn(self) -> bool:
+        return self._txn is not None
+
+    @property
+    def txn(self) -> "ShardTransaction":
+        """The open transaction (for host-level integration/tests)."""
+        return self._require_txn()
+
+    def close(self) -> None:
+        """Abort any open transaction and release the session slot."""
+        if self._closed:
+            return
+        if self._txn is not None and self._txn.is_active:
+            with self._server.scheduler.slot("oltp"):
+                self._router.abort(self._txn)
+        self._txn = None
+        self._closed = True
+        self._server._discard(self)
+
+    # ------------------------------------------------------------------- DML
+
+    def insert(self, table: str,
+               row: Sequence[object]) -> tuple[int, RecordID]:
+        with self._guard():
+            txn = self._require_txn()
+            with self._server.scheduler.slot("oltp"):
+                return self._router.insert(txn, table, row)
+
+    def update_by_key(self, index: str, key: Key,
+                      updates: dict[str, object]) -> int:
+        with self._guard():
+            txn = self._require_txn()
+            with self._server.scheduler.slot("oltp"):
+                return self._router.update_by_key(txn, index, key, updates)
+
+    def delete_by_key(self, index: str, key: Key) -> int:
+        with self._guard():
+            txn = self._require_txn()
+            with self._server.scheduler.slot("oltp"):
+                return self._router.delete_by_key(txn, index, key)
+
+    # ----------------------------------------------------------------- reads
+
+    def select(self, index: str, key: Key) -> list[Key]:
+        with self._guard():
+            txn = self._require_txn()
+            with self._server.scheduler.slot("oltp"):
+                return self._router.select(txn, index, key)
+
+    def range_select(self, index: str, lo: Key | None, hi: Key | None, *,
+                     lo_incl: bool = True,
+                     hi_incl: bool = True) -> list[Key]:
+        """Materialising scatter-gather range read in ONE slot."""
+        with self._guard():
+            txn = self._require_txn()
+            with self._server.scheduler.slot("oltp"):
+                return self._router.range_select(txn, index, lo, hi,
+                                                 lo_incl=lo_incl,
+                                                 hi_incl=hi_incl)
+
+    def batch_scan(self, index: str, lo: Key | None = None,
+                   hi: Key | None = None, *, lo_incl: bool = True,
+                   hi_incl: bool = True,
+                   slice_rows: int | None = None) -> Iterator[Key]:
+        """Sliced scatter-gather scan: global key order, slot per slice.
+
+        Every slice pulls a bounded cursor run from each shard with the
+        session's fixed snapshot, merges on the encoded index key and
+        continues at the merge boundary; ownership filtering runs on the
+        fetched rows, so rebalance residue is never emitted.
+        """
+        txn = self._require_txn()
+        router = self._router
+        info = router.shards[0].catalog.index(index)
+        if not (info.is_mvpbt and info.mvpbt.index_only_visibility):
+            # no streaming cursor without index-only visibility: one slot
+            with self._guard():
+                with self._server.scheduler.slot("scan"):
+                    rows = router.range_select(txn, index, lo, hi,
+                                               lo_incl=lo_incl,
+                                               hi_incl=hi_incl)
+            yield from rows
+            return
+        limit = (slice_rows if slice_rows is not None
+                 else self._server.config.scan_slice_rows)
+        cur_lo, cur_incl = lo, lo_incl
+        while True:
+            want = limit
+            while True:
+                pulled = self._pull_slice(txn, index, cur_lo, hi,
+                                          cur_incl, hi_incl, want)
+                merged = sorted(
+                    ((encode_key(hit.key), shard, hit)
+                     for shard, hits in enumerate(pulled)
+                     for hit in hits),
+                    key=lambda item: (item[0], item[1]))
+                if all(len(hits) <= want for hits in pulled):
+                    # every shard is exhausted: the final slice
+                    for row in self._rows_for(txn, index, merged):
+                        yield row
+                    return
+                # boundary: (want+1)-th smallest key overall — every
+                # shard's unpulled tail is provably >= it
+                boundary = merged[want][2].key
+                emit = [item for item in merged if item[2].key < boundary]
+                if emit:
+                    break
+                # one key's duplicate run exceeds the slice: grow and
+                # retry so the key is never split across slices
+                want *= 2
+            for row in self._rows_for(txn, index, emit):
+                yield row
+            cur_lo, cur_incl = boundary, True
+
+    def count_range(self, index: str, lo: Key | None,
+                    hi: Key | None) -> int:
+        """COUNT(*) via the sliced scatter-gather scan."""
+        return sum(1 for _ in self.batch_scan(index, lo, hi))
+
+    # -------------------------------------------------------------- plumbing
+
+    def _pull_slice(self, txn: "ShardTransaction", index: str,
+                    lo: Key | None, hi: Key | None, lo_incl: bool,
+                    hi_incl: bool, want: int) -> "list[list[SearchHit]]":
+        """One bounded cursor pull (``want + 1`` hits) per shard, in one
+        scheduler slot.  A shard returning ``<= want`` hits is exhausted
+        for this range."""
+        pulled: "list[list[SearchHit]]" = []
+        with self._guard():
+            with self._server.scheduler.slot("scan"):
+                self._server.note_scan_slice()
+                for k, db in enumerate(self._router.shards):
+                    tree = db.catalog.index(index).mvpbt
+                    cursor = tree.cursor(txn.on(k), lo, hi,
+                                         lo_incl=lo_incl, hi_incl=hi_incl)
+                    try:
+                        pulled.append(list(islice(cursor, want + 1)))
+                    finally:
+                        cursor.close()
+        return pulled
+
+    def _rows_for(self, txn: "ShardTransaction", index: str,
+                  merged: "list[tuple[bytes, int, SearchHit]]"
+                  ) -> list[Key]:
+        """Materialise one slice's rows in merged order: per-shard batch
+        fetches (engine state — own slot), then the ownership filter."""
+        if not merged:
+            return []
+        router = self._router
+        info = router.shards[0].catalog.index(index)
+        positions = router.shard_key_positions(info.table)
+        partitioner = router.partitioner
+        by_shard: dict[int, list["SearchHit"]] = {}
+        for _enc, shard, hit in merged:
+            by_shard.setdefault(shard, []).append(hit)
+        # _fetch_hits is 1:1 on heap/SIAS stores (the only kinds sharded
+        # tables allow), so per-shard streams stay aligned with `merged`;
+        # the ownership filter nulls residue entries without compacting
+        fetched: dict[int, Iterator[Any]] = {}
+        with self._guard():
+            with self._server.scheduler.slot("scan"):
+                for shard, hits in by_shard.items():
+                    db = router.shards[shard]
+                    table = db.catalog.table(info.table)
+                    row_hits = db.executor._fetch_hits(
+                        txn.on(shard), table, hits)
+                    fetched[shard] = iter([
+                        rh if partitioner.shard_of(tuple(
+                            rh.version.data[p] for p in positions)) == shard
+                        else None
+                        for rh in row_hits])
+        rows: list[Key] = []
+        for _enc, shard, _hit in merged:
+            row_hit = next(fetched[shard])
+            if row_hit is not None:
+                rows.append(row_hit.row)
+        return rows
+
+    def _require_txn(self) -> "ShardTransaction":
+        if self._closed:
+            raise SessionError(f"session {self.id} is closed")
+        if self._txn is None:
+            raise TransactionStateError(
+                f"session {self.id}: no open transaction (call begin())")
+        return self._txn
+
+    def _guard(self) -> "_BusyGuard":
+        if self._closed:
+            raise SessionError(f"session {self.id} is closed")
+        return _BusyGuard(self)
+
+    def explain(self) -> JSONDict:
+        return {"session": self.id, "in_txn": self.in_txn,
+                "commits": self.commits, "closed": self._closed}
+
+    def __enter__(self) -> "ShardSession":
+        return self
+
+    def __exit__(self, exc_type: type[BaseException] | None,
+                 exc: BaseException | None,
+                 tb: TracebackType | None) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else (
+            f"txn={self._txn.id}" if self._txn else "idle")
+        return f"ShardSession(id={self.id}, {state})"
+
+
+class _BusyGuard:
+    """Catches two threads driving one session concurrently (misuse)."""
+
+    __slots__ = ("_session",)
+
+    def __init__(self, session: ShardSession) -> None:
+        self._session = session
+
+    def __enter__(self) -> "_BusyGuard":
+        session = self._session
+        me = threading.get_ident()
+        if session._busy_by is not None and session._busy_by != me:
+            raise SessionError(
+                f"session {session.id} is being driven by two threads "
+                f"concurrently — sessions are single-threaded handles")
+        session._busy_by = me
+        return self
+
+    def __exit__(self, exc_type: type[BaseException] | None,
+                 exc: BaseException | None,
+                 tb: TracebackType | None) -> None:
+        self._session._busy_by = None

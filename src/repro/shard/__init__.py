@@ -1,0 +1,27 @@
+"""Horizontal sharding: a keyspace router over N MV-PBT engine shards
+(DESIGN.md §16).
+
+Public surface:
+
+* :class:`ShardedDatabase` / :class:`ShardConfig` — the router facade
+* :class:`ShardCoordinator` — global txid/snapshot authority + decision log
+* :class:`ShardTransaction` — one distributed transaction bundle
+* :class:`HashPartitioner` / :class:`RangePartitioner` — keyspace layouts
+"""
+
+from .coordinator import ShardCoordinator
+from .partitioner import (HashPartitioner, Partitioner, RangePartitioner,
+                          partitioner_from_state)
+from .router import ShardConfig, ShardedDatabase
+from .txn import ShardTransaction
+
+__all__ = [
+    "HashPartitioner",
+    "Partitioner",
+    "RangePartitioner",
+    "ShardConfig",
+    "ShardCoordinator",
+    "ShardTransaction",
+    "ShardedDatabase",
+    "partitioner_from_state",
+]

@@ -1,0 +1,153 @@
+"""The cross-shard txid authority (DESIGN.md §16.2).
+
+One :class:`ShardCoordinator` per :class:`~repro.shard.router.ShardedDatabase`
+is the single allocator of **global** transaction ids and snapshots: every
+router transaction gets one (txid, snapshot) pair here and registers it
+with every shard's transaction manager
+(:meth:`~repro.txn.manager.TransactionManager.begin_adopted`), so a
+cross-shard read observes one consistent cut — the same txid is either
+visible on every shard or on none.
+
+When the router is durable the coordinator keeps its own device + WAL
+holding exactly two kinds of entries:
+
+* **COMMIT decision markers** — appended *between* the shards' PREPARE
+  and COMMIT phases of a multi-shard commit; the append is the atomic
+  commit point of the whole distributed transaction.
+* **NOTE layout snapshots** — the serialized partitioner state
+  (deterministic JSON, sorted keys), appended whenever a rebalance flips
+  the shard layout.  Recovery restores the newest one.
+
+The coordinator performs no I/O on single-shard commits (the touched
+shard's own WAL marker decides those) and none at all on read-only
+transactions.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+from ..durability.wal import KIND_COMMIT, KIND_NOTE, WriteAheadLog
+from ..errors import RecoveryError
+from ..sim.clock import SimClock
+from ..txn.snapshot import Snapshot
+from .partitioner import Partitioner, partitioner_from_state
+
+if TYPE_CHECKING:
+    from ..obs.core import Observability
+    from ..storage.pagefile import PageFile
+
+
+class ShardCoordinator:
+    """Global txid allocation, snapshot capture and the decision log."""
+
+    def __init__(self, partitioner: "Partitioner", *,
+                 clock: SimClock | None = None,
+                 log_file: "PageFile | None" = None,
+                 obs: "Observability | None" = None) -> None:
+        self.partitioner = partitioner
+        self.clock = clock if clock is not None else SimClock()
+        self._obs = obs
+        self.log: WriteAheadLog | None = None
+        self._next_txid = 1
+        #: global active set: txid -> its snapshot
+        self._active: dict[int, Snapshot] = {}
+        #: in-memory mirror of the durable COMMIT decisions
+        self.decisions: set[int] = set()
+        if log_file is not None:
+            self.log = WriteAheadLog(log_file)
+            # the initial layout is durable from the start: a crash before
+            # the first rebalance still recovers a partitioner
+            self.log_layout()
+
+    # -------------------------------------------------------------- lifecycle
+
+    def begin(self) -> tuple[int, Snapshot]:
+        """Allocate a global txid and capture the global snapshot."""
+        txid = self._next_txid
+        self._next_txid += 1
+        active = frozenset(self._active)
+        snapshot = Snapshot(owner=txid, xmax=txid, active=active,
+                            xmin=min(active) if active else txid)
+        self._active[txid] = snapshot
+        return txid, snapshot
+
+    def log_decision(self, txid: int) -> None:
+        """Durably decide a multi-shard transaction COMMITTED — the atomic
+        commit point between the shards' PREPARE and COMMIT phases."""
+        if self.log is not None:
+            self.log.log([], commit_txid=txid)
+        self.decisions.add(txid)
+        if self._obs is not None:
+            self._obs.tracer.emit("shard.decision", txid=txid)
+
+    def finish(self, txid: int) -> None:
+        """Remove a decided (committed or aborted) txid from the global
+        active set; later snapshots stop carrying it."""
+        self._active.pop(txid, None)
+
+    # ----------------------------------------------------------------- layout
+
+    def log_layout(self) -> None:
+        """Durably snapshot the current partitioner (the rebalance flip)."""
+        if self.log is None:
+            return
+        payload = json.dumps(self.partitioner.to_state(),
+                             sort_keys=True).encode("utf-8")
+        self.log.log_note(payload)
+        if self._obs is not None:
+            self._obs.tracer.emit("shard.layout", bytes=len(payload))
+
+    # ------------------------------------------------------------- inspection
+
+    @property
+    def next_txid(self) -> int:
+        return self._next_txid
+
+    @property
+    def active_count(self) -> int:
+        return len(self._active)
+
+    # --------------------------------------------------------------- recovery
+
+    @classmethod
+    def recover(cls, log_file: "PageFile", *,
+                clock: SimClock | None = None,
+                obs: "Observability | None" = None,
+                next_floor: int = 0) -> "ShardCoordinator":
+        """Rebuild the coordinator from its surviving log.
+
+        COMMIT entries become the decision set; the newest NOTE entry
+        restores the partitioner.  ``next_floor`` carries the crashed
+        in-memory allocator position (host-recovered, like the shards'
+        allocators): an id handed out but never made durable anywhere must
+        still never be reissued.
+        """
+        wal, entries = WriteAheadLog.recover(log_file)
+        decisions: set[int] = set()
+        layout: bytes | None = None
+        for entry in entries:
+            if entry.kind == KIND_COMMIT:
+                decisions.add(entry.txid)
+            elif entry.kind == KIND_NOTE:
+                layout = entry.note
+        if layout is None:
+            raise RecoveryError(
+                "coordinator log holds no shard layout snapshot")
+        partitioner = partitioner_from_state(
+            json.loads(layout.decode("utf-8")))
+        coord = cls.__new__(cls)
+        coord.partitioner = partitioner
+        coord.clock = clock if clock is not None else SimClock()
+        coord._obs = obs
+        coord.log = wal
+        coord._next_txid = max(max(decisions, default=0) + 1, next_floor, 1)
+        coord._active = {}
+        coord.decisions = decisions
+        return coord
+
+    def __repr__(self) -> str:
+        return (f"ShardCoordinator(next={self._next_txid}, "
+                f"active={len(self._active)}, "
+                f"decisions={len(self.decisions)})")

@@ -1,0 +1,712 @@
+"""The keyspace router over N MV-PBT shards (DESIGN.md §16).
+
+A :class:`ShardedDatabase` owns N fully independent
+:class:`~repro.engine.database.Database` shards — each with its own
+simulated device, buffer pool, partition buffer, WAL, manifest and
+durability controller — plus one :class:`ShardCoordinator` (the global
+txid authority, with its own durable decision/layout log).  The router:
+
+* fans point lookups and DML to the owning shard (the partitioner is a
+  pure function of the table's shard key);
+* scatter-gathers range scans — range partitioning concatenates per-span
+  owner queries in key order, hash partitioning k-way-merges every
+  shard's already-ordered hits on the encoded index key;
+* commits with a single-shard fast path (the touched shard's ordinary
+  commit appends records + COMMIT marker in one fsync) or a two-phase
+  flow for multi-shard writes (per-shard PREPARE appends, one coordinator
+  decision append — the atomic commit point — then per-shard COMMIT
+  markers);
+* filters every per-shard read through the **ownership filter**: a hit
+  whose row's shard key no longer maps to the answering shard is residue
+  from an incomplete or historical rebalance and is dropped — which is
+  what makes every rebalance crash window read-consistent.
+
+**Time model:** each shard keeps its own :class:`SimClock`, modelling
+shards that progress in parallel on independent hardware;
+:attr:`sim_now` — the router-level simulated time — is the *maximum*
+over all clocks (the wall-clock of the slowest shard), so scatter-gather
+work costs max-of-shards, not sum-of-shards.  That parallelism is the
+entire scaling story the benchmarks measure.
+
+Thread safety: none here (reprolint R8 — this package never imports
+threading).  Concurrent sessions go through
+:class:`repro.serve.shard_server.ShardServer`, whose FIFO scheduler slot
+confines router + shards + coordinator to one thread at a time.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Sequence
+
+from ..config import EngineConfig
+from ..engine.database import Database
+from ..errors import (CatalogError, ConfigError, RecoveryError,
+                      TransactionStateError, WriteConflictError)
+from ..obs.core import Observability
+from ..obs.profile import profile_query
+from ..sim.clock import SimClock
+from ..sim.device import SimulatedDevice
+from ..sim.profiles import INTEL_DC_P3600, DeviceProfile
+from ..sim.trace import IOTrace
+from ..storage.keycodec import encode_key
+from ..storage.pagefile import PageFile
+from ..storage.recordid import RecordID
+from ..types import JSONDict, Key, Row
+from .coordinator import ShardCoordinator
+from .partitioner import (HashPartitioner, Partitioner, RangePartitioner,
+                          partitioner_from_state)
+from .txn import ShardTransaction
+
+if TYPE_CHECKING:
+    from ..engine.catalog import IndexInfo
+    from ..engine.executor import RowHit
+    from ..serve.config import ServeConfig
+    from ..serve.shard_server import ShardServer
+
+
+@dataclass
+class ShardConfig:
+    """Topology knobs for one :class:`ShardedDatabase`."""
+
+    #: number of independent Database shards
+    shards: int = 2
+    #: 'hash' (CRC32 slots) or 'range' (sorted cut points)
+    partitioning: str = "hash"
+    #: range mode: the initial cut points (len = spans - 1); required
+    #: whenever ``shards > 1``
+    range_cuts: Sequence[Key] | None = None
+    #: hash mode: virtual slot count (rebalance granularity)
+    hash_slots: int = 64
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ConfigError(f"shards must be >= 1: {self.shards}")
+        if self.partitioning not in ("hash", "range"):
+            raise ConfigError(
+                f"unknown partitioning {self.partitioning!r}")
+
+
+class ShardedDatabase:
+    """N independent shards behind one Database-shaped facade."""
+
+    def __init__(self, config: EngineConfig | None = None,
+                 shard_config: ShardConfig | None = None,
+                 profile: DeviceProfile = INTEL_DC_P3600) -> None:
+        self.config = config if config is not None else EngineConfig()
+        self.shard_config = (shard_config if shard_config is not None
+                             else ShardConfig())
+        partitioner = self._build_partitioner(self.shard_config)
+        #: the router/coordinator clock (each shard has its own)
+        self.clock = SimClock()
+        self.trace = IOTrace()
+        self.obs: Observability | None = None
+        if self.config.obs.enabled:
+            self.obs = Observability(self.config.obs, self.clock)
+            self.obs.attach_io_trace(self.trace)
+        #: independent engine instances — own device, pool, WAL, manifest
+        self.shards = [Database(self.config, profile)
+                       for _ in range(self.shard_config.shards)]
+        self.coordinator_device: SimulatedDevice | None = None
+        self.coordinator_file: PageFile | None = None
+        log_file: PageFile | None = None
+        if self.config.durability:
+            self.coordinator_device = SimulatedDevice(profile, self.clock,
+                                                      self.trace)
+            self.coordinator_file = PageFile(
+                "coord:log", self.coordinator_device, self.config.page_size,
+                self.config.extent_pages)
+            log_file = self.coordinator_file
+        self.coordinator = ShardCoordinator(partitioner, clock=self.clock,
+                                            log_file=log_file, obs=self.obs)
+        #: table -> shard-key column positions
+        self._tables: dict[str, tuple[int, ...]] = {}
+        self._bind_metrics()
+
+    @staticmethod
+    def _build_partitioner(shard_config: ShardConfig) -> Partitioner:
+        n = shard_config.shards
+        if shard_config.partitioning == "hash":
+            return HashPartitioner(n, slots=shard_config.hash_slots)
+        cuts = shard_config.range_cuts
+        if cuts is None:
+            if n > 1:
+                raise ConfigError(
+                    "range partitioning needs range_cuts (len = shards-1 "
+                    "for one span per shard)")
+            cuts = []
+        return RangePartitioner(n, cuts)
+
+    def _bind_metrics(self) -> None:
+        if self.obs is None:
+            return
+        registry = self.obs.registry
+        self._m_begins = registry.counter("shard.txn.begins")
+        self._m_commit_single = registry.counter(
+            "shard.txn.commits.single_shard")
+        self._m_commit_cross = registry.counter(
+            "shard.txn.commits.cross_shard")
+        self._m_commit_readonly = registry.counter(
+            "shard.txn.commits.read_only")
+        self._m_aborts = registry.counter("shard.txn.aborts")
+        self._m_prepares = registry.counter("shard.2pc.prepares")
+        self._m_decisions = registry.counter("shard.2pc.decisions")
+        self._m_point = registry.counter("shard.queries.point")
+        self._m_scan = registry.counter("shard.queries.scan")
+        self._m_fanout = registry.counter("shard.queries.fanout")
+        self._m_residue = registry.counter("shard.hits.residue_filtered")
+        self._m_rebalances = registry.counter("shard.rebalance.count")
+        self._m_moved_records = registry.counter(
+            "shard.rebalance.records_moved")
+        self._m_moved_versions = registry.counter(
+            "shard.rebalance.versions_moved")
+
+    # ------------------------------------------------------------- properties
+
+    @property
+    def partitioner(self) -> Partitioner:
+        return self.coordinator.partitioner
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.shards)
+
+    @property
+    def sim_now(self) -> float:
+        """Router-level simulated time: the slowest component's clock —
+        shards progress in parallel, so elapsed time is their max."""
+        return max(self.clock.now, *(db.clock.now for db in self.shards))
+
+    # -------------------------------------------------------------------- DDL
+
+    def create_table(self, name: str, columns: Sequence[tuple[str, str]],
+                     storage: str = "sias", *,
+                     shard_key: Sequence[str] | None = None) -> None:
+        """Create the table on every shard.
+
+        ``shard_key`` — the columns whose values place a row (default: the
+        first column).  Rows are routed by these columns; an update that
+        changes them moves the row between shards (delete + insert).
+        """
+        if storage == "delta":
+            raise ConfigError(
+                "sharded tables support 'heap' or 'sias' storage (delta "
+                "chains cannot be rebalanced between shards)")
+        key_columns = (list(shard_key) if shard_key is not None
+                       else [columns[0][0]])
+        for db in self.shards:
+            db.create_table(name, columns, storage)
+        schema = self.shards[0].catalog.table(name).schema
+        self._tables[name] = tuple(schema.positions(key_columns))
+
+    def create_index(self, name: str, table: str, columns: Sequence[str], *,
+                     kind: str = "mvpbt", unique: bool = False,
+                     reference: str = "physical",
+                     **options: object) -> None:
+        """Create the index on every shard (MV-PBT, physical refs only)."""
+        if kind != "mvpbt":
+            raise ConfigError(
+                f"sharded indexes must be MV-PBT, not {kind!r}")
+        if reference != "physical":
+            raise ConfigError(
+                "sharded indexes use physical references (logical VIDs "
+                "are shard-local and cannot survive a rebalance)")
+        positions = tuple(
+            self.shards[0].catalog.table(table).schema.positions(
+                list(columns)))
+        if unique and positions != self._tables[table]:
+            raise ConfigError(
+                f"unique index {name!r} must be on the shard key: a "
+                f"shard-local check cannot see other shards' keys")
+        for db in self.shards:
+            db.create_index(name, table, columns, kind=kind, unique=unique,
+                            reference=reference, **options)
+
+    # ------------------------------------------------------------ txn control
+
+    def begin(self) -> ShardTransaction:
+        """Open one global transaction: the coordinator allocates the txid
+        and snapshot, every shard's manager adopts it."""
+        txid, snapshot = self.coordinator.begin()
+        parts = tuple(db.txn.begin_adopted(txid, snapshot)
+                      for db in self.shards)
+        if self.obs is not None:
+            self._m_begins.inc()
+        return ShardTransaction(txid, snapshot, self, parts)
+
+    def commit(self, txn: ShardTransaction) -> None:
+        """Commit everywhere: read-only and single-shard transactions take
+        the ordinary one-fsync path; multi-shard writes run the two-phase
+        marker flow with the coordinator's decision append as the atomic
+        commit point (DESIGN.md §16.3)."""
+        if not txn.is_active:
+            raise TransactionStateError(
+                f"transaction {txn.id} is not active")
+        touched = sorted(txn.touched)
+        durable = self.config.durability
+        if len(touched) == 1:
+            # fast path: one shard's normal commit = records + COMMIT
+            # marker in one append; other shards flip status only (no I/O)
+            k = touched[0]
+            self.shards[k].txn.commit(txn.on(k))
+            for j, db in enumerate(self.shards):
+                if j != k:
+                    db.txn.finish_commit(txn.on(j))
+            if self.obs is not None:
+                self._m_commit_single.inc()
+        elif touched and durable:
+            # phase one: every touched shard makes its slice durable,
+            # undecided (records + PREPARE, one append per shard)
+            for k in touched:
+                durability = self.shards[k].durability
+                assert durability is not None
+                durability.append_prepare(txn.on(k))
+                if self.obs is not None:
+                    self._m_prepares.inc()
+            # the commit point: one coordinator decision append — before
+            # it the transaction recovers aborted on every shard, after it
+            # committed on every shard
+            self.coordinator.log_decision(txn.id)
+            if self.obs is not None:
+                self._m_decisions.inc()
+            # phase two: local COMMIT markers (recovery convenience; the
+            # decision above already settled the outcome)
+            for k in touched:
+                durability = self.shards[k].durability
+                assert durability is not None
+                durability.append_commit_marker(txn.id)
+            for j, db in enumerate(self.shards):
+                db.txn.finish_commit(txn.on(j))
+            if self.obs is not None:
+                self._m_commit_cross.inc()
+        else:
+            # read-only, or multi-shard without durability: status flips
+            # only.  (Non-durable trees buffer nothing in _wal_pending, so
+            # skipping the hook phase loses no records.)
+            for j, db in enumerate(self.shards):
+                db.txn.finish_commit(txn.on(j))
+            if self.obs is not None:
+                if touched:
+                    self._m_commit_cross.inc()
+                else:
+                    self._m_commit_readonly.inc()
+        self.coordinator.finish(txn.id)
+
+    def abort(self, txn: ShardTransaction) -> None:
+        for k, db in enumerate(self.shards):
+            db.txn.abort(txn.on(k))
+        self.coordinator.finish(txn.id)
+        if self.obs is not None:
+            self._m_aborts.inc()
+
+    def run_transaction(self, fn: Callable[[ShardTransaction], Any],
+                        retries: int = 3) -> Any:
+        """``fn(txn)`` with commit-on-success and write-conflict retry."""
+        attempt = 0
+        while True:
+            txn = self.begin()
+            try:
+                result = fn(txn)
+            except WriteConflictError:
+                if txn.is_active:
+                    self.abort(txn)
+                attempt += 1
+                if attempt > retries:
+                    raise
+                continue
+            except BaseException:
+                if txn.is_active:
+                    self.abort(txn)
+                raise
+            if txn.is_active:
+                self.commit(txn)
+            return result
+
+    # -------------------------------------------------------------------- DML
+
+    def insert(self, txn: ShardTransaction, table: str,
+               row: Sequence[object]) -> tuple[int, RecordID]:
+        validated = self.shards[0].catalog.table(table).schema.validate_row(
+            tuple(row))
+        k = self._owner_of_row(table, validated)
+        txn.touch(k)
+        return self.shards[k].insert(txn.on(k), table, validated)
+
+    def update_by_key(self, txn: ShardTransaction, index_name: str,
+                      key: Key, updates: dict[str, object]) -> int:
+        """UPDATE all visible rows matching ``key``; a row whose new shard
+        key maps elsewhere moves (delete on the source shard + insert on
+        the destination) inside the same transaction."""
+        info = self._index(index_name)
+        table = info.table
+        schema = self.shards[0].catalog.table(table).schema
+        # gather every hit BEFORE mutating: a cross-shard move lands the
+        # row (own writes are visible) on a shard this loop may not have
+        # scanned yet, and must not be updated twice
+        gathered: list[tuple[int, "RowHit"]] = []
+        for k in self._read_shards(info, key):
+            db = self.shards[k]
+            gathered.extend((k, hit) for hit in self._owned(
+                k, db.executor.lookup(
+                    txn.on(k), db.catalog.index(index_name), key), table))
+        for k, hit in gathered:
+            db = self.shards[k]
+            new_row = schema.apply_updates(hit.version.data, updates)
+            dst = self._owner_of_row(table, new_row)
+            txn.touch(k)
+            if dst == k:
+                db.update_row(txn.on(k), table, hit.rid, hit.version,
+                              updates)
+            else:
+                txn.touch(dst)
+                db.delete_row(txn.on(k), table, hit.rid, hit.version)
+                self.shards[dst].insert(txn.on(dst), table, new_row)
+        return len(gathered)
+
+    def delete_by_key(self, txn: ShardTransaction, index_name: str,
+                      key: Key) -> int:
+        info = self._index(index_name)
+        count = 0
+        for k in self._read_shards(info, key):
+            db = self.shards[k]
+            hits = self._owned(k, db.executor.lookup(
+                txn.on(k), db.catalog.index(index_name), key), info.table)
+            for hit in hits:
+                txn.touch(k)
+                db.delete_row(txn.on(k), info.table, hit.rid, hit.version)
+                count += 1
+        return count
+
+    # ------------------------------------------------------------------ reads
+
+    def select(self, txn: ShardTransaction, index_name: str,
+               key: Key) -> list[Row]:
+        return [hit.row for hit in self.select_hits(txn, index_name, key)]
+
+    def select_hits(self, txn: ShardTransaction, index_name: str,
+                    key: Key) -> "list[RowHit]":
+        info = self._index(index_name)
+        shards = self._read_shards(info, key)
+        hits: "list[RowHit]" = []
+        for k in shards:
+            db = self.shards[k]
+            hits.extend(self._owned(k, db.executor.lookup(
+                txn.on(k), db.catalog.index(index_name), key), info.table))
+        if self.obs is not None:
+            self._m_point.inc()
+            self._m_fanout.inc(len(shards))
+        return hits
+
+    def range_select(self, txn: ShardTransaction, index_name: str,
+                     lo: Key | None, hi: Key | None, *,
+                     lo_incl: bool = True, hi_incl: bool = True) -> list[Row]:
+        return [hit.row for hit in self.range_hits(
+            txn, index_name, lo, hi, lo_incl=lo_incl, hi_incl=hi_incl)]
+
+    def range_hits(self, txn: ShardTransaction, index_name: str,
+                   lo: Key | None, hi: Key | None, *,
+                   lo_incl: bool = True,
+                   hi_incl: bool = True) -> "list[RowHit]":
+        """Scatter-gather range scan in global index-key order.
+
+        Range partitioning on the routing index visits each consecutive
+        same-owner span group once and concatenates (cut order IS key
+        order); every other case scans all shards and k-way-merges their
+        already-ordered hits on the encoded index key (stable: equal keys
+        keep shard order).
+        """
+        info = self._index(index_name)
+        partitioner = self.partitioner
+        out: "list[RowHit]"
+        if (isinstance(partitioner, RangePartitioner)
+                and self._is_routing_index(info)):
+            out = []
+            fanout = 0
+            for span_lo, span_hi, owner in partitioner.owner_groups():
+                bounds = _intersect(lo, lo_incl, hi, hi_incl,
+                                    span_lo, span_hi)
+                if bounds is None:
+                    continue
+                q_lo, q_incl, q_hi, q_hi_incl = bounds
+                db = self.shards[owner]
+                fanout += 1
+                out.extend(self._owned(owner, db.executor.scan(
+                    txn.on(owner), db.catalog.index(index_name),
+                    q_lo, q_hi, lo_incl=q_incl, hi_incl=q_hi_incl),
+                    info.table))
+        else:
+            per_shard: "list[list[RowHit]]" = []
+            for k, db in enumerate(self.shards):
+                per_shard.append(self._owned(k, db.executor.scan(
+                    txn.on(k), db.catalog.index(index_name), lo, hi,
+                    lo_incl=lo_incl, hi_incl=hi_incl), info.table))
+            fanout = len(self.shards)
+            positions = info.positions
+
+            def merge_key(hit: "RowHit") -> bytes:
+                return encode_key(tuple(hit.version.data[p]
+                                        for p in positions))
+
+            out = list(heapq.merge(*per_shard, key=merge_key))
+        if self.obs is not None:
+            self._m_scan.inc()
+            self._m_fanout.inc(fanout)
+        return out
+
+    def count_range(self, txn: ShardTransaction, index_name: str,
+                    lo: Key | None, hi: Key | None, *,
+                    lo_incl: bool = True, hi_incl: bool = True) -> int:
+        return len(self.range_hits(txn, index_name, lo, hi,
+                                   lo_incl=lo_incl, hi_incl=hi_incl))
+
+    def seq_scan(self, txn: ShardTransaction, table: str) -> list[Row]:
+        """Full-table scan, shard by shard (shard order, not key order)."""
+        rows: list[Row] = []
+        for k, db in enumerate(self.shards):
+            info = db.catalog.table(table)
+            for _rid, row in info.store.scan_visible(txn.on(k)):
+                if self._owner_of_row(table, row) == k:
+                    rows.append(row)
+                elif self.obs is not None:
+                    self._m_residue.inc()
+        return rows
+
+    # ------------------------------------------------------------ maintenance
+
+    def flush_all(self) -> None:
+        for db in self.shards:
+            db.flush_all()
+
+    def rebalance(self, new_partitioner: Partitioner) -> JSONDict:
+        """Install a new shard layout, moving records and their version
+        history between shards (DESIGN.md §16.4)."""
+        from .rebalance import rebalance
+        return rebalance(self, new_partitioner)
+
+    def move_range(self, lo: Key, hi: Key | None, dst: int) -> JSONDict:
+        """Range mode: give ``[lo, hi)`` to shard ``dst``."""
+        partitioner = self.partitioner
+        if not isinstance(partitioner, RangePartitioner):
+            raise ConfigError("move_range requires range partitioning")
+        return self.rebalance(partitioner.move_range(lo, hi, dst))
+
+    def move_slot(self, slot: int, dst: int) -> JSONDict:
+        """Hash mode: give virtual slot ``slot`` to shard ``dst``."""
+        partitioner = self.partitioner
+        if not isinstance(partitioner, HashPartitioner):
+            raise ConfigError("move_slot requires hash partitioning")
+        return self.rebalance(partitioner.move_slot(slot, dst))
+
+    # --------------------------------------------------------------- serving
+
+    def serve(self, config: "ServeConfig | None" = None) -> "ShardServer":
+        """Open a multi-session server over the router (DESIGN.md §16.6)."""
+        from ..serve.shard_server import ShardServer
+        return ShardServer(self, config)
+
+    # --------------------------------------------------------------- recovery
+
+    @classmethod
+    def recover(cls, crashed: "ShardedDatabase") -> "ShardedDatabase":
+        """Restart the whole topology after a crash of any subset of it.
+
+        The coordinator recovers first (decisions + layout), then every
+        shard's durable state is pre-read so the *union* of all commit
+        evidence — any shard's COMMIT marker or manifest inference, or a
+        coordinator decision — restores on every shard with one shared
+        txid floor.  A cross-shard transaction is therefore visible on all
+        shards or on none, at every historical snapshot (§16.5).
+        """
+        from ..durability.recovery import read_durable_state
+        if not crashed.config.durability:
+            raise RecoveryError(
+                "cannot recover a ShardedDatabase created with "
+                "durability=False")
+        assert crashed.coordinator_file is not None
+        assert crashed.coordinator_device is not None
+        crashed.coordinator_device.reboot()
+        coordinator = ShardCoordinator.recover(
+            crashed.coordinator_file, clock=crashed.clock, obs=crashed.obs,
+            next_floor=crashed.coordinator.next_txid)
+
+        committed: set[int] = set(coordinator.decisions)
+        floor = coordinator.next_txid
+        for db in crashed.shards:
+            db.device.reboot()
+            assert db.manifest_file is not None and db.wal_file is not None
+            db.pool.drop_file(db.manifest_file)
+            db.pool.drop_file(db.wal_file)
+            durable = read_durable_state(db.manifest_file, db.wal_file,
+                                         db.config.manifest_slot_pages)
+            committed |= durable.committed
+            floor = max(floor, durable.next_txid)
+
+        router = cls.__new__(cls)
+        router.config = crashed.config
+        router.shard_config = crashed.shard_config
+        router.clock = crashed.clock
+        router.trace = crashed.trace
+        router.obs = crashed.obs
+        router.coordinator = coordinator
+        router.coordinator_device = crashed.coordinator_device
+        router.coordinator_file = crashed.coordinator_file
+        router.shards = [
+            Database.recover(db, extra_committed=committed, txid_floor=floor)
+            for db in crashed.shards]
+        router._tables = dict(crashed._tables)
+        router._bind_metrics()
+        return router
+
+    # ---------------------------------------------------------- observability
+
+    def explain_lookup(self, txn: ShardTransaction, index_name: str,
+                       key: Key) -> JSONDict:
+        """Point-lookup profile: routing decision + per-shard profiles."""
+        self._require_obs()
+        info = self._index(index_name)
+        shards = self._read_shards(info, key)
+        return {
+            "query": {"index": index_name, "key": list(key)},
+            "routing": {"partitioning": self.partitioner.kind,
+                        "fanout": len(shards),
+                        "shards": list(shards)},
+            "per_shard": {k: profile_query(self.shards[k], txn.on(k),
+                                           index_name, key=key)
+                          for k in shards},
+        }
+
+    def explain_scan(self, txn: ShardTransaction, index_name: str,
+                     lo: Key | None, hi: Key | None, *,
+                     lo_incl: bool = True,
+                     hi_incl: bool = True) -> JSONDict:
+        """Range-scan profile: scatter plan + per-shard profiles."""
+        self._require_obs()
+        info = self._index(index_name)
+        partitioner = self.partitioner
+        if (isinstance(partitioner, RangePartitioner)
+                and self._is_routing_index(info)):
+            plan = "span-concatenation"
+            shards = sorted({owner for _lo, _hi, owner
+                             in partitioner.owner_groups()
+                             if _intersect(lo, lo_incl, hi, hi_incl,
+                                           _lo, _hi) is not None})
+        else:
+            plan = "scatter-merge"
+            shards = list(range(len(self.shards)))
+        return {
+            "query": {"index": index_name,
+                      "lo": list(lo) if lo is not None else None,
+                      "hi": list(hi) if hi is not None else None},
+            "routing": {"partitioning": partitioner.kind, "plan": plan,
+                        "fanout": len(shards), "shards": shards},
+            "per_shard": {k: profile_query(self.shards[k], txn.on(k),
+                                           index_name, lo=lo, hi=hi,
+                                           lo_incl=lo_incl, hi_incl=hi_incl)
+                          for k in shards},
+        }
+
+    def metrics_snapshot(self) -> JSONDict:
+        """Router-level ``shard.*`` metrics plus every shard's registry."""
+        obs = self._require_obs()
+        obs.registry.gauge("shard.sim_now.seconds").set(self.sim_now)
+        obs.registry.gauge("shard.coordinator.active").set(
+            self.coordinator.active_count)
+        return {
+            "router": obs.registry.export(),
+            "shards": [db.metrics_snapshot() for db in self.shards],
+        }
+
+    def stats(self) -> JSONDict:
+        return {
+            "shards": len(self.shards),
+            "partitioning": self.partitioner.kind,
+            "sim_time_seconds": self.sim_now,
+            "coordinator": {
+                "next_txid": self.coordinator.next_txid,
+                "active": self.coordinator.active_count,
+                "decisions": len(self.coordinator.decisions),
+            },
+            "per_shard": [db.stats() for db in self.shards],
+        }
+
+    def _require_obs(self) -> Observability:
+        if self.obs is None:
+            raise ConfigError(
+                "observability is disabled; construct the ShardedDatabase "
+                "with EngineConfig(obs=ObsConfig(enabled=True))")
+        return self.obs
+
+    # ---------------------------------------------------------------- routing
+
+    def shard_key_positions(self, table: str) -> tuple[int, ...]:
+        positions = self._tables.get(table)
+        if positions is None:
+            raise CatalogError(f"no such sharded table {table!r}")
+        return positions
+
+    def _owner_of_row(self, table: str, row: Row) -> int:
+        positions = self.shard_key_positions(table)
+        return self.partitioner.shard_of(tuple(row[p] for p in positions))
+
+    def _index(self, index_name: str) -> "IndexInfo":
+        return self.shards[0].catalog.index(index_name)
+
+    def _is_routing_index(self, info: "IndexInfo") -> bool:
+        """Does the index key equal the table's shard key?  If so a point
+        lookup routes to exactly one shard and a range span maps to its
+        owner."""
+        return tuple(info.positions) == self._tables[info.table]
+
+    def _read_shards(self, info: "IndexInfo", key: Key) -> list[int]:
+        if self._is_routing_index(info):
+            return [self.partitioner.shard_of(key)]
+        return list(range(len(self.shards)))
+
+    def _owned(self, shard: int, hits: "list[RowHit]",
+               table: str) -> "list[RowHit]":
+        """The ownership filter: drop hits whose row's shard key maps to a
+        different shard under the CURRENT layout — residue left on a
+        source shard by a historical or in-flight rebalance.  The
+        authoritative copy answers from the owning shard."""
+        positions = self.shard_key_positions(table)
+        partitioner = self.partitioner
+        kept: "list[RowHit]" = []
+        residue = 0
+        for hit in hits:
+            shard_key = tuple(hit.version.data[p] for p in positions)
+            if partitioner.shard_of(shard_key) == shard:
+                kept.append(hit)
+            else:
+                residue += 1
+        if residue and self.obs is not None:
+            self._m_residue.inc(residue)
+        return kept
+
+    def __repr__(self) -> str:
+        return (f"ShardedDatabase(shards={len(self.shards)}, "
+                f"partitioning={self.partitioner.kind}, "
+                f"tables={len(self._tables)})")
+
+
+def _intersect(lo: Key | None, lo_incl: bool, hi: Key | None, hi_incl: bool,
+               span_lo: Key | None, span_hi: Key | None
+               ) -> tuple[Key | None, bool, Key | None, bool] | None:
+    """Intersect a query range with a partitioner span.
+
+    The query bounds carry their inclusivity; the span is ``[span_lo,
+    span_hi)`` (None = unbounded).  Returns the tightened
+    ``(lo, lo_incl, hi, hi_incl)`` or None when the intersection is empty.
+    """
+    q_lo, q_lo_incl = lo, lo_incl
+    if span_lo is not None and (q_lo is None or span_lo > q_lo):
+        q_lo, q_lo_incl = span_lo, True
+    q_hi, q_hi_incl = hi, hi_incl
+    if span_hi is not None and (
+            q_hi is None or span_hi < q_hi
+            or (span_hi == q_hi and q_hi_incl)):
+        q_hi, q_hi_incl = span_hi, False
+    if q_lo is not None and q_hi is not None:
+        if q_lo > q_hi or (q_lo == q_hi and not (q_lo_incl and q_hi_incl)):
+            return None
+    return q_lo, q_lo_incl, q_hi, q_hi_incl

@@ -1,0 +1,72 @@
+"""One distributed transaction across every shard (DESIGN.md §16.2).
+
+A :class:`ShardTransaction` bundles N per-shard
+:class:`~repro.txn.transaction.Transaction` objects sharing ONE global
+txid and ONE global snapshot (a transaction object's state flips exactly
+once, so each shard's manager needs its own).  The router fans DML to the
+owning shard's member transaction and tracks which shards were written —
+the commit protocol (single-shard fast path vs. two-phase) keys off that
+touched set.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..txn.snapshot import Snapshot
+from ..txn.transaction import Transaction
+
+if TYPE_CHECKING:
+    from .router import ShardedDatabase
+
+
+class ShardTransaction:
+    """One global transaction: N shard-local members, one snapshot."""
+
+    __slots__ = ("id", "snapshot", "_router", "_parts", "touched")
+
+    def __init__(self, txid: int, snapshot: Snapshot,
+                 router: "ShardedDatabase",
+                 parts: tuple[Transaction, ...]) -> None:
+        self.id = txid
+        self.snapshot = snapshot
+        self._router = router
+        self._parts = parts
+        #: shards this transaction wrote on (commit-protocol input)
+        self.touched: set[int] = set()
+
+    def on(self, shard: int) -> Transaction:
+        """The member transaction driving shard ``shard``."""
+        return self._parts[shard]
+
+    def touch(self, shard: int) -> None:
+        self.touched.add(shard)
+
+    @property
+    def is_active(self) -> bool:
+        return self._parts[0].is_active
+
+    @property
+    def writes(self) -> int:
+        return sum(part.writes for part in self._parts)
+
+    def commit(self) -> None:
+        self._router.commit(self)
+
+    def abort(self) -> None:
+        self._router.abort(self)
+
+    def __enter__(self) -> "ShardTransaction":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        if self.is_active:
+            if exc_type is None:
+                self.commit()
+            else:
+                self.abort()
+
+    def __repr__(self) -> str:
+        state = self._parts[0].state.value
+        return (f"ShardTxn(id={self.id}, {state}, "
+                f"touched={sorted(self.touched)})")

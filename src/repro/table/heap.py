@@ -100,6 +100,29 @@ class HeapTable(VersionStore):
         txn.writes += 1
         return rid
 
+    # ------------------------------------------------------------- adoption
+
+    def adopt_version(self, version: TupleVersion) -> RecordID:
+        """Place a tuple-version copied from another store (shard
+        rebalancing, DESIGN.md §16.4).
+
+        The caller passes a *fresh* :class:`TupleVersion` — never an object
+        still live in the source store — with ``vid`` already remapped into
+        this store's id space (:meth:`allocate_vid`) and ``next_rid``
+        already pointing at the successor's adopted rid (chains are adopted
+        newest-to-oldest so the link is known at placement time).
+        Timestamps and the tombstone flag carry over unchanged: the copy
+        keeps its logical history, only its physical address is new.
+        """
+        return self._place(version)
+
+    def allocate_vid(self) -> int:
+        """Reserve a fresh vid (one per adopted chain): adopted chains must
+        not collide with native chains in GC's vid-keyed grouping."""
+        vid = self._next_vid
+        self._next_vid += 1
+        return vid
+
     # ----------------------------------------------------------------- reads
 
     def fetch(self, rid: RecordID) -> TupleVersion:

@@ -90,6 +90,30 @@ class SIASTable(VersionStore):
         txn.writes += 1
         return new_rid
 
+    # ------------------------------------------------------------- adoption
+
+    def adopt_version(self, version: TupleVersion) -> RecordID:
+        """Append a tuple-version copied from another store (shard
+        rebalancing, DESIGN.md §16.4).
+
+        The caller passes a *fresh* :class:`TupleVersion` with ``vid``
+        remapped via :meth:`allocate_vid` and ``prev_rid`` pointing at the
+        predecessor's adopted rid (chains are adopted oldest-to-newest).
+        After the whole chain is in, :meth:`register_chain` publishes its
+        entry point so visibility walks and index builds see it.
+        """
+        return self._append(version)
+
+    def allocate_vid(self) -> int:
+        """Reserve a fresh vid for one adopted chain."""
+        vid = self._next_vid
+        self._next_vid += 1
+        return vid
+
+    def register_chain(self, vid: int, newest_rid: RecordID) -> None:
+        """Publish an adopted chain's entry point (vid -> newest rid)."""
+        self._entry[vid] = newest_rid
+
     # ----------------------------------------------------------------- reads
 
     def fetch(self, rid: RecordID) -> TupleVersion:

@@ -106,6 +106,40 @@ class TransactionManager:
             self._obs.tracer.emit("txn.begin", txid=txid)
         return txn
 
+    def begin_adopted(self, txid: int, snapshot: Snapshot) -> Transaction:
+        """Open a transaction under an externally allocated global txid.
+
+        The sharding coordinator (:mod:`repro.shard`) allocates one global
+        txid + snapshot per distributed transaction and registers it with
+        *every* shard's manager through this entry point — even shards the
+        transaction never touches.  That keeps each shard's commit log
+        gapless (an unknown txid would report IN_PROGRESS forever and
+        stall the decided watermark) and keeps manifest commit inference
+        valid for ids a shard saw no DML from.  The local allocator is
+        bumped past the adopted id so a plain :meth:`begin` can never
+        collide with a coordinator-issued id.
+        """
+        with self._lock:
+            if txid in self._active:
+                raise TransactionStateError(
+                    f"transaction {txid} is already active")
+            if (txid < self._next_txid
+                    and self.commit_log.status(txid)
+                    is not TxnStatus.IN_PROGRESS):
+                raise TransactionStateError(
+                    f"transaction {txid} was already decided")
+            self._next_txid = max(self._next_txid, txid + 1)
+            self.commit_log.register(txid)
+            txn = Transaction(txid, snapshot, self)
+            self._active[txid] = txn
+        self._charge_overhead()
+        if self._obs is not None:
+            self._m_begins.inc()
+            if self.clock is not None:
+                self._begin_at[txid] = self.clock.now
+            self._obs.tracer.emit("txn.begin", txid=txid, adopted=True)
+        return txn
+
     def commit(self, txn: Transaction) -> None:
         """Single-caller commit: durability hooks, then the status flip.
 

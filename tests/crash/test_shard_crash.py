@@ -1,0 +1,364 @@
+"""Cross-shard crash sweeps: kill any ONE device, recover the topology,
+assert all-shards-or-no-shards visibility (DESIGN.md §16.5).
+
+The scripted harness workload (same ops as the single-node sweep) runs
+through a :class:`ShardedDatabase`, so transactions routinely touch
+several shards — every ``move`` and most multi-insert transactions are
+cross-shard and take the two-phase marker flow.  A
+:class:`~repro.sim.device.FaultPlan` kills one shard's device (or the
+coordinator's) at a chosen I/O index; the sweep then recovers ALL shards
+plus the coordinator and asserts:
+
+* **atomicity** — every transaction recovers with the SAME status on
+  every shard (a cross-shard commit is visible everywhere or nowhere);
+* **oracle equivalence at every horizon** — each historical per-commit
+  snapshot answers point lookups and the merged full scan exactly like
+  the plain-Python oracle;
+* **recovery I/O pattern** — recovery only READS, and only manifest/WAL
+  extents (every shard's partition leaves re-attach unread — the paper's
+  zero-leaf-read recovery claim, preserved under sharding).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import EngineConfig
+from repro.errors import DeviceCrashError
+from repro.shard import ShardConfig, ShardedDatabase, ShardTransaction
+from repro.sim.device import FaultPlan
+from repro.txn.snapshot import Snapshot
+from repro.txn.status import TxnStatus
+from repro.txn.transaction import Transaction
+
+from .harness import (KEY_UNIVERSE, SCRIPT, OracleState, apply_oracle_op,
+                      wal_manifest_sectors)
+
+pytestmark = [pytest.mark.crash, pytest.mark.shard]
+
+TABLE = "t"
+INDEX = "ix"
+SHARDS = 2
+
+
+def make_sharded(partitioning: str = "hash") -> ShardedDatabase:
+    """A durable 2-shard router sized to evict and merge constantly."""
+    config = EngineConfig(
+        durability=True,
+        page_size=512,
+        extent_pages=8,
+        partition_buffer_bytes=768,
+        buffer_pool_pages=64,
+        manifest_slot_pages=6,
+    )
+    cuts = [(50,)] if partitioning == "range" else None
+    sdb = ShardedDatabase(config, ShardConfig(
+        shards=SHARDS, partitioning=partitioning, range_cuts=cuts,
+        hash_slots=16))
+    sdb.create_table(TABLE, [("id", "int"), ("val", "str")], "sias")
+    sdb.create_index(INDEX, TABLE, ["id"], kind="mvpbt",
+                     enable_gc=False, max_partitions=2, merge_fanout=2)
+    return sdb
+
+
+def apply_router_op(sdb: ShardedDatabase, txn: ShardTransaction,
+                    op: tuple) -> None:
+    kind = op[0]
+    if kind == "insert":
+        sdb.insert(txn, TABLE, (op[1], op[2]))
+    elif kind == "update":
+        sdb.update_by_key(txn, INDEX, (op[1],), {"val": op[2]})
+    elif kind == "move":
+        sdb.update_by_key(txn, INDEX, (op[1],), {"id": op[2]})
+    elif kind == "delete":
+        sdb.delete_by_key(txn, INDEX, (op[1],))
+    else:
+        raise ValueError(f"unknown op {op!r}")
+
+
+class ShardedRun:
+    """One (possibly crashed) sharded workload run + its oracle."""
+
+    def __init__(self, sdb: ShardedDatabase,
+                 history: list[tuple[int, OracleState]],
+                 final: OracleState, crashed: bool,
+                 inflight_txid: int | None,
+                 inflight_state: OracleState | None) -> None:
+        self.sdb = sdb
+        self.history = history
+        self.final = final
+        self.crashed = crashed
+        self.inflight_txid = inflight_txid
+        self.inflight_state = inflight_state
+
+
+def run_sharded(target: str | None = None, plan: FaultPlan | None = None,
+                partitioning: str = "hash") -> ShardedRun:
+    """Run the scripted workload; ``target`` names the device under the
+    fault plan: ``"shard0"``/``"shard1"``... or ``"coord"``."""
+    sdb = make_sharded(partitioning)
+    if plan is not None:
+        assert target is not None
+        if target == "coord":
+            assert sdb.coordinator_device is not None
+            sdb.coordinator_device.set_fault_plan(plan)
+        else:
+            sdb.shards[int(target.removeprefix("shard"))].device \
+                .set_fault_plan(plan)
+    live: OracleState = {}
+    history: list[tuple[int, OracleState]] = []
+    for outcome, ops in SCRIPT:
+        txn = sdb.begin()
+        pending = dict(live)
+        try:
+            for op in ops:
+                apply_router_op(sdb, txn, op)
+                apply_oracle_op(pending, op)
+        except DeviceCrashError:
+            return ShardedRun(sdb, history, live, True, None, None)
+        if outcome == "abort":
+            txn.abort()
+            continue
+        try:
+            txn.commit()
+        except DeviceCrashError:
+            return ShardedRun(sdb, history, live, True, txn.id, pending)
+        live = pending
+        history.append((txn.id, dict(live)))
+    return ShardedRun(sdb, history, live, False, None, None)
+
+
+# ------------------------------------------------------------- equivalence
+
+def horizon_stxn(sdb: ShardedDatabase, horizon_txid: int
+                 ) -> ShardTransaction:
+    """A synthetic read-only global transaction at one snapshot horizon."""
+    snap = Snapshot(owner=0, xmax=horizon_txid + 1, active=frozenset(),
+                    xmin=horizon_txid + 1)
+    parts = tuple(Transaction(0, snap, db.txn) for db in sdb.shards)
+    return ShardTransaction(0, snap, sdb, parts)
+
+
+def assert_sharded_state(sdb: ShardedDatabase, horizon_txid: int,
+                         expect: OracleState, context: str = "") -> None:
+    txn = horizon_stxn(sdb, horizon_txid)
+    for key in KEY_UNIVERSE:
+        got = sorted(sdb.select(txn, INDEX, (key,)))
+        want = [(key, expect[key])] if key in expect else []
+        assert got == want, (
+            f"{context}: key {key} at horizon {horizon_txid}: "
+            f"got {got}, want {want}")
+    got_all = sorted(sdb.range_select(txn, INDEX, None, None))
+    want_all = sorted((k, v) for k, v in expect.items())
+    assert got_all == want_all, (
+        f"{context}: full scan at horizon {horizon_txid}: "
+        f"got {len(got_all)} rows, want {len(want_all)}")
+
+
+def coordinator_sectors(sdb: ShardedDatabase) -> set[int]:
+    sectors: set[int] = set()
+    assert sdb.coordinator_file is not None
+    for addr in sdb.coordinator_file._addresses.values():
+        base = addr // 512
+        sectors.update(range(base, base + sdb.coordinator_file.page_size
+                             // 512))
+    return sectors
+
+
+def recover_and_check_sharded(run: ShardedRun,
+                              context: str = "") -> ShardedDatabase:
+    """Recover the whole topology and assert the §16.5 invariants."""
+    sdb = run.sdb
+    traces = [db.trace for db in sdb.shards] + [sdb.trace]
+    for trace in traces:
+        trace.clear()
+        trace.enable()
+    recovered = ShardedDatabase.recover(sdb)
+    for trace in traces:
+        trace.disable()
+
+    # recovery I/O: reads only, confined to manifest/WAL (+ coordinator
+    # log) extents — no shard's partition leaves are read
+    for k, db in enumerate(recovered.shards):
+        allowed = wal_manifest_sectors(db)
+        for entry in db.trace.entries():
+            assert entry.kind == "R", (
+                f"{context}: shard {k} recovery wrote LBA {entry.lba}")
+            covered = all(lba in allowed
+                          for lba in range(entry.lba, entry.end_lba))
+            assert covered, (
+                f"{context}: shard {k} recovery read outside manifest/WAL "
+                f"extents (LBA {entry.lba}..{entry.end_lba})")
+    coord_allowed = coordinator_sectors(recovered)
+    for entry in recovered.trace.entries():
+        assert entry.kind == "R", (
+            f"{context}: coordinator recovery wrote LBA {entry.lba}")
+        assert all(lba in coord_allowed
+                   for lba in range(entry.lba, entry.end_lba)), (
+            f"{context}: coordinator recovery read outside its log")
+
+    # atomicity: every historical transaction has ONE status, identical on
+    # every shard — all shards or no shards
+    check_txids = [txid for txid, _state in run.history]
+    if run.inflight_txid is not None:
+        check_txids.append(run.inflight_txid)
+    for txid in check_txids:
+        statuses = {db.txn.status_of(txid) for db in recovered.shards}
+        assert len(statuses) == 1, (
+            f"{context}: txn {txid} recovered with split statuses "
+            f"{statuses} — partial cross-shard visibility")
+        assert statuses <= {TxnStatus.COMMITTED, TxnStatus.ABORTED}, (
+            f"{context}: txn {txid} undecided after recovery")
+    for txid, _state in run.history:
+        assert recovered.shards[0].txn.status_of(txid) \
+            is TxnStatus.COMMITTED, (
+            f"{context}: fully-acknowledged txn {txid} lost")
+
+    # oracle equivalence at every historical commit horizon
+    for txid, state in run.history:
+        assert_sharded_state(recovered, txid, state,
+                             context=f"{context} horizon txid={txid}")
+
+    final = run.final
+    if run.inflight_txid is not None:
+        if (recovered.shards[0].txn.status_of(run.inflight_txid)
+                is TxnStatus.COMMITTED):
+            assert run.inflight_state is not None
+            final = run.inflight_state
+    horizon = max(db.txn.next_txid for db in recovered.shards) - 1
+    assert_sharded_state(recovered, horizon, final,
+                         context=f"{context} final horizon")
+    return recovered
+
+
+# ------------------------------------------------------------------ sweeps
+
+@pytest.fixture(scope="module")
+def clean_counts() -> dict[str, int]:
+    """Per-device I/O counts of one fault-free sharded run."""
+    run = run_sharded()
+    assert not run.crashed
+    counts = {f"shard{k}": db.device.io_count
+              for k, db in enumerate(run.sdb.shards)}
+    assert run.sdb.coordinator_device is not None
+    counts["coord"] = run.sdb.coordinator_device.io_count
+    return counts
+
+
+def _crash_points(total: int, exhaustive: bool) -> list[int]:
+    if exhaustive:
+        return list(range(total))
+    points = sorted(set(range(0, total, 7)) | {1, total - 1})
+    return [k for k in points if 0 <= k < total]
+
+
+def test_workload_is_cross_shard(clean_counts: dict[str, int]) -> None:
+    """The sweep only means something if 2PC commits actually happen."""
+    run = run_sharded()
+    assert len(run.sdb.coordinator.decisions) >= 5, (
+        "script produced too few cross-shard commits")
+    for k in range(SHARDS):
+        assert clean_counts[f"shard{k}"] > 10, "a shard sat idle"
+    assert clean_counts["coord"] >= len(run.sdb.coordinator.decisions)
+
+
+@pytest.mark.parametrize("target", ["shard0", "shard1", "coord"])
+def test_shard_crash_sweep(target: str, clean_counts: dict[str, int],
+                           run_crash_sweep: bool) -> None:
+    """Kill one device at I/O index k; recover; assert atomicity."""
+    total = clean_counts[target]
+    crashes = 0
+    for k in _crash_points(total, run_crash_sweep):
+        run = run_sharded(target, FaultPlan(fail_at=k))
+        assert run.crashed, f"{target} fail_at={k} must crash"
+        crashes += 1
+        recover_and_check_sharded(run, context=f"{target} k={k}")
+    assert crashes > 0
+
+
+def test_torn_shard_writes_recover(clean_counts: dict[str, int]) -> None:
+    k = clean_counts["shard1"] // 2
+    for fraction in (0.0, 0.5, 0.99):
+        run = run_sharded("shard1", FaultPlan(fail_at=k, mode="torn",
+                                              fraction=fraction))
+        assert run.crashed
+        recover_and_check_sharded(run, context=f"torn f={fraction} k={k}")
+
+
+def test_range_partitioned_crash_recovers() -> None:
+    """The sweep invariants hold under range partitioning too."""
+    probe = run_sharded(partitioning="range")
+    assert not probe.crashed
+    k = probe.sdb.shards[0].device.io_count // 2
+    run = run_sharded("shard0", FaultPlan(fail_at=k),
+                      partitioning="range")
+    assert run.crashed
+    recover_and_check_sharded(run, context=f"range k={k}")
+
+
+def test_crash_beyond_workload_never_fires(
+        clean_counts: dict[str, int]) -> None:
+    target = "shard0"
+    run = run_sharded(target,
+                      FaultPlan(fail_at=clean_counts[target] + 10))
+    assert not run.crashed
+    assert run.sdb.shards[0].device.io_count == clean_counts[target]
+
+
+def test_recovered_router_keeps_working(
+        clean_counts: dict[str, int]) -> None:
+    """Post-recovery the router accepts new cross-shard transactions."""
+    run = run_sharded("shard0",
+                      FaultPlan(fail_at=clean_counts["shard0"] // 2))
+    assert run.crashed
+    recovered = recover_and_check_sharded(run, context="continue")
+    state = dict(run.final)
+    if run.inflight_txid is not None and (
+            recovered.shards[0].txn.status_of(run.inflight_txid)
+            is TxnStatus.COMMITTED):
+        assert run.inflight_state is not None
+        state = dict(run.inflight_state)
+    txn = recovered.begin()
+    for i in range(200, 230):
+        recovered.insert(txn, TABLE, (i, f"z{i}"))
+        state[i] = f"z{i}"
+    txn.commit()
+    assert len(txn.touched) > 1, "fresh inserts should span shards"
+    assert_sharded_state(recovered, txn.id, state, context="post-recovery")
+
+
+# ------------------------------------------------------- rebalance crashes
+
+def test_rebalance_crash_sweep(run_crash_sweep: bool) -> None:
+    """Kill a shard device at every sampled I/O index DURING a rebalance:
+    every window recovers to the exact pre-rebalance contents (the layout
+    flip decides which copies are authoritative; none are ever lost)."""
+    base = run_sharded(partitioning="range")
+    assert not base.crashed
+
+    def io_now(sdb: ShardedDatabase) -> list[int]:
+        return [db.device.io_count for db in sdb.shards]
+
+    # measure a clean rebalance's extra I/O per shard
+    probe = run_sharded(partitioning="range")
+    before = io_now(probe.sdb)
+    probe.sdb.move_range((0,), (30,), 1)
+    deltas = [after - b
+              for after, b in zip(io_now(probe.sdb), before)]
+    assert max(deltas) > 0, "rebalance did no I/O?"
+
+    target = max(range(SHARDS), key=lambda k: deltas[k])
+    points = _crash_points(deltas[target], run_crash_sweep)
+    for k in points:
+        run = run_sharded(partitioning="range")
+        sdb = run.sdb
+        sdb.shards[target].device.set_fault_plan(
+            FaultPlan(fail_at=sdb.shards[target].device.io_count + k))
+        try:
+            sdb.move_range((0,), (30,), 1)
+        except DeviceCrashError:
+            pass
+        crashed_run = ShardedRun(sdb, run.history, run.final, True,
+                                 None, None)
+        recover_and_check_sharded(crashed_run,
+                                  context=f"rebalance k={k}")

@@ -1,0 +1,224 @@
+"""Property tests: the shard router is extensionally a single Database.
+
+A :class:`~repro.shard.ShardedDatabase` over N shards must be
+indistinguishable from one single-node :class:`~repro.engine.Database`
+run through the identical transaction history — the partitioning scheme,
+the shard count, rebalances mid-history and snapshots held ACROSS those
+rebalances must all be invisible to readers.  Every example replays one
+random history (inserts, non-key updates, key-changing cross-shard
+moves, deletes, aborts, layout changes, held snapshots) against both
+engines and compares:
+
+* every point lookup over the key universe,
+* the full merged range scan,
+* the same reads through every *held* transaction pair — each also
+  checked against the oracle state captured when the snapshot was taken
+  (rebalances that happened since must not leak newer or drop older
+  versions).
+
+A durable variant recovers the whole sharded topology mid-comparison.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import EngineConfig
+from repro.engine.database import Database
+from repro.shard import ShardConfig, ShardedDatabase
+
+KEYS = list(range(20))
+TABLE = "t"
+INDEX = "ix"
+
+op_st = st.one_of(
+    st.tuples(st.just("insert"), st.sampled_from(KEYS),
+              st.text("abc", min_size=1, max_size=3)),
+    st.tuples(st.just("update"), st.sampled_from(KEYS),
+              st.text("xyz", min_size=1, max_size=3)),
+    st.tuples(st.just("move"), st.sampled_from(KEYS),
+              st.sampled_from(KEYS)),
+    st.tuples(st.just("delete"), st.sampled_from(KEYS)),
+)
+
+step_st = st.fixed_dictionaries({
+    "outcome": st.sampled_from(["commit", "commit", "commit", "abort"]),
+    "ops": st.lists(op_st, min_size=1, max_size=5),
+    "hold": st.booleans(),
+    "flush": st.booleans(),
+    "rebalance": st.one_of(
+        st.none(),
+        st.tuples(st.integers(0, 63), st.integers(0, 7),
+                  st.sampled_from(KEYS), st.sampled_from(KEYS)),
+    ),
+})
+
+history_st = st.lists(step_st, min_size=1, max_size=10)
+
+
+def build_pair(shards: int, partitioning: str, durable: bool = False):
+    config = EngineConfig(durability=durable, page_size=2048,
+                          extent_pages=8, partition_buffer_bytes=4096,
+                          buffer_pool_pages=128)
+    cuts = None
+    if partitioning == "range":
+        cuts = [((len(KEYS) * (i + 1)) // shards,)
+                for i in range(shards - 1)]
+    router = ShardedDatabase(config, ShardConfig(
+        shards=shards, partitioning=partitioning, range_cuts=cuts,
+        hash_slots=64))
+    oracle = Database(config)
+    for db in (router, oracle):
+        db.create_table(TABLE, [("id", "int"), ("val", "str")], "heap")
+        db.create_index(INDEX, TABLE, ["id"], kind="mvpbt",
+                        enable_gc=False)
+    return router, oracle
+
+
+def run_history(router, oracle, history, shards, partitioning):
+    live: dict[int, str] = {}
+    held = []   # (router_txn, oracle_txn, oracle_state_at_hold)
+    for step in history:
+        if step["hold"]:
+            held.append((router.begin(), oracle.begin(), dict(live)))
+        if step["rebalance"] is not None and shards > 1:
+            slot, dst_raw, lo, hi = step["rebalance"]
+            dst = dst_raw % shards
+            if partitioning == "hash":
+                router.move_slot(slot % router.shard_config.hash_slots, dst)
+            elif lo < hi:
+                router.move_range((lo,), (hi,), dst)
+        rtxn, otxn = router.begin(), oracle.begin()
+        pending = dict(live)
+        for op in step["ops"]:
+            if op[0] == "insert":
+                key, val = op[1], op[2]
+                if key in pending:
+                    continue
+                router.insert(rtxn, TABLE, (key, val))
+                oracle.insert(otxn, TABLE, (key, val))
+                pending[key] = val
+            elif op[0] == "update":
+                key, val = op[1], op[2]
+                if key not in pending:
+                    continue
+                router.update_by_key(rtxn, INDEX, (key,), {"val": val})
+                oracle.update_by_key(otxn, INDEX, (key,), {"val": val})
+                pending[key] = val
+            elif op[0] == "move":
+                src, dst_key = op[1], op[2]
+                if src not in pending or dst_key in pending \
+                        or src == dst_key:
+                    continue
+                router.update_by_key(rtxn, INDEX, (src,), {"id": dst_key})
+                oracle.update_by_key(otxn, INDEX, (src,), {"id": dst_key})
+                pending[dst_key] = pending.pop(src)
+            else:
+                key = op[1]
+                if key not in pending:
+                    continue
+                router.delete_by_key(rtxn, INDEX, (key,))
+                oracle.delete_by_key(otxn, INDEX, (key,))
+                del pending[key]
+        if step["outcome"] == "commit":
+            rtxn.commit()
+            otxn.commit()
+            live = pending
+        else:
+            rtxn.abort()
+            otxn.abort()
+        if step["flush"]:
+            router.flush_all()
+            oracle.flush_all()
+    return live, held
+
+
+def assert_same_reads(router, oracle, rtxn, otxn, expect=None,
+                      context=""):
+    for key in KEYS:
+        got_r = sorted(router.select(rtxn, INDEX, (key,)))
+        got_o = sorted(oracle.select(otxn, INDEX, (key,)))
+        assert got_r == got_o, (
+            f"{context}: key {key}: router {got_r} != oracle {got_o}")
+        if expect is not None:
+            want = [(key, expect[key])] if key in expect else []
+            assert got_r == want, (
+                f"{context}: key {key}: got {got_r}, want {want}")
+    scan_r = sorted(router.range_select(rtxn, INDEX, None, None))
+    scan_o = sorted(oracle.range_select(otxn, INDEX, None, None))
+    assert scan_r == scan_o, f"{context}: full scans diverge"
+    if expect is not None:
+        assert scan_r == sorted(expect.items()), (
+            f"{context}: scan != oracle state")
+
+
+def check_equivalence(shards, partitioning, history, durable=False,
+                      recover=False):
+    router, oracle = build_pair(shards, partitioning, durable)
+    live, held = run_history(router, oracle, history, shards,
+                             partitioning)
+    for rtxn, otxn, state in held:
+        assert_same_reads(router, oracle, rtxn, otxn, expect=state,
+                          context=f"held snapshot txid={rtxn.id}")
+        rtxn.abort()
+        otxn.abort()
+    rtxn, otxn = router.begin(), oracle.begin()
+    assert_same_reads(router, oracle, rtxn, otxn, expect=live,
+                      context="final")
+    rtxn.abort()
+    otxn.abort()
+    if recover:
+        recovered = ShardedDatabase.recover(router)
+        rtxn, otxn = recovered.begin(), oracle.begin()
+        assert_same_reads(recovered, oracle, rtxn, otxn, expect=live,
+                          context="post-recovery")
+        rtxn.abort()
+        otxn.abort()
+
+
+# ----------------------------------------------------------------- tests
+
+pytestmark = pytest.mark.shard
+
+
+@pytest.mark.parametrize("shards", [1, 2, 4, 8])
+@settings(max_examples=20, deadline=None)
+@given(history=history_st)
+def test_hash_router_equals_oracle(shards, history):
+    check_equivalence(shards, "hash", history)
+
+
+@pytest.mark.parametrize("shards", [2, 4, 8])
+@settings(max_examples=20, deadline=None)
+@given(history=history_st)
+def test_range_router_equals_oracle(shards, history):
+    check_equivalence(shards, "range", history)
+
+
+@settings(max_examples=10, deadline=None)
+@given(history=history_st)
+def test_durable_router_recovers_to_oracle(history):
+    """Recovery of the whole topology lands on the oracle state."""
+    check_equivalence(4, "hash", history, durable=True, recover=True)
+
+
+@settings(max_examples=10, deadline=None)
+@given(history=history_st, seed=st.integers(0, 2**16))
+def test_snapshot_survives_forced_rebalance(history, seed):
+    """Every committed horizon stays exact across one forced full-shuffle
+    rebalance (each slot reassigned pseudo-randomly)."""
+    shards = 4
+    router, oracle = build_pair(shards, "hash")
+    live, held = run_history(router, oracle, history, shards, "hash")
+    rtxn, otxn = router.begin(), oracle.begin()
+    for slot in range(router.shard_config.hash_slots):
+        router.move_slot(slot, (slot * 2654435761 + seed) % shards)
+    assert_same_reads(router, oracle, rtxn, otxn, expect=live,
+                      context="snapshot across forced shuffle")
+    for h_rtxn, h_otxn, state in held:
+        assert_same_reads(router, oracle, h_rtxn, h_otxn, expect=state,
+                          context=f"held txid={h_rtxn.id} across shuffle")
+        h_rtxn.abort()
+        h_otxn.abort()
+    rtxn.abort()
+    otxn.abort()
