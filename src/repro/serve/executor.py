@@ -45,6 +45,7 @@ class SessionExecutor:
         if not clients:
             return []
         queue: deque[tuple[int, Client]] = deque(enumerate(clients))
+        # reprolint: lock-rank=LEAF -- guards only the local work queue
         queue_lock = threading.Lock()
         results: list[Any] = [None] * len(clients)
         errors: list[tuple[int, BaseException]] = []

@@ -6,17 +6,11 @@ rank it already holds (re-entrant re-acquisition of the same lock is
 allowed).  Because every thread acquires in ascending rank order, no
 cyclic wait can form — the classic total-order deadlock-freedom argument.
 
-The ranks::
-
-    10  ENGINE        the fair scheduler's engine slot: all engine state
-                      (trees, buffer pool, device, clock, tracer) is
-                      confined to the slot holder
-    20  TXN_MANAGER   TransactionManager._lock (txid allocator,
-                      active-transaction set)
-    30  TXN_COMMITLOG CommitLog._lock (status array mutations)
-    40  GROUP_QUEUE   GroupCommitter's queue mutex/condition
-
-Two rules fall out of the table:
+The rank table itself is stated once, in DESIGN.md §15.2 (ENGINE →
+TXN_MANAGER → TXN_COMMITLOG → GROUP_QUEUE); the ``RANK_*`` constants
+below are its machine-readable form, and reprolint's R9 pass verifies
+the whole program against them statically.  Two rules fall out of the
+table:
 
 * the group-commit **leader** must release GROUP_QUEUE before requesting
   the engine slot for its batched append (40 → 10 would invert the
@@ -34,22 +28,51 @@ ordering rules.  The engine slot itself is managed by the fair scheduler,
 which marks slot ownership through :func:`note_acquired` /
 :func:`note_released` so slot holders participate in the same ordering
 checks without a second mutex.
+
+Observation hooks: :func:`add_lock_listener` registers a listener whose
+``acquired``/``released`` methods fire on every ordering event — the
+lockset race detector and the interleaving fuzzer
+(:mod:`repro.obs.race`) plug in here, so instrumentation costs nothing
+when no listener is installed.
 """
 
 from __future__ import annotations
 
 import threading
 from types import TracebackType
+from typing import Protocol
 
 from ..errors import ConcurrencyError
 
-#: the documented ranks (see module docstring / DESIGN.md §15.2)
+#: machine-readable rank constants (table: DESIGN.md §15.2)
 RANK_ENGINE = 10
 RANK_TXN_MANAGER = 20
 RANK_TXN_COMMITLOG = 30
 RANK_GROUP_QUEUE = 40
 
 _held = threading.local()
+
+
+class LockListener(Protocol):
+    """Observer of ordering events (race detection, schedule fuzzing)."""
+
+    def acquired(self, rank: int, name: str) -> None: ...
+
+    def released(self, rank: int, name: str) -> None: ...
+
+
+#: installed listeners; a tuple so iteration needs no lock
+_listeners: tuple[LockListener, ...] = ()
+
+
+def add_lock_listener(listener: LockListener) -> None:
+    global _listeners
+    _listeners = _listeners + (listener,)
+
+
+def remove_lock_listener(listener: LockListener) -> None:
+    global _listeners
+    _listeners = tuple(item for item in _listeners if item is not listener)
 
 
 def _stack() -> list[tuple[int, str]]:
@@ -68,23 +91,33 @@ def note_acquired(rank: int, name: str) -> None:
     """
     stack = _stack()
     if stack and rank <= stack[-1][0]:
-        held = ", ".join(f"{n}({r})" for r, n in stack)
+        held = ", ".join(f"{n}(rank {r})" for r, n in stack)
+        ranks = sorted({r for r, _n in stack} | {rank})
         raise ConcurrencyError(
-            f"lock order violation: acquiring {name}({rank}) while "
-            f"holding [{held}] — locks must be taken in ascending rank "
+            f"lock order violation in thread "
+            f"{threading.current_thread().name!r}: acquiring "
+            f"{name}(rank {rank}) while holding [{held}] — ranks "
+            f"involved: {ranks}; locks must be taken in ascending rank "
             f"(DESIGN.md §15.2)")
     stack.append((rank, name))
+    for listener in _listeners:
+        listener.acquired(rank, name)
 
 
 def note_released(rank: int, name: str) -> None:
     """Record that the current thread released lock ``name``."""
     stack = _stack()
     if not stack or stack[-1] != (rank, name):
-        held = ", ".join(f"{n}({r})" for r, n in stack)
+        held = ", ".join(f"{n}(rank {r})" for r, n in stack)
+        ranks = sorted({r for r, _n in stack} | {rank})
         raise ConcurrencyError(
-            f"lock release out of order: releasing {name}({rank}) with "
-            f"held stack [{held}]")
+            f"lock release out of order in thread "
+            f"{threading.current_thread().name!r}: releasing "
+            f"{name}(rank {rank}) with held stack [{held}] — ranks "
+            f"involved: {ranks}; releases must be LIFO")
     stack.pop()
+    for listener in _listeners:
+        listener.released(rank, name)
 
 
 def held_ranks() -> list[tuple[int, str]]:

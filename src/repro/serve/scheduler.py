@@ -83,6 +83,9 @@ class FairScheduler:
     """FIFO ticket lock over the engine, with per-kind wait statistics."""
 
     def __init__(self, *, ordering_checks: bool = True) -> None:
+        # scheduler bookkeeping only; never held across engine work
+        # (released before the slot is granted)
+        # reprolint: lock-rank=LEAF
         self._mutex = threading.Lock()
         self._cond = threading.Condition(self._mutex)
         self._queue: deque[int] = deque()

@@ -51,6 +51,7 @@ class Server:
                                             self.scheduler, self.config,
                                             obs=db.obs)
         # registry lock: leaf lock, never held while acquiring any other
+        # reprolint: lock-rank=LEAF -- session registry only
         self._registry_lock = threading.Lock()
         self._sessions: dict[int, Session] = {}
         self._next_sid = 1
@@ -121,6 +122,7 @@ class Server:
         if self.committer is not None:
             out["group_commit"] = self.committer.stats.as_dict()
         if self.db.durability is not None:
+            # reprolint: disable-next=R10 -- stats-only read of a monotonic int counter; torn values impossible
             out["wal_appends"] = self.db.durability.wal.appends
         return out
 

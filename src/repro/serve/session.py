@@ -77,6 +77,7 @@ class Session:
             txn = self._require_txn()
             server = self._server
             clock = self._db.clock
+            # reprolint: disable-next=R10 -- monotonic sim-clock read; latency must span the whole commit, not just the slot
             t0 = clock.now
             committer = server.committer
             if committer is not None:
@@ -94,6 +95,7 @@ class Session:
                     self._db.txn.commit(txn)
             self._txn = None
             self.commits += 1
+            # reprolint: disable-next=R10 -- monotonic sim-clock read
             latency = clock.now - t0
             self.last_commit_latency_s = latency
             server.note_commit_latency(latency)
@@ -213,6 +215,7 @@ class Session:
         """
         from itertools import islice
         txn = self._require_txn()
+        # reprolint: disable-next=R10 -- catalog is frozen after setup (no DDL during serving); plan-time read needs no slot
         info = self._db.catalog.index(index)
         if not (info.is_mvpbt and info.mvpbt.index_only_visibility):
             # version-oblivious paths have no streaming cursor: one slot
@@ -226,6 +229,7 @@ class Session:
         limit = (slice_rows if slice_rows is not None
                  else self._server.config.scan_slice_rows)
         tree = info.mvpbt
+        # reprolint: disable-next=R10 -- catalog is frozen after setup
         table = self._db.catalog.table(info.table)
         cur_lo, cur_incl = lo, lo_incl
         while True:

@@ -335,12 +335,16 @@ class ShardedDatabase:
 
     def update_by_key(self, txn: ShardTransaction, index_name: str,
                       key: Key, updates: dict[str, object]) -> int:
-        """UPDATE all visible rows matching ``key``; a row whose new shard
-        key maps elsewhere moves (delete on the source shard + insert on
-        the destination) inside the same transaction."""
+        """UPDATE all visible rows matching ``key``; a row whose shard key
+        changes moves (delete + insert inside the same transaction) even
+        when the new key maps to the same shard — version chains must stay
+        single-shard-key or rebalancing could strand part of a chain's
+        history on a shard that no longer owns it (see
+        :func:`repro.shard.rebalance._chain_shard_key`)."""
         info = self._index(index_name)
         table = info.table
         schema = self.shards[0].catalog.table(table).schema
+        positions = self.shard_key_positions(table)
         # gather every hit BEFORE mutating: a cross-shard move lands the
         # row (own writes are visible) on a shard this loop may not have
         # scanned yet, and must not be updated twice
@@ -353,9 +357,11 @@ class ShardedDatabase:
         for k, hit in gathered:
             db = self.shards[k]
             new_row = schema.apply_updates(hit.version.data, updates)
-            dst = self._owner_of_row(table, new_row)
+            old_shard_key = tuple(hit.version.data[p] for p in positions)
+            new_shard_key = tuple(new_row[p] for p in positions)
+            dst = self.partitioner.shard_of(new_shard_key)
             txn.touch(k)
-            if dst == k:
+            if dst == k and new_shard_key == old_shard_key:
                 db.update_row(txn.on(k), table, hit.rid, hit.version,
                               updates)
             else:

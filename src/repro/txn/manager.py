@@ -55,6 +55,7 @@ class TransactionManager:
         self.commit_log = CommitLog()
         #: rank TXN_MANAGER (§15.2); re-entrant so a hook running under
         #: :meth:`run` may inspect the manager without self-deadlocking
+        # reprolint: lock-rank=TXN_MANAGER, reentrant
         self._lock = threading.RLock()
         self._next_txid = 1
         self._active: dict[int, Transaction] = {}

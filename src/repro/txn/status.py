@@ -76,6 +76,7 @@ class CommitLog:
         self._aborted_ids: set[int] = set()
         #: guards mutations; reads are lock-free (see module docstring).
         #: Rank TXN_COMMITLOG in the serve layer's lock order (§15.2)
+        # reprolint: lock-rank=TXN_COMMITLOG
         self._lock = threading.Lock()
 
     @property

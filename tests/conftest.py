@@ -18,6 +18,31 @@ def pytest_addoption(parser: pytest.Parser) -> None:
         "--run-crash-sweep", action="store_true", default=False,
         help="run the crash-point sweep exhaustively (every I/O index) "
              "instead of the quick sampled subset")
+    parser.addoption(
+        "--fuzz-interleavings", action="store_true", default=False,
+        help="install the seeded schedule perturber at every lock "
+             "boundary (repro.obs.race.SchedulePerturber) for the whole "
+             "session — shakes the concurrency suites out of convoy "
+             "schedules")
+    parser.addoption(
+        "--fuzz-seed", type=int, default=0,
+        help="seed for --fuzz-interleavings (decision stream replays "
+             "for a given seed)")
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    if config.getoption("--fuzz-interleavings"):
+        from repro.obs.race import SchedulePerturber
+        perturber = SchedulePerturber(int(config.getoption("--fuzz-seed")))
+        perturber.install()
+        config._fuzz_perturber = perturber  # type: ignore[attr-defined]
+
+
+def pytest_unconfigure(config: pytest.Config) -> None:
+    perturber = getattr(config, "_fuzz_perturber", None)
+    if perturber is not None:
+        perturber.uninstall()
+        del config._fuzz_perturber  # type: ignore[attr-defined]
 
 
 @pytest.fixture

@@ -76,6 +76,71 @@ class TestRankBookkeeping:
         assert seen == [[]]
 
 
+class TestViolationDiagnostics:
+    """The enriched ConcurrencyError payload: thread name, full held
+    stack, and the sorted set of ranks involved (§15.2 satellite)."""
+
+    def test_violation_names_the_thread(self):
+        note_acquired(RANK_GROUP_QUEUE, "queue")
+        try:
+            with pytest.raises(ConcurrencyError) as excinfo:
+                note_acquired(RANK_ENGINE, "engine")
+        finally:
+            note_released(RANK_GROUP_QUEUE, "queue")
+        message = str(excinfo.value)
+        assert repr(threading.current_thread().name) in message
+
+    def test_violation_lists_the_full_held_stack(self):
+        note_acquired(RANK_TXN_MANAGER, "manager")
+        note_acquired(RANK_TXN_COMMITLOG, "commitlog")
+        note_acquired(RANK_GROUP_QUEUE, "queue")
+        try:
+            with pytest.raises(ConcurrencyError) as excinfo:
+                note_acquired(RANK_ENGINE, "engine")
+        finally:
+            note_released(RANK_GROUP_QUEUE, "queue")
+            note_released(RANK_TXN_COMMITLOG, "commitlog")
+            note_released(RANK_TXN_MANAGER, "manager")
+        message = str(excinfo.value)
+        assert "manager(rank 20), commitlog(rank 30), queue(rank 40)" \
+            in message
+        assert "ranks involved: [10, 20, 30, 40]" in message
+
+    def test_release_mismatch_reports_stack_and_ranks(self):
+        note_acquired(RANK_TXN_MANAGER, "manager")
+        try:
+            with pytest.raises(ConcurrencyError) as excinfo:
+                note_released(RANK_TXN_MANAGER, "impostor")
+        finally:
+            note_released(RANK_TXN_MANAGER, "manager")
+        message = str(excinfo.value)
+        assert "releasing impostor(rank 20)" in message
+        assert "manager(rank 20)" in message
+        assert "releases must be LIFO" in message
+
+    def test_release_on_empty_stack_raises(self):
+        with pytest.raises(ConcurrencyError, match="lock release"):
+            note_released(RANK_ENGINE, "phantom")
+
+    def test_worker_thread_name_appears_in_violation(self):
+        captured: list[str] = []
+
+        def collide() -> None:
+            note_acquired(RANK_GROUP_QUEUE, "queue")
+            try:
+                note_acquired(RANK_ENGINE, "engine")
+            except ConcurrencyError as exc:
+                captured.append(str(exc))
+            finally:
+                note_released(RANK_GROUP_QUEUE, "queue")
+
+        thread = threading.Thread(target=collide, name="collider")
+        thread.start()
+        thread.join()
+        assert len(captured) == 1
+        assert "'collider'" in captured[0]
+
+
 class TestOrderedLock:
     def test_context_manager_tracks_rank(self):
         lock = OrderedLock("t.queue", RANK_GROUP_QUEUE)
@@ -97,6 +162,34 @@ class TestOrderedLock:
         cond = lock.condition()
         with lock:
             cond.notify_all()  # would raise if the mutex were different
+
+    def test_reentrant_reacquisition_raises(self):
+        # OrderedLock is non-re-entrant by design: same rank never ascends
+        lock = OrderedLock("t.q", RANK_GROUP_QUEUE)
+        with lock:
+            with pytest.raises(ConcurrencyError) as excinfo:
+                lock.acquire()
+        assert held_ranks() == []
+        assert "t.q(rank 40)" in str(excinfo.value)
+
+    def test_failed_mutex_acquire_unwinds_bookkeeping(self):
+        # if the raw mutex acquisition blows up after the rank was noted,
+        # the note must be rolled back or the stack poisons the thread
+        class ExplodingMutex:
+            def acquire(self) -> None:
+                raise RuntimeError("simulated interpreter shutdown")
+
+            def release(self) -> None:  # pragma: no cover - never reached
+                raise AssertionError("release without acquire")
+
+        lock = OrderedLock("t.q", RANK_GROUP_QUEUE)
+        lock._lock = ExplodingMutex()
+        with pytest.raises(RuntimeError, match="simulated"):
+            lock.acquire()
+        assert held_ranks() == []
+        # the thread is not poisoned: a fresh ordered lock still works
+        with OrderedLock("t.q2", RANK_GROUP_QUEUE):
+            assert [name for _, name in held_ranks()] == ["t.q2"]
 
 
 class TestFairScheduler:

@@ -659,7 +659,7 @@ class TestEngine:
 
     def test_all_rules_have_unique_ids(self):
         ids = [rule.id for rule in ALL_RULES]
-        assert len(ids) == len(set(ids)) == 8
+        assert len(ids) == len(set(ids)) == 11
 
 
 # ----------------------------------------------------------------- CLI gate

@@ -24,13 +24,37 @@ R6     typing              every def is fully annotated and no annotation
                            uses a bare generic (``tuple``/``list``/...) — the
                            locally-runnable proxy for the ``mypy --strict``
                            CI gate
+R7     time-discipline     no ``time``/``datetime`` imports; tracing and
+                           metrics objects are constructed only in
+                           ``repro/obs/`` and ``repro/sim/``
+R8     concurrency-        raw threading primitives confined to
+       confinement         ``repro/serve/`` and the synchronized txn
+                           components
+R9     lock-order          whole-program §15.2 rank verification: ranks
+                           strictly ascend along every static acquisition
+                           path; raw mutexes carry ``lock-rank=`` annotations;
+                           calls under a lock are checked against transitive
+                           may-acquire summaries
+R10    slot-confinement    engine state reachable from ``repro/serve/`` is
+                           accessed only under the FairScheduler engine slot
+                           (confinement inherited through always-in-slot
+                           helpers)
+R11    2pc-protocol        every static path through the shard layer's 2PC
+                           functions follows the decision protocol
+                           (P -> D -> M -> F -> finish), ops only callable
+                           from the coordinator layer
 =====  ==================  ====================================================
+
+R1-R8 are per-file visitor rules; R9-R11 are :class:`ProgramRule`
+passes over a cross-module call graph with per-function lock summaries
+(``callgraph.py`` + ``summaries.py``, DESIGN.md §17).
 
 Findings can be suppressed per line with a justified pragma::
 
     x = time.time()  # reprolint: disable=R1 -- host wall-clock for report header
 
-``--strict`` additionally rejects suppressions without a justification.
+``--strict`` additionally rejects suppressions without a justification,
+and reports stale pragmas (S2) that no longer suppress anything.
 """
 
 from __future__ import annotations

@@ -25,7 +25,8 @@ def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="reprolint",
         description="AST-based engine-invariant checker for the MV-PBT "
-                    "repro (rules R1-R6; see DESIGN.md §12)")
+                    "repro (per-file rules R1-R8 + whole-program "
+                    "concurrency rules R9-R11; see DESIGN.md §12/§17)")
     parser.add_argument("paths", nargs="*", type=Path,
                         help="files or directories to lint")
     parser.add_argument("--strict", action="store_true",
@@ -43,20 +44,26 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+class _UsageError(Exception):
+    """A bad invocation: reported on stderr, exit code 2."""
+
+
 def _resolve_rules(select: str, ignore: str) -> list[Rule]:
     chosen: list[type[Rule]]
     if select:
         try:
             chosen = [rule_by_id(token) for token in select.split(",")]
         except KeyError as exc:
-            raise SystemExit(f"reprolint: unknown rule {exc.args[0]!r}")
+            # reprolint: disable-next=R5 -- CLI usage error mapped to exit code 2, not library surface
+            raise _UsageError(f"reprolint: unknown rule {exc.args[0]!r}")
     else:
         chosen = list(ALL_RULES)
     if ignore:
         try:
             dropped = {rule_by_id(token) for token in ignore.split(",")}
         except KeyError as exc:
-            raise SystemExit(f"reprolint: unknown rule {exc.args[0]!r}")
+            # reprolint: disable-next=R5 -- CLI usage error mapped to exit code 2, not library surface
+            raise _UsageError(f"reprolint: unknown rule {exc.args[0]!r}")
         chosen = [rule for rule in chosen if rule not in dropped]
     return [rule() for rule in chosen]
 
@@ -104,7 +111,11 @@ def main(argv: Sequence[str] | None = None) -> int:
               f"{', '.join(str(p) for p in missing)}", file=sys.stderr)
         return 2
 
-    rules = _resolve_rules(args.select, args.ignore)
+    try:
+        rules = _resolve_rules(args.select, args.ignore)
+    except _UsageError as exc:
+        print(exc, file=sys.stderr)
+        return 2
     if not rules:
         print("reprolint: no rules selected (--select and --ignore "
               "cancel out)", file=sys.stderr)

@@ -15,8 +15,9 @@ from io import StringIO
 from pathlib import Path
 from typing import Iterable, Iterator
 
-#: ``# reprolint: disable=R1,R2 -- justification`` (same line) or
-#: ``# reprolint: disable-next=R1 -- justification`` (next line)
+#: pragma grammar: ``disable=R1,R2 -- justification`` (same line) or
+#: ``disable-next=R1 -- justification`` (next line), after a
+#: ``reprolint:`` comment marker
 _SUPPRESS_RE = re.compile(
     r"#\s*reprolint:\s*(?P<kind>disable(?:-next)?)\s*=\s*"
     r"(?P<rules>[A-Za-z0-9_,\s-]+?)\s*(?:--\s*(?P<why>.+?)\s*)?$")
@@ -224,6 +225,37 @@ class Rule:
                        hint=self.hint if hint is None else hint)
 
 
+class ProgramRule(Rule):
+    """A whole-program rule: sees every file of the run at once.
+
+    Per-file rules (:class:`Rule`) get one :class:`FileContext`; program
+    rules run *after* the per-file pass over the full list of parsed
+    contexts, so they can build cross-module structures — the call graph,
+    lock summaries — and report findings anywhere in the tree.  The
+    ``shared`` mapping is one dict per lint run: rules stash expensive
+    artifacts there (``shared["program"]`` holds the call-graph model) so
+    three rules don't build the same fixpoint three times.
+
+    Findings are attributed to real (path, line) locations and respond to
+    the same suppression pragmas as per-file findings.
+    """
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        return []
+
+    def check_program(self, files: list[FileContext],
+                      shared: dict[str, object]) -> list[Finding]:
+        raise NotImplementedError
+
+    def finding_at(self, path: str, node: ast.AST, message: str,
+                   hint: str | None = None) -> Finding:
+        return Finding(rule=self.id, name=self.name, path=path,
+                       line=getattr(node, "lineno", 1),
+                       col=getattr(node, "col_offset", 0),
+                       message=message,
+                       hint=self.hint if hint is None else hint)
+
+
 def parse_suppressions(source: str) -> list[Suppression]:
     """Extract ``# reprolint: disable[...]`` pragmas via the tokenizer (so
     strings that merely *contain* pragma-looking text are never matched)."""
@@ -249,18 +281,41 @@ def parse_suppressions(source: str) -> list[Suppression]:
     return suppressions
 
 
+class _FileState:
+    """Per-file bookkeeping the program pass and S2 staleness need."""
+
+    __slots__ = ("ctx", "suppressions", "used")
+
+    def __init__(self, ctx: FileContext,
+                 suppressions: list[Suppression]) -> None:
+        self.ctx = ctx
+        self.suppressions = suppressions
+        #: indices of suppressions that covered at least one raw finding
+        self.used: set[int] = set()
+
+
 class Linter:
-    """Run a rule set over files/sources; apply suppressions; count both."""
+    """Run a rule set over files/sources; apply suppressions; count both.
+
+    Per-file rules run one file at a time; :class:`ProgramRule` instances
+    run once over the whole file set at the end of :meth:`lint_paths`.
+    Under ``--strict`` a suppression pragma that covered no finding in the
+    entire run (per-file *and* program rules) is itself reported as stale
+    (S2) — provided every rule it names was enabled in the run, so a
+    ``--select``/``--ignore`` subset never misreports staleness.
+    """
 
     def __init__(self, rules: Iterable[Rule], project: Project | None = None,
                  *, strict: bool = False) -> None:
-        self.rules = list(rules)
+        self.rules = [r for r in rules if not isinstance(r, ProgramRule)]
+        self.program_rules = [r for r in rules
+                              if isinstance(r, ProgramRule)]
         self.project = project if project is not None else Project()
         self.strict = strict
         self.files_checked = 0
         self.suppressed_count = 0
         self._known_tokens = {"all"}
-        for rule in self.rules:
+        for rule in self.rules + list(self.program_rules):
             self._known_tokens.add(rule.id.lower())
             self._known_tokens.add(rule.name.lower())
 
@@ -268,24 +323,16 @@ class Linter:
 
     def lint_source(self, source: str, path: str = "<source>"
                     ) -> list[Finding]:
-        try:
-            tree = ast.parse(source)
-        except SyntaxError as exc:
-            return [Finding(rule="E0", name="syntax", path=path,
-                            line=exc.lineno or 1, col=exc.offset or 0,
-                            message=f"cannot parse file: {exc.msg}")]
-        ctx = FileContext(path, source, tree, self.project)
-        raw: list[Finding] = []
-        for rule in self.rules:
-            raw.extend(rule.check(ctx))
-        suppressions = parse_suppressions(source)
-        findings = []
-        for finding in raw:
-            if any(s.covers(finding) for s in suppressions):
-                self.suppressed_count += 1
-                continue
-            findings.append(finding)
-        findings.extend(self._pragma_hygiene(path, suppressions))
+        """Lint one in-memory source with the per-file rules only.
+
+        Program rules need the whole file set and run in
+        :meth:`lint_paths`; staleness (S2) here is judged against the
+        per-file rule set alone.
+        """
+        findings, state = self._lint_collect(source, path)
+        if state is not None:
+            enabled = self._enabled_tokens(include_program=False)
+            findings.extend(self._stale_pragmas(state, enabled))
         findings.sort(key=lambda f: (f.line, f.col, f.rule))
         return findings
 
@@ -300,12 +347,116 @@ class Linter:
 
     def lint_paths(self, paths: Iterable[Path]) -> list[Finding]:
         findings: list[Finding] = []
+        states: list[_FileState] = []
         for path in paths:
             for file in sorted(iter_python_files(path)):
-                findings.extend(self.lint_file(file))
+                self.files_checked += 1
+                try:
+                    source = file.read_text(encoding="utf-8")
+                except OSError as exc:
+                    findings.append(Finding(
+                        rule="E0", name="io", path=str(file), line=1,
+                        col=0, message=f"cannot read file: {exc}"))
+                    continue
+                file_findings, state = self._lint_collect(source, str(file))
+                findings.extend(file_findings)
+                if state is not None:
+                    states.append(state)
+        findings.extend(self._program_pass(states))
+        enabled = self._enabled_tokens(include_program=True)
+        for state in states:
+            findings.extend(self._stale_pragmas(state, enabled))
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
         return findings
 
     # ------------------------------------------------------------- internal
+
+    def _lint_collect(self, source: str, path: str
+                      ) -> tuple[list[Finding], _FileState | None]:
+        """Per-file rules + suppression application; no S2 judgement yet
+        (a program rule may still use a pragma the per-file pass didn't)."""
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as exc:
+            return [Finding(rule="E0", name="syntax", path=path,
+                            line=exc.lineno or 1, col=exc.offset or 0,
+                            message=f"cannot parse file: {exc.msg}")], None
+        ctx = FileContext(path, source, tree, self.project)
+        state = _FileState(ctx, parse_suppressions(source))
+        raw: list[Finding] = []
+        for rule in self.rules:
+            raw.extend(rule.check(ctx))
+        findings = []
+        for finding in raw:
+            if self._apply_suppressions(state, finding):
+                continue
+            findings.append(finding)
+        findings.extend(self._pragma_hygiene(path, state.suppressions))
+        return findings, state
+
+    def _program_pass(self, states: list[_FileState]) -> list[Finding]:
+        if not self.program_rules or not states:
+            return []
+        files = [state.ctx for state in states]
+        by_path = {state.ctx.path: state for state in states}
+        shared: dict[str, object] = {}
+        findings: list[Finding] = []
+        for rule in self.program_rules:
+            for finding in rule.check_program(files, shared):
+                state = by_path.get(finding.path)
+                if state is not None \
+                        and self._apply_suppressions(state, finding):
+                    continue
+                findings.append(finding)
+        return findings
+
+    def _apply_suppressions(self, state: _FileState,
+                            finding: Finding) -> bool:
+        """Mark every covering suppression used; True when suppressed."""
+        covered = False
+        for index, sup in enumerate(state.suppressions):
+            if sup.covers(finding):
+                state.used.add(index)
+                covered = True
+        if covered:
+            self.suppressed_count += 1
+        return covered
+
+    def _enabled_tokens(self, *, include_program: bool) -> set[str]:
+        rules: list[Rule] = list(self.rules)
+        if include_program:
+            rules.extend(self.program_rules)
+        enabled: set[str] = set()
+        for rule in rules:
+            enabled.add(rule.id.lower())
+            enabled.add(rule.name.lower())
+        return enabled
+
+    def _stale_pragmas(self, state: _FileState,
+                       enabled: set[str]) -> list[Finding]:
+        """S2 findings: a pragma that suppressed nothing is stale.
+
+        Only judged under ``--strict``, and only when every rule the
+        pragma names ran (an ``all`` pragma or one naming a deselected
+        rule cannot be judged and is skipped)."""
+        if not self.strict:
+            return []
+        findings: list[Finding] = []
+        for index, sup in enumerate(state.suppressions):
+            if index in state.used:
+                continue
+            if any(token == "all" or token not in enabled
+                   for token in sup.rules):
+                continue
+            findings.append(Finding(
+                rule="S2", name="stale-pragma", path=state.ctx.path,
+                line=sup.comment_line, col=0,
+                message=f"suppression for "
+                        f"{', '.join(sup.rules)} matches no finding — "
+                        f"the pragma is stale",
+                hint="delete the pragma (the code it excused is gone or "
+                     "now clean)"))
+        return findings
 
     def _pragma_hygiene(self, path: str,
                         suppressions: list[Suppression]) -> list[Finding]:

@@ -17,6 +17,9 @@ from .r5_errors import ErrorDisciplineRule
 from .r6_typing import TypingRule
 from .r7_time import TimeDisciplineRule
 from .r8_concurrency import ConcurrencyConfinementRule
+from .r9_lock_order import LockOrderRule
+from .r10_confinement import SlotConfinementRule
+from .r11_protocol import ProtocolExhaustivenessRule
 
 ALL_RULES: tuple[type[Rule], ...] = (
     DeterminismRule,
@@ -27,6 +30,9 @@ ALL_RULES: tuple[type[Rule], ...] = (
     TypingRule,
     TimeDisciplineRule,
     ConcurrencyConfinementRule,
+    LockOrderRule,
+    SlotConfinementRule,
+    ProtocolExhaustivenessRule,
 )
 
 
@@ -41,4 +47,5 @@ def rule_by_id(token: str) -> type[Rule]:
 __all__ = ["ALL_RULES", "rule_by_id", "DeterminismRule",
            "RecordExhaustiveRule", "ImmutabilityRule", "StorageBypassRule",
            "ErrorDisciplineRule", "TypingRule", "TimeDisciplineRule",
-           "ConcurrencyConfinementRule"]
+           "ConcurrencyConfinementRule", "LockOrderRule",
+           "SlotConfinementRule", "ProtocolExhaustivenessRule"]

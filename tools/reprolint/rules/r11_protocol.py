@@ -1,0 +1,301 @@
+"""R11 — 2PC decision-protocol exhaustiveness over the shard layer.
+
+DESIGN.md §16.3 fixes the cross-shard commit protocol: per-shard
+PREPARE appends, one coordinator decision append as the atomic commit
+point, then local COMMIT markers, status flips, and the coordinator
+release.  Recovery correctness (all-shards-or-no-shards) depends on
+*every* code path honouring that order — a marker before the decision,
+or a path that skips the decision, silently breaks the crash sweep's
+invariant without failing any live test.
+
+The rule checks three things over the whole program:
+
+* **placement** — the protocol ops (``append_prepare``,
+  ``log_decision``, ``append_commit_marker``) may only be *called* from
+  the coordinator layer (``shard/router.py``, ``shard/coordinator.py``,
+  ``durability/controller.py``); a serve- or engine-layer call is a
+  protocol bypass;
+* **order** — for every coordinator-layer function that touches a 2PC
+  op, all branch paths are enumerated (``if``/``elif`` forks; a loop
+  runs each op-bearing body path at least once; ``raise``-terminated
+  paths are error propagation and exempt), consecutive duplicate ops
+  collapsed, and the result must be one of the accepted decision
+  sequences — PREPAREs, then the decision, then markers, then status
+  flips, then the coordinator release (or one of the non-2PC fast
+  paths);
+* **abort coverage** — a class with a PREPARE-bearing commit must have
+  an ``abort`` whose every path aborts the per-shard transactions and
+  releases the coordinator.
+
+Op alphabet: ``P``=append_prepare, ``D``=log_decision,
+``M``=append_commit_marker, ``C``=<shard>.txn.commit,
+``F``=finish_commit, ``A``=<shard>.txn.abort, ``E``=coordinator.finish.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..callgraph import ClassInfo, FunctionInfo, Program
+from ..engine import FileContext, Finding, ProgramRule
+
+#: modules allowed to call the 2PC ops
+_COORDINATOR_MODULES = (
+    "repro/shard/router.py",
+    "repro/shard/coordinator.py",
+    "repro/durability/controller.py",
+)
+
+#: the three ops whose *placement* is restricted
+_RESTRICTED = {"append_prepare": "P", "log_decision": "D",
+               "append_commit_marker": "M"}
+
+#: accepted collapsed op sequences for a commit-side function
+_ACCEPTED_COMMIT = frozenset({
+    ("C", "F", "E"),            # single-shard fast path
+    ("P", "D", "M", "F", "E"),  # full 2PC marker flow
+    ("F", "E"),                 # read-only / non-durable status flips
+})
+
+_ACCEPTED_ABORT = frozenset({("A", "E")})
+
+_PATH_CAP = 64
+
+
+def _tail_attr(expr: ast.expr) -> str | None:
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    if isinstance(expr, ast.Name):
+        return expr.id
+    return None
+
+
+def _op_of(call: ast.Call) -> str | None:
+    func = call.func
+    if not isinstance(func, ast.Attribute):
+        return None
+    attr = func.attr
+    if attr in _RESTRICTED:
+        return _RESTRICTED[attr]
+    receiver = _tail_attr(func.value)
+    if attr == "finish_commit":
+        return "F"
+    if attr == "commit" and receiver == "txn":
+        return "C"
+    if attr == "abort" and receiver == "txn":
+        return "A"
+    if attr == "finish" and receiver in ("coordinator", "_coordinator"):
+        return "E"
+    return None
+
+
+def _ops_in(node: ast.AST | None) -> tuple[str, ...]:
+    if node is None:
+        return ()
+    ops = []
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call):
+            op = _op_of(child)
+            if op is not None:
+                ops.append(op)
+    return tuple(ops)
+
+
+class _Path:
+    __slots__ = ("ops", "terminated", "raised")
+
+    def __init__(self, ops: tuple[str, ...] = (), terminated: bool = False,
+                 raised: bool = False) -> None:
+        self.ops = ops
+        self.terminated = terminated
+        self.raised = raised
+
+
+def _collapse(ops: tuple[str, ...]) -> tuple[str, ...]:
+    out: list[str] = []
+    for op in ops:
+        if not out or out[-1] != op:
+            out.append(op)
+    return tuple(out)
+
+
+def enumerate_paths(body: list[ast.stmt]) -> list[_Path]:
+    """All branch paths through a statement list as op sequences.
+
+    ``if``/``elif`` fork; loops run each op-bearing body path at least
+    once (an op-free iteration cannot change the collapsed sequence);
+    ``return`` terminates a path, ``raise`` terminates and marks it as
+    error propagation.  Capped at ``_PATH_CAP`` paths.
+    """
+    paths = [_Path()]
+    for stmt in body:
+        alternatives = _stmt_alternatives(stmt)
+        grown: list[_Path] = []
+        seen: set[tuple] = set()
+        for path in paths:
+            if path.terminated:
+                candidates = [path]
+            else:
+                candidates = [
+                    _Path(path.ops + alt.ops, alt.terminated, alt.raised)
+                    for alt in alternatives]
+            for cand in candidates:
+                key = (cand.ops, cand.terminated, cand.raised)
+                if key not in seen:
+                    seen.add(key)
+                    grown.append(cand)
+        paths = grown[:_PATH_CAP]
+    return paths
+
+
+def _stmt_alternatives(stmt: ast.stmt) -> list[_Path]:
+    if isinstance(stmt, ast.Return):
+        return [_Path(_ops_in(stmt.value), terminated=True)]
+    if isinstance(stmt, ast.Raise):
+        return [_Path(_ops_in(stmt.exc), terminated=True, raised=True)]
+    if isinstance(stmt, ast.If):
+        test = _ops_in(stmt.test)
+        alts = [_Path(test + p.ops, p.terminated, p.raised)
+                for p in enumerate_paths(stmt.body)]
+        alts += [_Path(test + p.ops, p.terminated, p.raised)
+                 for p in enumerate_paths(stmt.orelse)]
+        return _dedupe(alts)
+    if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+        prefix = _ops_in(stmt.iter if isinstance(
+            stmt, (ast.For, ast.AsyncFor)) else stmt.test)
+        inner = [p for p in enumerate_paths(stmt.body + stmt.orelse)
+                 if p.ops or p.terminated]
+        if not inner:
+            return [_Path(prefix)]
+        return _dedupe([_Path(prefix + p.ops, p.terminated, p.raised)
+                        for p in inner])
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        prefix = tuple(op for item in stmt.items
+                       for op in _ops_in(item.context_expr))
+        return _dedupe([_Path(prefix + p.ops, p.terminated, p.raised)
+                        for p in enumerate_paths(stmt.body)])
+    if isinstance(stmt, ast.Try):
+        # the happy path; handler bodies are error propagation
+        alts = [_Path(p.ops, p.terminated, p.raised)
+                for p in enumerate_paths(
+                    stmt.body + stmt.orelse + stmt.finalbody)]
+        return _dedupe(alts)
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                         ast.ClassDef)):
+        return [_Path()]    # nested definitions execute later
+    return [_Path(_ops_in(stmt))]
+
+
+def _dedupe(paths: list[_Path]) -> list[_Path]:
+    out: list[_Path] = []
+    seen: set[tuple] = set()
+    for path in paths:
+        key = (path.ops, path.terminated, path.raised)
+        if key not in seen:
+            seen.add(key)
+            out.append(path)
+    return out[:_PATH_CAP]
+
+
+class ProtocolExhaustivenessRule(ProgramRule):
+    id = "R11"
+    name = "2pc-protocol"
+    description = ("every static path through the shard layer's 2PC "
+                   "functions must follow the decision protocol "
+                   "(PREPAREs -> coordinator decision -> markers -> "
+                   "status flips -> coordinator release; DESIGN.md "
+                   "§16.3/§17), and the protocol ops may only be called "
+                   "from the coordinator layer")
+    hint = ("keep append_prepare/log_decision/append_commit_marker calls "
+            "in shard/router.py, shard/coordinator.py or "
+            "durability/controller.py, ordered P -> D -> M -> "
+            "finish_commit -> coordinator.finish on every branch")
+
+    def check_program(self, files: list[FileContext],
+                      shared: dict[str, object]) -> list[Finding]:
+        program = Program.of(files, shared)
+        findings: list[Finding] = []
+        prepare_classes: dict[int, tuple[ClassInfo, FunctionInfo]] = {}
+        for fn in program.functions:
+            allowed = fn.ctx.in_module(*_COORDINATOR_MODULES)
+            if not allowed:
+                findings.extend(self._placement(fn))
+                continue
+            if fn.node.name in _RESTRICTED:
+                continue    # the op definitions themselves
+            ops = _ops_in(fn.node)
+            if not any(op in ("P", "D", "M") for op in ops):
+                continue
+            findings.extend(self._order(fn))
+            if "P" in ops and fn.cls is not None:
+                prepare_classes[id(fn.cls)] = (fn.cls, fn)
+        for cls, commit_fn in prepare_classes.values():
+            findings.extend(self._abort_coverage(program, cls, commit_fn))
+        return findings
+
+    def _placement(self, fn: FunctionInfo) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute) \
+                    and node.func.attr in _RESTRICTED:
+                findings.append(self.finding_at(
+                    fn.ctx.path, node,
+                    f"{fn.qualname} calls 2PC op "
+                    f"{node.func.attr}() outside the coordinator layer "
+                    f"— the decision protocol is not its to drive"))
+        return findings
+
+    def _order(self, fn: FunctionInfo) -> list[Finding]:
+        findings: list[Finding] = []
+        paths = enumerate_paths(fn.node.body)
+        if len(paths) >= _PATH_CAP:
+            return [self.finding_at(
+                fn.ctx.path, fn.node,
+                f"{fn.qualname} has too many branch paths to verify the "
+                f"2PC decision protocol — simplify the control flow")]
+        for path in paths:
+            if path.raised:
+                continue
+            collapsed = _collapse(path.ops)
+            if collapsed and collapsed not in _ACCEPTED_COMMIT:
+                findings.append(self.finding_at(
+                    fn.ctx.path, fn.node,
+                    f"{fn.qualname} has a path with 2PC op sequence "
+                    f"({', '.join(collapsed)}) — not an accepted "
+                    f"decision order (C,F,E | P,D,M,F,E | F,E)"))
+        return _dedupe_findings(findings)
+
+    def _abort_coverage(self, program: Program, cls: ClassInfo,
+                        commit_fn: FunctionInfo) -> list[Finding]:
+        abort = cls.methods.get("abort")
+        if abort is None:
+            return [self.finding_at(
+                commit_fn.ctx.path, cls.node,
+                f"{cls.name} runs 2PC commits but has no abort() — "
+                f"every decision needs an abort path that releases the "
+                f"coordinator")]
+        findings: list[Finding] = []
+        for path in enumerate_paths(abort.node.body):
+            if path.raised:
+                continue
+            collapsed = _collapse(path.ops)
+            if collapsed not in _ACCEPTED_ABORT:
+                findings.append(self.finding_at(
+                    abort.ctx.path, abort.node,
+                    f"{abort.qualname} has a path with op sequence "
+                    f"({', '.join(collapsed) or 'empty'}) — abort must "
+                    f"abort every shard then release the coordinator "
+                    f"(A, E)"))
+        return _dedupe_findings(findings)
+
+
+def _dedupe_findings(findings: list[Finding]) -> list[Finding]:
+    out: list[Finding] = []
+    seen: set[tuple] = set()
+    for finding in findings:
+        key = (finding.path, finding.line, finding.message)
+        if key not in seen:
+            seen.add(key)
+            out.append(finding)
+    return out

@@ -33,6 +33,7 @@ _ALLOWED_FRAGMENTS = (
     "repro/serve/",
     "repro/txn/manager.py",
     "repro/txn/status.py",
+    "repro/obs/race.py",    # opt-in lockset/fuzzer instrumentation (§17.4)
 )
 
 
@@ -40,9 +41,10 @@ class ConcurrencyConfinementRule(Rule):
     id = "R8"
     name = "concurrency-confinement"
     description = ("raw threading primitives (threading/_thread/queue/"
-                   "concurrent/multiprocessing) are confined to repro/serve/ "
-                   "and the synchronized txn components "
-                   "(txn/manager.py, txn/status.py)")
+                   "concurrent/multiprocessing) are confined to repro/serve/, "
+                   "the synchronized txn components (txn/manager.py, "
+                   "txn/status.py) and the race instrumentation "
+                   "(obs/race.py)")
     hint = ("confine shared state to the serve layer's engine slot or one "
             "of the synchronized txn components; genuinely new "
             "synchronized components need a justified "

@@ -1,0 +1,112 @@
+"""R9 — static lock-order verification against the §15.2 rank table.
+
+PR 7 made deadlock freedom rest on a total order over lock ranks
+(ENGINE 10 → TXN_MANAGER 20 → TXN_COMMITLOG 30 → GROUP_QUEUE 40,
+enforced at runtime by ``OrderedLock``/``note_acquired``).  Runtime
+enforcement only fires on interleavings a test happens to drive; this
+rule proves the discipline over *every* static path instead:
+
+* every raw ``threading.Lock``/``RLock``/``Condition`` construction
+  must carry a rank (``# reprolint: lock-rank=NAME[, reentrant]``) or
+  be an ``OrderedLock`` — an unranked mutex is invisible to the order
+  and reported outright;
+* a ``with`` acquisition whose rank is ≤ the highest lexically held
+  rank violates the ascending order (re-entrant locks may re-acquire
+  *their own* key);
+* a call made while holding rank *r* is checked against the callee's
+  transitive *may-acquire* summary: if anything reachable can acquire
+  a rank ≤ *r*, the path can deadlock even though no single function
+  shows both locks.
+
+``lock-rank=LEAF`` marks terminal locks (registry/scheduler mutexes):
+their huge rank makes *any* nested acquisition a violation, which is
+exactly the documented contract.  ``serve/locks.py`` itself — the
+mechanism — is exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..callgraph import FunctionInfo, Program
+from ..engine import FileContext, Finding, ProgramRule
+from ..summaries import (HeldWalker, LockModel, LockRef, SummaryTable,
+                         _is_mechanism)
+
+
+def _held_top(held: list[LockRef]) -> LockRef:
+    return max(held, key=lambda ref: ref.rank)
+
+
+class LockOrderRule(ProgramRule):
+    id = "R9"
+    name = "lock-order"
+    description = ("whole-program lock-rank verification: ranks must "
+                   "strictly ascend along every static acquisition path "
+                   "(DESIGN.md §15.2/§17), raw mutexes must be rank-"
+                   "annotated, and calls made under a lock are checked "
+                   "against the callee's transitive may-acquire summary")
+    hint = ("acquire locks in ascending §15.2 rank order; move the "
+            "acquisition outside the held region, or rank the mutex with "
+            "'# reprolint: lock-rank=NAME[, reentrant]'")
+
+    def check_program(self, files: list[FileContext],
+                      shared: dict[str, object]) -> list[Finding]:
+        program = Program.of(files, shared)
+        locks = LockModel.of(program, shared)
+        summaries = SummaryTable.of(program, locks, shared)
+        findings: list[Finding] = []
+        for path, node, description in locks.unranked:
+            findings.append(self.finding_at(
+                path, node,
+                f"{description} has no rank — it is invisible to the "
+                f"§15.2 lock order"))
+        for fn in program.functions:
+            if _is_mechanism(fn.ctx.posix_path):
+                continue
+            findings.extend(self._check_function(program, locks,
+                                                 summaries, fn))
+        return findings
+
+    def _check_function(self, program: Program, locks: LockModel,
+                        summaries: SummaryTable,
+                        fn: FunctionInfo) -> list[Finding]:
+        findings: list[Finding] = []
+        path = fn.ctx.path
+
+        def on_acquire(ref: LockRef, node: ast.AST,
+                       held: list[LockRef], is_note: bool) -> None:
+            if not held:
+                return
+            held_keys = {h.key for h in held}
+            if ref.reentrant and ref.key in held_keys:
+                return      # RLock re-acquisition of its own key
+            top = _held_top(held)
+            if ref.rank <= top.rank:
+                what = "notes acquisition of" if is_note else "acquires"
+                findings.append(self.finding_at(
+                    path, node,
+                    f"{fn.qualname} {what} {ref.describe()} while "
+                    f"holding {top.describe()} — ranks must strictly "
+                    f"ascend"))
+
+        def on_call(callee: FunctionInfo, call: ast.Call,
+                    held: list[LockRef]) -> None:
+            if not held:
+                return
+            held_keys = {h.key for h in held}
+            top = _held_top(held)
+            for ref in summaries.may_acquire(callee.qualname).values():
+                if ref.reentrant and ref.key in held_keys:
+                    continue
+                if ref.rank <= top.rank:
+                    findings.append(self.finding_at(
+                        path, call,
+                        f"{fn.qualname} calls {callee.qualname} while "
+                        f"holding {top.describe()}, but it may "
+                        f"transitively acquire {ref.describe()}"))
+                    break   # one finding per call site is enough
+
+        HeldWalker(program, locks, fn, on_acquire=on_acquire,
+                   on_call=on_call).run()
+        return findings
