@@ -1,12 +1,12 @@
 """Non-gating perf smoke: compare fresh runs against the pinned baseline.
 
-Three checks, all loud (non-zero exit) on regression:
+Four checks, all loud (non-zero exit) on regression:
 
 * **scan** — rebuilds the ``run_all.py`` scan workload (full size by
   default so the numbers are comparable), measures batched ``range_scan``
   throughput, and fails when hits/sec regresses more than ``--threshold``
   (default 20%) below the ``range_scan.hits_per_sec`` recorded in the
-  checked-in baseline report (``BENCH_PR8.json``);
+  checked-in baseline report (``BENCH_PR10.json``);
 * **group commit** — runs the 16-session OLTP serving cell against the
   single-session cell and fails when the simulated-time commit throughput
   speedup drops below ``--min-speedup`` (default 2x).  A healthy group
@@ -15,7 +15,11 @@ Three checks, all loud (non-zero exit) on regression:
 * **sharding** — a 4-shard scatter-gather full scan must finish in well
   under half the single-node simulated time (``--min-shard-speedup``,
   default 2x): shards own independent clocks/devices and progress in
-  parallel, so losing the speedup means the router began serializing.
+  parallel, so losing the speedup means the router began serializing;
+* **workload** — a 4-shard YCSB-A run through the workload-backend
+  abstraction must beat single-node simulated throughput by
+  ``--min-workload-speedup`` (default 2x): the full runner -> backend ->
+  router stack has to preserve the per-shard clock parallelism.
 
 CI runs this with ``continue-on-error`` — a regression turns the step red
 without blocking the build, because shared-runner wall clock is noisy.
@@ -129,10 +133,39 @@ def check_sharding(args) -> int:
     return 0
 
 
+def check_workload(args) -> int:
+    """4-shard YCSB-A vs single-node: the workload backend must scale.
+
+    Simulated-time throughput through the FULL workload stack (runner ->
+    backend -> router -> shards): point ops fan to one shard and shards
+    own independent clocks, so a balanced 4-shard YCSB-A run should
+    commit well over twice as fast as single-node.  Falling below means
+    the backend serialized the shards or the router started charging
+    every shard for every op."""
+    records, ops = (150, 200) if args.quick else (400, 600)
+    print(f"[perf-smoke] workload: YCSB-A single-node vs 4 shards "
+          f"({records} records, {ops} ops)…")
+    out = run_all.bench_workloads((4,), records, ops,
+                                  include_tpcc=False,
+                                  include_gather=False)
+    speedup = out["ycsb"]["A_speedup_vs_single"]["4-shard"]
+    verdict = ("PASS" if speedup >= args.min_workload_speedup else "FAIL")
+    print(f"[perf-smoke] workload: 4-shard YCSB-A sim throughput "
+          f"{speedup}x single-node (floor {args.min_workload_speedup}x) "
+          f"-> {verdict}")
+    if speedup < args.min_workload_speedup:
+        print(f"[perf-smoke] REGRESSION: 4-shard YCSB-A is only "
+              f"{speedup}x single-node in simulated time; check the "
+              f"workload backend's routing and the per-shard clock "
+              f"accounting", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", default=str(
-        Path(__file__).resolve().parent.parent / "BENCH_PR8.json"))
+        Path(__file__).resolve().parent.parent / "BENCH_PR10.json"))
     parser.add_argument("--threshold", type=float, default=0.20,
                         help="tolerated fractional hits/sec regression")
     parser.add_argument("--min-speedup", type=float, default=2.0,
@@ -141,6 +174,9 @@ def main() -> int:
     parser.add_argument("--min-shard-speedup", type=float, default=2.0,
                         help="required 4-shard vs single-node range-scan "
                              "sim-time speedup")
+    parser.add_argument("--min-workload-speedup", type=float, default=2.0,
+                        help="required 4-shard vs single-node YCSB-A "
+                             "sim-time throughput ratio")
     parser.add_argument("--quick", action="store_true",
                         help="shrink the workload (numbers NOT comparable "
                              "to the full-size baseline; scales the "
@@ -152,7 +188,7 @@ def main() -> int:
         run_all.SCAN_PARTITION_EVERY = 2_000
 
     return (check_scan(args) | check_group_commit(args)
-            | check_sharding(args))
+            | check_sharding(args) | check_workload(args))
 
 
 if __name__ == "__main__":

@@ -15,13 +15,17 @@ sessions, OLTP-only and mixed HTAP, with fsyncs-per-commit and the WAL
 group-commit batching stats — (d) a horizontal-sharding benchmark —
 range-scan and OLTP commit throughput (simulated time) at 1/2/4/8 hash
 shards against a single-node baseline, with the cross-shard 2PC commit
-premium — and (e) scaled-down versions of the fig12/fig14/fig15 figure
-benchmarks, then writes everything to ``BENCH_PR8.json`` so future PRs
-have a perf trajectory to compare against.
+premium — (e) a sharded-workload benchmark — YCSB A/E throughput and
+TPC-C tpmC over the workload-backend abstraction at single-node vs
+1/2/4 hash shards, plus a threaded-vs-serial scatter-gather wall-clock
+cell with injected per-shard latency — and (f) scaled-down versions of
+the fig12/fig14/fig15 figure benchmarks, then writes everything to
+``BENCH_PR10.json`` so future PRs have a perf trajectory to compare
+against.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/run_all.py [--out BENCH_PR8.json]
+    PYTHONPATH=src python benchmarks/run_all.py [--out BENCH_PR10.json]
                                                 [--skip-figures] [--quick]
 
 ``--quick`` shrinks both microbenchmarks to a seconds-long smoke run (used
@@ -76,6 +80,12 @@ SERVE_BASE_ROWS = 2_000
 SHARD_COUNTS = (1, 2, 4, 8)
 SHARD_ROWS = 6_000
 SHARD_COMMITS = 240
+
+WORKLOAD_SHARD_COUNTS = (1, 2, 4)
+WORKLOAD_YCSB_RECORDS = 500
+WORKLOAD_YCSB_OPS = 700
+WORKLOAD_TPCC_TXNS = 200
+GATHER_PACE_S = 0.002              # per-shard latency injected per thunk
 
 
 def build_scan_tree():
@@ -823,11 +833,154 @@ def bench_sharding(shard_counts=SHARD_COUNTS, rows: int = SHARD_ROWS,
     return out
 
 
+def bench_workloads(shard_counts=WORKLOAD_SHARD_COUNTS,
+                    ycsb_records: int = WORKLOAD_YCSB_RECORDS,
+                    ycsb_ops: int = WORKLOAD_YCSB_OPS,
+                    tpcc_txns: int = WORKLOAD_TPCC_TXNS, *,
+                    include_tpcc: bool = True,
+                    include_gather: bool = True) -> dict:
+    """Standard workloads over the backend abstraction (DESIGN.md §18):
+    YCSB A/E and TPC-C tpmC on single-node vs 1/2/4 hash shards
+    (simulated time — point ops fan to one shard, so N balanced shards
+    approach N-fold throughput), plus a threaded-vs-serial scatter-gather
+    wall-clock cell: the same YCSB-E run with ``GATHER_PACE_S`` of
+    per-shard latency injected into every gather thunk, where the serial
+    router pays shards x pace per scan and :class:`ThreadedGather`
+    overlaps them."""
+    from repro.config import EngineConfig
+    from repro.engine import Database
+    from repro.serve.parallel import ThreadedGather
+    from repro.shard import ShardConfig, ShardedDatabase
+    from repro.workloads import (WORKLOADS, DatabaseBackend,
+                                 ShardedBackend, TPCCConfig, TPCCRunner,
+                                 YCSBRunner)
+
+    config = EngineConfig(durability=True)
+
+    def make_backend(label: str):
+        if label == "single-node":
+            return DatabaseBackend(Database(config))
+        n = int(label.split("-")[0])
+        return ShardedBackend(
+            ShardedDatabase(config, ShardConfig(shards=n)))
+
+    labels = ["single-node"] + [f"{n}-shard" for n in shard_counts]
+    out: dict = {
+        "ycsb": {"records": ycsb_records, "operations": ycsb_ops},
+        "backends": labels,
+    }
+
+    # YCSB A (update-heavy) and E (scan-heavy) per backend --------------
+    for workload in ("A", "E"):
+        cells = out["ycsb"][workload] = []
+        wl_config = WORKLOADS[workload].scaled(
+            seed=11, record_count=ycsb_records, operation_count=ycsb_ops)
+        for label in labels:
+            backend = make_backend(label)
+            runner = YCSBRunner(backend, wl_config, workload)
+            runner.load()
+            wall0 = time.perf_counter()
+            result = runner.run()
+            cells.append({
+                "backend": label,
+                "ops_per_sim_sec": round(result.throughput, 1),
+                "sim_seconds": round(result.elapsed_sim_seconds, 6),
+                "wall_seconds": round(time.perf_counter() - wall0, 4),
+            })
+            backend.close()
+            print(f"[workload] ycsb-{workload} {label}: "
+                  f"{cells[-1]['ops_per_sim_sec']} ops/sim-s")
+        single = cells[0]["ops_per_sim_sec"]
+        out["ycsb"][f"{workload}_speedup_vs_single"] = {
+            c["backend"]: round(c["ops_per_sim_sec"] / single, 3)
+            for c in cells[1:]}
+
+    # TPC-C tpmC per backend --------------------------------------------
+    if include_tpcc:
+        tpcc_config = TPCCConfig(
+            warehouses=4, districts_per_warehouse=2,
+            customers_per_district=5, items=30,
+            initial_orders_per_district=5, seed=11)
+        cells = out["tpcc"] = []
+        for label in labels:
+            backend = make_backend(label)
+            runner = TPCCRunner(backend, tpcc_config)
+            runner.load()
+            wall0 = time.perf_counter()
+            result = runner.run(tpcc_txns)
+            cells.append({
+                "backend": label,
+                "transactions": tpcc_txns,
+                "committed": result.committed,
+                "tpmC": round(result.tpmC, 1),
+                "tpm": round(result.tpm, 1),
+                "wall_seconds": round(time.perf_counter() - wall0, 4),
+            })
+            backend.close()
+            print(f"[workload] tpcc {label}: {cells[-1]['tpmC']} tpmC "
+                  f"({result.committed}/{tpcc_txns} committed)")
+
+    # threaded vs serial scatter-gather (wall clock, paced thunks) ------
+    # YCSB-E over a ShardServer: every scan slice fans one gather call
+    # across all shards; GATHER_PACE_S of injected per-shard latency
+    # makes the serial router pay shards x pace per slice while the
+    # threaded gather overlaps the thunks.
+    if include_gather:
+        from repro.serve import ServeConfig
+        from repro.workloads import shard_served_backend
+
+        shards = max(shard_counts)
+        wl_config = WORKLOADS["E"].scaled(
+            seed=11, record_count=ycsb_records,
+            operation_count=max(ycsb_ops // 2, 100))
+        cells = out["gather"] = {
+            "shards": shards,
+            "pace_seconds_per_thunk": GATHER_PACE_S,
+        }
+        for mode in ("serial", "threaded"):
+            router = ShardedDatabase(EngineConfig(),
+                                     ShardConfig(shards=shards))
+            backend = shard_served_backend(
+                router, ServeConfig(parallel_scatter_gather=False))
+            if mode == "serial":
+                def paced_serial(thunks):
+                    results = []
+                    for thunk in thunks:
+                        time.sleep(GATHER_PACE_S)
+                        results.append(thunk())
+                    return results
+                router.gather = paced_serial
+            else:
+                def paced(_i, thunk):
+                    time.sleep(GATHER_PACE_S)
+                    return thunk()
+                router.gather = ThreadedGather(wrap=paced)
+            runner = YCSBRunner(backend, wl_config, "E")
+            runner.load()
+            wall0 = time.perf_counter()
+            result = runner.run()
+            cells[mode] = {
+                "scans": result.counts.get("scan", 0),
+                "wall_seconds": round(time.perf_counter() - wall0, 4),
+            }
+            backend.close()
+            print(f"[workload] gather {mode}: "
+                  f"{cells[mode]['wall_seconds']}s wall for "
+                  f"{cells[mode]['scans']} paced scatter scans")
+        cells["threaded_speedup"] = round(
+            cells["serial"]["wall_seconds"]
+            / cells["threaded"]["wall_seconds"], 3)
+        print(f"[workload] threaded scatter-gather is "
+              f"{cells['threaded_speedup']}x serial (wall clock, "
+              f"{GATHER_PACE_S * 1e3:.0f}ms/thunk pace)")
+    return out
+
+
 def main() -> None:
     global SCAN_RECORDS, SCAN_PARTITION_EVERY
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default=str(
-        Path(__file__).resolve().parent.parent / "BENCH_PR8.json"))
+        Path(__file__).resolve().parent.parent / "BENCH_PR10.json"))
     parser.add_argument("--skip-figures", action="store_true",
                         help="only run the scan/write microbenchmarks")
     parser.add_argument("--quick", action="store_true",
@@ -840,12 +993,16 @@ def main() -> None:
         SERVE_SESSION_COUNTS, SERVE_COMMITS_PER_SESSION, SERVE_BASE_ROWS)
     shard_counts, shard_rows, shard_commits = (
         SHARD_COUNTS, SHARD_ROWS, SHARD_COMMITS)
+    wl_shards, wl_records, wl_ops, wl_txns = (
+        WORKLOAD_SHARD_COUNTS, WORKLOAD_YCSB_RECORDS,
+        WORKLOAD_YCSB_OPS, WORKLOAD_TPCC_TXNS)
     if args.quick:
         SCAN_RECORDS = 8_000
         SCAN_PARTITION_EVERY = 2_000
         write_records, write_partitions, write_repeat = 8_000, 4, 1
         serve_counts, serve_commits, serve_rows = (1, 4, 16), 15, 300
         shard_counts, shard_rows, shard_commits = (1, 4), 1_200, 40
+        wl_shards, wl_records, wl_ops, wl_txns = (1, 4), 150, 200, 60
 
     started = time.time()
     report = {
@@ -863,6 +1020,8 @@ def main() -> None:
                                          serve_rows),
         "sharding": bench_sharding(shard_counts, shard_rows,
                                    shard_commits),
+        "workloads": bench_workloads(wl_shards, wl_records, wl_ops,
+                                     wl_txns),
     }
     if not args.skip_figures:
         report["figures"] = bench_figures()

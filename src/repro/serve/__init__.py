@@ -28,6 +28,7 @@ from .executor import SessionExecutor
 from .group_commit import GroupCommitStats, GroupCommitter
 from .locks import (RANK_ENGINE, RANK_GROUP_QUEUE, RANK_TXN_COMMITLOG,
                     RANK_TXN_MANAGER, OrderedLock, held_ranks)
+from .parallel import ThreadedGather
 from .scheduler import FairScheduler, KindStats
 from .server import Server
 from .session import Session
@@ -49,5 +50,6 @@ __all__ = [
     "SessionExecutor",
     "ShardServer",
     "ShardSession",
+    "ThreadedGather",
     "held_ranks",
 ]

@@ -35,6 +35,12 @@ class ServeConfig:
     #: verify the ascending-rank lock order at runtime (cheap; tests and
     #: the stress lane keep it on)
     ordering_checks: bool = True
+    #: ShardServer only: install a :class:`~repro.serve.parallel.
+    #: ThreadedGather` on the router so scatter-gather reads run their
+    #: per-shard thunks concurrently (one thread per shard) instead of
+    #: serially.  Results are identical either way; wall clock tracks
+    #: the router's max-of-shards sim-time model instead of the sum
+    parallel_scatter_gather: bool = False
 
     def __post_init__(self) -> None:
         if self.max_sessions < 1:

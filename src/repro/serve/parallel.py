@@ -1,0 +1,82 @@
+"""Threaded scatter-gather execution for the sharded router (§18.3).
+
+The router's read paths fan out to per-shard thunks through an injectable
+``gather`` hook (:data:`repro.shard.router.GatherFn`); the default runs
+them serially.  :class:`ThreadedGather` runs them concurrently — one
+thread per thunk — which is SAFE precisely because each thunk touches
+exactly one shard's engine state (its device, clock, buffer pool, trees,
+per-shard transaction part and per-shard obs registry): the shards are
+fully independent engines, so disjoint-shard thunks share nothing.  The
+merge, the ownership filter and every router-level obs counter stay on
+the calling thread.
+
+Slot confinement (R10) is preserved: the ``gather`` call itself happens
+inside the caller's engine slot, so the whole topology still has one
+*logical* caller at a time — the threads are an implementation detail of
+one scatter-gather step and are joined before the call returns.
+
+The optional ``wrap`` hook lets a host (the benchmark harness) observe or
+pace each thunk — e.g. sleeping proportionally to the shard's simulated
+clock delta so threaded wall clock tracks the sim-time max-of-shards
+model while serial wall clock pays the sum.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Sequence
+
+#: observe/pace one thunk: ``wrap(shard_index, thunk) -> result``
+WrapFn = Callable[[int, Callable[[], Any]], Any]
+
+
+class ThreadedGather:
+    """Run per-shard scatter-gather thunks concurrently.
+
+    Results come back in thunk order; the first thunk exception (in
+    thunk order) is re-raised on the calling thread after every worker
+    has been joined.  Deterministic given deterministic thunks: thread
+    scheduling cannot reorder results or interleave shard state.
+    """
+
+    def __init__(self, wrap: WrapFn | None = None) -> None:
+        self._wrap = wrap
+        #: gather invocations (tests assert the hook actually ran)
+        self.calls = 0
+        #: thunks executed across all invocations
+        self.tasks_run = 0
+
+    def __call__(self, tasks: Sequence[Callable[[], Any]]) -> list[Any]:
+        self.calls += 1
+        self.tasks_run += len(tasks)
+        if len(tasks) <= 1:
+            return [self._run(i, task) for i, task in enumerate(tasks)]
+        results: list[Any] = [None] * len(tasks)
+        errors: list[BaseException | None] = [None] * len(tasks)
+
+        def work(i: int, task: Callable[[], Any]) -> None:
+            try:
+                results[i] = self._run(i, task)
+            except BaseException as exc:  # noqa: BLE001 — re-raised below
+                errors[i] = exc
+
+        threads = [threading.Thread(target=work, args=(i, task),
+                                    name=f"gather-{i}", daemon=True)
+                   for i, task in enumerate(tasks)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for error in errors:
+            if error is not None:
+                raise error
+        return results
+
+    def _run(self, i: int, task: Callable[[], Any]) -> Any:
+        if self._wrap is not None:
+            return self._wrap(i, task)
+        return task()
+
+    def __repr__(self) -> str:
+        return (f"ThreadedGather(calls={self.calls}, "
+                f"tasks_run={self.tasks_run})")

@@ -126,6 +126,11 @@ class Server:
             out["wal_appends"] = self.db.durability.wal.appends
         return out
 
+    def vacuum(self, table: str) -> object:
+        """Vacuum one table in an exclusive engine slot."""
+        with self.scheduler.slot("oltp"):
+            return self.db.vacuum(table)
+
     # ------------------------------------------------------------- lifecycle
 
     def close(self) -> None:

@@ -174,6 +174,23 @@ class Session:
             with self._server.scheduler.slot("oltp"):
                 return self._db.delete_by_key(txn, index, key)
 
+    def update_row(self, table: str, rid: RecordID, version: Any,
+                   updates: dict[str, object]) -> None:
+        """UPDATE one previously-fetched row (hit-handle DML: pass the
+        ``rid``/``version`` of a :class:`~repro.engine.executor.RowHit`
+        obtained in this transaction)."""
+        with self._guard():
+            txn = self._require_txn()
+            with self._server.scheduler.slot("oltp"):
+                self._db.update_row(txn, table, rid, version, updates)
+
+    def delete_row(self, table: str, rid: RecordID, version: Any) -> None:
+        """DELETE one previously-fetched row (hit-handle DML)."""
+        with self._guard():
+            txn = self._require_txn()
+            with self._server.scheduler.slot("oltp"):
+                self._db.delete_row(txn, table, rid, version)
+
     # ----------------------------------------------------------------- reads
 
     def select(self, index: str, key: Key) -> list[Key]:
@@ -187,6 +204,18 @@ class Session:
             txn = self._require_txn()
             with self._server.scheduler.slot("oltp"):
                 return self._db.select_hits(txn, index, key)
+
+    def range_hits(self, index: str, lo: Key | None, hi: Key | None, *,
+                   lo_incl: bool = True,
+                   hi_incl: bool = True) -> "list[RowHit]":
+        """Materialising range read returning row-hit handles (one slot;
+        small OLTP ranges — analytical scans use :meth:`batch_scan`)."""
+        with self._guard():
+            txn = self._require_txn()
+            with self._server.scheduler.slot("oltp"):
+                return self._db.range_hits(txn, index, lo, hi,
+                                           lo_incl=lo_incl,
+                                           hi_incl=hi_incl)
 
     def range_select(self, index: str, lo: Key | None, hi: Key | None, *,
                      lo_incl: bool = True, hi_incl: bool = True) -> list[Key]:

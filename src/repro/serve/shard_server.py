@@ -28,7 +28,6 @@ filter runs on every fetched row).
 from __future__ import annotations
 
 import threading
-from itertools import islice
 from types import TracebackType
 from typing import TYPE_CHECKING, Any, Callable, Iterator, Sequence
 
@@ -55,6 +54,12 @@ class ShardServer:
         self.config = config if config is not None else ServeConfig()
         self.scheduler = FairScheduler(
             ordering_checks=self.config.ordering_checks)
+        if self.config.parallel_scatter_gather:
+            # per-shard thunks touch disjoint engines; the gather call
+            # itself stays inside the caller's slot (DESIGN.md §18.3)
+            from .parallel import ThreadedGather
+            # reprolint: disable-next=R10 -- install-time: no session exists yet, no concurrent engine access possible
+            self.router.gather = ThreadedGather()
         # registry lock: leaf lock, never held while acquiring any other
         # reprolint: lock-rank=LEAF -- session registry only
         self._registry_lock = threading.Lock()
@@ -130,6 +135,11 @@ class ShardServer:
 
     # ------------------------------------------------------------- lifecycle
 
+    def vacuum(self, table: str) -> Any:
+        """Vacuum the table on every shard (one engine slot)."""
+        with self.scheduler.slot("oltp"):
+            return self.router.vacuum(table)
+
     def close(self) -> None:
         """Abort open sessions and stop the scheduler."""
         with self._registry_lock:
@@ -139,6 +149,10 @@ class ShardServer:
             sessions = list(self._sessions.values())
         for session in sessions:
             session.close()
+        if self.config.parallel_scatter_gather:
+            from ..shard.router import serial_gather
+            # reprolint: disable-next=R10 -- teardown: every session is closed, no concurrent engine access possible
+            self.router.gather = serial_gather
         self.scheduler.close()
 
     def __enter__(self) -> "ShardServer":
@@ -272,6 +286,24 @@ class ShardSession:
             with self._server.scheduler.slot("oltp"):
                 return self._router.delete_by_key(txn, index, key)
 
+    def update_hit(self, table: str, shard: int, hit: Any,
+                   updates: dict[str, object]) -> None:
+        """UPDATE one previously-fetched row: pass the ``(shard, hit)``
+        pair returned by :meth:`select_hits` / :meth:`range_hits`.  A
+        shard-key change moves the row between shards inside the same
+        global transaction."""
+        with self._guard():
+            txn = self._require_txn()
+            with self._server.scheduler.slot("oltp"):
+                self._router.update_hit(txn, table, shard, hit, updates)
+
+    def delete_hit(self, table: str, shard: int, hit: Any) -> None:
+        """DELETE one previously-fetched row on its shard."""
+        with self._guard():
+            txn = self._require_txn()
+            with self._server.scheduler.slot("oltp"):
+                self._router.delete_hit(txn, table, shard, hit)
+
     # ----------------------------------------------------------------- reads
 
     def select(self, index: str, key: Key) -> list[Key]:
@@ -279,6 +311,25 @@ class ShardSession:
             txn = self._require_txn()
             with self._server.scheduler.slot("oltp"):
                 return self._router.select(txn, index, key)
+
+    def select_hits(self, index: str, key: Key) -> "list[tuple[int, Any]]":
+        """Point lookup returning ``(shard, hit)`` handles for
+        :meth:`update_hit` / :meth:`delete_hit`."""
+        with self._guard():
+            txn = self._require_txn()
+            with self._server.scheduler.slot("oltp"):
+                return self._router.select_hits_tagged(txn, index, key)
+
+    def range_hits(self, index: str, lo: Key | None, hi: Key | None, *,
+                   lo_incl: bool = True,
+                   hi_incl: bool = True) -> "list[tuple[int, Any]]":
+        """Materialising scatter-gather range read returning ``(shard,
+        hit)`` handles (one slot; small OLTP ranges)."""
+        with self._guard():
+            txn = self._require_txn()
+            with self._server.scheduler.slot("oltp"):
+                return self._router.range_hits_tagged(
+                    txn, index, lo, hi, lo_incl=lo_incl, hi_incl=hi_incl)
 
     def range_select(self, index: str, lo: Key | None, hi: Key | None, *,
                      lo_incl: bool = True,
@@ -358,20 +409,13 @@ class ShardSession:
                     hi_incl: bool, want: int) -> "list[list[SearchHit]]":
         """One bounded cursor pull (``want + 1`` hits) per shard, in one
         scheduler slot.  A shard returning ``<= want`` hits is exhausted
-        for this range."""
-        pulled: "list[list[SearchHit]]" = []
+        for this range.  The per-shard pulls go through the router's
+        ``gather`` hook, so a parallel-configured server overlaps them."""
         with self._guard():
             with self._server.scheduler.slot("scan"):
                 self._server.note_scan_slice()
-                for k, db in enumerate(self._router.shards):
-                    tree = db.catalog.index(index).mvpbt
-                    cursor = tree.cursor(txn.on(k), lo, hi,
-                                         lo_incl=lo_incl, hi_incl=hi_incl)
-                    try:
-                        pulled.append(list(islice(cursor, want + 1)))
-                    finally:
-                        cursor.close()
-        return pulled
+                return self._router.pull_index_slices(
+                    txn, index, lo, hi, lo_incl, hi_incl, want)
 
     def _rows_for(self, txn: "ShardTransaction", index: str,
                   merged: "list[tuple[bytes, int, SearchHit]]"

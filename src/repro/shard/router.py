@@ -38,7 +38,8 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Callable, Sequence
+from itertools import islice
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence
 
 from ..config import EngineConfig
 from ..engine.database import Database
@@ -60,10 +61,28 @@ from .partitioner import (HashPartitioner, Partitioner, RangePartitioner,
 from .txn import ShardTransaction
 
 if TYPE_CHECKING:
+    from ..core.tree import SearchHit
     from ..engine.catalog import IndexInfo
+    from ..engine.database import VacuumResult
     from ..engine.executor import RowHit
     from ..serve.config import ServeConfig
     from ..serve.shard_server import ShardServer
+
+#: a scatter-gather executor: runs per-shard thunks and returns their
+#: results in thunk order.  The default is serial; the serve layer may
+#: install :class:`repro.serve.parallel.ThreadedGather` (each thunk only
+#: touches ONE shard's state, so disjoint shards may run concurrently)
+GatherFn = Callable[[Sequence[Callable[[], Any]]], "list[Any]"]
+
+
+def serial_gather(tasks: Sequence[Callable[[], Any]]) -> list[Any]:
+    """Run scatter-gather thunks one after another (the default)."""
+    return [task() for task in tasks]
+
+
+def _thunk(fn: Callable[[int], Any], k: int) -> Callable[[], Any]:
+    """Bind a per-shard function to shard ``k`` (late-binding-safe)."""
+    return lambda: fn(k)
 
 
 @dataclass
@@ -122,6 +141,9 @@ class ShardedDatabase:
                                             log_file=log_file, obs=self.obs)
         #: table -> shard-key column positions
         self._tables: dict[str, tuple[int, ...]] = {}
+        #: scatter-gather executor for per-shard read thunks; replaceable
+        #: (ShardServer installs a threaded one when configured)
+        self.gather: GatherFn = serial_gather
         self._bind_metrics()
 
     @staticmethod
@@ -155,6 +177,7 @@ class ShardedDatabase:
         self._m_point = registry.counter("shard.queries.point")
         self._m_scan = registry.counter("shard.queries.scan")
         self._m_fanout = registry.counter("shard.queries.fanout")
+        self._m_slot_routed = registry.counter("shard.queries.slot_routed")
         self._m_residue = registry.counter("shard.hits.residue_filtered")
         self._m_rebalances = registry.counter("shard.rebalance.count")
         self._m_moved_records = registry.counter(
@@ -384,6 +407,35 @@ class ShardedDatabase:
                 count += 1
         return count
 
+    def update_hit(self, txn: ShardTransaction, table: str, shard: int,
+                   hit: "RowHit", updates: dict[str, object]) -> None:
+        """UPDATE one previously-fetched row (hit-handle DML, the TPC-C
+        access pattern).  A shard-key change moves the row (delete +
+        insert in the same transaction) exactly like
+        :meth:`update_by_key`, so version chains stay single-shard-key."""
+        schema = self.shards[0].catalog.table(table).schema
+        positions = self.shard_key_positions(table)
+        db = self.shards[shard]
+        new_row = schema.apply_updates(hit.version.data, updates)
+        old_shard_key = tuple(hit.version.data[p] for p in positions)
+        new_shard_key = tuple(new_row[p] for p in positions)
+        dst = self.partitioner.shard_of(new_shard_key)
+        txn.touch(shard)
+        if dst == shard and new_shard_key == old_shard_key:
+            db.update_row(txn.on(shard), table, hit.rid, hit.version,
+                          updates)
+        else:
+            txn.touch(dst)
+            db.delete_row(txn.on(shard), table, hit.rid, hit.version)
+            self.shards[dst].insert(txn.on(dst), table, new_row)
+
+    def delete_hit(self, txn: ShardTransaction, table: str, shard: int,
+                   hit: "RowHit") -> None:
+        """DELETE one previously-fetched row on its shard."""
+        txn.touch(shard)
+        self.shards[shard].delete_row(txn.on(shard), table, hit.rid,
+                                      hit.version)
+
     # ------------------------------------------------------------------ reads
 
     def select(self, txn: ShardTransaction, index_name: str,
@@ -392,13 +444,28 @@ class ShardedDatabase:
 
     def select_hits(self, txn: ShardTransaction, index_name: str,
                     key: Key) -> "list[RowHit]":
+        return [hit for _shard, hit in
+                self.select_hits_tagged(txn, index_name, key)]
+
+    def select_hits_tagged(self, txn: ShardTransaction, index_name: str,
+                           key: Key) -> "list[tuple[int, RowHit]]":
+        """Point lookup returning ``(shard, hit)`` pairs — the shard tag
+        makes the hit a valid handle for :meth:`update_hit` /
+        :meth:`delete_hit`."""
         info = self._index(index_name)
         shards = self._read_shards(info, key)
-        hits: "list[RowHit]" = []
-        for k in shards:
+
+        def lookup(k: int) -> "list[RowHit]":
             db = self.shards[k]
-            hits.extend(self._owned(k, db.executor.lookup(
-                txn.on(k), db.catalog.index(index_name), key), info.table))
+            return db.executor.lookup(txn.on(k),
+                                      db.catalog.index(index_name), key)
+
+        gathered = (self.gather([_thunk(lookup, k) for k in shards])
+                    if len(shards) > 1 else [lookup(shards[0])])
+        hits: "list[tuple[int, RowHit]]" = []
+        for k, per_shard in zip(shards, gathered):
+            hits.extend((k, hit) for hit in
+                        self._owned(k, per_shard, info.table))
         if self.obs is not None:
             self._m_point.inc()
             self._m_fanout.inc(len(shards))
@@ -414,17 +481,37 @@ class ShardedDatabase:
                    lo: Key | None, hi: Key | None, *,
                    lo_incl: bool = True,
                    hi_incl: bool = True) -> "list[RowHit]":
-        """Scatter-gather range scan in global index-key order.
+        return [hit for _shard, hit in self.range_hits_tagged(
+            txn, index_name, lo, hi, lo_incl=lo_incl, hi_incl=hi_incl)]
+
+    def range_hits_tagged(self, txn: ShardTransaction, index_name: str,
+                          lo: Key | None, hi: Key | None, *,
+                          lo_incl: bool = True, hi_incl: bool = True
+                          ) -> "list[tuple[int, RowHit]]":
+        """Scatter-gather range scan in global index-key order, each hit
+        tagged with its shard (a valid :meth:`update_hit` handle).
 
         Range partitioning on the routing index visits each consecutive
         same-owner span group once and concatenates (cut order IS key
-        order); every other case scans all shards and k-way-merges their
-        already-ordered hits on the encoded index key (stable: equal keys
-        keep shard order).
+        order); a hash-partitioned range whose bounds pin one complete
+        shard key maps to a single slot and routes to its owner only
+        (bounded fan-out); every other case scans all shards through
+        :attr:`gather` and k-way-merges their already-ordered hits on the
+        encoded index key (stable: equal keys keep shard order).
         """
         info = self._index(index_name)
         partitioner = self.partitioner
-        out: "list[RowHit]"
+        out: "list[tuple[int, RowHit]]"
+
+        def scan(k: int, q_lo: Key | None, q_hi: Key | None,
+                 q_lo_incl: bool, q_hi_incl: bool) -> "list[RowHit]":
+            db = self.shards[k]
+            return db.executor.scan(txn.on(k),
+                                    db.catalog.index(index_name),
+                                    q_lo, q_hi, lo_incl=q_lo_incl,
+                                    hi_incl=q_hi_incl)
+
+        slot_owner = self._single_slot_shard(info, lo, hi, lo_incl, hi_incl)
         if (isinstance(partitioner, RangePartitioner)
                 and self._is_routing_index(info)):
             out = []
@@ -435,24 +522,32 @@ class ShardedDatabase:
                 if bounds is None:
                     continue
                 q_lo, q_incl, q_hi, q_hi_incl = bounds
-                db = self.shards[owner]
                 fanout += 1
-                out.extend(self._owned(owner, db.executor.scan(
-                    txn.on(owner), db.catalog.index(index_name),
-                    q_lo, q_hi, lo_incl=q_incl, hi_incl=q_hi_incl),
+                out.extend((owner, hit) for hit in self._owned(
+                    owner, scan(owner, q_lo, q_hi, q_incl, q_hi_incl),
                     info.table))
+        elif slot_owner is not None:
+            # bounded fan-out: the bounds pin one hash slot — ask only
+            # the shard that owns it instead of scattering to all N
+            fanout = 1
+            out = [(slot_owner, hit) for hit in self._owned(
+                slot_owner, scan(slot_owner, lo, hi, lo_incl, hi_incl),
+                info.table)]
+            if self.obs is not None:
+                self._m_slot_routed.inc()
         else:
-            per_shard: "list[list[RowHit]]" = []
-            for k, db in enumerate(self.shards):
-                per_shard.append(self._owned(k, db.executor.scan(
-                    txn.on(k), db.catalog.index(index_name), lo, hi,
-                    lo_incl=lo_incl, hi_incl=hi_incl), info.table))
+            gathered = self.gather([
+                _thunk(lambda k: scan(k, lo, hi, lo_incl, hi_incl), k)
+                for k in range(len(self.shards))])
+            per_shard: "list[list[tuple[int, RowHit]]]" = [
+                [(k, hit) for hit in self._owned(k, hits, info.table)]
+                for k, hits in enumerate(gathered)]
             fanout = len(self.shards)
             positions = info.positions
 
-            def merge_key(hit: "RowHit") -> bytes:
-                return encode_key(tuple(hit.version.data[p]
-                                        for p in positions))
+            def merge_key(item: "tuple[int, RowHit]") -> tuple[bytes, int]:
+                return (encode_key(tuple(item[1].version.data[p]
+                                         for p in positions)), item[0])
 
             out = list(heapq.merge(*per_shard, key=merge_key))
         if self.obs is not None:
@@ -468,21 +563,79 @@ class ShardedDatabase:
 
     def seq_scan(self, txn: ShardTransaction, table: str) -> list[Row]:
         """Full-table scan, shard by shard (shard order, not key order)."""
+
+        def scan(k: int) -> list[Row]:
+            info = self.shards[k].catalog.table(table)
+            return [row for _rid, row
+                    in info.store.scan_visible(txn.on(k))]
+
+        gathered = self.gather([_thunk(scan, k)
+                                for k in range(len(self.shards))])
         rows: list[Row] = []
-        for k, db in enumerate(self.shards):
-            info = db.catalog.table(table)
-            for _rid, row in info.store.scan_visible(txn.on(k)):
+        for k, shard_rows in enumerate(gathered):
+            for row in shard_rows:
                 if self._owner_of_row(table, row) == k:
                     rows.append(row)
                 elif self.obs is not None:
                     self._m_residue.inc()
         return rows
 
+    def pull_index_slices(self, txn: ShardTransaction, index_name: str,
+                          lo: Key | None, hi: Key | None, lo_incl: bool,
+                          hi_incl: bool, want: int
+                          ) -> "list[list[SearchHit]]":
+        """One bounded index-only cursor pull (``want + 1`` hits) per
+        shard, through :attr:`gather`.  The sliced scatter-gather scan
+        (:meth:`repro.serve.shard_server.ShardSession.batch_scan`) merges
+        the per-shard runs; a shard returning ``<= want`` hits is
+        exhausted for this range."""
+
+        def pull(k: int) -> "list[SearchHit]":
+            tree = self.shards[k].catalog.index(index_name).mvpbt
+            cursor = tree.cursor(txn.on(k), lo, hi, lo_incl=lo_incl,
+                                 hi_incl=hi_incl)
+            try:
+                return list(islice(cursor, want + 1))
+            finally:
+                cursor.close()
+
+        return self.gather([_thunk(pull, k)
+                            for k in range(len(self.shards))])
+
     # ------------------------------------------------------------ maintenance
 
     def flush_all(self) -> None:
         for db in self.shards:
             db.flush_all()
+
+    def vacuum(self, table: str) -> "list[VacuumResult]":
+        """Vacuum the table on every shard; per-shard results."""
+        return [db.vacuum(table) for db in self.shards]
+
+    def bulk_load(self, table: str, rows: Iterable[Sequence[object]], *,
+                  rows_per_txn: int = 5000) -> int:
+        """Shard-aware bulk load: validate and partition the rows by
+        shard key up front, then stream each shard's slice through its
+        own single-shard transactions — every commit takes the one-fsync
+        fast path, no row ever pays router fan-out or 2PC.  Relative row
+        order is preserved within each shard.  Returns the row count."""
+        schema = self.shards[0].catalog.table(table).schema
+        buckets: list[list[Row]] = [[] for _ in self.shards]
+        for row in rows:
+            validated = schema.validate_row(tuple(row))
+            buckets[self._owner_of_row(table, validated)].append(validated)
+        total = 0
+        for k, bucket in enumerate(buckets):
+            db = self.shards[k]
+            for start in range(0, len(bucket), rows_per_txn):
+                chunk = bucket[start:start + rows_per_txn]
+                txn = self.begin()
+                txn.touch(k)
+                for validated in chunk:
+                    db.insert(txn.on(k), table, validated)
+                self.commit(txn)
+                total += len(chunk)
+        return total
 
     def rebalance(self, new_partitioner: Partitioner) -> JSONDict:
         """Install a new shard layout, moving records and their version
@@ -561,6 +714,7 @@ class ShardedDatabase:
             Database.recover(db, extra_committed=committed, txid_floor=floor)
             for db in crashed.shards]
         router._tables = dict(crashed._tables)
+        router.gather = serial_gather
         router._bind_metrics()
         return router
 
@@ -590,6 +744,7 @@ class ShardedDatabase:
         self._require_obs()
         info = self._index(index_name)
         partitioner = self.partitioner
+        slot_owner = self._single_slot_shard(info, lo, hi, lo_incl, hi_incl)
         if (isinstance(partitioner, RangePartitioner)
                 and self._is_routing_index(info)):
             plan = "span-concatenation"
@@ -597,6 +752,9 @@ class ShardedDatabase:
                              in partitioner.owner_groups()
                              if _intersect(lo, lo_incl, hi, hi_incl,
                                            _lo, _hi) is not None})
+        elif slot_owner is not None:
+            plan = "single-slot"
+            shards = [slot_owner]
         else:
             plan = "scatter-merge"
             shards = list(range(len(self.shards)))
@@ -663,6 +821,25 @@ class ShardedDatabase:
         lookup routes to exactly one shard and a range span maps to its
         owner."""
         return tuple(info.positions) == self._tables[info.table]
+
+    def _single_slot_shard(self, info: "IndexInfo", lo: Key | None,
+                           hi: Key | None, lo_incl: bool,
+                           hi_incl: bool) -> int | None:
+        """Bounded fan-out for hash range scans: when both bounds are the
+        SAME complete shard key (a closed point range on the routing
+        index), every matching row hashes to one slot — its owner is the
+        only shard that can answer.  Any prefix or true range spans many
+        slots and must scatter."""
+        if not isinstance(self.partitioner, HashPartitioner):
+            return None
+        if not self._is_routing_index(info):
+            return None
+        if lo is None or hi is None or not (lo_incl and hi_incl):
+            return None
+        key = tuple(lo)
+        if key != tuple(hi) or len(key) != len(info.positions):
+            return None
+        return self.partitioner.shard_of(key)
 
     def _read_shards(self, info: "IndexInfo", key: Key) -> list[int]:
         if self._is_routing_index(info):

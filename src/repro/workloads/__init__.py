@@ -1,12 +1,22 @@
-"""Evaluation workloads: YCSB, TPC-C (DBT-2 style) and the CH-benchmark."""
+"""Evaluation workloads: YCSB, TPC-C (DBT-2 style) and the CH-benchmark.
 
+All three runners drive a :class:`~repro.workloads.backend.WorkloadBackend`
+— one API over a bare database, a served session pool, a 2PC-sharded
+cluster, or a served sharded cluster (DESIGN.md §18).
+"""
+
+from .backend import (DatabaseBackend, ServerBackend, ShardedBackend,
+                      ShardServerBackend, WorkloadBackend, WorkloadHit,
+                      WorkloadTxn, as_backend, served_backend,
+                      shard_served_backend)
 from .chbench import CHBenchmark, CHResult
+from .invariants import assert_tpcc_consistent, tpcc_consistency_errors
 from .distributions import (LatestDistribution, ScrambledZipfian,
                             UniformDistribution, ZipfianDistribution)
 from .tpcc import TPCCConfig, TPCCResult, TPCCRunner
 from .ycsb import (WORKLOAD_A, WORKLOAD_B, WORKLOAD_C, WORKLOAD_D,
-                   WORKLOAD_E, WORKLOAD_F, YCSBConfig, YCSBResult,
-                   YCSBRunner)
+                   WORKLOAD_E, WORKLOAD_F, WORKLOADS, YCSBConfig,
+                   YCSBResult, YCSBRunner)
 
 __all__ = [
     "UniformDistribution",
@@ -22,9 +32,22 @@ __all__ = [
     "WORKLOAD_D",
     "WORKLOAD_E",
     "WORKLOAD_F",
+    "WORKLOADS",
     "TPCCConfig",
     "TPCCResult",
     "TPCCRunner",
     "CHBenchmark",
     "CHResult",
+    "WorkloadBackend",
+    "WorkloadTxn",
+    "WorkloadHit",
+    "DatabaseBackend",
+    "ServerBackend",
+    "ShardedBackend",
+    "ShardServerBackend",
+    "as_backend",
+    "served_backend",
+    "shard_served_backend",
+    "assert_tpcc_consistent",
+    "tpcc_consistency_errors",
 ]

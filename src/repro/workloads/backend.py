@@ -1,0 +1,786 @@
+"""Workload backends: one driver API over the whole serving stack (§18).
+
+The workload runners (:class:`~repro.workloads.ycsb.YCSBRunner`,
+:class:`~repro.workloads.tpcc.TPCCRunner`,
+:class:`~repro.workloads.chbench.CHBenchmark`) speak one small
+transactional API — :class:`WorkloadBackend` / :class:`WorkloadTxn` —
+with four interchangeable implementations:
+
+* :class:`DatabaseBackend` — a single-node
+  :class:`~repro.engine.database.Database`, driven directly;
+* :class:`ServerBackend` — a :class:`~repro.serve.server.Server` session
+  pool (engine-slot confinement, group commit);
+* :class:`ShardedBackend` — a 2PC
+  :class:`~repro.shard.router.ShardedDatabase`, driven directly: every
+  multi-key transaction whose rows land on different shards commits
+  through the two-phase marker flow;
+* :class:`ShardServerBackend` — a
+  :class:`~repro.serve.shard_server.ShardServer` session pool; analytic
+  reads flow through the sliced scatter-gather ``batch_scan``.
+
+Row handles are :class:`WorkloadHit` — a ``(shard, RowHit)`` pair (shard
+0 on single-node backends) — so hit-based DML (the TPC-C access pattern)
+works identically everywhere, including cross-shard row moves.
+
+The load phase goes through :meth:`WorkloadBackend.bulk_insert`, which
+the sharded backends implement with
+:meth:`~repro.shard.router.ShardedDatabase.bulk_load`: rows are
+partitioned by shard key up front and each shard is loaded directly with
+single-shard fast-path commits.
+
+Backends differ ONLY in simulated cost and protocol, never in results:
+the differential oracle (``tests/integration/test_workload_differential
+.py``) pins committed-state equality across all of them.
+"""
+
+from __future__ import annotations
+
+import heapq
+from abc import ABC, abstractmethod
+from itertools import islice
+from typing import (TYPE_CHECKING, Iterator, NamedTuple, Sequence,
+                    Union)
+
+from ..engine.database import Database
+from ..engine.executor import RowHit
+from ..errors import WorkloadError
+from ..shard.router import ShardedDatabase
+from ..storage.keycodec import encode_key
+from ..types import Key, Row
+
+if TYPE_CHECKING:
+    from ..serve.config import ServeConfig
+    from ..serve.server import Server
+    from ..serve.session import Session
+    from ..serve.shard_server import ShardServer, ShardSession
+    from ..shard.txn import ShardTransaction
+    from ..txn.transaction import Transaction
+
+#: anything :func:`as_backend` can adapt
+BackendTarget = Union["WorkloadBackend", Database, ShardedDatabase,
+                      "Server", "ShardServer"]
+
+
+class WorkloadHit(NamedTuple):
+    """A backend-neutral row handle: the owning shard + the engine hit.
+
+    Single-node backends always tag shard 0; sharded backends tag the
+    shard that answered, which makes the handle valid for
+    :meth:`WorkloadTxn.update` / :meth:`WorkloadTxn.delete`.
+    """
+
+    shard: int
+    hit: RowHit
+
+    @property
+    def row(self) -> Row:
+        return self.hit.row
+
+
+class WorkloadTxn(ABC):
+    """One open transaction on a workload backend."""
+
+    @property
+    @abstractmethod
+    def is_active(self) -> bool: ...
+
+    @abstractmethod
+    def commit(self) -> None: ...
+
+    @abstractmethod
+    def abort(self) -> None: ...
+
+    @abstractmethod
+    def insert(self, table: str, row: Sequence[object]) -> None: ...
+
+    @abstractmethod
+    def select(self, index: str, key: Key) -> list[Row]: ...
+
+    @abstractmethod
+    def select_hits(self, index: str, key: Key) -> list[WorkloadHit]: ...
+
+    @abstractmethod
+    def range_select(self, index: str, lo: Key | None, hi: Key | None, *,
+                     lo_incl: bool = True,
+                     hi_incl: bool = True) -> list[Row]: ...
+
+    @abstractmethod
+    def range_hits(self, index: str, lo: Key | None, hi: Key | None, *,
+                   lo_incl: bool = True,
+                   hi_incl: bool = True) -> list[WorkloadHit]: ...
+
+    @abstractmethod
+    def update(self, table: str, hit: WorkloadHit,
+               updates: dict[str, object]) -> None: ...
+
+    @abstractmethod
+    def delete(self, table: str, hit: WorkloadHit) -> None: ...
+
+    @abstractmethod
+    def scan_limit(self, index: str, lo: Key | None,
+                   limit: int) -> list[Row]:
+        """The first ``limit`` rows at/after ``lo`` in index-key order
+        (the YCSB-E scan shape) — streaming, never materialises the
+        tail."""
+
+    @abstractmethod
+    def analytic_rows(self, index: str, lo: Key | None,
+                      hi: Key | None) -> list[Row]:
+        """Analytical range read.  Server backends route it through the
+        sliced ``batch_scan`` (slot per slice); direct backends fall
+        back to the materialising range select."""
+
+
+class WorkloadBackend(ABC):
+    """One engine stack a workload runner can drive."""
+
+    #: short identifier (YCSBResult.engine et al.)
+    name: str
+
+    @abstractmethod
+    def create_table(self, name: str,
+                     columns: Sequence[tuple[str, str]],
+                     storage: str = "sias", *,
+                     shard_key: Sequence[str] | None = None) -> None: ...
+
+    @abstractmethod
+    def create_index(self, name: str, table: str,
+                     columns: Sequence[str], *, kind: str = "mvpbt",
+                     unique: bool = False, reference: str = "physical",
+                     **options: object) -> None: ...
+
+    @abstractmethod
+    def begin(self) -> WorkloadTxn: ...
+
+    @property
+    @abstractmethod
+    def sim_now(self) -> float:
+        """The backend's simulated time (max over shards when sharded)."""
+
+    @property
+    @abstractmethod
+    def shard_count(self) -> int: ...
+
+    @abstractmethod
+    def bulk_insert(self, table: str, rows: Sequence[Sequence[object]], *,
+                    rows_per_txn: int = 5000) -> int:
+        """Load rows in committed chunks; sharded backends partition by
+        shard key and bulk-load each shard directly."""
+
+    @abstractmethod
+    def vacuum(self, table: str) -> None: ...
+
+    @abstractmethod
+    def advance_clock(self, seconds: float) -> None:
+        """Charge fixed overhead to the simulated clock (every shard's,
+        when sharded).  Host-level: drivers call this between their own
+        transactions, never concurrently with engine work."""
+
+    @abstractmethod
+    def flush_all(self) -> None: ...
+
+    @abstractmethod
+    def dump_table(self, table: str) -> list[Row]:
+        """Every committed row under a FRESH snapshot, sorted — the
+        differential oracle's state fingerprint.  Host-level inspection:
+        served backends read the underlying engine directly."""
+
+    def close(self) -> None:
+        """Release serving resources (sessions, schedulers)."""
+
+    def __enter__(self) -> "WorkloadBackend":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+# --------------------------------------------------------------- single node
+
+
+class _DatabaseTxn(WorkloadTxn):
+    """Direct single-node transaction."""
+
+    def __init__(self, db: Database, txn: "Transaction") -> None:
+        self._db = db
+        self._txn = txn
+
+    @property
+    def is_active(self) -> bool:
+        return self._txn.is_active
+
+    def commit(self) -> None:
+        self._txn.commit()
+
+    def abort(self) -> None:
+        self._txn.abort()
+
+    def insert(self, table: str, row: Sequence[object]) -> None:
+        self._db.insert(self._txn, table, row)
+
+    def select(self, index: str, key: Key) -> list[Row]:
+        return self._db.select(self._txn, index, key)
+
+    def select_hits(self, index: str, key: Key) -> list[WorkloadHit]:
+        return [WorkloadHit(0, hit) for hit in
+                self._db.select_hits(self._txn, index, key)]
+
+    def range_select(self, index: str, lo: Key | None, hi: Key | None, *,
+                     lo_incl: bool = True,
+                     hi_incl: bool = True) -> list[Row]:
+        return self._db.range_select(self._txn, index, lo, hi,
+                                     lo_incl=lo_incl, hi_incl=hi_incl)
+
+    def range_hits(self, index: str, lo: Key | None, hi: Key | None, *,
+                   lo_incl: bool = True,
+                   hi_incl: bool = True) -> list[WorkloadHit]:
+        return [WorkloadHit(0, hit) for hit in
+                self._db.range_hits(self._txn, index, lo, hi,
+                                    lo_incl=lo_incl, hi_incl=hi_incl)]
+
+    def update(self, table: str, hit: WorkloadHit,
+               updates: dict[str, object]) -> None:
+        self._db.update_row(self._txn, table, hit.hit.rid,
+                            hit.hit.version, updates)
+
+    def delete(self, table: str, hit: WorkloadHit) -> None:
+        self._db.delete_row(self._txn, table, hit.hit.rid,
+                            hit.hit.version)
+
+    def scan_limit(self, index: str, lo: Key | None,
+                   limit: int) -> list[Row]:
+        info = self._db.catalog.index(index)
+        stream = self._db.executor.scan_stream(self._txn, info, lo, None)
+        try:
+            return [hit.row for hit in islice(stream, limit)]
+        finally:
+            stream.close()
+
+    def analytic_rows(self, index: str, lo: Key | None,
+                      hi: Key | None) -> list[Row]:
+        return self.range_select(index, lo, hi)
+
+
+class DatabaseBackend(WorkloadBackend):
+    """The baseline: one :class:`Database`, driven directly."""
+
+    name = "database"
+
+    def __init__(self, db: Database) -> None:
+        self.db = db
+
+    def create_table(self, name: str,
+                     columns: Sequence[tuple[str, str]],
+                     storage: str = "sias", *,
+                     shard_key: Sequence[str] | None = None) -> None:
+        self.db.create_table(name, columns, storage)
+
+    def create_index(self, name: str, table: str,
+                     columns: Sequence[str], *, kind: str = "mvpbt",
+                     unique: bool = False, reference: str = "physical",
+                     **options: object) -> None:
+        self.db.create_index(name, table, columns, kind=kind,
+                             unique=unique, reference=reference, **options)
+
+    def begin(self) -> WorkloadTxn:
+        return _DatabaseTxn(self.db, self.db.begin())
+
+    @property
+    def sim_now(self) -> float:
+        return self.db.clock.now
+
+    @property
+    def shard_count(self) -> int:
+        return 1
+
+    def bulk_insert(self, table: str, rows: Sequence[Sequence[object]], *,
+                    rows_per_txn: int = 5000) -> int:
+        for start in range(0, len(rows), rows_per_txn):
+            txn = self.db.begin()
+            for row in rows[start:start + rows_per_txn]:
+                self.db.insert(txn, table, row)
+            txn.commit()
+        return len(rows)
+
+    def vacuum(self, table: str) -> None:
+        self.db.vacuum(table)
+
+    def advance_clock(self, seconds: float) -> None:
+        self.db.clock.advance(seconds)
+
+    def flush_all(self) -> None:
+        self.db.flush_all()
+
+    def dump_table(self, table: str) -> list[Row]:
+        txn = self.db.begin()
+        try:
+            return sorted(self.db.seq_scan(txn, table))
+        finally:
+            txn.commit()
+
+
+# ------------------------------------------------------------ sharded router
+
+
+class _ShardedTxn(WorkloadTxn):
+    """Direct global transaction on the 2PC router."""
+
+    def __init__(self, router: ShardedDatabase,
+                 txn: "ShardTransaction") -> None:
+        self._router = router
+        self._txn = txn
+
+    @property
+    def is_active(self) -> bool:
+        return self._txn.is_active
+
+    def commit(self) -> None:
+        self._txn.commit()
+
+    def abort(self) -> None:
+        self._txn.abort()
+
+    def insert(self, table: str, row: Sequence[object]) -> None:
+        self._router.insert(self._txn, table, row)
+
+    def select(self, index: str, key: Key) -> list[Row]:
+        return self._router.select(self._txn, index, key)
+
+    def select_hits(self, index: str, key: Key) -> list[WorkloadHit]:
+        return [WorkloadHit(shard, hit) for shard, hit in
+                self._router.select_hits_tagged(self._txn, index, key)]
+
+    def range_select(self, index: str, lo: Key | None, hi: Key | None, *,
+                     lo_incl: bool = True,
+                     hi_incl: bool = True) -> list[Row]:
+        return self._router.range_select(self._txn, index, lo, hi,
+                                         lo_incl=lo_incl, hi_incl=hi_incl)
+
+    def range_hits(self, index: str, lo: Key | None, hi: Key | None, *,
+                   lo_incl: bool = True,
+                   hi_incl: bool = True) -> list[WorkloadHit]:
+        return [WorkloadHit(shard, hit) for shard, hit in
+                self._router.range_hits_tagged(self._txn, index, lo, hi,
+                                               lo_incl=lo_incl,
+                                               hi_incl=hi_incl)]
+
+    def update(self, table: str, hit: WorkloadHit,
+               updates: dict[str, object]) -> None:
+        self._router.update_hit(self._txn, table, hit.shard, hit.hit,
+                                updates)
+
+    def delete(self, table: str, hit: WorkloadHit) -> None:
+        self._router.delete_hit(self._txn, table, hit.shard, hit.hit)
+
+    def scan_limit(self, index: str, lo: Key | None,
+                   limit: int) -> list[Row]:
+        return _sharded_scan_limit(self._router, self._txn, index, lo,
+                                   limit)
+
+    def analytic_rows(self, index: str, lo: Key | None,
+                      hi: Key | None) -> list[Row]:
+        return self.range_select(index, lo, hi)
+
+
+def _sharded_scan_limit(router: ShardedDatabase, txn: "ShardTransaction",
+                        index: str, lo: Key | None,
+                        limit: int) -> list[Row]:
+    """First ``limit`` owned rows at/after ``lo`` in global key order:
+    k-way-merge the per-shard streaming cursors (ownership-filtered), so
+    only ~``limit`` hits per shard are ever pulled."""
+    info = router.shards[0].catalog.index(index)
+    positions = router.shard_key_positions(info.table)
+    partitioner = router.partitioner
+
+    def owned_stream(k: int) -> Iterator[RowHit]:
+        db = router.shards[k]
+        stream = db.executor.scan_stream(txn.on(k),
+                                         db.catalog.index(index), lo, None)
+        for hit in stream:
+            shard_key = tuple(hit.version.data[p] for p in positions)
+            if partitioner.shard_of(shard_key) == k:
+                yield hit
+
+    def merge_key(hit: RowHit) -> bytes:
+        return encode_key(tuple(hit.version.data[p]
+                                for p in info.positions))
+
+    merged = heapq.merge(*(owned_stream(k)
+                           for k in range(len(router.shards))),
+                         key=merge_key)
+    return [hit.row for hit in islice(merged, limit)]
+
+
+class ShardedBackend(WorkloadBackend):
+    """The 2PC router, driven directly."""
+
+    def __init__(self, router: ShardedDatabase) -> None:
+        self.router = router
+        self.name = f"sharded-{len(router.shards)}"
+
+    def create_table(self, name: str,
+                     columns: Sequence[tuple[str, str]],
+                     storage: str = "sias", *,
+                     shard_key: Sequence[str] | None = None) -> None:
+        self.router.create_table(name, columns, storage,
+                                 shard_key=shard_key)
+
+    def create_index(self, name: str, table: str,
+                     columns: Sequence[str], *, kind: str = "mvpbt",
+                     unique: bool = False, reference: str = "physical",
+                     **options: object) -> None:
+        self.router.create_index(name, table, columns, kind=kind,
+                                 unique=unique, reference=reference,
+                                 **options)
+
+    def begin(self) -> WorkloadTxn:
+        return _ShardedTxn(self.router, self.router.begin())
+
+    @property
+    def sim_now(self) -> float:
+        return self.router.sim_now
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.router.shards)
+
+    def bulk_insert(self, table: str, rows: Sequence[Sequence[object]], *,
+                    rows_per_txn: int = 5000) -> int:
+        return self.router.bulk_load(table, rows,
+                                     rows_per_txn=rows_per_txn)
+
+    def vacuum(self, table: str) -> None:
+        self.router.vacuum(table)
+
+    def advance_clock(self, seconds: float) -> None:
+        for db in self.router.shards:
+            db.clock.advance(seconds)
+
+    def flush_all(self) -> None:
+        self.router.flush_all()
+
+    def dump_table(self, table: str) -> list[Row]:
+        txn = self.router.begin()
+        try:
+            return sorted(self.router.seq_scan(txn, table))
+        finally:
+            self.router.commit(txn)
+
+
+# ------------------------------------------------------------- served single
+
+
+class _SessionTxn(WorkloadTxn):
+    """One transaction on a pooled single-node :class:`Session`."""
+
+    def __init__(self, session: "Session") -> None:
+        self._session = session
+        session.begin()
+
+    @property
+    def is_active(self) -> bool:
+        return self._session.in_txn
+
+    def commit(self) -> None:
+        self._session.commit()
+
+    def abort(self) -> None:
+        self._session.abort()
+
+    def insert(self, table: str, row: Sequence[object]) -> None:
+        self._session.insert(table, row)
+
+    def select(self, index: str, key: Key) -> list[Row]:
+        return self._session.select(index, key)
+
+    def select_hits(self, index: str, key: Key) -> list[WorkloadHit]:
+        return [WorkloadHit(0, hit) for hit in
+                self._session.select_hits(index, key)]
+
+    def range_select(self, index: str, lo: Key | None, hi: Key | None, *,
+                     lo_incl: bool = True,
+                     hi_incl: bool = True) -> list[Row]:
+        return self._session.range_select(index, lo, hi, lo_incl=lo_incl,
+                                          hi_incl=hi_incl)
+
+    def range_hits(self, index: str, lo: Key | None, hi: Key | None, *,
+                   lo_incl: bool = True,
+                   hi_incl: bool = True) -> list[WorkloadHit]:
+        return [WorkloadHit(0, hit) for hit in
+                self._session.range_hits(index, lo, hi, lo_incl=lo_incl,
+                                         hi_incl=hi_incl)]
+
+    def update(self, table: str, hit: WorkloadHit,
+               updates: dict[str, object]) -> None:
+        self._session.update_row(table, hit.hit.rid, hit.hit.version,
+                                 updates)
+
+    def delete(self, table: str, hit: WorkloadHit) -> None:
+        self._session.delete_row(table, hit.hit.rid, hit.hit.version)
+
+    def scan_limit(self, index: str, lo: Key | None,
+                   limit: int) -> list[Row]:
+        stream = self._session.batch_scan(index, lo, None)
+        try:
+            return list(islice(stream, limit))
+        finally:
+            stream.close()
+
+    def analytic_rows(self, index: str, lo: Key | None,
+                      hi: Key | None) -> list[Row]:
+        return list(self._session.batch_scan(index, lo, hi))
+
+
+class ServerBackend(WorkloadBackend):
+    """A multi-session :class:`Server` over one database.
+
+    Transactions draw sessions from a small pool (one per concurrently
+    open transaction), so an analytical transaction held open across an
+    OLTP slice occupies its own session — the CH-benchmark shape."""
+
+    name = "server"
+
+    def __init__(self, server: "Server") -> None:
+        self.server = server
+        self.db = server.db
+        self._pool: "list[Session]" = []
+
+    def _acquire(self) -> "Session":
+        for session in self._pool:
+            if not session.in_txn:
+                return session
+        session = self.server.session()
+        self._pool.append(session)
+        return session
+
+    def create_table(self, name: str,
+                     columns: Sequence[tuple[str, str]],
+                     storage: str = "sias", *,
+                     shard_key: Sequence[str] | None = None) -> None:
+        self.db.create_table(name, columns, storage)
+
+    def create_index(self, name: str, table: str,
+                     columns: Sequence[str], *, kind: str = "mvpbt",
+                     unique: bool = False, reference: str = "physical",
+                     **options: object) -> None:
+        self.db.create_index(name, table, columns, kind=kind,
+                             unique=unique, reference=reference, **options)
+
+    def begin(self) -> WorkloadTxn:
+        return _SessionTxn(self._acquire())
+
+    @property
+    def sim_now(self) -> float:
+        return self.db.clock.now
+
+    @property
+    def shard_count(self) -> int:
+        return 1
+
+    def bulk_insert(self, table: str, rows: Sequence[Sequence[object]], *,
+                    rows_per_txn: int = 5000) -> int:
+        session = self._acquire()
+        for start in range(0, len(rows), rows_per_txn):
+            session.begin()
+            for row in rows[start:start + rows_per_txn]:
+                session.insert(table, row)
+            session.commit()
+        return len(rows)
+
+    def vacuum(self, table: str) -> None:
+        self.server.vacuum(table)
+
+    def advance_clock(self, seconds: float) -> None:
+        self.db.clock.advance(seconds)
+
+    def flush_all(self) -> None:
+        self.db.flush_all()
+
+    def dump_table(self, table: str) -> list[Row]:
+        txn = self.db.begin()
+        try:
+            return sorted(self.db.seq_scan(txn, table))
+        finally:
+            txn.commit()
+
+    def close(self) -> None:
+        for session in self._pool:
+            session.close()
+        self._pool.clear()
+        self.server.close()
+
+
+# ------------------------------------------------------------ served sharded
+
+
+class _ShardSessionTxn(WorkloadTxn):
+    """One global transaction on a pooled :class:`ShardSession`."""
+
+    def __init__(self, session: "ShardSession") -> None:
+        self._session = session
+        session.begin()
+
+    @property
+    def is_active(self) -> bool:
+        return self._session.in_txn
+
+    def commit(self) -> None:
+        self._session.commit()
+
+    def abort(self) -> None:
+        self._session.abort()
+
+    def insert(self, table: str, row: Sequence[object]) -> None:
+        self._session.insert(table, row)
+
+    def select(self, index: str, key: Key) -> list[Row]:
+        return self._session.select(index, key)
+
+    def select_hits(self, index: str, key: Key) -> list[WorkloadHit]:
+        return [WorkloadHit(shard, hit) for shard, hit in
+                self._session.select_hits(index, key)]
+
+    def range_select(self, index: str, lo: Key | None, hi: Key | None, *,
+                     lo_incl: bool = True,
+                     hi_incl: bool = True) -> list[Row]:
+        return self._session.range_select(index, lo, hi, lo_incl=lo_incl,
+                                          hi_incl=hi_incl)
+
+    def range_hits(self, index: str, lo: Key | None, hi: Key | None, *,
+                   lo_incl: bool = True,
+                   hi_incl: bool = True) -> list[WorkloadHit]:
+        return [WorkloadHit(shard, hit) for shard, hit in
+                self._session.range_hits(index, lo, hi, lo_incl=lo_incl,
+                                         hi_incl=hi_incl)]
+
+    def update(self, table: str, hit: WorkloadHit,
+               updates: dict[str, object]) -> None:
+        self._session.update_hit(table, hit.shard, hit.hit, updates)
+
+    def delete(self, table: str, hit: WorkloadHit) -> None:
+        self._session.delete_hit(table, hit.shard, hit.hit)
+
+    def scan_limit(self, index: str, lo: Key | None,
+                   limit: int) -> list[Row]:
+        stream = self._session.batch_scan(index, lo, None)
+        try:
+            return list(islice(stream, limit))
+        finally:
+            stream.close()
+
+    def analytic_rows(self, index: str, lo: Key | None,
+                      hi: Key | None) -> list[Row]:
+        return list(self._session.batch_scan(index, lo, hi))
+
+
+class ShardServerBackend(WorkloadBackend):
+    """A multi-session :class:`ShardServer` over the 2PC router.
+
+    Analytic reads (``analytic_rows`` / ``scan_limit``) flow through the
+    sliced scatter-gather ``batch_scan``; with
+    ``ServeConfig.parallel_scatter_gather`` the per-shard cursor pulls
+    run concurrently."""
+
+    def __init__(self, server: "ShardServer") -> None:
+        self.server = server
+        self.router = server.router
+        self.name = f"shard-server-{len(self.router.shards)}"
+        self._pool: "list[ShardSession]" = []
+
+    def _acquire(self) -> "ShardSession":
+        for session in self._pool:
+            if not session.in_txn:
+                return session
+        session = self.server.session()
+        self._pool.append(session)
+        return session
+
+    def create_table(self, name: str,
+                     columns: Sequence[tuple[str, str]],
+                     storage: str = "sias", *,
+                     shard_key: Sequence[str] | None = None) -> None:
+        self.router.create_table(name, columns, storage,
+                                 shard_key=shard_key)
+
+    def create_index(self, name: str, table: str,
+                     columns: Sequence[str], *, kind: str = "mvpbt",
+                     unique: bool = False, reference: str = "physical",
+                     **options: object) -> None:
+        self.router.create_index(name, table, columns, kind=kind,
+                                 unique=unique, reference=reference,
+                                 **options)
+
+    def begin(self) -> WorkloadTxn:
+        return _ShardSessionTxn(self._acquire())
+
+    @property
+    def sim_now(self) -> float:
+        return self.router.sim_now
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.router.shards)
+
+    def bulk_insert(self, table: str, rows: Sequence[Sequence[object]], *,
+                    rows_per_txn: int = 5000) -> int:
+        # the shard-aware load path: partition by shard key, load each
+        # shard directly (single-shard fast-path commits, no sessions)
+        return self.router.bulk_load(table, rows,
+                                     rows_per_txn=rows_per_txn)
+
+    def vacuum(self, table: str) -> None:
+        self.server.vacuum(table)
+
+    def advance_clock(self, seconds: float) -> None:
+        for db in self.router.shards:
+            db.clock.advance(seconds)
+
+    def flush_all(self) -> None:
+        self.router.flush_all()
+
+    def dump_table(self, table: str) -> list[Row]:
+        txn = self.router.begin()
+        try:
+            return sorted(self.router.seq_scan(txn, table))
+        finally:
+            self.router.commit(txn)
+
+    def close(self) -> None:
+        for session in self._pool:
+            session.close()
+        self._pool.clear()
+        self.server.close()
+
+
+# ----------------------------------------------------------------- adapters
+
+
+def as_backend(target: BackendTarget) -> WorkloadBackend:
+    """Adapt any stack layer to the workload API (identity on backends)."""
+    from ..serve.server import Server
+    from ..serve.shard_server import ShardServer
+    if isinstance(target, WorkloadBackend):
+        return target
+    if isinstance(target, Database):
+        return DatabaseBackend(target)
+    if isinstance(target, ShardedDatabase):
+        return ShardedBackend(target)
+    if isinstance(target, Server):
+        return ServerBackend(target)
+    if isinstance(target, ShardServer):
+        return ShardServerBackend(target)
+    raise WorkloadError(f"cannot adapt {type(target).__name__} to a "
+                        f"WorkloadBackend")
+
+
+def served_backend(db: Database,
+                   config: "ServeConfig | None" = None) -> ServerBackend:
+    """Convenience: open a :class:`Server` over ``db`` and wrap it."""
+    return ServerBackend(db.serve(config))
+
+
+def shard_served_backend(router: ShardedDatabase,
+                         config: "ServeConfig | None" = None
+                         ) -> ShardServerBackend:
+    """Convenience: open a :class:`ShardServer` over ``router``."""
+    return ShardServerBackend(router.serve(config))

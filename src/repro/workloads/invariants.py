@@ -1,0 +1,97 @@
+"""TPC-C consistency invariants (TPC-C spec §3.3.2, scaled subset).
+
+These are the cross-table consistency rules the TPC-C specification
+requires to hold in any committed state.  They are the workhorse of the
+differential oracle and the crash suite: after any run — including one
+killed mid 2PC and recovered — the committed state must satisfy every
+rule, on every backend.
+
+* **C1** — for every warehouse, the year-to-date delta equals the sum of
+  its districts' year-to-date deltas (payments add the same amount to
+  both rows in one transaction);
+* **C2** — for every district, ``d_next_o_id - 1`` equals the number of
+  orders in that district (new-order increments the counter and inserts
+  the order atomically);
+* **C3** — the ``new_order`` table holds exactly the orders without an
+  assigned carrier (delivery removes the entry and assigns the carrier
+  atomically);
+* **C4** — every order has exactly ``o_ol_cnt`` order lines.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from .backend import WorkloadBackend
+
+#: seed values the loader writes (deltas are measured against these)
+INITIAL_W_YTD = 300000.0
+INITIAL_D_YTD = 30000.0
+
+
+def tpcc_consistency_errors(backend: "WorkloadBackend", *,
+                            tolerance: float = 1e-6) -> list[str]:
+    """Check every invariant on the backend's committed state.
+
+    Returns a list of human-readable violations — empty means the state
+    is consistent.  Reads full-table dumps under a fresh snapshot, so
+    it sees exactly the committed state (run it quiesced).
+    """
+    errors: list[str] = []
+    warehouses = backend.dump_table("warehouse")
+    districts = backend.dump_table("district")
+    orders = backend.dump_table("orders")
+    new_orders = backend.dump_table("new_order")
+    lines = backend.dump_table("order_line")
+
+    # C1: warehouse YTD delta == sum of district YTD deltas
+    for w_id, _name, w_ytd in warehouses:
+        district_delta = sum(row[3] - INITIAL_D_YTD
+                             for row in districts if row[0] == w_id)
+        w_delta = w_ytd - INITIAL_W_YTD
+        if abs(w_delta - district_delta) > tolerance:
+            errors.append(
+                f"C1: warehouse {w_id} ytd delta {w_delta!r} != sum of "
+                f"district deltas {district_delta!r}")
+
+    # C2: d_next_o_id - 1 == number of orders in the district
+    order_counts = Counter((row[0], row[1]) for row in orders)
+    for row in districts:
+        expected = row[4] - 1
+        got = order_counts.get((row[0], row[1]), 0)
+        if got != expected:
+            errors.append(
+                f"C2: district {(row[0], row[1])} has {got} orders, "
+                f"d_next_o_id implies {expected}")
+
+    # C3: new_order entries == orders with no carrier assigned
+    pending = {(row[0], row[1], row[2]) for row in new_orders}
+    undelivered = {(row[0], row[1], row[2])
+                   for row in orders if row[4] == 0}
+    if pending != undelivered:
+        missing = sorted(undelivered - pending)
+        extra = sorted(pending - undelivered)
+        errors.append(
+            f"C3: new_order mismatch — missing {missing[:5]}, "
+            f"extra {extra[:5]}")
+
+    # C4: every order has exactly o_ol_cnt order lines
+    line_counts = Counter((row[0], row[1], row[2]) for row in lines)
+    for row in orders:
+        got = line_counts.get((row[0], row[1], row[2]), 0)
+        if got != row[5]:
+            errors.append(
+                f"C4: order {(row[0], row[1], row[2])} has {got} lines, "
+                f"o_ol_cnt says {row[5]}")
+    return errors
+
+
+def assert_tpcc_consistent(backend: "WorkloadBackend", *,
+                           context: str = "") -> None:
+    """Raise ``AssertionError`` listing every violated invariant."""
+    errors = tpcc_consistency_errors(backend)
+    assert not errors, (
+        f"{context or 'state'} violates TPC-C consistency:\n  "
+        + "\n  ".join(errors))

@@ -2,8 +2,21 @@
 
 The full nine-table TPC-C schema and all five transaction profiles
 (NewOrder 45% / Payment 43% / OrderStatus 4% / Delivery 4% / StockLevel 4%)
-run against :class:`repro.engine.Database`, with the index kind / reference
-mode under test applied to every index.
+run against any :class:`~repro.workloads.backend.WorkloadBackend` target —
+a bare :class:`~repro.engine.Database`, a served session pool, or a
+sharded cluster (§18) — with the index kind / reference mode under test
+applied to every index.
+
+Every table is sharded by its warehouse column, so a transaction pinned
+to one warehouse is a single-shard fast-path commit, while a new-order
+with a *remote* order line (``remote_order_line_prob``) updates stock on
+a different warehouse's shard and commits through genuine 2PC.
+
+Timestamps written into rows (``o_entry_d``, ``h_date``,
+``ol_delivery_d``) are drawn from a runner-local logical counter, NOT the
+simulated clock: backends advance their clocks differently (sharding,
+group commit), and the differential oracle requires committed row data to
+be byte-identical across all of them.
 
 Scale is configurable: defaults shrink customers-per-district and the item
 catalogue so the workload fits a CPython simulation, while the buffer pool
@@ -16,14 +29,29 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from typing import Union
 
 from ..engine.database import Database
-from ..errors import ReproError, WorkloadError
+from ..errors import DeviceCrashError, ReproError, WorkloadError
 from ..index.base import TOP
-from ..txn.transaction import Transaction
+from ..types import Row
+from .backend import (BackendTarget, WorkloadBackend, WorkloadTxn,
+                      as_backend)
 
 LAST_NAMES = ["BAR", "OUGHT", "ABLE", "PRI", "PRES",
               "ESE", "ANTI", "CALLY", "ATION", "EING"]
+
+#: load order — parents before children so bulk chunks stay meaningful
+TABLES = ("item", "warehouse", "stock", "district", "customer",
+          "orders", "new_order", "order_line", "history")
+
+#: shard-key column per table (the warehouse column; items by item id)
+SHARD_KEYS: dict[str, list[str]] = {
+    "warehouse": ["w_id"], "district": ["d_w_id"],
+    "customer": ["c_w_id"], "item": ["i_id"], "stock": ["s_w_id"],
+    "orders": ["o_w_id"], "new_order": ["no_w_id"],
+    "order_line": ["ol_w_id"], "history": ["h_c_w_id"],
+}
 
 
 def customer_last_name(num: int) -> str:
@@ -55,6 +83,10 @@ class TPCCConfig:
     #: to the simulated clock — the paper notes index operations "only have
     #: a fair share of the whole database operations" under TPC-C
     overhead_per_txn: float = 0.0
+    #: probability an order line is supplied by a remote warehouse
+    #: (TPC-C: 1%); on a sharded backend a remote line makes the
+    #: new-order a cross-shard 2PC transaction — crash tests set 1.0
+    remote_order_line_prob: float = 0.01
 
     def __post_init__(self) -> None:
         total = (self.new_order_weight + self.payment_weight
@@ -89,14 +121,24 @@ class TPCCResult:
 
 
 class TPCCRunner:
-    """Loads the schema and executes the transaction mix."""
+    """Loads the schema and executes the transaction mix.
 
-    def __init__(self, db: Database, config: TPCCConfig | None = None, *,
+    Pass ``record_ops=True`` to capture one line per attempted
+    transaction in :attr:`op_log` (kind + the data-dependent keys it
+    chose) — the determinism suite compares these logs byte-for-byte
+    across backends.
+    """
+
+    def __init__(self, db: Union[Database, BackendTarget],
+                 config: TPCCConfig | None = None, *,
                  index_kind: str = "mvpbt",
                  reference: str = "physical",
                  storage: str = "sias",
-                 index_options: dict[str, object] | None = None) -> None:
-        self.db = db
+                 index_options: dict[str, object] | None = None,
+                 record_ops: bool = False) -> None:
+        self.backend: WorkloadBackend = as_backend(db)
+        #: the raw database when constructed from one (legacy helpers)
+        self.db: Database | None = db if isinstance(db, Database) else None
         self.config = config if config is not None else TPCCConfig()
         self.index_kind = index_kind
         self.reference = reference
@@ -105,42 +147,60 @@ class TPCCRunner:
         self._rng = random.Random(self.config.seed)
         self._next_o_id: dict[tuple[int, int], int] = {}
         self._loaded = False
+        self._record_ops = record_ops
+        #: one line per attempted transaction (only when ``record_ops``)
+        self.op_log: list[str] = []
+        # logical timestamp source for row data (backend-independent)
+        self._stamp_counter = 0.0
+
+    def _stamp(self) -> float:
+        """Next logical timestamp (monotone, > 0, backend-independent)."""
+        self._stamp_counter += 1.0
+        return self._stamp_counter
+
+    def _note(self, op: str) -> None:
+        if self._record_ops:
+            self.op_log.append(op)
 
     # ---------------------------------------------------------------- schema
 
     def create_schema(self) -> None:
-        db, st = self.db, self.storage
-        db.create_table("warehouse", [("w_id", "int"), ("w_name", "str"),
-                                      ("w_ytd", "float")], storage=st)
-        db.create_table("district", [
+        be, st = self.backend, self.storage
+
+        def table(name: str, columns: list[tuple[str, str]]) -> None:
+            be.create_table(name, columns, st,
+                            shard_key=SHARD_KEYS[name])
+
+        table("warehouse", [("w_id", "int"), ("w_name", "str"),
+                            ("w_ytd", "float")])
+        table("district", [
             ("d_w_id", "int"), ("d_id", "int"), ("d_name", "str"),
-            ("d_ytd", "float"), ("d_next_o_id", "int")], storage=st)
-        db.create_table("customer", [
+            ("d_ytd", "float"), ("d_next_o_id", "int")])
+        table("customer", [
             ("c_w_id", "int"), ("c_d_id", "int"), ("c_id", "int"),
             ("c_last", "str"), ("c_first", "str"), ("c_balance", "float"),
             ("c_ytd_payment", "float"), ("c_payment_cnt", "int"),
-            ("c_delivery_cnt", "int"), ("c_data", "str")], storage=st)
-        db.create_table("item", [("i_id", "int"), ("i_name", "str"),
-                                 ("i_price", "float")], storage=st)
-        db.create_table("stock", [
+            ("c_delivery_cnt", "int"), ("c_data", "str")])
+        table("item", [("i_id", "int"), ("i_name", "str"),
+                       ("i_price", "float")])
+        table("stock", [
             ("s_w_id", "int"), ("s_i_id", "int"), ("s_quantity", "int"),
             ("s_ytd", "float"), ("s_order_cnt", "int"),
-            ("s_remote_cnt", "int")], storage=st)
-        db.create_table("orders", [
+            ("s_remote_cnt", "int")])
+        table("orders", [
             ("o_w_id", "int"), ("o_d_id", "int"), ("o_id", "int"),
             ("o_c_id", "int"), ("o_carrier_id", "int"),
-            ("o_ol_cnt", "int"), ("o_entry_d", "float")], storage=st)
-        db.create_table("new_order", [
-            ("no_w_id", "int"), ("no_d_id", "int"), ("no_o_id", "int")],
-            storage=st)
-        db.create_table("order_line", [
+            ("o_ol_cnt", "int"), ("o_entry_d", "float")])
+        table("new_order", [
+            ("no_w_id", "int"), ("no_d_id", "int"), ("no_o_id", "int")])
+        table("order_line", [
             ("ol_w_id", "int"), ("ol_d_id", "int"), ("ol_o_id", "int"),
             ("ol_number", "int"), ("ol_i_id", "int"),
             ("ol_supply_w_id", "int"), ("ol_quantity", "int"),
-            ("ol_amount", "float"), ("ol_delivery_d", "float")], storage=st)
-        db.create_table("history", [
+            ("ol_amount", "float"), ("ol_delivery_d", "float")])
+        table("history", [
             ("h_c_w_id", "int"), ("h_c_d_id", "int"), ("h_c_id", "int"),
-            ("h_amount", "float"), ("h_date", "float")], storage=st)
+            ("h_amount", "float"), ("h_date", "float")])
 
         self._index("idx_warehouse", "warehouse", ["w_id"])
         self._index("idx_district", "district", ["d_w_id", "d_id"])
@@ -158,56 +218,62 @@ class TPCCRunner:
                     ["ol_w_id", "ol_d_id", "ol_o_id", "ol_number"])
 
     def _index(self, name: str, table: str, columns: list[str]) -> None:
-        self.db.create_index(name, table, columns, kind=self.index_kind,
-                             reference=self.reference, **self.index_options)
+        self.backend.create_index(name, table, columns,
+                                  kind=self.index_kind,
+                                  reference=self.reference,
+                                  **self.index_options)
 
     # ------------------------------------------------------------------ load
 
     def load(self) -> None:
+        """Generate the initial population, then bulk-load it.
+
+        Row generation draws from the seeded RNG in ONE fixed order
+        regardless of backend; loading goes through
+        :meth:`WorkloadBackend.bulk_insert`, which sharded backends
+        implement by partitioning each table by shard key and loading
+        every shard directly (single-shard fast-path commits).
+        """
         self.create_schema()
         cfg = self.config
         rng = self._rng
-        txn = self.db.begin()
-        budget = 0
+        rows: dict[str, list[Row]] = {name: [] for name in TABLES}
         for i in range(1, cfg.items + 1):
-            self.db.insert(txn, "item",
-                           (i, f"item-{i}", round(rng.uniform(1, 100), 2)))
+            rows["item"].append(
+                (i, f"item-{i}", round(rng.uniform(1, 100), 2)))
         for w in range(1, cfg.warehouses + 1):
-            self.db.insert(txn, "warehouse", (w, f"wh-{w}", 300000.0))
+            rows["warehouse"].append((w, f"wh-{w}", 300000.0))
             for i in range(1, cfg.items + 1):
-                self.db.insert(txn, "stock",
-                               (w, i, rng.randint(10, 100), 0.0, 0, 0))
+                rows["stock"].append(
+                    (w, i, rng.randint(10, 100), 0.0, 0, 0))
             for d in range(1, cfg.districts_per_warehouse + 1):
                 next_o = cfg.initial_orders_per_district + 1
-                self.db.insert(txn, "district",
-                               (w, d, f"d-{w}-{d}", 30000.0, next_o))
+                rows["district"].append(
+                    (w, d, f"d-{w}-{d}", 30000.0, next_o))
                 self._next_o_id[(w, d)] = next_o
                 for c in range(1, cfg.customers_per_district + 1):
                     last = customer_last_name(
                         c - 1 if c <= 100 else rng.randint(0, 99))
-                    self.db.insert(txn, "customer",
-                                   (w, d, c, last, f"first-{c}", -10.0,
-                                    10.0, 1, 0, "data"))
+                    rows["customer"].append(
+                        (w, d, c, last, f"first-{c}", -10.0,
+                         10.0, 1, 0, "data"))
                 for o in range(1, cfg.initial_orders_per_district + 1):
                     c = rng.randint(1, cfg.customers_per_district)
                     ol_cnt = rng.randint(5, 15)
                     carrier = rng.randint(1, 10) if o < next_o - 10 else 0
-                    self.db.insert(txn, "orders",
-                                   (w, d, o, c, carrier, ol_cnt, 0.0))
+                    rows["orders"].append(
+                        (w, d, o, c, carrier, ol_cnt, 0.0))
                     if carrier == 0:
-                        self.db.insert(txn, "new_order", (w, d, o))
+                        rows["new_order"].append((w, d, o))
                     for n in range(1, ol_cnt + 1):
-                        self.db.insert(txn, "order_line",
-                                       (w, d, o, n, rng.randint(1, cfg.items),
-                                        w, 5, round(rng.uniform(1, 100), 2),
-                                        0.0 if carrier == 0 else 1.0))
-                # commit in chunks so the load is not one mega-transaction
-                budget += 1
-                if budget % 4 == 0:
-                    txn.commit()
-                    txn = self.db.begin()
-        txn.commit()
-        self.db.flush_all()
+                        rows["order_line"].append(
+                            (w, d, o, n, rng.randint(1, cfg.items),
+                             w, 5, round(rng.uniform(1, 100), 2),
+                             0.0 if carrier == 0 else 1.0))
+        for name in TABLES:
+            if rows[name]:
+                self.backend.bulk_insert(name, rows[name])
+        self.backend.flush_all()
         self._loaded = True
 
     # ------------------------------------------------------------------- run
@@ -218,7 +284,7 @@ class TPCCRunner:
         rng = self._rng
         cfg = self.config
         result = TPCCResult(by_type={})
-        start = self.db.clock.now
+        start = self.backend.sim_now
         cuts = self._mix_thresholds()
         for _ in range(transactions):
             roll = rng.random()
@@ -232,11 +298,15 @@ class TPCCRunner:
                 kind, fn = "delivery", self._tx_delivery
             else:
                 kind, fn = "stock_level", self._tx_stock_level
-            txn = self.db.begin()
+            txn = self.backend.begin()
             if cfg.overhead_per_txn:
-                self.db.clock.advance(cfg.overhead_per_txn)
+                self.backend.advance_clock(cfg.overhead_per_txn)
             try:
                 fn(txn)
+            except DeviceCrashError:
+                # a dead device is a crash, not a workload-level abort —
+                # let the crash harness recover the topology
+                raise
             except ReproError:
                 if txn.is_active:
                     txn.abort()
@@ -251,10 +321,10 @@ class TPCCRunner:
                     for table in ("stock", "district", "customer",
                                   "warehouse", "orders", "order_line",
                                   "new_order"):
-                        self.db.vacuum(table)
+                        self.backend.vacuum(table)
             else:
                 result.aborted += 1
-        result.elapsed_sim_seconds = self.db.clock.now - start
+        result.elapsed_sim_seconds = self.backend.sim_now - start
         return result
 
     def _mix_thresholds(self) -> tuple[float, float, float, float]:
@@ -272,49 +342,52 @@ class TPCCRunner:
         return (self._rng.randint(1, cfg.warehouses),
                 self._rng.randint(1, cfg.districts_per_warehouse))
 
-    def _pick_customer_key(self, txn: Transaction, w: int,
+    def _pick_customer_key(self, txn: WorkloadTxn, w: int,
                            d: int) -> int:
         """60% by last name (secondary index), 40% by id (TPC-C rule)."""
         cfg, rng = self.config, self._rng
         if rng.random() < 0.6:
             num = rng.randint(0, min(cfg.customers_per_district, 100) - 1)
             last = customer_last_name(num)
-            rows = self.db.select(txn, "idx_customer_last", (w, d, last))
+            rows = txn.select("idx_customer_last", (w, d, last))
             if rows:
                 rows.sort(key=lambda r: r[4])  # order by c_first
-                return rows[len(rows) // 2][2]
+                return int(rows[len(rows) // 2][2])
         return rng.randint(1, cfg.customers_per_district)
 
-    def _tx_new_order(self, txn: Transaction) -> None:
-        cfg, rng, db = self.config, self._rng, self.db
+    def _tx_new_order(self, txn: WorkloadTxn) -> None:
+        cfg, rng = self.config, self._rng
         w, d = self._pick_wd()
         c = rng.randint(1, cfg.customers_per_district)
         rollback = rng.random() < 0.01  # 1% intentional rollbacks
 
-        district = db.select_hits(txn, "idx_district", (w, d))
+        district = txn.select_hits("idx_district", (w, d))
         if not district:
             raise WorkloadError(f"missing district {(w, d)}")
         hit = district[0]
         o_id = hit.row[4]
-        db.update_row(txn, "district", hit.rid, hit.version,
-                      {"d_next_o_id": o_id + 1})
+        txn.update("district", hit, {"d_next_o_id": o_id + 1})
         self._next_o_id[(w, d)] = o_id + 1
 
         ol_cnt = rng.randint(5, 15)
-        db.insert(txn, "orders", (w, d, o_id, c, 0, ol_cnt, db.clock.now))
-        db.insert(txn, "new_order", (w, d, o_id))
+        txn.insert("orders", (w, d, o_id, c, 0, ol_cnt, self._stamp()))
+        txn.insert("new_order", (w, d, o_id))
+        remote = 0
         for number in range(1, ol_cnt + 1):
             i_id = rng.randint(1, cfg.items)
-            # 1% of order lines come from a remote warehouse
+            # a fraction of order lines come from a remote warehouse —
+            # on a sharded backend that makes this transaction 2PC
             supply_w = w
-            if cfg.warehouses > 1 and rng.random() < 0.01:
+            if (cfg.warehouses > 1
+                    and rng.random() < cfg.remote_order_line_prob):
                 supply_w = rng.choice(
                     [x for x in range(1, cfg.warehouses + 1) if x != w])
-            item = db.select(txn, "idx_item", (i_id,))
+                remote += 1
+            item = txn.select("idx_item", (i_id,))
             if not item:
                 raise WorkloadError(f"missing item {i_id}")
             price = item[0][2]
-            stock_hits = db.select_hits(txn, "idx_stock", (supply_w, i_id))
+            stock_hits = txn.select_hits("idx_stock", (supply_w, i_id))
             if not stock_hits:
                 raise WorkloadError(f"missing stock {(supply_w, i_id)}")
             s = stock_hits[0]
@@ -322,99 +395,105 @@ class TPCCRunner:
             s_quantity = s.row[2]
             new_q = (s_quantity - quantity if s_quantity - quantity >= 10
                      else s_quantity - quantity + 91)
-            db.update_row(txn, "stock", s.rid, s.version, {
+            txn.update("stock", s, {
                 "s_quantity": new_q,
                 "s_ytd": s.row[3] + quantity,
                 "s_order_cnt": s.row[4] + 1,
                 "s_remote_cnt": s.row[5] + (1 if supply_w != w else 0)})
-            db.insert(txn, "order_line",
-                      (w, d, o_id, number, i_id, supply_w, quantity,
-                       round(quantity * price, 2), 0.0))
+            txn.insert("order_line",
+                       (w, d, o_id, number, i_id, supply_w, quantity,
+                        round(quantity * price, 2), 0.0))
+        self._note(f"new_order w={w} d={d} c={c} o={o_id} "
+                   f"lines={ol_cnt} remote={remote} "
+                   f"rollback={int(rollback)}")
         if rollback:
             txn.abort()
 
-    def _tx_payment(self, txn: Transaction) -> None:
-        rng, db = self._rng, self.db
+    def _tx_payment(self, txn: WorkloadTxn) -> None:
+        rng = self._rng
         w, d = self._pick_wd()
         amount = round(rng.uniform(1.0, 5000.0), 2)
 
-        wh = db.select_hits(txn, "idx_warehouse", (w,))
-        db.update_row(txn, "warehouse", wh[0].rid, wh[0].version,
-                      {"w_ytd": wh[0].row[2] + amount})
-        dist = db.select_hits(txn, "idx_district", (w, d))
-        db.update_row(txn, "district", dist[0].rid, dist[0].version,
-                      {"d_ytd": dist[0].row[3] + amount})
+        wh = txn.select_hits("idx_warehouse", (w,))
+        txn.update("warehouse", wh[0],
+                   {"w_ytd": wh[0].row[2] + amount})
+        dist = txn.select_hits("idx_district", (w, d))
+        txn.update("district", dist[0],
+                   {"d_ytd": dist[0].row[3] + amount})
         c = self._pick_customer_key(txn, w, d)
-        cust = db.select_hits(txn, "idx_customer", (w, d, c))
+        cust = txn.select_hits("idx_customer", (w, d, c))
         if not cust:
             raise WorkloadError(f"missing customer {(w, d, c)}")
         hit = cust[0]
-        db.update_row(txn, "customer", hit.rid, hit.version, {
+        txn.update("customer", hit, {
             "c_balance": hit.row[5] - amount,
             "c_ytd_payment": hit.row[6] + amount,
             "c_payment_cnt": hit.row[7] + 1})
-        db.insert(txn, "history", (w, d, c, amount, db.clock.now))
+        txn.insert("history", (w, d, c, amount, self._stamp()))
+        self._note(f"payment w={w} d={d} c={c} amount={amount}")
 
-    def _tx_order_status(self, txn: Transaction) -> None:
-        db = self.db
+    def _tx_order_status(self, txn: WorkloadTxn) -> None:
         w, d = self._pick_wd()
         c = self._pick_customer_key(txn, w, d)
-        db.select(txn, "idx_customer", (w, d, c))
+        txn.select("idx_customer", (w, d, c))
         # latest order of the customer
-        orders = db.range_select(txn, "idx_orders_cust",
-                                 (w, d, c), (w, d, c, TOP))
+        orders = txn.range_select("idx_orders_cust",
+                                  (w, d, c), (w, d, c, TOP))
+        self._note(f"order_status w={w} d={d} c={c}")
         if not orders:
             return
         latest = max(orders, key=lambda r: r[2])
         o_id = latest[2]
-        db.range_select(txn, "idx_order_line", (w, d, o_id),
-                        (w, d, o_id, TOP))
+        txn.range_select("idx_order_line", (w, d, o_id),
+                         (w, d, o_id, TOP))
 
-    def _tx_delivery(self, txn: Transaction) -> None:
-        cfg, db = self.config, self.db
+    def _tx_delivery(self, txn: WorkloadTxn) -> None:
+        cfg = self.config
         w = self._rng.randint(1, cfg.warehouses)
         carrier = self._rng.randint(1, 10)
+        self._note(f"delivery w={w} carrier={carrier}")
         for d in range(1, cfg.districts_per_warehouse + 1):
-            pending = db.range_hits(txn, "idx_new_order", (w, d),
-                                    (w, d, TOP))
+            pending = txn.range_hits("idx_new_order", (w, d),
+                                     (w, d, TOP))
             if not pending:
                 continue
             oldest = min(pending, key=lambda h: h.row[2])
             o_id = oldest.row[2]
-            db.delete_row(txn, "new_order", oldest.rid, oldest.version)
-            orders = db.select_hits(txn, "idx_orders", (w, d, o_id))
+            txn.delete("new_order", oldest)
+            orders = txn.select_hits("idx_orders", (w, d, o_id))
             total = 0.0
             if orders:
-                db.update_row(txn, "orders", orders[0].rid,
-                              orders[0].version, {"o_carrier_id": carrier})
+                txn.update("orders", orders[0],
+                           {"o_carrier_id": carrier})
                 c = orders[0].row[3]
             else:
                 continue
-            lines = db.range_hits(txn, "idx_order_line", (w, d, o_id),
-                                  (w, d, o_id, TOP))
-            now = db.clock.now
+            lines = txn.range_hits("idx_order_line", (w, d, o_id),
+                                   (w, d, o_id, TOP))
+            now = self._stamp()
             for line in lines:
                 total += line.row[7]
-                db.update_row(txn, "order_line", line.rid, line.version,
-                              {"ol_delivery_d": now + 1.0})
-            cust = db.select_hits(txn, "idx_customer", (w, d, c))
+                txn.update("order_line", line,
+                           {"ol_delivery_d": now + 1.0})
+            cust = txn.select_hits("idx_customer", (w, d, c))
             if cust:
-                db.update_row(txn, "customer", cust[0].rid, cust[0].version, {
+                txn.update("customer", cust[0], {
                     "c_balance": cust[0].row[5] + total,
                     "c_delivery_cnt": cust[0].row[8] + 1})
 
-    def _tx_stock_level(self, txn: Transaction) -> None:
-        cfg, db = self.config, self.db
+    def _tx_stock_level(self, txn: WorkloadTxn) -> None:
+        cfg = self.config
         w, d = self._pick_wd()
         threshold = self._rng.randint(10, 20)
         next_o = self._next_o_id.get((w, d),
                                      cfg.initial_orders_per_district + 1)
         lo_o = max(1, next_o - 20)
-        lines = db.range_select(txn, "idx_order_line", (w, d, lo_o),
-                                (w, d, next_o, TOP))
+        lines = txn.range_select("idx_order_line", (w, d, lo_o),
+                                 (w, d, next_o, TOP))
         item_ids = {row[4] for row in lines}
         low = 0
-        for i_id in item_ids:
-            stock = db.select(txn, "idx_stock", (w, i_id))
+        for i_id in sorted(item_ids):
+            stock = txn.select("idx_stock", (w, i_id))
             if stock and stock[0][2] < threshold:
                 low += 1
+        self._note(f"stock_level w={w} d={d} t={threshold} low={low}")

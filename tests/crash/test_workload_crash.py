@@ -1,0 +1,258 @@
+"""Crash mid cross-shard NEW-ORDER: kill a device, recover the topology,
+prove all-shards-or-no-shards atomicity on real TPC-C data (DESIGN.md
+§18.6).
+
+The scripted sweeps in ``test_shard_crash.py`` exercise a synthetic
+key/value workload; here the SAME fault plans hit a durable 2-shard
+cluster running genuine TPC-C new-orders forced cross-shard
+(``remote_order_line_prob=1.0`` with warehouses on both shards), so every
+crash point lands inside — or between — 2PC commits that touch district,
+orders, new_order, order_line and REMOTE stock rows at once.
+
+After recovery we assert three things:
+
+* **status atomicity** — every transaction id issued during the run has
+  ONE status, identical on every shard, and it is decided;
+* **TPC-C consistency** — the recovered committed state passes the spec
+  invariants (C1-C4): no half-applied new-order can survive, or C2/C3/C4
+  would catch the missing order/new_order/order-line rows;
+* **cross-shard ledger balance** — the stock table's total ``s_ytd``
+  (updated on the *supplying* warehouse's shard) equals the total
+  quantity of runtime order lines (inserted on the *home* warehouse's
+  shard): a commit that reached one shard but not the other breaks the
+  ledger immediately.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import EngineConfig
+from repro.errors import DeviceCrashError
+from repro.shard import ShardConfig, ShardedDatabase
+from repro.sim.device import FaultPlan, SimulatedDevice
+from repro.txn.status import TxnStatus
+from repro.workloads import (ShardedBackend, TPCCConfig, TPCCResult,
+                             TPCCRunner, assert_tpcc_consistent)
+
+pytestmark = [pytest.mark.crash, pytest.mark.shard, pytest.mark.workload]
+
+SHARDS = 2
+TARGETS = ("shard0", "shard1", "coord")
+
+#: with 2 shards x 16 hash slots, warehouse 4 lands on shard 0 and
+#: warehouses 1-3 on shard 1 — so a remote order line regularly crosses
+#: the shard boundary (never use 2 warehouses here: both hash to shard 1)
+CRASH_CFG = TPCCConfig(
+    warehouses=4, districts_per_warehouse=1, customers_per_district=3,
+    items=8, initial_orders_per_district=2,
+    new_order_weight=1.0, payment_weight=0.0, order_status_weight=0.0,
+    delivery_weight=0.0, stock_level_weight=0.0,
+    remote_order_line_prob=1.0, seed=31)
+N_TXNS = 20
+
+
+def make_cluster() -> tuple[ShardedDatabase, ShardedBackend, TPCCRunner]:
+    """A durable 2-shard cluster, loaded with the crash-scale TPC-C data."""
+    config = EngineConfig(
+        durability=True,
+        page_size=512,
+        extent_pages=8,
+        partition_buffer_bytes=768,
+        buffer_pool_pages=64,
+        # nine tables + ten indexes of metadata, growing one partition
+        # descriptor per eviction — size the slot for the whole run
+        manifest_slot_pages=64,
+    )
+    router = ShardedDatabase(config, ShardConfig(shards=SHARDS,
+                                                 hash_slots=16))
+    backend = ShardedBackend(router)
+    runner = TPCCRunner(backend, CRASH_CFG)
+    runner.load()
+    return router, backend, runner
+
+
+def device_of(router: ShardedDatabase, target: str) -> SimulatedDevice:
+    if target == "coord":
+        assert router.coordinator_device is not None
+        return router.coordinator_device
+    return router.shards[int(target.removeprefix("shard"))].device
+
+
+class WorkloadRun:
+    """One (possibly crashed) TPC-C run over the durable cluster."""
+
+    def __init__(self, router: ShardedDatabase, backend: ShardedBackend,
+                 crashed: bool, start_txid: int,
+                 result: TPCCResult | None) -> None:
+        self.router = router
+        self.backend = backend
+        self.crashed = crashed
+        self.start_txid = start_txid
+        self.result = result
+
+
+def run_new_orders(target: str | None = None, k: int = 0,
+                   mode: str = "clean",
+                   fraction: float = 0.5) -> WorkloadRun:
+    """Load, then run N_TXNS new-orders; arm the fault plan ``k`` I/Os
+    into the RUN phase of ``target``'s device (post-load, so the sweep
+    indexes the interesting region, not the bulk load)."""
+    router, backend, runner = make_cluster()
+    if target is not None:
+        device = device_of(router, target)
+        device.set_fault_plan(FaultPlan(fail_at=device.io_count + k,
+                                        mode=mode, fraction=fraction))
+    start_txid = router.coordinator.next_txid
+    crashed = False
+    result: TPCCResult | None = None
+    try:
+        result = runner.run(N_TXNS)
+    except DeviceCrashError:
+        crashed = True
+    return WorkloadRun(router, backend, crashed, start_txid, result)
+
+
+def assert_stock_ledger_balanced(backend: ShardedBackend,
+                                 context: str) -> None:
+    """Cross-shard ledger: total s_ytd == total runtime order-line qty."""
+    initial = CRASH_CFG.initial_orders_per_district
+    lines = backend.dump_table("order_line")
+    stock = backend.dump_table("stock")
+    runtime_qty = sum(row[6] for row in lines if row[2] > initial)
+    ytd_total = sum(row[3] for row in stock)
+    assert abs(ytd_total - runtime_qty) < 1e-6, (
+        f"{context}: stock s_ytd total {ytd_total} != runtime order-line "
+        f"quantity {runtime_qty} — a new-order committed on one shard "
+        f"but not the other")
+
+
+def recover_and_check(run: WorkloadRun, context: str) -> ShardedBackend:
+    """Recover every shard + the coordinator; assert the §18.6 invariants."""
+    recovered = ShardedDatabase.recover(run.router)
+
+    # status atomicity: every txid issued during the run is decided, and
+    # identically so on every shard
+    end_txid = max(db.txn.next_txid for db in recovered.shards)
+    assert end_txid > run.start_txid, f"{context}: no transactions ran"
+    for txid in range(run.start_txid, end_txid):
+        statuses = {db.txn.status_of(txid) for db in recovered.shards}
+        assert len(statuses) == 1, (
+            f"{context}: txn {txid} recovered with split statuses "
+            f"{statuses} — partial cross-shard visibility")
+        assert statuses <= {TxnStatus.COMMITTED, TxnStatus.ABORTED}, (
+            f"{context}: txn {txid} undecided after recovery")
+
+    backend = ShardedBackend(recovered)
+    assert_tpcc_consistent(backend, context=context)
+    assert_stock_ledger_balanced(backend, context)
+    return backend
+
+
+def _crash_points(total: int, exhaustive: bool) -> list[int]:
+    if exhaustive:
+        points = set(range(0, total, 7))
+    else:
+        step = max(1, total // 5)
+        points = set(range(0, total, step))
+    points |= {1, total - 1}
+    return sorted(k for k in points if 0 <= k < total)
+
+
+# ------------------------------------------------------------------ sweeps
+
+@pytest.fixture(scope="module")
+def clean_run() -> dict[str, object]:
+    """One fault-free run: per-device run-phase I/O counts + baselines."""
+    router, backend, runner = make_cluster()
+    load_io = {t: device_of(router, t).io_count for t in TARGETS}
+    decisions_before = len(router.coordinator.decisions)
+    start_txid = router.coordinator.next_txid
+    result = runner.run(N_TXNS)
+    run_io = {t: device_of(router, t).io_count - load_io[t]
+              for t in TARGETS}
+    info = {
+        "run_io": run_io,
+        "result": result,
+        "decisions": len(router.coordinator.decisions) - decisions_before,
+        "start_txid": start_txid,
+        "backend": backend,
+    }
+    yield info
+    backend.close()
+
+
+def test_workload_reaches_both_shards(clean_run: dict[str, object]) -> None:
+    """The sweep is only meaningful if new-orders really commit via 2PC."""
+    result = clean_run["result"]
+    assert result.committed + result.aborted == N_TXNS
+    assert result.committed >= N_TXNS - 5
+    assert result.by_type == {"new_order": result.committed}
+    # forced remote order lines -> durable cross-shard commits logged 2PC
+    # decisions with the coordinator
+    assert clean_run["decisions"] > 5, (
+        "new-orders did not take the durable 2PC path")
+    run_io = clean_run["run_io"]
+    for target in TARGETS:
+        assert run_io[target] > 0, f"{target} sat idle during the run"
+    assert_tpcc_consistent(clean_run["backend"], context="clean run")
+    assert_stock_ledger_balanced(clean_run["backend"], "clean run")
+
+
+@pytest.mark.parametrize("target", TARGETS)
+def test_new_order_crash_sweep(target: str, clean_run: dict[str, object],
+                               run_crash_sweep: bool) -> None:
+    """Kill one device k I/Os into the run; recover; assert atomicity."""
+    total = clean_run["run_io"][target]
+    crashes = 0
+    for k in _crash_points(total, run_crash_sweep):
+        run = run_new_orders(target, k)
+        assert run.crashed, f"{target} k={k} must crash mid-run"
+        crashes += 1
+        recover_and_check(run, context=f"{target} k={k}")
+    assert crashes > 0
+
+
+def test_torn_new_order_write_recovers(
+        clean_run: dict[str, object]) -> None:
+    """A torn sector mid new-order is discarded by recovery, atomically."""
+    k = clean_run["run_io"]["shard1"] // 2
+    for fraction in (0.0, 0.5, 0.99):
+        run = run_new_orders("shard1", k, mode="torn", fraction=fraction)
+        assert run.crashed
+        recover_and_check(run, context=f"torn f={fraction} k={k}")
+
+
+def test_crash_beyond_run_never_fires(
+        clean_run: dict[str, object]) -> None:
+    """Determinism guard: the armed-but-unfired run matches the clean one."""
+    run = run_new_orders("shard0",
+                         clean_run["run_io"]["shard0"] + 1000)
+    assert not run.crashed
+    assert run.result is not None
+    baseline = clean_run["result"]
+    assert run.result.committed == baseline.committed
+    assert run.result.aborted == baseline.aborted
+    run.backend.close()
+
+
+def test_recovered_cluster_accepts_cross_shard_txns(
+        clean_run: dict[str, object]) -> None:
+    """Post-recovery the cluster still runs 2PC payments and stays
+    consistent — recovery returns a working router, not a read replica."""
+    run = run_new_orders("coord", clean_run["run_io"]["coord"] // 2)
+    assert run.crashed
+    backend = recover_and_check(run, context="resume")
+    decisions_before = len(backend.router.coordinator.decisions)
+    # a manual double-payment touching warehouse 1 (shard 1) and
+    # warehouse 4 (shard 0) in ONE transaction: cross-shard by design
+    txn = backend.begin()
+    for w in (1, 4):
+        wh = txn.select_hits("idx_warehouse", (w,))[0]
+        txn.update("warehouse", wh, {"w_ytd": wh.row[2] + 50.0})
+        dist = txn.select_hits("idx_district", (w, 1))[0]
+        txn.update("district", dist, {"d_ytd": dist.row[3] + 50.0})
+    txn.commit()
+    assert len(backend.router.coordinator.decisions) > decisions_before, (
+        "post-recovery payment did not take the 2PC path")
+    assert_tpcc_consistent(backend, context="post-recovery")
